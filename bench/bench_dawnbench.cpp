@@ -1,0 +1,54 @@
+// §VIII-C: DAWNBench-style projection (time and public-cloud cost to train
+// ResNet-50 to 93% top-5 on ImageNet) and the InsightFace improvement. The
+// paper's DAWNBench entry reached the goal in 158 s of *communication-
+// optimized* training on 128 V100s; we project time-to-accuracy from the
+// measured steady-state throughput (epochs-to-accuracy and price are
+// constants documented below) and report the InsightFace-R100 128-GPU
+// speedup over a hand-tuned Horovod DDL setup (paper: 3.8x).
+#include "bench_util.h"
+
+using namespace aiacc;
+using namespace aiacc::bench;
+
+int main() {
+  PrintHeader("§VIII-C — DAWNBench projection + InsightFace",
+              "Paper §VIII-C",
+              "AIACC reaches the accuracy goal in a fraction of Horovod's "
+              "time/cost; InsightFace ~3-4x at 128 GPUs");
+
+  // DAWNBench-style projection. The paper's record run used progressive
+  // image resizing + fp16, finishing in ~3 effective epochs' worth of
+  // full-resolution work; we keep the constants explicit.
+  constexpr double kImagenetImages = 1.28e6;
+  constexpr double kEffectiveEpochs = 3.2;   // progressive-resize schedule
+  constexpr double kInstancePricePerHour = 12.0;  // 8x V100 instance, USD
+  TablePrinter table({"engine", "GPUs", "throughput (img/s)",
+                      "time to 93% top-5", "cloud cost"});
+  for (auto kind : {trainer::EngineKind::kAiacc,
+                    trainer::EngineKind::kHorovod,
+                    trainer::EngineKind::kPytorchDdp}) {
+    auto spec = MakeSpec("resnet50", 128, kind, 64);
+    spec.wire_dtype = dnn::DType::kF16;  // the record run used fp16 wire
+    const double throughput = trainer::Run(spec).throughput;
+    const double seconds = kImagenetImages * kEffectiveEpochs / throughput;
+    const double cost =
+        seconds / 3600.0 * (128 / 8) * kInstancePricePerHour;
+    table.AddRow({ToString(kind), "128", FormatDouble(throughput, 0),
+                  FormatDouble(seconds, 0) + " s",
+                  "$" + FormatDouble(cost, 2)});
+  }
+  table.Print();
+  std::printf("(paper record: 158 s / $7.43 on 128 V100s; our substrate is "
+              "a simulator, the shape to check is the AIACC-vs-baseline "
+              "ratio)\n");
+
+  // InsightFace-R100 at 128 GPUs vs the hand-tuned Horovod DDL code.
+  const double aiacc =
+      Throughput("insightface-r100", 128, trainer::EngineKind::kAiacc, 128);
+  const double horovod =
+      Throughput("insightface-r100", 128, trainer::EngineKind::kHorovod, 128);
+  std::printf("\nInsightFace-R100, 128 GPUs: AIACC %.0f img/s vs Horovod "
+              "%.0f img/s -> %.2fx (paper: 3.8x)\n",
+              aiacc, horovod, aiacc / horovod);
+  return 0;
+}

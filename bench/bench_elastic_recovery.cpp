@@ -1,0 +1,74 @@
+// Production-feature analysis (paper §IV "fault-tolerance to restart the
+// training process from the last checkpoint upon node failure and elastic
+// deployment by propagating training parameters into newly added computing
+// nodes"): recovery-time breakdown after a node failure, and the
+// checkpoint-interval trade-off (write overhead vs replay on failure).
+#include "bench_util.h"
+
+#include "trainer/elastic.h"
+
+using namespace aiacc;
+using namespace aiacc::bench;
+
+int main() {
+  PrintHeader("§IV — fault tolerance & elastic deployment",
+              "Paper §IV 'Other features and optimizations'",
+              "recovery = replacement wait + parameter broadcast + replay "
+              "since last checkpoint; tighter checkpoints trade steady-state "
+              "overhead for replay");
+
+  // Recovery breakdown for a failure mid-run, per model.
+  std::printf("\nnode failure at iteration 27 of 60 (64 GPUs, checkpoint "
+              "every 10):\n");
+  TablePrinter table({"model", "ideal", "total", "ckpt ovh", "replay",
+                      "replace", "rejoin bcast"});
+  for (const char* model : {"resnet50", "vgg16", "bert-large"}) {
+    trainer::ElasticSpec spec;
+    spec.model_name = model;
+    spec.topology = trainer::MakeTopology(64);
+    spec.batch_per_gpu = std::string(model) == "bert-large" ? 8 : 64;
+    spec.total_iterations = 60;
+    spec.checkpoint_interval = 10;
+    spec.fail_at_iteration = 27;
+    const auto r = trainer::SimulateElasticTraining(spec);
+    table.AddRow({model, FormatDouble(r.ideal_time, 1) + " s",
+                  FormatDouble(r.total_time, 1) + " s",
+                  FormatDouble(r.checkpoint_overhead, 2) + " s",
+                  FormatDouble(r.replay_overhead, 2) + " s",
+                  FormatDouble(r.replacement_overhead, 1) + " s",
+                  FormatDouble(r.rejoin_broadcast_time, 3) + " s"});
+  }
+  table.Print();
+
+  // Checkpoint-interval trade-off on ResNet-50.
+  std::printf("\ncheckpoint-interval trade-off (ResNet-50, failure @27):\n");
+  TablePrinter tradeoff({"interval", "ckpt overhead", "replayed iters",
+                         "total time"});
+  for (int interval : {0, 5, 10, 20, 30}) {
+    trainer::ElasticSpec spec;
+    spec.model_name = "resnet50";
+    spec.topology = trainer::MakeTopology(64);
+    spec.total_iterations = 60;
+    spec.checkpoint_interval = interval;
+    spec.fail_at_iteration = 27;
+    const auto r = trainer::SimulateElasticTraining(spec);
+    tradeoff.AddRow({interval == 0 ? "none" : std::to_string(interval),
+                     FormatDouble(r.checkpoint_overhead, 2) + " s",
+                     std::to_string(r.iterations_replayed),
+                     FormatDouble(r.total_time, 1) + " s"});
+  }
+  tradeoff.Print();
+
+  // A sample timeline.
+  std::printf("\ntimeline (ResNet-50, interval 10, failure @27):\n");
+  trainer::ElasticSpec spec;
+  spec.model_name = "resnet50";
+  spec.topology = trainer::MakeTopology(64);
+  spec.total_iterations = 60;
+  spec.checkpoint_interval = 10;
+  spec.fail_at_iteration = 27;
+  for (const auto& e : trainer::SimulateElasticTraining(spec).timeline) {
+    std::printf("  t=%8.2fs  %s\n", e.time, e.what.c_str());
+  }
+  return 0;
+}

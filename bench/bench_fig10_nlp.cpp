@@ -1,0 +1,44 @@
+// Fig. 10: training throughput of PyTorch NLP models (Transformer,
+// BERT-Large) across engines and GPU counts. NLP models are larger, so
+// communication dominates earlier and AIACC's advantage is bigger than on
+// the CV models.
+#include "bench_util.h"
+
+using namespace aiacc;
+using namespace aiacc::bench;
+
+int main() {
+  PrintHeader("Fig. 10 — PyTorch NLP model throughput (sequences/s)",
+              "Paper Fig. 10",
+              "same ordering as Fig. 9 with larger AIACC gaps (bigger "
+              "gradients); BytePS collapses on BERT-Large");
+
+  struct Workload {
+    const char* model;
+    int batch;
+  };
+  // Sequences per GPU; chosen to nearly fill V100 memory as in §VII-D.
+  const Workload workloads[] = {{"transformer", 32}, {"bert-large", 8}};
+  const std::vector<int> gpu_counts = {1, 8, 16, 32, 64, 128, 256};
+
+  for (const Workload& w : workloads) {
+    std::printf("\n-- %s (batch %d seq/GPU) --\n", w.model, w.batch);
+    TablePrinter table({"GPUs", "AIACC", "Horovod", "BytePS", "PyTorch-DDP",
+                        "AIACC/Horovod"});
+    for (int gpus : gpu_counts) {
+      const double aiacc =
+          Throughput(w.model, gpus, trainer::EngineKind::kAiacc, w.batch);
+      const double horovod =
+          Throughput(w.model, gpus, trainer::EngineKind::kHorovod, w.batch);
+      const double byteps =
+          Throughput(w.model, gpus, trainer::EngineKind::kByteps, w.batch);
+      const double ddp =
+          Throughput(w.model, gpus, trainer::EngineKind::kPytorchDdp, w.batch);
+      table.AddRow({std::to_string(gpus), FormatDouble(aiacc, 1),
+                    FormatDouble(horovod, 1), FormatDouble(byteps, 1),
+                    FormatDouble(ddp, 1), FormatDouble(aiacc / horovod, 2)});
+    }
+    table.Print();
+  }
+  return 0;
+}

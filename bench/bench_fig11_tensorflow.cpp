@@ -1,0 +1,41 @@
+// Fig. 11: the unified AIACC library applied to TensorFlow models. The
+// TensorFlow distributed engine is all-reduce based (like Horovod); AIACC's
+// framework adapters reuse the same communication core, so the comparison is
+// AIACC vs the Horovod-style engine on TF workloads — with the paper's
+// headline 3.3x over Horovod at 256 GPUs.
+#include "bench_util.h"
+
+using namespace aiacc;
+using namespace aiacc::bench;
+
+int main() {
+  PrintHeader("Fig. 11 — TensorFlow models (unified library, same core)",
+              "Paper Fig. 11 + §VIII-B",
+              "portable performance: same ordering as PyTorch figures; "
+              "up to ~3.3x over Horovod at 256 GPUs on comm-bound models");
+
+  // TF evaluation uses the CV models plus Transformer; TF's native
+  // distribution strategy behaves like Horovod's single-stream all-reduce.
+  struct Workload {
+    const char* model;
+    int batch;
+  };
+  const Workload workloads[] = {
+      {"resnet50", 64}, {"vgg16", 64}, {"transformer", 32}};
+  for (const Workload& w : workloads) {
+    std::printf("\n-- tensorflow/%s --\n", w.model);
+    TablePrinter table(
+        {"GPUs", "AIACC", "Horovod(TF)", "speedup"});
+    for (int gpus : {8, 32, 64, 128, 256}) {
+      const double aiacc =
+          Throughput(w.model, gpus, trainer::EngineKind::kAiacc, w.batch);
+      const double horovod =
+          Throughput(w.model, gpus, trainer::EngineKind::kHorovod, w.batch);
+      table.AddRow({std::to_string(gpus), FormatDouble(aiacc, 0),
+                    FormatDouble(horovod, 0),
+                    FormatDouble(aiacc / horovod, 2) + "x"});
+    }
+    table.Print();
+  }
+  return 0;
+}

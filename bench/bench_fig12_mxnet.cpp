@@ -1,0 +1,33 @@
+// Fig. 12: MXNet models — the KVStore parameter-server baseline vs AIACC
+// (which replaces the KVStore interface). The paper observes the PS
+// approach gives clearly lower throughput than all-reduce engines.
+#include "bench_util.h"
+
+using namespace aiacc;
+using namespace aiacc::bench;
+
+int main() {
+  PrintHeader("Fig. 12 — MXNet models (KVStore PS baseline)",
+              "Paper Fig. 12 + §VIII-B",
+              "MXNet KVStore (dist_device_sync PS) lowest; AIACC restores "
+              "all-reduce-class scaling on the same MXNet workloads");
+
+  for (const char* model : {"resnet50", "vgg16"}) {
+    std::printf("\n-- mxnet/%s --\n", model);
+    TablePrinter table({"GPUs", "AIACC", "MXNet-KVStore", "BytePS",
+                        "AIACC/KVStore"});
+    for (int gpus : {8, 16, 32, 64, 128}) {
+      const double aiacc =
+          Throughput(model, gpus, trainer::EngineKind::kAiacc);
+      const double kv =
+          Throughput(model, gpus, trainer::EngineKind::kMxnetKvstore);
+      const double byteps =
+          Throughput(model, gpus, trainer::EngineKind::kByteps);
+      table.AddRow({std::to_string(gpus), FormatDouble(aiacc, 0),
+                    FormatDouble(kv, 0), FormatDouble(byteps, 0),
+                    FormatDouble(aiacc / kv, 2) + "x"});
+    }
+    table.Print();
+  }
+  return 0;
+}

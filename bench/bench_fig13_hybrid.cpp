@@ -1,0 +1,36 @@
+// Fig. 13: hybrid data+model parallelism on ResNet-50 (MXNet): the model is
+// split across 2 GPUs per replica; AIACC replaces the KVStore interface for
+// the per-shard gradient exchange. The paper reports 2.8x over the MXNet
+// DDL implementation at 64 GPUs.
+#include "bench_util.h"
+
+using namespace aiacc;
+using namespace aiacc::bench;
+
+int main() {
+  PrintHeader("Fig. 13 — hybrid data+model parallelism (ResNet-50, MXNet)",
+              "Paper Fig. 13 + §VIII-D",
+              "AIACC improvement over MXNet-KVStore grows with GPUs, "
+              "~2.8x at 64 GPUs");
+
+  TablePrinter table({"GPUs", "replicas", "AIACC (img/s)",
+                      "MXNet-DDL (img/s)", "improvement"});
+  for (int gpus : {8, 16, 32, 64}) {
+    trainer::HybridSpec spec;
+    spec.model_name = "resnet50";
+    spec.topology = trainer::MakeTopology(gpus);
+    spec.batch_per_replica = 64;
+    spec.model_shards = 2;
+    spec.aiacc_config.num_streams = 8;
+
+    spec.use_aiacc = true;
+    const double aiacc = trainer::RunHybrid(spec);
+    spec.use_aiacc = false;
+    const double mxnet = trainer::RunHybrid(spec);
+    table.AddRow({std::to_string(gpus), std::to_string(gpus / 2),
+                  FormatDouble(aiacc, 0), FormatDouble(mxnet, 0),
+                  FormatDouble(aiacc / mxnet, 2) + "x"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// §VI meta-solver analysis: how the sliding-window AUC bandit allocates the
+// warm-up budget across the four search techniques, and what each technique
+// achieves alone on the real (simulated) tuning objective.
+#include "bench_util.h"
+
+#include "autotune/autotuner.h"
+#include "core/aiacc_engine.h"
+#include "dnn/zoo.h"
+
+using namespace aiacc;
+using namespace aiacc::bench;
+
+namespace {
+
+/// Real objective: one warm-up training iteration of ResNet-50 on 32 GPUs
+/// under the candidate configuration.
+struct SimObjective {
+  dnn::ModelDescriptor model = dnn::MakeResNet50();
+  sim::Engine engine;
+  net::CloudFabric fabric{engine, net::Topology{4, 8, net::TransportKind::kTcp},
+                          net::FabricParams{}};
+  collective::SimCollectives collectives{fabric};
+  std::unique_ptr<core::AiaccEngine> ddl;
+
+  SimObjective() {
+    core::WorkloadSetup setup;
+    setup.fabric = &fabric;
+    setup.collectives = &collectives;
+    setup.model = &model;
+    setup.batch_per_gpu = 64;
+    ddl = std::make_unique<core::AiaccEngine>(setup, core::CommConfig{});
+  }
+  double operator()(const core::CommConfig& cfg) {
+    ddl->SetConfig(cfg);
+    const auto stats = ddl->RunIterations(1);
+    return 64.0 * 32 / stats.front().duration;
+  }
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("§VI — MAB meta-solver budget allocation (AUC credit)",
+              "Paper §VI (n=100 iterations, C=0.2, sliding-window AUC)",
+              "all four techniques exercised; budget shifts toward "
+              "techniques that deliver new global bests");
+
+  SimObjective objective;
+  autotune::AutotuneOptions options;
+  options.solver.budget = 100;  // the paper's default
+  const auto result = autotune::Tune(
+      [&](const core::CommConfig& c) { return objective(c); }, options);
+
+  TablePrinter usage({"technique", "iterations used", "share"});
+  for (std::size_t t = 0; t < result.searcher_names.size(); ++t) {
+    usage.AddRow({result.searcher_names[t],
+                  std::to_string(result.searcher_usage[t]),
+                  FormatDouble(100.0 * result.searcher_usage[t] /
+                                   options.solver.budget, 1) + "%"});
+  }
+  usage.Print();
+
+  std::printf("\nBest configuration found: %s -> %.0f samples/s\n",
+              result.best_config.ToString().c_str(), result.best_score);
+
+  std::printf("\nSearch trajectory (new global bests):\n");
+  TablePrinter traj({"step", "technique", "config", "samples/s"});
+  for (const auto& rec : result.history) {
+    if (!rec.new_best) continue;
+    traj.AddRow({std::to_string(rec.step), rec.searcher,
+                 rec.config.ToString(), FormatDouble(rec.score, 0)});
+  }
+  traj.Print();
+
+  // Each technique alone, same budget split.
+  std::printf("\nEach technique alone (25 iterations each):\n");
+  TablePrinter alone({"technique", "best samples/s"});
+  core::CommConfigSpace space;
+  auto ensemble = autotune::MakeDefaultEnsemble(space);
+  for (auto& searcher : ensemble) {
+    SimObjective solo;
+    Rng rng(7);
+    double best = 0.0;
+    for (int i = 0; i < 25; ++i) {
+      const core::CommConfig cfg = searcher->Propose(rng);
+      const double score = solo(cfg);
+      searcher->Observe({cfg, score});
+      best = std::max(best, score);
+    }
+    alone.AddRow({searcher->Name(), FormatDouble(best, 0)});
+  }
+  alone.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table I: DNN model characteristics. Prints our analytically-constructed
+// architectures' parameter counts and FLOPs next to the paper's numbers.
+// Deviations (noted in EXPERIMENTS.md): the paper's ResNet-101 row (29.4M)
+// differs from the published architecture (44.5M), and its FLOPs column
+// mixes MAC conventions across rows; we use 1 MAC = 2 FLOPs uniformly.
+#include "bench_util.h"
+
+#include "dnn/zoo.h"
+
+using namespace aiacc;
+using namespace aiacc::bench;
+
+int main() {
+  PrintHeader("Table I — DNN model characteristics",
+              "Paper Table I", "parameter counts match the published "
+              "architectures; FLOPs under the 2*MAC convention");
+
+  struct PaperRow {
+    const char* model;
+    double params_m;
+    double flops_g;
+  };
+  const PaperRow paper[] = {
+      {"vgg16", 138.3, 31.0},       {"resnet50", 25.6, 4.0},
+      {"resnet101", 29.4, 8.0},     {"transformer", 66.5, 145.0},
+      {"bert-large", 302.2, 232.0},
+  };
+
+  TablePrinter table({"model", "#params (ours)", "#params (paper)",
+                      "FLOPs/sample (ours)", "FLOPs (paper)", "#gradients",
+                      "gradient bytes"});
+  for (const PaperRow& row : paper) {
+    const auto m = dnn::MakeModelByName(row.model);
+    table.AddRow({m.name(),
+                  FormatDouble(m.TotalParameters() / 1e6, 1) + "M",
+                  FormatDouble(row.params_m, 1) + "M",
+                  FormatDouble(m.FwdFlopsPerSample() / 1e9, 1) + "G",
+                  FormatDouble(row.flops_g, 1) + "G",
+                  std::to_string(m.NumGradients()),
+                  FormatBytes(static_cast<double>(m.TotalParameterBytes()))});
+  }
+  // Extended models used in §VIII-C/D.
+  for (const char* name : {"gpt2-xl", "ctr", "insightface-r100"}) {
+    const auto m = dnn::MakeModelByName(name);
+    table.AddRow({m.name(),
+                  FormatDouble(m.TotalParameters() / 1e6, 1) + "M", "-",
+                  FormatDouble(m.FwdFlopsPerSample() / 1e9, 1) + "G", "-",
+                  std::to_string(m.NumGradients()),
+                  FormatBytes(static_cast<double>(m.TotalParameterBytes()))});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the figure/table reproduction benches. Each bench is a
+// standalone binary that prints the rows/series of one table or figure from
+// the paper's evaluation (simulated deployment, deterministic output).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "trainer/harness.h"
+
+namespace aiacc::bench {
+
+inline trainer::RunSpec MakeSpec(const std::string& model, int gpus,
+                                 trainer::EngineKind engine, int batch = 64,
+                                 net::TransportKind transport =
+                                     net::TransportKind::kTcp) {
+  trainer::RunSpec spec;
+  spec.model_name = model;
+  spec.topology = trainer::MakeTopology(gpus, 8, transport);
+  spec.engine = engine;
+  spec.batch_per_gpu = batch;
+  spec.warmup_iterations = 2;
+  spec.measure_iterations = 6;
+  return spec;
+}
+
+inline double Throughput(const std::string& model, int gpus,
+                         trainer::EngineKind engine, int batch = 64,
+                         net::TransportKind transport =
+                             net::TransportKind::kTcp) {
+  return trainer::Run(MakeSpec(model, gpus, engine, batch, transport))
+      .throughput;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref,
+                        const std::string& expectation) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("Expected shape: %s\n", expectation.c_str());
+  std::printf("============================================================\n");
+}
+
+/// The four engines every throughput figure compares.
+inline std::vector<trainer::EngineKind> FigureEngines() {
+  return {trainer::EngineKind::kAiacc, trainer::EngineKind::kHorovod,
+          trainer::EngineKind::kByteps, trainer::EngineKind::kPytorchDdp};
+}
+
+}  // namespace aiacc::bench

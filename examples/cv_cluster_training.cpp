@@ -1,0 +1,109 @@
+// Domain example: planning a large CV training job on the simulated GPU
+// cloud. Given a model, a cluster size and a batch size, this example
+// (1) auto-tunes AIACC's communication parameters during a warm-up phase,
+// (2) reports the tuned configuration and steady-state throughput against
+// Horovod/DDP/BytePS on identical hardware, and (3) prints the per-NIC
+// traffic and stream concurrency the engine actually used — the analysis a
+// capacity planner runs before renting 32 instances. An optional fourth
+// argument writes a chrome://tracing execution trace of the tuned run.
+//
+// Run: ./cv_cluster_training [model] [gpus] [batch] [trace.json]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.h"
+#include "core/aiacc_engine.h"
+#include "dnn/zoo.h"
+#include "trainer/harness.h"
+
+using namespace aiacc;
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "resnet50";
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 64;
+  const int batch = argc > 3 ? std::atoi(argv[3]) : 64;
+
+  std::printf("Planning %s on %d GPUs (batch %d/GPU, 8 GPUs/host, 30 Gbps "
+              "TCP)\n\n", model.c_str(), gpus, batch);
+
+  // 1. Auto-tuned AIACC deployment.
+  trainer::RunSpec spec;
+  spec.model_name = model;
+  spec.topology = trainer::MakeTopology(gpus);
+  spec.engine = trainer::EngineKind::kAiaccAutotuned;
+  spec.batch_per_gpu = batch;
+  spec.tune_budget = 48;
+  const auto tuned = trainer::Run(spec);
+
+  std::printf("auto-tuned configuration: %s\n",
+              tuned.chosen_config.ToString().c_str());
+  if (tuned.tuning) {
+    std::printf("  warm-up budget: %zu iterations (these iterations also "
+                "trained the model)\n", tuned.tuning->history.size());
+    for (std::size_t t = 0; t < tuned.tuning->searcher_names.size(); ++t) {
+      std::printf("    %-9s proposed %d iterations\n",
+                  tuned.tuning->searcher_names[t].c_str(),
+                  tuned.tuning->searcher_usage[t]);
+    }
+  }
+
+  // 2. Cross-engine comparison.
+  std::printf("\nsteady-state throughput:\n");
+  TablePrinter table({"engine", "samples/s", "per-GPU", "vs AIACC"});
+  table.AddRow({"aiacc (tuned)", FormatDouble(tuned.throughput, 0),
+                FormatDouble(tuned.per_gpu_throughput, 1), "1.00"});
+  for (auto kind : {trainer::EngineKind::kHorovod,
+                    trainer::EngineKind::kPytorchDdp,
+                    trainer::EngineKind::kByteps}) {
+    auto baseline_spec = spec;
+    baseline_spec.engine = kind;
+    const auto r = trainer::Run(baseline_spec);
+    table.AddRow({trainer::ToString(kind), FormatDouble(r.throughput, 0),
+                  FormatDouble(r.per_gpu_throughput, 1),
+                  FormatDouble(r.throughput / tuned.throughput, 2)});
+  }
+  table.Print();
+
+  // 3. What the engine did per iteration.
+  const auto& stats = tuned.last_iteration;
+  std::printf("\nper-iteration communication profile (AIACC):\n");
+  std::printf("  iteration time           : %.2f ms\n",
+              tuned.iteration_time * 1e3);
+  std::printf("  sync rounds              : %d (decentralized bit-vector)\n",
+              stats.sync_rounds);
+  std::printf("  all-reduce units         : %d\n", stats.allreduce_units);
+  std::printf("  peak concurrent streams  : %d\n",
+              stats.max_concurrent_streams);
+  std::printf("  traffic per NIC          : %s\n",
+              FormatBytes(stats.comm_bytes_per_nic).c_str());
+
+  // 4. Optional execution trace of a few tuned iterations.
+  if (argc > 4) {
+    sim::Tracer tracer;
+    auto traced = spec;
+    traced.engine = trainer::EngineKind::kAiacc;
+    traced.aiacc_config = tuned.chosen_config;
+    // Rebuild a small deployment by hand so the tracer can be attached.
+    dnn::ModelDescriptor model_desc = dnn::MakeModelByName(traced.model_name);
+    sim::Engine engine;
+    net::CloudFabric fabric(engine, traced.topology, traced.fabric_params);
+    collective::SimCollectives collectives(fabric);
+    core::WorkloadSetup setup;
+    setup.fabric = &fabric;
+    setup.collectives = &collectives;
+    setup.model = &model_desc;
+    setup.batch_per_gpu = traced.batch_per_gpu;
+    setup.tracer = &tracer;
+    core::AiaccEngine ddl(setup, traced.aiacc_config);
+    (void)ddl.RunIterations(3);
+    if (auto st = tracer.WriteTo(argv[4]); st.ok()) {
+      std::printf("\nexecution trace (3 iterations) written to %s — open "
+                  "in chrome://tracing or Perfetto\n", argv[4]);
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Production-features example (§IV "Other features and optimizations"):
+//   1. checkpoint the training state, simulate a node failure, restart from
+//      the last checkpoint and verify the run continues identically;
+//   2. elastic deployment — a replacement worker joins and receives the
+//      live parameters via broadcast instead of a cold restart;
+//   3. corrupt-checkpoint detection (the restart path must refuse garbage).
+//
+// Run: ./elastic_fault_tolerance
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/checkpoint.h"
+#include "core/optimizer.h"
+#include "core/perseus.h"
+#include "dnn/mlp.h"
+
+using namespace aiacc;
+
+namespace {
+
+core::Checkpoint Capture(dnn::Mlp& model, core::Optimizer& opt,
+                         std::int64_t iteration, double lr) {
+  core::Checkpoint ckpt;
+  ckpt.iteration = iteration;
+  ckpt.learning_rate = lr;
+  for (auto t : model.ParameterTensors()) {
+    ckpt.parameters.emplace_back(t.begin(), t.end());
+  }
+  ckpt.optimizer_state = opt.ExportState();
+  return ckpt;
+}
+
+void Restore(const core::Checkpoint& ckpt, dnn::Mlp& model,
+             core::Optimizer& opt) {
+  auto tensors = model.ParameterTensors();
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    std::copy(ckpt.parameters[i].begin(), ckpt.parameters[i].end(),
+              tensors[i].begin());
+  }
+  opt.ImportState(ckpt.optimizer_state);
+}
+
+void TrainSteps(dnn::Mlp& model, core::Optimizer& opt,
+                const dnn::SyntheticDataset& ds, int steps, double lr) {
+  for (int s = 0; s < steps; ++s) {
+    model.Forward(ds.inputs, ds.num_samples);
+    model.Backward(ds.inputs, ds.targets, ds.num_samples);
+    std::vector<std::span<float>> params = model.ParameterTensors();
+    auto grads = model.GradientTensors();
+    std::vector<std::span<const float>> const_grads(grads.begin(),
+                                                    grads.end());
+    opt.Step(params, const_grads, lr);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto ds = dnn::MakeSyntheticDataset(64, 8, 2, 21);
+  const double lr = 0.01;
+  const std::string path = "/tmp/aiacc_example.ckpt";
+
+  // --- 1. Checkpoint/restart -----------------------------------------
+  std::printf("[1] fault tolerance: checkpoint at step 50, crash, restart\n");
+  dnn::Mlp uninterrupted({8, 16, 2}, 42);
+  core::AdamOptimizer full_opt;
+  TrainSteps(uninterrupted, full_opt, ds, 100, lr);
+
+  dnn::Mlp survivor({8, 16, 2}, 42);
+  core::AdamOptimizer survivor_opt;
+  TrainSteps(survivor, survivor_opt, ds, 50, lr);
+  const auto ckpt = Capture(survivor, survivor_opt, 50, lr);
+  if (auto st = core::SaveCheckpoint(ckpt, path); !st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("    checkpoint written (%zu parameter tensors)\n",
+              ckpt.parameters.size());
+
+  // "Node failure": the process restarts with fresh (wrong) state...
+  dnn::Mlp restarted({8, 16, 2}, 777);
+  core::AdamOptimizer restarted_opt;
+  // ...and restores from the last checkpoint.
+  auto loaded = core::LoadCheckpoint(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  Restore(*loaded, restarted, restarted_opt);
+  TrainSteps(restarted, restarted_opt, ds, 50, lr);
+
+  std::printf("    resumed run %s the uninterrupted run\n",
+              restarted.ParametersEqual(uninterrupted, 0.0f) ? "MATCHES"
+                                                             : "DIVERGES FROM");
+
+  // --- 2. Elastic deployment ----------------------------------------
+  std::printf("[2] elastic deployment: a replacement worker joins live\n");
+  perseus::RunRanks(4, [&](perseus::Session& session) {
+    // Ranks 0-2 are survivors holding trained parameters; rank 3 is new.
+    dnn::Mlp model({8, 16, 2}, session.rank() < 3 ? 42u : 9999u);
+    session.BroadcastParameters(model.ParameterTensors(), /*root=*/0);
+    if (session.rank() == 3) {
+      dnn::Mlp expected({8, 16, 2}, 42);
+      std::printf("    new worker parameters %s the cluster's\n",
+                  model.ParametersEqual(expected, 0.0f) ? "MATCH"
+                                                        : "DO NOT MATCH");
+    }
+  });
+
+  // --- 3. Corruption detection --------------------------------------
+  std::printf("[3] corrupt checkpoint is rejected, not silently restored\n");
+  auto bytes = core::SerializeCheckpoint(ckpt);
+  bytes[bytes.size() / 2] ^= 0x5A;
+  auto corrupt = core::DeserializeCheckpoint(bytes);
+  std::printf("    deserialize(corrupt) -> %s\n",
+              corrupt.ok() ? "OK (BUG!)"
+                           : corrupt.status().ToString().c_str());
+
+  std::remove(path.c_str());
+  return 0;
+}

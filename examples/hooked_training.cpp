@@ -1,0 +1,96 @@
+// The full AIACC-Training runtime with real threads (paper Fig. 4-6): this
+// example drives ThreadedAiaccEngine the way a framework integration would —
+// gradients are pushed through the hook as backward propagation produces
+// them (output layer first), the MPI-process thread synchronizes and packs
+// them concurrently, and the communication stream pool all-reduces units
+// while later gradients are still being computed.
+//
+// Run: ./hooked_training [world_size] [num_streams]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/threaded_engine.h"
+#include "dnn/mlp.h"
+
+using namespace aiacc;
+
+int main(int argc, char** argv) {
+  const int world = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int streams = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int steps = 25;
+  const float lr = 0.2f;
+
+  core::CommConfig config;
+  config.num_streams = streams;
+  config.granularity_bytes = 256;  // small units: show merging & splitting
+
+  std::printf("AIACC threaded runtime: %d ranks x %d communication streams, "
+              "granularity %zu B\n", world, streams,
+              config.granularity_bytes);
+
+  const auto ds = dnn::MakeSyntheticDataset(32 * world, 8, 2, 99);
+  const int shard = ds.num_samples / world;
+
+  core::ThreadedAiaccEngine engine(world, config);
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < world; ++r) {
+    ranks.emplace_back([&, r] {
+      auto& worker = engine.worker(r);
+      dnn::Mlp model({8, 16, 2}, /*seed=*/4242);
+
+      // Framework integration: register every parameter's gradient tensor
+      // once at model-load time (§V-A-1).
+      auto grads = model.GradientTensors();
+      std::vector<std::string> names;
+      for (std::size_t t = 0; t < grads.size(); ++t) {
+        names.push_back("layer" + std::to_string(t / 2) +
+                        (t % 2 == 0 ? ".weight" : ".bias"));
+        if (auto st = worker.Register(names.back(), grads[t]); !st.ok()) {
+          std::fprintf(stderr, "register failed: %s\n",
+                       st.ToString().c_str());
+          return;
+        }
+      }
+      worker.Finalize();
+
+      std::vector<float> x(ds.inputs.begin() + r * shard * 8,
+                           ds.inputs.begin() + (r + 1) * shard * 8);
+      std::vector<float> y(ds.targets.begin() + r * shard * 2,
+                           ds.targets.begin() + (r + 1) * shard * 2);
+
+      for (int s = 0; s < steps; ++s) {
+        model.Forward(x, shard);
+        model.Backward(x, y, shard);
+        // The backward hook fires per gradient in reverse layer order —
+        // communication starts while "earlier" layers are still pending.
+        for (std::size_t t = names.size(); t-- > 0;) {
+          worker.Push(names[t]);
+        }
+        worker.FlushIteration();
+        worker.WaitIteration();  // all gradients averaged in place
+        model.SgdStep(lr);
+      }
+
+      if (r == 0) {
+        const auto& stats = worker.stats();
+        const float loss = dnn::Mlp::MseLoss(model.Forward(x, shard), y);
+        std::printf("rank 0 after %d steps: loss %.5f\n", steps, loss);
+        std::printf("protocol activity (rank 0):\n");
+        std::printf("  iterations        : %llu\n",
+                    static_cast<unsigned long long>(stats.iterations));
+        std::printf("  sync rounds       : %llu (decentralized bit-vector "
+                    "min-all-reduce)\n",
+                    static_cast<unsigned long long>(stats.sync_rounds));
+        std::printf("  all-reduce units  : %llu (packed to %zu B)\n",
+                    static_cast<unsigned long long>(stats.units_reduced),
+                    config.granularity_bytes);
+        std::printf("  bytes reduced     : %llu\n",
+                    static_cast<unsigned long long>(stats.bytes_reduced));
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Domain example: fine-tuning BERT-Large on a small cluster (the Fig. 14
+// regime the paper highlights — modest batches, communication-heavy). The
+// example sweeps per-GPU batch sizes on 16 GPUs, shows where AIACC's
+// multi-streaming pays most, and compares TCP against an RDMA upgrade so a
+// user can decide whether the RDMA premium is worth it for their batch.
+//
+// Run: ./nlp_batch_planning [gpus]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.h"
+#include "trainer/harness.h"
+
+using namespace aiacc;
+
+namespace {
+
+double Measure(int gpus, int batch, trainer::EngineKind engine,
+               net::TransportKind transport) {
+  trainer::RunSpec spec;
+  spec.model_name = "bert-large";
+  spec.topology = trainer::MakeTopology(gpus, 8, transport);
+  spec.engine = engine;
+  spec.batch_per_gpu = batch;
+  spec.aiacc_config.num_streams = 16;
+  spec.warmup_iterations = 2;
+  spec.measure_iterations = 5;
+  return trainer::Run(spec).throughput;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int gpus = argc > 1 ? std::atoi(argv[1]) : 16;
+  std::printf("BERT-Large fine-tuning plan on %d GPUs\n\n", gpus);
+
+  std::printf("batch-size sweep (TCP 30 Gbps):\n");
+  TablePrinter table({"batch/GPU", "AIACC (seq/s)", "Horovod (seq/s)",
+                      "speedup", "AIACC RDMA (seq/s)", "RDMA gain"});
+  for (int batch : {1, 2, 4, 8, 16, 32}) {
+    const double aiacc = Measure(gpus, batch, trainer::EngineKind::kAiacc,
+                                 net::TransportKind::kTcp);
+    const double horovod = Measure(gpus, batch, trainer::EngineKind::kHorovod,
+                                   net::TransportKind::kTcp);
+    const double rdma = Measure(gpus, batch, trainer::EngineKind::kAiacc,
+                                net::TransportKind::kRdma);
+    table.AddRow({std::to_string(batch), FormatDouble(aiacc, 1),
+                  FormatDouble(horovod, 1),
+                  FormatDouble(aiacc / horovod, 2) + "x",
+                  FormatDouble(rdma, 1),
+                  FormatDouble(rdma / aiacc, 2) + "x"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nreading the table:\n"
+      "  * small batches are communication-bound: multi-streaming is worth\n"
+      "    2-3x over a single-stream engine (paper Fig. 14);\n"
+      "  * at large batches compute dominates and every engine converges;\n"
+      "  * the RDMA column shows whether faster links still help once the\n"
+      "    bandwidth is already being multiplexed by AIACC's streams.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "autotune/autotuner.h"
+
+#include "common/logging.h"
+
+namespace aiacc::autotune {
+
+AutotuneResult Tune(const Objective& objective, AutotuneOptions options) {
+  AutotuneResult result;
+  MetaSolver solver(MakeDefaultEnsemble(options.space), options.solver);
+  for (int i = 0; i < solver.NumSearchers(); ++i) {
+    result.searcher_names.push_back(solver.SearcherName(i));
+  }
+
+  int step_no = 0;
+
+  // Seed from the tuning cache when a similar deployment is known.
+  if (options.cache != nullptr) {
+    AIACC_CHECK(options.model != nullptr && options.topology.has_value());
+    if (auto seed =
+            options.cache->LookupSimilar(*options.model, *options.topology)) {
+      const double score = objective(*seed);
+      result.history.push_back(
+          TuneRecord{step_no++, "cache-seed", *seed, score, true});
+      result.best_config = *seed;
+      result.best_score = score;
+      result.seeded_from_cache = true;
+    }
+  }
+
+  while (auto step = solver.NextStep()) {
+    const double score = objective(step->config);
+    solver.Report(*step, score);
+    const bool new_best = result.history.empty() || score > result.best_score;
+    if (new_best) {
+      result.best_score = score;
+      result.best_config = step->config;
+    }
+    result.history.push_back(TuneRecord{step_no++,
+                                        solver.SearcherName(step->searcher_index),
+                                        step->config, score, new_best});
+  }
+  result.searcher_usage = solver.UsageCounts();
+
+  if (options.cache != nullptr) {
+    options.cache->Store(*options.model, *options.topology,
+                         result.best_config, result.best_score);
+  }
+  return result;
+}
+
+}  // namespace aiacc::autotune

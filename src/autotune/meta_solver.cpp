@@ -1,0 +1,91 @@
+#include "autotune/meta_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace aiacc::autotune {
+
+MetaSolver::MetaSolver(std::vector<std::unique_ptr<Searcher>> searchers,
+                       MetaSolverParams params)
+    : searchers_(std::move(searchers)),
+      params_(params),
+      rng_(params.seed),
+      usage_(searchers_.size(), 0) {
+  AIACC_CHECK(!searchers_.empty());
+  AIACC_CHECK(params_.budget > 0);
+  AIACC_CHECK(params_.window > 0);
+}
+
+double MetaSolver::Auc(int t) const {
+  // Walk this technique's entries in the window chronologically; the curve
+  // rises one unit per new-global-best and stays flat otherwise. The area
+  // under that staircase, normalized by its maximum (k*(k+1)/2 for k
+  // entries), rewards techniques whose improvements are both frequent and
+  // recent-dense.
+  double y = 0.0;
+  double area = 0.0;
+  int k = 0;
+  for (const HistoryEntry& e : history_) {
+    if (e.searcher != t) continue;
+    if (e.improved) y += 1.0;
+    area += y;  // trapezoid with unit width; staircase => running height
+    ++k;
+  }
+  if (k == 0) return 0.0;
+  const double max_area = static_cast<double>(k) * (k + 1) / 2.0;
+  return area / max_area;
+}
+
+double MetaSolver::Priority(int t) const {
+  int h_t = 0;
+  for (const HistoryEntry& e : history_) {
+    if (e.searcher == t) ++h_t;
+  }
+  if (h_t == 0) {
+    // Untried arms (within the window) get unbounded exploration priority.
+    return std::numeric_limits<double>::infinity();
+  }
+  const double h = static_cast<double>(
+      std::max<std::size_t>(history_.size(), 2));
+  return Auc(t) + params_.exploration *
+                      std::sqrt(2.0 * std::log2(h) / static_cast<double>(h_t));
+}
+
+std::optional<MetaSolver::Step> MetaSolver::NextStep() {
+  if (BudgetExhausted()) return std::nullopt;
+  int best_arm = 0;
+  double best_priority = -std::numeric_limits<double>::infinity();
+  for (int t = 0; t < NumSearchers(); ++t) {
+    const double p = Priority(t);
+    if (p > best_priority) {
+      best_priority = p;
+      best_arm = t;
+    }
+  }
+  Step step;
+  step.searcher_index = best_arm;
+  step.config = searchers_[static_cast<std::size_t>(best_arm)]->Propose(rng_);
+  return step;
+}
+
+void MetaSolver::Report(const Step& step, double score) {
+  AIACC_CHECK(step.searcher_index >= 0 && step.searcher_index < NumSearchers());
+  searchers_[static_cast<std::size_t>(step.searcher_index)]->Observe(
+      Observation{step.config, score});
+  const bool improved = score > best_score_;
+  if (improved) {
+    best_score_ = score;
+    best_config_ = step.config;
+  }
+  history_.push_back(HistoryEntry{step.searcher_index, improved});
+  while (history_.size() > static_cast<std::size_t>(params_.window)) {
+    history_.pop_front();
+  }
+  ++usage_[static_cast<std::size_t>(step.searcher_index)];
+  ++steps_taken_;
+}
+
+}  // namespace aiacc::autotune

@@ -1,0 +1,91 @@
+// The MAB meta-solver (paper §VI): allocates the warm-up tuning budget among
+// the search techniques. Arm selection maximizes
+//
+//     AUC_t + C * sqrt(2 * lg|H| / H_t)
+//
+// where AUC_t is a sliding-window area-under-curve credit (the curve steps
+// up whenever technique t delivered a new global best and stays flat
+// otherwise), H is the sliding history window, H_t how often t was used in
+// it, and C the exploration constant (0.2 by default, as in the paper).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autotune/searcher.h"
+
+namespace aiacc::autotune {
+
+struct MetaSolverParams {
+  /// Warm-up budget in training iterations (paper default n = 100).
+  int budget = 100;
+  /// Sliding window length |H|.
+  int window = 50;
+  /// Exploration constant C.
+  double exploration = 0.2;
+  std::uint64_t seed = 42;
+};
+
+class MetaSolver {
+ public:
+  MetaSolver(std::vector<std::unique_ptr<Searcher>> searchers,
+             MetaSolverParams params = {});
+
+  struct Step {
+    int searcher_index = 0;
+    core::CommConfig config;
+  };
+
+  /// Pick a searcher (bandit arm) and obtain its proposal. Returns nullopt
+  /// once the budget is exhausted.
+  std::optional<Step> NextStep();
+
+  /// Report the measured throughput for the last NextStep(). Updates the
+  /// proposing searcher, the global best, and the credit window.
+  void Report(const Step& step, double score);
+
+  [[nodiscard]] bool BudgetExhausted() const noexcept {
+    return steps_taken_ >= params_.budget;
+  }
+  [[nodiscard]] const core::CommConfig& BestConfig() const noexcept {
+    return best_config_;
+  }
+  [[nodiscard]] double BestScore() const noexcept { return best_score_; }
+  [[nodiscard]] int StepsTaken() const noexcept { return steps_taken_; }
+
+  [[nodiscard]] int NumSearchers() const noexcept {
+    return static_cast<int>(searchers_.size());
+  }
+  [[nodiscard]] std::string SearcherName(int i) const {
+    return searchers_[static_cast<std::size_t>(i)]->Name();
+  }
+  /// Total times each searcher was selected (bench output).
+  [[nodiscard]] const std::vector<int>& UsageCounts() const noexcept {
+    return usage_;
+  }
+
+  /// Sliding-window AUC credit of searcher `t` (exposed for tests).
+  [[nodiscard]] double Auc(int t) const;
+  /// The full selection priority (AUC + exploration bonus).
+  [[nodiscard]] double Priority(int t) const;
+
+ private:
+  struct HistoryEntry {
+    int searcher;
+    bool improved;  // delivered a new global best
+  };
+
+  std::vector<std::unique_ptr<Searcher>> searchers_;
+  MetaSolverParams params_;
+  Rng rng_;
+  std::deque<HistoryEntry> history_;
+  std::vector<int> usage_;
+  int steps_taken_ = 0;
+  core::CommConfig best_config_;
+  double best_score_ = -1.0;
+};
+
+}  // namespace aiacc::autotune

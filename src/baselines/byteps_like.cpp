@@ -1,0 +1,238 @@
+#include "baselines/byteps_like.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aiacc::baselines {
+
+PsLikeEngine::PsLikeEngine(core::WorkloadSetup setup, PsParams params,
+                           std::string name)
+    : DdlEngine(setup),
+      params_(params),
+      name_(std::move(name)),
+      registry_(core::GradientRegistry::FromModel(*setup.model,
+                                                  setup.wire_dtype)) {
+  // Carve the gradient space (in backward production order) into partitions
+  // and assign servers round-robin, as BytePS hashes keys across servers.
+  const int num_hosts = setup_.fabric->topology().num_hosts;
+  std::size_t acc_bytes = 0;
+  double acc_offset = 0.0;
+  int next_server = 0;
+  auto flush = [&] {
+    if (acc_bytes == 0) return;
+    partitions_.push_back(Partition{acc_bytes, next_server, acc_offset});
+    next_server = (next_server + 1) % num_hosts;
+    acc_bytes = 0;
+    acc_offset = 0.0;
+  };
+  for (int model_id : setup_.model->backward_order()) {
+    const dnn::GradientSpec& g =
+        setup_.model->gradients()[static_cast<std::size_t>(model_id)];
+    std::size_t remaining = g.ByteSize(setup_.wire_dtype);
+    acc_offset = std::max(
+        acc_offset, profile_.ready_time[static_cast<std::size_t>(model_id)]);
+    while (remaining > 0) {
+      const std::size_t take =
+          std::min(remaining, params_.partition_bytes - acc_bytes);
+      acc_bytes += take;
+      remaining -= take;
+      if (acc_bytes == params_.partition_bytes) flush();
+    }
+  }
+  flush();
+}
+
+void PsLikeEngine::RunIteration(
+    std::function<void(core::IterationStats)> on_done) {
+  AIACC_CHECK(iter_.on_done == nullptr);
+  iter_ = IterationState{};
+  iter_.start_time = Sim().Now();
+  iter_.on_done = std::move(on_done);
+  iter_.partitions_remaining = partitions_.size();
+  iter_.server_busy_until.assign(
+      static_cast<std::size_t>(setup_.fabric->topology().num_hosts), 0.0);
+
+  const double jitter = NextComputeJitter();
+  const double backward_start =
+      iter_.start_time + profile_.forward_time * jitter;
+  const double backward_end =
+      backward_start + profile_.backward_time * jitter;
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    Sim().ScheduleAt(backward_start + partitions_[p].ready_offset * jitter,
+                     [this, p] { StartPartition(p); });
+  }
+  Sim().ScheduleAt(backward_end, [this] {
+    iter_.backward_done = true;
+    MaybeFinishIteration();
+  });
+}
+
+void PsLikeEngine::StartPartition(std::size_t index) {
+  iter_.waiting.push_back(index);
+  PumpQueue();
+}
+
+void PsLikeEngine::PumpQueue() {
+  while (iter_.inflight < params_.max_inflight_partitions &&
+         !iter_.waiting.empty()) {
+    const std::size_t index = iter_.waiting.front();
+    iter_.waiting.erase(iter_.waiting.begin());
+    ++iter_.inflight;
+    iter_.stats.max_concurrent_streams =
+        std::max(iter_.stats.max_concurrent_streams, iter_.inflight);
+    PushPartition(index);
+  }
+}
+
+void PsLikeEngine::PushPartition(std::size_t index) {
+  const Partition& part = partitions_[index];
+  const auto& topo = setup_.fabric->topology();
+  const int g = topo.gpus_per_host;
+  const double bytes = static_cast<double>(part.bytes);
+
+  // Stage 1: local aggregation. BytePS reduces across the host's GPUs
+  // (NVLink) and stages the result in CPU memory over PCIe; KVStore device
+  // mode skips aggregation (each GPU pushes its own copy).
+  double local_cost = 0.0;
+  if (params_.local_aggregation && g > 1) {
+    local_cost += 2.0 * bytes * (g - 1) / g /
+                  setup_.fabric->params().nvlink_bandwidth;
+  }
+  local_cost += bytes / setup_.fabric->params().pcie_bandwidth;  // to CPU
+
+  Sim().ScheduleAfter(local_cost, [this, index] {
+    const Partition& part = partitions_[index];
+    const auto& topo = setup_.fabric->topology();
+    const int m = topo.num_hosts;
+    if (m == 1) {
+      OnServerAggregated(index);
+      return;
+    }
+    // Stage 2: push — one TCP connection per (worker host, server) pair.
+    const int g = topo.gpus_per_host;
+    const double wire_bytes =
+        static_cast<double>(part.bytes) *
+        (params_.local_aggregation ? 1.0 : static_cast<double>(g));
+    auto pending = std::make_shared<int>(m - 1);
+    for (int h = 0; h < m; ++h) {
+      if (h == part.server_host) continue;
+      net::Network::FlowSpec spec;
+      spec.path = {setup_.fabric->EgressLink(h),
+                   setup_.fabric->IngressLink(part.server_host)};
+      spec.bytes = wire_bytes;
+      spec.rate_cap = setup_.fabric->InterNodeStreamCap();
+      spec.start_delay = setup_.fabric->InterNodeHopCost();
+      spec.on_complete = [this, index, pending] {
+        if (--*pending == 0) OnServerAggregated(index);
+      };
+      setup_.fabric->network().StartFlow(std::move(spec));
+      iter_.stats.comm_bytes_per_nic += wire_bytes / m;  // avg per NIC
+    }
+  });
+}
+
+void PsLikeEngine::OnServerAggregated(std::size_t index) {
+  const Partition& part = partitions_[index];
+  const auto& topo = setup_.fabric->topology();
+  const int m = topo.num_hosts;
+  const int g = topo.gpus_per_host;
+  if (m == 1) {
+    // Single host: the NVLink local aggregation already produced the result;
+    // no CPU parameter server is involved.
+    OnPartitionDone(index);
+    return;
+  }
+  // Stage 3: serialized CPU work at the server process: one read pass over
+  // every contribution plus one write pass per response copy staged for the
+  // pull (hence the factor 2 on contributions).
+  const double contributions =
+      params_.local_aggregation ? m : static_cast<double>(m) * g;
+  const double sum_time = params_.server_request_overhead * m +
+                          2.0 * contributions * static_cast<double>(part.bytes) /
+                              params_.server_sum_rate;
+  auto& busy = iter_.server_busy_until[static_cast<std::size_t>(
+      part.server_host)];
+  const double start = std::max(Sim().Now(), busy);
+  busy = start + sum_time;
+  Sim().ScheduleAt(busy, [this, index] {
+    const Partition& part = partitions_[index];
+    const auto& topo = setup_.fabric->topology();
+    const int m = topo.num_hosts;
+    if (m == 1) {
+      OnPartitionDone(index);
+      return;
+    }
+    // Stage 4: pull — the server fans the aggregated partition back out.
+    const int g = topo.gpus_per_host;
+    const double wire_bytes =
+        static_cast<double>(part.bytes) *
+        (params_.local_aggregation ? 1.0 : static_cast<double>(g));
+    auto pending = std::make_shared<int>(m - 1);
+    for (int h = 0; h < m; ++h) {
+      if (h == part.server_host) continue;
+      net::Network::FlowSpec spec;
+      spec.path = {setup_.fabric->EgressLink(part.server_host),
+                   setup_.fabric->IngressLink(h)};
+      spec.bytes = wire_bytes;
+      spec.rate_cap = setup_.fabric->InterNodeStreamCap();
+      spec.start_delay = setup_.fabric->InterNodeHopCost();
+      spec.on_complete = [this, index, pending] {
+        if (--*pending == 0) OnPartitionDone(index);
+      };
+      setup_.fabric->network().StartFlow(std::move(spec));
+      iter_.stats.comm_bytes_per_nic += wire_bytes / m;
+    }
+  });
+}
+
+void PsLikeEngine::OnPartitionDone(std::size_t index) {
+  const Partition& part = partitions_[index];
+  // Stage 5: stage back to GPU memory over PCIe (broadcast locally).
+  const double pcie = static_cast<double>(part.bytes) /
+                      setup_.fabric->params().pcie_bandwidth;
+  Sim().ScheduleAfter(pcie, [this] {
+    --iter_.inflight;
+    --iter_.partitions_remaining;
+    ++iter_.stats.allreduce_units;
+    PumpQueue();
+    MaybeFinishIteration();
+  });
+}
+
+void PsLikeEngine::MaybeFinishIteration() {
+  if (iter_.done_fired) return;
+  if (!iter_.backward_done || iter_.partitions_remaining > 0) return;
+  iter_.done_fired = true;
+  const double update = setup_.gpu.OptimizerUpdateTime(
+      static_cast<double>(setup_.model->TotalParameterBytes()));
+  Sim().ScheduleAfter(update, [this] {
+    iter_.stats.duration = Sim().Now() - iter_.start_time;
+    auto done = std::move(iter_.on_done);
+    iter_.on_done = nullptr;
+    done(iter_.stats);
+  });
+}
+
+std::unique_ptr<PsLikeEngine> MakeBytePsEngine(core::WorkloadSetup setup) {
+  PsParams params;
+  params.local_aggregation = true;
+  return std::make_unique<PsLikeEngine>(setup, params, "byteps");
+}
+
+std::unique_ptr<PsLikeEngine> MakeMxnetKvStoreEngine(
+    core::WorkloadSetup setup) {
+  // dist_device_sync KVStore: gradients aggregate on-device before the push
+  // (like BytePS), but keys are coarse (whole layers, no fine partitioning),
+  // outstanding push/pulls are few, and the server path is slower (MXNet's
+  // single-threaded per-key server engine).
+  PsParams params;
+  params.local_aggregation = true;
+  params.partition_bytes = 32u << 20;
+  params.max_inflight_partitions = 4;
+  params.server_sum_rate = 0.6e9;
+  params.server_request_overhead = 50e-6;
+  return std::make_unique<PsLikeEngine>(setup, params, "mxnet-kvstore");
+}
+
+}  // namespace aiacc::baselines

@@ -1,0 +1,94 @@
+// Parameter-server baselines.
+//
+// BytePS-like (v0.2, colocated mode — no extra CPU machines, as evaluated in
+// the paper): gradients are split into fixed-size partitions, each assigned
+// to a server process on one of the worker hosts. Per partition:
+//   1. local aggregation across the host's GPUs over PCIe (BytePS stages
+//      through CPU memory),
+//   2. push to the owning server (point-to-point TCP flows),
+//   3. serialized CPU summation at the server,
+//   4. pull of the aggregated partition back to every host, and local
+//      broadcast to the GPUs.
+// The paper observes BytePS "gives poor performance because it requires
+// additional CPU servers to minimize the bottleneck overhead of the
+// parameter servers" (§VIII-A) — with colocated servers, the CPU summation
+// and the incast at each server NIC are the bottleneck.
+//
+// MXNet-KVStore-like: the same push/pull structure *without* local
+// aggregation — every GPU pushes its own copy, multiplying wire traffic by
+// the GPUs-per-host factor (the dist_sync KVStore device mode of Fig. 12).
+#pragma once
+
+#include "core/ddl_engine.h"
+#include "core/registry.h"
+
+namespace aiacc::baselines {
+
+struct PsParams {
+  /// Partition granularity (BYTEPS_PARTITION_BYTES default 4 MB).
+  std::size_t partition_bytes = 4u << 20;
+  /// Server-side CPU summation rate, bytes/sec per server host (one
+  /// summation pipeline per server process). Colocated servers share the
+  /// host CPU with the training input pipeline and the kernel network
+  /// stack, which is why BytePS "requires additional CPU servers" to shine;
+  /// ~1.2 GB/s of effective sum+emit throughput matches that contention.
+  double server_sum_rate = 0.9e9;
+  /// Per-partition request handling overhead at the server.
+  double server_request_overhead = 20e-6;
+  /// Aggregate gradients across the host's GPUs before pushing (BytePS yes,
+  /// MXNet-KVStore device-mode no).
+  bool local_aggregation = true;
+  /// Cap on concurrent in-flight partitions per iteration, bounding the
+  /// simulator's flow count at large scales (BytePS similarly bounds
+  /// outstanding push/pulls with credit-based flow control).
+  int max_inflight_partitions = 32;
+};
+
+class PsLikeEngine final : public core::DdlEngine {
+ public:
+  PsLikeEngine(core::WorkloadSetup setup, PsParams params, std::string name);
+
+  [[nodiscard]] std::string Name() const override { return name_; }
+  void RunIteration(
+      std::function<void(core::IterationStats)> on_done) override;
+
+ private:
+  struct Partition {
+    std::size_t bytes = 0;
+    int server_host = 0;
+    double ready_offset = 0.0;  // when its gradients finish in backward
+  };
+
+  void StartPartition(std::size_t index);
+  void PushPartition(std::size_t index);
+  void OnServerAggregated(std::size_t index);
+  void OnPartitionDone(std::size_t index);
+  void PumpQueue();
+  void MaybeFinishIteration();
+
+  PsParams params_;
+  std::string name_;
+  core::GradientRegistry registry_;
+  std::vector<Partition> partitions_;
+
+  struct IterationState {
+    double start_time = 0.0;
+    bool backward_done = false;
+    std::size_t partitions_remaining = 0;
+    std::vector<std::size_t> waiting;  // ready, not yet in flight
+    int inflight = 0;
+    /// Serialized server CPU: busy-until per host.
+    std::vector<double> server_busy_until;
+    bool done_fired = false;
+    std::function<void(core::IterationStats)> on_done;
+    core::IterationStats stats;
+  };
+  IterationState iter_;
+};
+
+/// Convenience factories.
+std::unique_ptr<PsLikeEngine> MakeBytePsEngine(core::WorkloadSetup setup);
+std::unique_ptr<PsLikeEngine> MakeMxnetKvStoreEngine(
+    core::WorkloadSetup setup);
+
+}  // namespace aiacc::baselines

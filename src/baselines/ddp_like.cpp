@@ -1,0 +1,125 @@
+#include "baselines/ddp_like.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aiacc::baselines {
+
+DdpLikeEngine::DdpLikeEngine(core::WorkloadSetup setup, DdpParams params)
+    : DdlEngine(setup),
+      params_(params),
+      registry_(core::GradientRegistry::FromModel(*setup.model,
+                                                  setup.wire_dtype)) {
+  // Build buckets in backward production order (DDP: reverse of
+  // registration, which approximates production order).
+  std::vector<std::vector<int>> buckets;
+  std::vector<int> current;
+  std::size_t current_bytes = 0;
+  std::vector<double> offsets;
+  double current_offset = 0.0;
+  auto flush = [&] {
+    if (!current.empty()) {
+      buckets.push_back(std::move(current));
+      current.clear();
+      bucket_bytes_.push_back(current_bytes);
+      offsets.push_back(current_offset);
+      current_bytes = 0;
+      current_offset = 0.0;
+    }
+  };
+  for (int model_id : setup_.model->backward_order()) {
+    const dnn::GradientSpec& g =
+        setup_.model->gradients()[static_cast<std::size_t>(model_id)];
+    auto reg_id = registry_.IdOf(g.name);
+    AIACC_CHECK(reg_id.ok());
+    current.push_back(*reg_id);
+    current_bytes += g.ByteSize(setup_.wire_dtype);
+    current_offset = std::max(
+        current_offset,
+        profile_.ready_time[static_cast<std::size_t>(model_id)]);
+    if (current_bytes >= params_.bucket_bytes) flush();
+  }
+  flush();
+  buckets_ = std::move(buckets);
+  bucket_ready_offset_ = std::move(offsets);
+}
+
+void DdpLikeEngine::RunIteration(
+    std::function<void(core::IterationStats)> on_done) {
+  AIACC_CHECK(iter_.on_done == nullptr);
+  iter_ = IterationState{};
+  iter_.start_time = Sim().Now();
+  iter_.on_done = std::move(on_done);
+  iter_.buckets_remaining = buckets_.size();
+
+  const double jitter = NextComputeJitter();
+  const double backward_start =
+      iter_.start_time + profile_.forward_time * jitter;
+  const double backward_end =
+      backward_start + profile_.backward_time * jitter;
+  // Bucket b's all-reduce can launch when its last gradient lands. Buckets
+  // are in production order, so ready events arrive in index order.
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    Sim().ScheduleAt(backward_start + bucket_ready_offset_[b] * jitter,
+                     [this, b] { OnBucketReady(b); });
+  }
+  Sim().ScheduleAt(backward_end, [this] {
+    iter_.backward_done = true;
+    MaybeFinishIteration();
+  });
+}
+
+void DdpLikeEngine::OnBucketReady(std::size_t bucket_index) {
+  // Production order makes readiness a prefix property.
+  AIACC_CHECK(bucket_index == iter_.ready_high_water);
+  ++iter_.ready_high_water;
+  Dispatch();
+}
+
+void DdpLikeEngine::Dispatch() {
+  if (iter_.stream_busy) return;
+  if (iter_.next_to_launch >= buckets_.size()) return;
+  if (iter_.next_to_launch >= iter_.ready_high_water) return;
+  const std::size_t b = iter_.next_to_launch++;
+  iter_.stream_busy = true;
+  iter_.stats.max_concurrent_streams = 1;
+  ++iter_.stats.allreduce_units;
+
+  collective::SimCollectives::Unit sim_unit;
+  sim_unit.bytes_per_rank = static_cast<double>(bucket_bytes_[b]);
+  sim_unit.op = collective::ReduceOp::kAvg;
+  sim_unit.algorithm = collective::Algorithm::kRing;
+  sim_unit.on_done = [this, b](double) { OnBucketComplete(b); };
+  Sim().ScheduleAfter(setup_.gpu.params().kernel_launch_overhead,
+                      [this, u = std::move(sim_unit)]() mutable {
+                        setup_.collectives->Start(std::move(u));
+                      });
+}
+
+void DdpLikeEngine::OnBucketComplete(std::size_t bucket_index) {
+  iter_.stream_busy = false;
+  --iter_.buckets_remaining;
+  const int n = WorldSize();
+  iter_.stats.comm_bytes_per_nic +=
+      2.0 * static_cast<double>(bucket_bytes_[bucket_index]) * (n - 1) /
+      std::max(1, n);
+  Dispatch();
+  MaybeFinishIteration();
+}
+
+void DdpLikeEngine::MaybeFinishIteration() {
+  if (iter_.done_fired) return;
+  if (!iter_.backward_done || iter_.buckets_remaining > 0) return;
+  iter_.done_fired = true;
+  const double update = setup_.gpu.OptimizerUpdateTime(
+      static_cast<double>(setup_.model->TotalParameterBytes()));
+  Sim().ScheduleAfter(update, [this] {
+    iter_.stats.duration = Sim().Now() - iter_.start_time;
+    auto done = std::move(iter_.on_done);
+    iter_.on_done = nullptr;
+    done(iter_.stats);
+  });
+}
+
+}  // namespace aiacc::baselines

@@ -1,0 +1,64 @@
+// PyTorch-DDP-like baseline (v1.10-era DistributedDataParallel):
+//   * no readiness negotiation — gradients are assigned to fixed buckets
+//     (25 MB default) in reverse registration order, and a bucket's
+//     all-reduce launches when its last gradient is produced locally (all
+//     workers produce in the same order, so this is safe);
+//   * buckets all-reduce *in order* on a single NCCL stream.
+#pragma once
+
+#include <deque>
+
+#include "core/ddl_engine.h"
+#include "core/registry.h"
+
+namespace aiacc::baselines {
+
+struct DdpParams {
+  /// DDP bucket_cap_mb default (25 MB).
+  std::size_t bucket_bytes = 25u << 20;
+};
+
+class DdpLikeEngine final : public core::DdlEngine {
+ public:
+  DdpLikeEngine(core::WorkloadSetup setup, DdpParams params = {});
+
+  [[nodiscard]] std::string Name() const override { return "pytorch-ddp"; }
+  void RunIteration(
+      std::function<void(core::IterationStats)> on_done) override;
+
+  /// Bucket layout (exposed for tests): gradient ids per bucket, in launch
+  /// order.
+  [[nodiscard]] const std::vector<std::vector<int>>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  void OnBucketReady(std::size_t bucket_index);
+  void Dispatch();
+  void OnBucketComplete(std::size_t bucket_index);
+  void MaybeFinishIteration();
+
+  DdpParams params_;
+  core::GradientRegistry registry_;
+  /// Buckets in launch order (reverse registration order of members).
+  std::vector<std::vector<int>> buckets_;
+  std::vector<std::size_t> bucket_bytes_;
+  std::vector<double> bucket_ready_offset_;  // max member ready time
+
+  struct IterationState {
+    double start_time = 0.0;
+    bool backward_done = false;
+    /// Buckets whose gradients are all produced, waiting for the stream;
+    /// DDP launches strictly in bucket order.
+    std::size_t next_to_launch = 0;
+    std::size_t ready_high_water = 0;  // buckets ready so far (prefix)
+    bool stream_busy = false;
+    std::size_t buckets_remaining = 0;
+    bool done_fired = false;
+    std::function<void(core::IterationStats)> on_done;
+    core::IterationStats stats;
+  };
+  IterationState iter_;
+};
+
+}  // namespace aiacc::baselines

@@ -1,0 +1,141 @@
+#include "baselines/horovod_like.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aiacc::baselines {
+
+HorovodLikeEngine::HorovodLikeEngine(core::WorkloadSetup setup,
+                                     HorovodParams params)
+    : DdlEngine(setup),
+      params_(params),
+      registry_(core::GradientRegistry::FromModel(*setup.model,
+                                                  setup.wire_dtype)),
+      sync_(*setup.fabric, params.sync),
+      packer_(params.fusion_buffer_bytes) {
+  ready_offset_.assign(static_cast<std::size_t>(registry_.size()), 0.0);
+  for (const dnn::GradientSpec& g : setup_.model->gradients()) {
+    auto id = registry_.IdOf(g.name);
+    AIACC_CHECK(id.ok());
+    ready_offset_[static_cast<std::size_t>(*id)] =
+        profile_.ready_time[static_cast<std::size_t>(g.id)];
+  }
+  reduced_bytes_.assign(static_cast<std::size_t>(registry_.size()), 0);
+}
+
+void HorovodLikeEngine::RunIteration(
+    std::function<void(core::IterationStats)> on_done) {
+  AIACC_CHECK(iter_.on_done == nullptr);
+  iter_ = IterationState{};
+  iter_.start_time = Sim().Now();
+  iter_.on_done = std::move(on_done);
+  iter_.local_ready = BitVector(static_cast<std::size_t>(registry_.size()));
+  iter_.gradients_remaining = registry_.size();
+  packer_.Reset();
+  std::fill(reduced_bytes_.begin(), reduced_bytes_.end(), 0);
+
+  const double jitter = NextComputeJitter();
+  const double backward_start =
+      iter_.start_time + profile_.forward_time * jitter;
+  iter_.backward_end = backward_start + profile_.backward_time * jitter;
+  for (int id = 0; id < registry_.size(); ++id) {
+    Sim().ScheduleAt(
+        backward_start + ready_offset_[static_cast<std::size_t>(id)] * jitter,
+        [this, id] { OnGradientReady(id); });
+  }
+  Sim().ScheduleAt(iter_.backward_end, [this] {
+    iter_.backward_done = true;
+    MaybeNegotiate();
+  });
+}
+
+void HorovodLikeEngine::OnGradientReady(int registry_id) {
+  iter_.local_ready.Set(static_cast<std::size_t>(registry_id));
+  MaybeNegotiate();
+}
+
+void HorovodLikeEngine::MaybeNegotiate() {
+  // Horovod coordinates at every cycle tick: any locally-ready tensors are
+  // announced to the master; only one negotiation is in flight at a time
+  // (responses are cycle-batched).
+  if (iter_.negotiation_in_flight) return;
+  if (iter_.local_ready.None()) return;
+  iter_.negotiation_in_flight = true;
+  ++iter_.stats.sync_rounds;
+  BitVector announced = iter_.local_ready;
+  iter_.local_ready.Reset();
+  sync_.StartRound(announced, [this](BitVector agreed) {
+    iter_.negotiation_in_flight = false;
+    OnNegotiated(agreed);
+    MaybeNegotiate();
+  });
+}
+
+void HorovodLikeEngine::OnNegotiated(const BitVector& agreed) {
+  // Tensor fusion: negotiated tensors stream into the fusion buffer; a
+  // complete 64 MB unit dispatches, the partial tail waits for the next
+  // negotiation response (or the final one).
+  for (std::size_t i : agreed.SetIndices()) {
+    const int id = static_cast<int>(i);
+    packer_.Add(id, registry_.Get(id).bytes);
+    ++iter_.negotiated_gradients;
+  }
+  if (iter_.negotiated_gradients == registry_.size()) packer_.Flush();
+  Dispatch();
+}
+
+void HorovodLikeEngine::Dispatch() {
+  // Single NCCL stream: one all-reduce at a time.
+  if (iter_.stream_busy || !packer_.HasReadyUnit()) return;
+  iter_.stream_busy = true;
+  iter_.stats.max_concurrent_streams = 1;
+  ++iter_.stats.allreduce_units;
+  core::AllReduceUnit unit = packer_.PopReadyUnit();
+
+  const std::size_t unit_bytes = unit.TotalBytes();
+  collective::SimCollectives::Unit sim_unit;
+  sim_unit.bytes_per_rank = static_cast<double>(unit_bytes);
+  sim_unit.op = collective::ReduceOp::kAvg;
+  sim_unit.algorithm = collective::Algorithm::kRing;
+  sim_unit.on_done = [this, unit_bytes, segments = unit.segments](double) {
+    int whole = 0;
+    for (const core::UnitSegment& seg : segments) {
+      auto& done = reduced_bytes_[static_cast<std::size_t>(seg.gradient_id)];
+      done += seg.length;
+      if (done == registry_.Get(seg.gradient_id).bytes) ++whole;
+    }
+    OnUnitComplete(unit_bytes, whole);
+  };
+  Sim().ScheduleAfter(setup_.gpu.params().kernel_launch_overhead,
+                      [this, u = std::move(sim_unit)]() mutable {
+                        setup_.collectives->Start(std::move(u));
+                      });
+}
+
+void HorovodLikeEngine::OnUnitComplete(std::size_t unit_bytes,
+                                       int num_whole_gradients) {
+  iter_.stream_busy = false;
+  iter_.gradients_remaining -= num_whole_gradients;
+  const int n = WorldSize();
+  iter_.stats.comm_bytes_per_nic +=
+      2.0 * static_cast<double>(unit_bytes) * (n - 1) / std::max(1, n);
+  Dispatch();
+  MaybeFinishIteration();
+}
+
+void HorovodLikeEngine::MaybeFinishIteration() {
+  if (iter_.done_fired) return;
+  if (!iter_.backward_done || iter_.gradients_remaining > 0) return;
+  iter_.done_fired = true;
+  const double update = setup_.gpu.OptimizerUpdateTime(
+      static_cast<double>(setup_.model->TotalParameterBytes()));
+  Sim().ScheduleAfter(update, [this] {
+    iter_.stats.duration = Sim().Now() - iter_.start_time;
+    auto done = std::move(iter_.on_done);
+    iter_.on_done = nullptr;
+    done(iter_.stats);
+  });
+}
+
+}  // namespace aiacc::baselines

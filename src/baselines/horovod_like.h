@@ -1,0 +1,66 @@
+// Horovod-like baseline (v0.23-era behaviour, §VII-C):
+//   * master-coordinated readiness negotiation once per cycle (rank 0
+//     collects every worker's ready list and broadcasts the response — the
+//     coordination pattern AIACC's decentralized sync replaces);
+//   * tensor fusion into a fixed-size fusion buffer (64 MB default);
+//   * a single NCCL communication stream: fused all-reduces execute one at a
+//     time and a lone TCP stream is capped at ~30% of the NIC.
+#pragma once
+
+#include <deque>
+
+#include "core/config.h"
+#include "core/ddl_engine.h"
+#include "core/packing.h"
+#include "core/registry.h"
+#include "core/sync.h"
+
+namespace aiacc::baselines {
+
+struct HorovodParams {
+  /// HOROVOD_FUSION_THRESHOLD default.
+  std::size_t fusion_buffer_bytes = 64u << 20;
+  core::SyncParams sync;
+};
+
+class HorovodLikeEngine final : public core::DdlEngine {
+ public:
+  HorovodLikeEngine(core::WorkloadSetup setup, HorovodParams params = {});
+
+  [[nodiscard]] std::string Name() const override { return "horovod"; }
+  void RunIteration(
+      std::function<void(core::IterationStats)> on_done) override;
+
+ private:
+  void OnGradientReady(int registry_id);
+  void MaybeNegotiate();
+  void OnNegotiated(const BitVector& agreed);
+  void Dispatch();
+  void OnUnitComplete(std::size_t unit_bytes, int num_whole_gradients);
+  void MaybeFinishIteration();
+
+  HorovodParams params_;
+  core::GradientRegistry registry_;
+  core::MasterSync sync_;
+  /// Fusion buffer: negotiated tensors stream into 64 MB units.
+  core::StreamingPacker packer_;
+  std::vector<double> ready_offset_;
+  std::vector<std::size_t> reduced_bytes_;
+
+  struct IterationState {
+    double start_time = 0.0;
+    double backward_end = 0.0;
+    bool backward_done = false;
+    BitVector local_ready;
+    bool negotiation_in_flight = false;
+    int negotiated_gradients = 0;
+    bool stream_busy = false;  // single communication stream
+    int gradients_remaining = 0;
+    bool done_fired = false;
+    std::function<void(core::IterationStats)> on_done;
+    core::IterationStats stats;
+  };
+  IterationState iter_;
+};
+
+}  // namespace aiacc::baselines

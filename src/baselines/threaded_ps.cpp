@@ -1,0 +1,85 @@
+#include "baselines/threaded_ps.h"
+
+#include "common/logging.h"
+
+namespace aiacc::baselines {
+
+ThreadedParameterServer::ThreadedParameterServer(
+    int num_workers, int num_servers, std::vector<std::size_t> key_sizes)
+    : num_workers_(num_workers),
+      num_servers_(num_servers),
+      key_sizes_(std::move(key_sizes)),
+      transport_(num_workers + num_servers) {
+  AIACC_CHECK(num_workers >= 1);
+  AIACC_CHECK(num_servers >= 1);
+  AIACC_CHECK(!key_sizes_.empty());
+  servers_.reserve(static_cast<std::size_t>(num_servers));
+  for (int s = 0; s < num_servers; ++s) {
+    servers_.emplace_back([this, s] { ServerLoop(s); });
+  }
+}
+
+ThreadedParameterServer::~ThreadedParameterServer() { Shutdown(); }
+
+void ThreadedParameterServer::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  transport_.Shutdown();
+  for (auto& t : servers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadedParameterServer::Push(int worker, int key,
+                                   std::span<const float> data) {
+  AIACC_CHECK(key >= 0 && key < static_cast<int>(key_sizes_.size()));
+  AIACC_CHECK(data.size() == key_sizes_[static_cast<std::size_t>(key)]);
+  const int server = ServerRank(key % num_servers_);
+  transport_.Send(worker, server, PushTag(key),
+                  transport::Payload(data.begin(), data.end()));
+}
+
+void ThreadedParameterServer::Pull(int worker, int key,
+                                   std::span<float> data) {
+  AIACC_CHECK(key >= 0 && key < static_cast<int>(key_sizes_.size()));
+  const int server = ServerRank(key % num_servers_);
+  auto result = transport_.Recv(worker, server, PullTag(key));
+  AIACC_CHECK(result.ok() && "parameter server shut down during pull");
+  AIACC_CHECK(result->size() == data.size());
+  std::copy(result->begin(), result->end(), data.begin());
+}
+
+void ThreadedParameterServer::PushPull(int worker, int key,
+                                       std::span<float> data) {
+  Push(worker, key, data);
+  Pull(worker, key, data);
+}
+
+void ThreadedParameterServer::ServerLoop(int server_index) {
+  const int me = ServerRank(server_index);
+  // Serve owned keys round-robin forever; per (key, iteration) gather the
+  // workers' contributions, average, fan back out. (src, tag) matching
+  // makes the gather order-independent across keys and iterations.
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    for (int key = server_index;
+         key < static_cast<int>(key_sizes_.size()); key += num_servers_) {
+      std::vector<float> acc(key_sizes_[static_cast<std::size_t>(key)], 0.0f);
+      for (int w = 0; w < num_workers_; ++w) {
+        auto contribution = transport_.Recv(me, w, PushTag(key));
+        if (!contribution.ok()) return;  // shutdown
+        AIACC_CHECK(contribution->size() == acc.size());
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          acc[i] += (*contribution)[i];
+        }
+        pushes_served_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const float inv = 1.0f / static_cast<float>(num_workers_);
+      for (float& v : acc) v *= inv;
+      for (int w = 0; w < num_workers_; ++w) {
+        transport_.Send(me, w, PullTag(key),
+                        transport::Payload(acc.begin(), acc.end()));
+      }
+    }
+  }
+}
+
+}  // namespace aiacc::baselines

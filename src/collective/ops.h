@@ -1,0 +1,43 @@
+// Reduction operators shared by the threaded and simulated collectives.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "common/logging.h"
+
+namespace aiacc::collective {
+
+enum class ReduceOp : std::uint8_t { kSum, kAvg, kMin, kMax };
+
+/// acc[i] = op(acc[i], in[i]). kAvg accumulates as a sum; callers divide by
+/// world size at the end (FinalizeAvg).
+inline void Accumulate(std::span<float> acc, std::span<const float> in,
+                       ReduceOp op) {
+  AIACC_CHECK(acc.size() == in.size());
+  switch (op) {
+    case ReduceOp::kSum:
+    case ReduceOp::kAvg:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = std::min(acc[i], in[i]);
+      }
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = std::max(acc[i], in[i]);
+      }
+      break;
+  }
+}
+
+inline void FinalizeAvg(std::span<float> acc, int world_size, ReduceOp op) {
+  if (op != ReduceOp::kAvg) return;
+  const float inv = 1.0f / static_cast<float>(world_size);
+  for (float& v : acc) v *= inv;
+}
+
+}  // namespace aiacc::collective

@@ -1,0 +1,298 @@
+#include "collective/simulated.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace aiacc::collective {
+namespace {
+
+/// Sum/min/max-combine all buffers and distribute the result to every rank.
+void ApplyReduction(std::vector<std::span<float>>& buffers, ReduceOp op) {
+  if (buffers.empty()) return;
+  const int n = static_cast<int>(buffers.size());
+  std::span<float> acc = buffers[0];
+  const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
+  for (int r = 1; r < n; ++r) {
+    AIACC_CHECK(buffers[static_cast<std::size_t>(r)].size() == acc.size());
+    Accumulate(acc, buffers[static_cast<std::size_t>(r)], inner);
+  }
+  FinalizeAvg(acc, n, op);
+  for (int r = 1; r < n; ++r) {
+    std::copy(acc.begin(), acc.end(),
+              buffers[static_cast<std::size_t>(r)].begin());
+  }
+}
+
+}  // namespace
+
+const char* ToString(Algorithm alg) {
+  return alg == Algorithm::kRing ? "ring" : "hierarchical";
+}
+
+SimCollectives::Participants SimCollectives::ResolveParticipants(
+    const std::vector<int>& ranks) const {
+  Participants parts;
+  if (ranks.empty()) {
+    const int world = fabric_.topology().WorldSize();
+    parts.ranks.resize(static_cast<std::size_t>(world));
+    for (int r = 0; r < world; ++r) parts.ranks[static_cast<std::size_t>(r)] = r;
+  } else {
+    parts.ranks = ranks;
+    std::sort(parts.ranks.begin(), parts.ranks.end());
+  }
+  for (int r : parts.ranks) {
+    const int h = fabric_.topology().HostOfRank(r);
+    if (parts.hosts.empty() || parts.hosts.back() != h) {
+      parts.hosts.push_back(h);
+    }
+  }
+  std::sort(parts.hosts.begin(), parts.hosts.end());
+  parts.hosts.erase(std::unique(parts.hosts.begin(), parts.hosts.end()),
+                    parts.hosts.end());
+  parts.multi_host = parts.hosts.size() > 1;
+  return parts;
+}
+
+void SimCollectives::CompleteUnit(Unit& unit) {
+  ApplyReduction(unit.buffers, unit.op);
+  ++completed_units_;
+  if (unit.on_done) unit.on_done(fabric_.engine().Now());
+}
+
+void SimCollectives::Start(Unit unit) {
+  AIACC_CHECK(unit.bytes_per_rank >= 0.0);
+  const Participants parts = ResolveParticipants(unit.ranks);
+  const int n = static_cast<int>(parts.ranks.size());
+  AIACC_CHECK(n >= 1);
+  if (!unit.buffers.empty()) {
+    AIACC_CHECK(static_cast<int>(unit.buffers.size()) == n);
+  }
+  if (n == 1) {
+    // Single participant: a fused no-op completing after a kernel-ish delay.
+    fabric_.engine().ScheduleAfter(
+        fabric_.NvlinkHopCost(),
+        [this, u = std::move(unit)]() mutable { CompleteUnit(u); });
+    return;
+  }
+  if (unit.algorithm == Algorithm::kHierarchical && parts.multi_host &&
+      fabric_.topology().gpus_per_host > 1) {
+    StartHierarchical(std::move(unit), parts);
+  } else {
+    StartRingPhase(std::move(unit), parts);
+  }
+}
+
+void SimCollectives::StartRingPhase(Unit unit, const Participants& parts) {
+  const int n = static_cast<int>(parts.ranks.size());
+  const double ring_factor = 2.0 * (n - 1) / static_cast<double>(n);
+
+  net::Network::FlowSpec spec;
+  if (parts.multi_host) {
+    for (int h : parts.hosts) {
+      spec.path.push_back(fabric_.EgressLink(h));
+      spec.path.push_back(fabric_.IngressLink(h));
+    }
+    // Intra-host segments of the ring also exist; include NVLink links of
+    // hosts holding >= 2 participants so an NVLink bottleneck would surface.
+    for (std::size_t i = 0; i + 1 < parts.ranks.size(); ++i) {
+      const int h0 = fabric_.topology().HostOfRank(parts.ranks[i]);
+      const int h1 = fabric_.topology().HostOfRank(parts.ranks[i + 1]);
+      if (h0 == h1 &&
+          (spec.path.empty() || spec.path.back() != fabric_.NvlinkLink(h0))) {
+        spec.path.push_back(fabric_.NvlinkLink(h0));
+      }
+    }
+    spec.rate_cap = fabric_.InterNodeStreamCap();
+    // Pipeline-fill latency: each of the 2(n-1) ring steps pays one hop, but
+    // only host-boundary hops cross a NIC (one per participating host per
+    // lap); intra-host hops ride NVLink.
+    const int m = static_cast<int>(parts.hosts.size());
+    spec.start_delay = 2.0 * (m * fabric_.InterNodeHopCost() +
+                              (n - m) * fabric_.NvlinkHopCost());
+  } else {
+    spec.path = {fabric_.NvlinkLink(parts.hosts.front())};
+    spec.rate_cap = fabric_.params().nvlink_bandwidth;
+    spec.start_delay = 2.0 * (n - 1) * fabric_.NvlinkHopCost();
+  }
+  spec.bytes = unit.bytes_per_rank * ring_factor;
+  auto shared = std::make_shared<Unit>(std::move(unit));
+  spec.on_complete = [this, shared] { CompleteUnit(*shared); };
+  fabric_.network().StartFlow(std::move(spec));
+}
+
+void SimCollectives::StartHierarchical(Unit unit, const Participants& parts) {
+  // Phase 1: intra-host ring all-reduce on every involved host in parallel
+  // (one fluid flow over all their NVLink fabrics).
+  // Phase 2: host-leader ring across hosts over the NICs.
+  // Phase 3: intra-host broadcast of the reduced result.
+  const int m = static_cast<int>(parts.hosts.size());
+  const int g = fabric_.topology().gpus_per_host;
+  const double s = unit.bytes_per_rank;
+  auto shared = std::make_shared<Unit>(std::move(unit));
+
+  std::vector<net::LinkIndex> nvlinks;
+  nvlinks.reserve(static_cast<std::size_t>(m));
+  for (int h : parts.hosts) nvlinks.push_back(fabric_.NvlinkLink(h));
+  std::vector<net::LinkIndex> nics;
+  for (int h : parts.hosts) {
+    nics.push_back(fabric_.EgressLink(h));
+    nics.push_back(fabric_.IngressLink(h));
+  }
+
+  const double nv_bw = fabric_.params().nvlink_bandwidth;
+  const double intra_factor = 2.0 * (g - 1) / static_cast<double>(g);
+  const double inter_factor = 2.0 * (m - 1) / static_cast<double>(m);
+  const double bcast_factor = (g - 1) / static_cast<double>(g);
+
+  // Phase 3 (innermost continuation).
+  auto phase3 = [this, shared, nvlinks, nv_bw, s, bcast_factor, g] {
+    net::Network::FlowSpec spec;
+    spec.path = nvlinks;
+    spec.bytes = s * bcast_factor;
+    spec.rate_cap = nv_bw;
+    spec.start_delay = (g - 1) * fabric_.NvlinkHopCost();
+    spec.on_complete = [this, shared] { CompleteUnit(*shared); };
+    fabric_.network().StartFlow(std::move(spec));
+  };
+  // Phase 2.
+  auto phase2 = [this, nics, s, inter_factor, m, phase3] {
+    net::Network::FlowSpec spec;
+    spec.path = nics;
+    spec.bytes = s * inter_factor;
+    spec.rate_cap = fabric_.InterNodeStreamCap();
+    spec.start_delay = 2.0 * (m - 1) * fabric_.InterNodeHopCost();
+    spec.on_complete = phase3;
+    fabric_.network().StartFlow(std::move(spec));
+  };
+  // Phase 1.
+  net::Network::FlowSpec spec;
+  spec.path = nvlinks;
+  spec.bytes = s * intra_factor;
+  spec.rate_cap = nv_bw;
+  spec.start_delay = 2.0 * (g - 1) * fabric_.NvlinkHopCost();
+  spec.on_complete = phase2;
+  fabric_.network().StartFlow(std::move(spec));
+}
+
+void SimCollectives::Broadcast(double bytes, int root, std::vector<int> ranks,
+                               std::function<void(double)> on_done) {
+  Participants parts = ResolveParticipants(ranks);
+  const int n = static_cast<int>(parts.ranks.size());
+  AIACC_CHECK(std::find(parts.ranks.begin(), parts.ranks.end(), root) !=
+              parts.ranks.end());
+  if (n <= 1) {
+    fabric_.engine().ScheduleAfter(
+        fabric_.NvlinkHopCost(),
+        [this, cb = std::move(on_done)] { if (cb) cb(fabric_.engine().Now()); });
+    return;
+  }
+  // Pipelined ring broadcast: every adjacency carries `bytes` once; the
+  // pipeline fill costs one hop per step (NIC hops at host boundaries).
+  net::Network::FlowSpec spec;
+  if (parts.multi_host) {
+    for (int h : parts.hosts) {
+      spec.path.push_back(fabric_.EgressLink(h));
+      spec.path.push_back(fabric_.IngressLink(h));
+    }
+    const int m = static_cast<int>(parts.hosts.size());
+    spec.rate_cap = fabric_.InterNodeStreamCap();
+    spec.start_delay = m * fabric_.InterNodeHopCost() +
+                       (n - m) * fabric_.NvlinkHopCost();
+  } else {
+    spec.path = {fabric_.NvlinkLink(parts.hosts.front())};
+    spec.rate_cap = fabric_.params().nvlink_bandwidth;
+    spec.start_delay = (n - 1) * fabric_.NvlinkHopCost();
+  }
+  spec.bytes = bytes;
+  spec.on_complete = [this, cb = std::move(on_done)] {
+    if (cb) cb(fabric_.engine().Now());
+  };
+  fabric_.network().StartFlow(std::move(spec));
+}
+
+double SimCollectives::EstimateTime(double bytes_per_rank,
+                                    Algorithm algorithm) const {
+  const auto& topo = fabric_.topology();
+  const int n = topo.WorldSize();
+  if (n == 1) return fabric_.NvlinkHopCost();
+  const int m = topo.num_hosts;
+  const int g = topo.gpus_per_host;
+  const double nv_bw = fabric_.params().nvlink_bandwidth;
+  const double nic_rate = std::min(fabric_.InterNodeStreamCap(),
+                                   fabric_.NicBandwidth());
+  if (algorithm == Algorithm::kRing || m == 1 || g == 1) {
+    if (m == 1) {
+      return 2.0 * (n - 1) * fabric_.NvlinkHopCost() +
+             2.0 * bytes_per_rank * (n - 1) / n / nv_bw;
+    }
+    return 2.0 * (m * fabric_.InterNodeHopCost() +
+                  (n - m) * fabric_.NvlinkHopCost()) +
+           2.0 * bytes_per_rank * (n - 1) / n / nic_rate;
+  }
+  // Hierarchical: three chained phases.
+  const double p1 = 2.0 * (g - 1) * fabric_.NvlinkHopCost() +
+                    2.0 * bytes_per_rank * (g - 1) / g / nv_bw;
+  const double p2 = 2.0 * (m - 1) * fabric_.InterNodeHopCost() +
+                    2.0 * bytes_per_rank * (m - 1) / m / nic_rate;
+  const double p3 = (g - 1) * fabric_.NvlinkHopCost() +
+                    bytes_per_rank * (g - 1) / g / nv_bw;
+  return p1 + p2 + p3;
+}
+
+void SimCollectives::StartDetailedRing(Unit unit) {
+  const Participants parts = ResolveParticipants(unit.ranks);
+  const int n = static_cast<int>(parts.ranks.size());
+  if (n <= 1) {
+    Start(std::move(unit));
+    return;
+  }
+  struct State {
+    Unit unit;
+    std::vector<int> ranks;
+    int step = 0;
+    int total_steps = 0;
+    int pending_flows = 0;
+    SimCollectives* self = nullptr;
+  };
+  auto state = std::make_shared<State>();
+  state->unit = std::move(unit);
+  state->ranks = parts.ranks;
+  state->total_steps = 2 * (n - 1);
+  state->self = this;
+
+  const double chunk_bytes = state->unit.bytes_per_rank / n;
+
+  // Each step: every rank sends its current chunk to its successor; the step
+  // barrier completes when all n flows land.
+  auto launch_step = [this, state, chunk_bytes, n](auto&& self_ref) -> void {
+    if (state->step == state->total_steps) {
+      CompleteUnit(state->unit);
+      return;
+    }
+    state->pending_flows = n;
+    for (int i = 0; i < n; ++i) {
+      const int src = state->ranks[static_cast<std::size_t>(i)];
+      const int dst = state->ranks[static_cast<std::size_t>((i + 1) % n)];
+      const bool local = fabric_.topology().SameHost(src, dst);
+      net::Network::FlowSpec spec;
+      spec.path = fabric_.PathBetween(src, dst);
+      spec.bytes = chunk_bytes;
+      spec.rate_cap = local ? fabric_.params().nvlink_bandwidth
+                            : fabric_.InterNodeStreamCap();
+      spec.start_delay =
+          local ? fabric_.NvlinkHopCost() : fabric_.InterNodeHopCost();
+      spec.on_complete = [state, self_ref] {
+        if (--state->pending_flows == 0) {
+          ++state->step;
+          self_ref(self_ref);
+        }
+      };
+      fabric_.network().StartFlow(std::move(spec));
+    }
+  };
+  launch_step(launch_step);
+}
+
+}  // namespace aiacc::collective

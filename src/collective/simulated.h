@@ -1,0 +1,94 @@
+// Timed collectives on the simulated cloud fabric.
+//
+// Fluid model: a ring all-reduce over ranks spanning hosts H loads every
+// NIC in H simultaneously; each adjacency carries 2*(n-1)/n * S bytes for a
+// unit of S bytes per rank. We therefore represent one all-reduce unit as a
+// single macro-flow across all loaded links, with the 2(n-1) sequential hop
+// latencies folded into the start delay. Concurrent units — AIACC's multiple
+// streams, each capped at the single-stream TCP/RDMA rate — then share the
+// NICs by max-min fairness, which is precisely the multiplexing the paper
+// exploits. A step-level "detailed" ring is provided to validate the fluid
+// approximation at small scales (tests assert they agree).
+//
+// Units may carry real per-rank float payloads; the reduction is performed
+// with real arithmetic when the simulated operation completes, so timing and
+// numerics come from the same code path.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "collective/ops.h"
+#include "net/fabric.h"
+
+namespace aiacc::collective {
+
+enum class Algorithm : std::uint8_t { kRing, kHierarchical };
+
+const char* ToString(Algorithm alg);
+
+class SimCollectives {
+ public:
+  explicit SimCollectives(net::CloudFabric& fabric) : fabric_(fabric) {}
+
+  struct Unit {
+    /// Bytes contributed by each participating rank.
+    double bytes_per_rank = 0.0;
+    /// Participating global ranks; empty = all ranks in the topology.
+    std::vector<int> ranks;
+    /// Optional real payloads (one per participating rank, equal lengths).
+    /// May be empty for descriptor-only (timing) units.
+    std::vector<std::span<float>> buffers;
+    ReduceOp op = ReduceOp::kAvg;
+    Algorithm algorithm = Algorithm::kRing;
+    /// Invoked (on the simulation engine) when the unit completes; the
+    /// argument is the completion time.
+    std::function<void(double)> on_done;
+  };
+
+  /// Launch an all-reduce unit now (simulated time). Many units may be in
+  /// flight at once; each behaves as one communication stream.
+  void Start(Unit unit);
+
+  /// Analytic completion time of a ring/hierarchical all-reduce on an
+  /// otherwise idle network (used by the auto-tuner's seed model and tests).
+  [[nodiscard]] double EstimateTime(double bytes_per_rank,
+                                    Algorithm algorithm) const;
+
+  /// Timed ring-pipelined broadcast of `bytes` from `root` to every rank in
+  /// `ranks` (empty = all). Used by elastic re-deployment: a joining worker
+  /// receives the current parameters before entering training.
+  void Broadcast(double bytes, int root, std::vector<int> ranks,
+                 std::function<void(double)> on_done);
+
+  /// Step-level ring all-reduce: schedules each of the 2(n-1) ring steps as
+  /// n point-to-point flows with a barrier between steps. Only for
+  /// validation at small scales (O(n^2) flows).
+  void StartDetailedRing(Unit unit);
+
+  /// Count of completed units (diagnostics).
+  [[nodiscard]] std::uint64_t CompletedUnits() const noexcept {
+    return completed_units_;
+  }
+
+ private:
+  struct Participants {
+    std::vector<int> ranks;
+    std::vector<int> hosts;        // distinct hosts, ascending
+    bool multi_host = false;
+  };
+  Participants ResolveParticipants(const std::vector<int>& ranks) const;
+
+  /// Apply the real reduction across unit buffers (all ranks receive the
+  /// combined result), then fire on_done.
+  void CompleteUnit(Unit& unit);
+
+  void StartRingPhase(Unit unit, const Participants& parts);
+  void StartHierarchical(Unit unit, const Participants& parts);
+
+  net::CloudFabric& fabric_;
+  std::uint64_t completed_units_ = 0;
+};
+
+}  // namespace aiacc::collective

@@ -1,0 +1,334 @@
+#include "collective/threaded.h"
+
+#include <thread>
+
+#include "common/logging.h"
+
+namespace aiacc::collective {
+namespace {
+
+/// Ring all-reduce over an arbitrary ordered set of global ranks.
+/// `op` must not be kAvg (callers finalize averaging themselves so that
+/// hierarchical composition divides exactly once).
+void RingAllReduceOnRing(transport::InProcTransport& tr,
+                         const std::vector<int>& ring, int my_pos,
+                         std::span<float> data, ReduceOp op, int tag) {
+  AIACC_CHECK(op != ReduceOp::kAvg);
+  const int n = static_cast<int>(ring.size());
+  if (n <= 1) return;
+  const int me = ring[static_cast<std::size_t>(my_pos)];
+  const int next = ring[static_cast<std::size_t>((my_pos + 1) % n)];
+  const int prev = ring[static_cast<std::size_t>((my_pos + n - 1) % n)];
+  const std::size_t len = data.size();
+
+  auto chunk = [&](int c) -> std::span<float> {
+    const int cc = ((c % n) + n) % n;
+    const std::size_t b = ChunkBegin(len, n, cc);
+    const std::size_t e = ChunkBegin(len, n, cc + 1);
+    return data.subspan(b, e - b);
+  };
+
+  // Reduce-scatter: after step s, each rank has accumulated s+1 inputs into
+  // the chunk it just received.
+  for (int s = 0; s < n - 1; ++s) {
+    std::span<float> to_send = chunk(my_pos - s);
+    tr.Send(me, next, tag, transport::Payload(to_send.begin(), to_send.end()));
+    auto received = tr.Recv(me, prev, tag);
+    AIACC_CHECK(received.ok());
+    std::span<float> target = chunk(my_pos - s - 1);
+    AIACC_CHECK(received->size() == target.size());
+    Accumulate(target, *received, op);
+  }
+  // All-gather: circulate the fully-reduced chunks.
+  for (int s = 0; s < n - 1; ++s) {
+    std::span<float> to_send = chunk(my_pos - s + 1);
+    tr.Send(me, next, tag, transport::Payload(to_send.begin(), to_send.end()));
+    auto received = tr.Recv(me, prev, tag);
+    AIACC_CHECK(received.ok());
+    std::span<float> target = chunk(my_pos - s);
+    AIACC_CHECK(received->size() == target.size());
+    std::copy(received->begin(), received->end(), target.begin());
+  }
+}
+
+void BroadcastOnRing(transport::InProcTransport& tr,
+                     const std::vector<int>& ring, int my_pos, int root_pos,
+                     std::span<float> data, int tag) {
+  const int n = static_cast<int>(ring.size());
+  if (n <= 1) return;
+  const int me = ring[static_cast<std::size_t>(my_pos)];
+  const int next = ring[static_cast<std::size_t>((my_pos + 1) % n)];
+  const int prev = ring[static_cast<std::size_t>((my_pos + n - 1) % n)];
+  const bool is_root = my_pos == root_pos;
+  const bool next_is_root = (my_pos + 1) % n == root_pos;
+  if (!is_root) {
+    auto received = tr.Recv(me, prev, tag);
+    AIACC_CHECK(received.ok());
+    AIACC_CHECK(received->size() == data.size());
+    std::copy(received->begin(), received->end(), data.begin());
+  }
+  if (!next_is_root) {
+    tr.Send(me, next, tag, transport::Payload(data.begin(), data.end()));
+  }
+}
+
+}  // namespace
+
+std::size_t ChunkBegin(std::size_t len, int n_chunks, int chunk) {
+  return len * static_cast<std::size_t>(chunk) /
+         static_cast<std::size_t>(n_chunks);
+}
+
+void RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
+  AIACC_CHECK(comm.transport != nullptr);
+  std::vector<int> ring(static_cast<std::size_t>(comm.world_size));
+  for (int r = 0; r < comm.world_size; ++r) ring[static_cast<std::size_t>(r)] = r;
+  const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
+  RingAllReduceOnRing(*comm.transport, ring, comm.rank, data, inner,
+                      comm.tag_base);
+  FinalizeAvg(data, comm.world_size, op);
+}
+
+void HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
+                           std::span<float> data, ReduceOp op) {
+  AIACC_CHECK(comm.transport != nullptr);
+  AIACC_CHECK(gpus_per_host >= 1);
+  AIACC_CHECK(comm.world_size % gpus_per_host == 0);
+  const int host = comm.rank / gpus_per_host;
+  const int local = comm.rank % gpus_per_host;
+  const int num_hosts = comm.world_size / gpus_per_host;
+  const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
+
+  // Phase 1: ring all-reduce inside the host group (over NVLink in the
+  // paper) — every member ends with the group total.
+  std::vector<int> group(static_cast<std::size_t>(gpus_per_host));
+  for (int g = 0; g < gpus_per_host; ++g) {
+    group[static_cast<std::size_t>(g)] = host * gpus_per_host + g;
+  }
+  RingAllReduceOnRing(*comm.transport, group, local, data, inner,
+                      comm.tag_base);
+
+  // Phase 2: group leaders ring all-reduce across hosts.
+  if (num_hosts > 1) {
+    if (local == 0) {
+      std::vector<int> leaders(static_cast<std::size_t>(num_hosts));
+      for (int h = 0; h < num_hosts; ++h) {
+        leaders[static_cast<std::size_t>(h)] = h * gpus_per_host;
+      }
+      RingAllReduceOnRing(*comm.transport, leaders, host, data, inner,
+                          comm.tag_base + 1);
+    }
+    // Phase 3: leaders broadcast the global result inside their group.
+    BroadcastOnRing(*comm.transport, group, local, /*root_pos=*/0, data,
+                    comm.tag_base + 2);
+  }
+  FinalizeAvg(data, comm.world_size, op);
+}
+
+void ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
+  AIACC_CHECK(comm.transport != nullptr);
+  const int n = comm.world_size;
+  if (n <= 1) {
+    FinalizeAvg(data, 1, op);
+    return;
+  }
+  const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
+  const int me = comm.rank;
+  const int next = (me + 1) % n;
+  const int prev = (me + n - 1) % n;
+  const std::size_t len = data.size();
+  auto chunk = [&](int c) -> std::span<float> {
+    const int cc = ((c % n) + n) % n;
+    const std::size_t b = ChunkBegin(len, n, cc);
+    return data.subspan(b, ChunkBegin(len, n, cc + 1) - b);
+  };
+  for (int s = 0; s < n - 1; ++s) {
+    std::span<float> to_send = chunk(me - s);
+    comm.transport->Send(me, next, comm.tag_base,
+                         transport::Payload(to_send.begin(), to_send.end()));
+    auto received = comm.transport->Recv(me, prev, comm.tag_base);
+    AIACC_CHECK(received.ok());
+    std::span<float> target = chunk(me - s - 1);
+    Accumulate(target, *received, inner);
+  }
+  // Rank r now owns reduced chunk (r + 1) mod n; rotate ownership convention
+  // so rank r owns chunk r: one extra pass of the owned chunk to `next`.
+  std::span<float> owned = chunk(me + 1);
+  comm.transport->Send(me, next, comm.tag_base + 1,
+                       transport::Payload(owned.begin(), owned.end()));
+  auto received = comm.transport->Recv(me, prev, comm.tag_base + 1);
+  AIACC_CHECK(received.ok());
+  std::span<float> mine = chunk(me);
+  std::copy(received->begin(), received->end(), mine.begin());
+  FinalizeAvg(mine, n, op);
+}
+
+void AllGather(const Comm& comm, std::span<float> data) {
+  const int n = comm.world_size;
+  if (n <= 1) return;
+  const int me = comm.rank;
+  const int next = (me + 1) % n;
+  const int prev = (me + n - 1) % n;
+  const std::size_t len = data.size();
+  auto chunk = [&](int c) -> std::span<float> {
+    const int cc = ((c % n) + n) % n;
+    const std::size_t b = ChunkBegin(len, n, cc);
+    return data.subspan(b, ChunkBegin(len, n, cc + 1) - b);
+  };
+  for (int s = 0; s < n - 1; ++s) {
+    std::span<float> to_send = chunk(me - s);
+    comm.transport->Send(me, next, comm.tag_base,
+                         transport::Payload(to_send.begin(), to_send.end()));
+    auto received = comm.transport->Recv(me, prev, comm.tag_base);
+    AIACC_CHECK(received.ok());
+    std::span<float> target = chunk(me - s - 1);
+    std::copy(received->begin(), received->end(), target.begin());
+  }
+}
+
+void Broadcast(const Comm& comm, int root, std::span<float> data) {
+  std::vector<int> ring(static_cast<std::size_t>(comm.world_size));
+  for (int r = 0; r < comm.world_size; ++r) ring[static_cast<std::size_t>(r)] = r;
+  BroadcastOnRing(*comm.transport, ring, comm.rank, root, data,
+                  comm.tag_base);
+}
+
+void Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op) {
+  AIACC_CHECK(comm.transport != nullptr);
+  const int n = comm.world_size;
+  if (n <= 1) {
+    FinalizeAvg(data, 1, op);
+    return;
+  }
+  const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
+  // Chain along the ring ending at root: rank root+1 starts, each rank
+  // accumulates its predecessor's partial into a scratch copy and forwards.
+  const int me = comm.rank;
+  const int position = (me - root - 1 + n) % n;  // 0 = chain head
+  const int next = (me + 1) % n;
+  const int prev = (me + n - 1) % n;
+  if (position == 0) {
+    comm.transport->Send(me, next, comm.tag_base,
+                         transport::Payload(data.begin(), data.end()));
+    return;
+  }
+  auto received = comm.transport->Recv(me, prev, comm.tag_base);
+  AIACC_CHECK(received.ok());
+  AIACC_CHECK(received->size() == data.size());
+  if (me == root) {
+    Accumulate(data, *received, inner);
+    FinalizeAvg(data, n, op);
+    return;
+  }
+  // Accumulate into a scratch so this rank's own buffer stays untouched.
+  transport::Payload partial = std::move(*received);
+  Accumulate(std::span<float>(partial), data, inner);
+  comm.transport->Send(me, next, comm.tag_base, std::move(partial));
+}
+
+void Gather(const Comm& comm, int root, std::span<const float> contribution,
+            std::span<float> gathered) {
+  AIACC_CHECK(comm.transport != nullptr);
+  const int n = comm.world_size;
+  if (comm.rank == root) {
+    AIACC_CHECK(gathered.size() == contribution.size() * n);
+    std::copy(contribution.begin(), contribution.end(),
+              gathered.begin() +
+                  static_cast<std::ptrdiff_t>(comm.rank) *
+                      static_cast<std::ptrdiff_t>(contribution.size()));
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      auto received = comm.transport->Recv(root, r, comm.tag_base);
+      AIACC_CHECK(received.ok());
+      AIACC_CHECK(received->size() == contribution.size());
+      std::copy(received->begin(), received->end(),
+                gathered.begin() + static_cast<std::ptrdiff_t>(r) *
+                                       static_cast<std::ptrdiff_t>(
+                                           contribution.size()));
+    }
+  } else {
+    comm.transport->Send(
+        comm.rank, root, comm.tag_base,
+        transport::Payload(contribution.begin(), contribution.end()));
+  }
+}
+
+void Scatter(const Comm& comm, int root, std::span<const float> scattered,
+             std::span<float> chunk) {
+  AIACC_CHECK(comm.transport != nullptr);
+  const int n = comm.world_size;
+  if (comm.rank == root) {
+    AIACC_CHECK(scattered.size() == chunk.size() * n);
+    for (int r = 0; r < n; ++r) {
+      auto block = scattered.subspan(
+          static_cast<std::size_t>(r) * chunk.size(), chunk.size());
+      if (r == root) {
+        std::copy(block.begin(), block.end(), chunk.begin());
+      } else {
+        comm.transport->Send(root, r, comm.tag_base,
+                             transport::Payload(block.begin(), block.end()));
+      }
+    }
+  } else {
+    auto received = comm.transport->Recv(comm.rank, root, comm.tag_base);
+    AIACC_CHECK(received.ok());
+    AIACC_CHECK(received->size() == chunk.size());
+    std::copy(received->begin(), received->end(), chunk.begin());
+  }
+}
+
+void AllToAll(const Comm& comm, std::span<const float> send,
+              std::span<float> recv) {
+  AIACC_CHECK(comm.transport != nullptr);
+  const int n = comm.world_size;
+  AIACC_CHECK(send.size() == recv.size());
+  AIACC_CHECK(send.size() % static_cast<std::size_t>(n) == 0);
+  const std::size_t block = send.size() / static_cast<std::size_t>(n);
+  // Post all sends first (non-blocking), then receive from every peer.
+  for (int d = 0; d < n; ++d) {
+    auto out = send.subspan(static_cast<std::size_t>(d) * block, block);
+    if (d == comm.rank) {
+      std::copy(out.begin(), out.end(),
+                recv.begin() + static_cast<std::ptrdiff_t>(d) *
+                                   static_cast<std::ptrdiff_t>(block));
+    } else {
+      comm.transport->Send(comm.rank, d, comm.tag_base,
+                           transport::Payload(out.begin(), out.end()));
+    }
+  }
+  for (int s = 0; s < n; ++s) {
+    if (s == comm.rank) continue;
+    auto received = comm.transport->Recv(comm.rank, s, comm.tag_base);
+    AIACC_CHECK(received.ok());
+    AIACC_CHECK(received->size() == block);
+    std::copy(received->begin(), received->end(),
+              recv.begin() + static_cast<std::ptrdiff_t>(s) *
+                                 static_cast<std::ptrdiff_t>(block));
+  }
+}
+
+void MultiChannelAllReduce(const Comm& comm, std::span<float> data,
+                           ReduceOp op, int num_channels) {
+  AIACC_CHECK(num_channels >= 1);
+  if (num_channels == 1 || data.size() < static_cast<std::size_t>(
+                               num_channels * comm.world_size)) {
+    RingAllReduce(comm, data, op);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_channels));
+  for (int c = 0; c < num_channels; ++c) {
+    const std::size_t b = ChunkBegin(data.size(), num_channels, c);
+    const std::size_t e = ChunkBegin(data.size(), num_channels, c + 1);
+    Comm sub = comm;
+    // Each channel gets a disjoint tag namespace (ring + hierarchical use at
+    // most 3 tags).
+    sub.tag_base = comm.tag_base + 16 * (c + 1);
+    workers.emplace_back([sub, slice = data.subspan(b, e - b), op] {
+      RingAllReduce(sub, slice, op);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace aiacc::collective

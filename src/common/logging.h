@@ -1,0 +1,81 @@
+// Minimal leveled logger. Thread-safe, level-filtered at runtime, writes to
+// stderr. Benchmarks default the level to kWarn so tables stay clean.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace aiacc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global minimum level; messages below it are discarded before formatting
+/// their arguments is *finished* (the stream still evaluates, so keep hot-path
+/// logging at kTrace/kDebug and guard with ShouldLog when formatting is pricey).
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+inline bool ShouldLog(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
+}
+
+namespace internal {
+
+/// One log statement: accumulates a line, emits it (with level tag, file:line)
+/// on destruction. Not for storing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log expression when the level is filtered out.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace aiacc
+
+#define AIACC_LOG(level)                                                   \
+  !::aiacc::ShouldLog(::aiacc::LogLevel::level)                            \
+      ? (void)0                                                           \
+      : ::aiacc::internal::LogMessageVoidify() &                           \
+            ::aiacc::internal::LogMessage(::aiacc::LogLevel::level,        \
+                                          __FILE__, __LINE__)
+
+#define LOG_TRACE AIACC_LOG(kTrace)
+#define LOG_DEBUG AIACC_LOG(kDebug)
+#define LOG_INFO AIACC_LOG(kInfo)
+#define LOG_WARN AIACC_LOG(kWarn)
+#define LOG_ERROR AIACC_LOG(kError)
+
+/// Invariant check that survives NDEBUG: aborts with a message. Use for
+/// protocol invariants whose violation means the simulation state is garbage.
+#define AIACC_CHECK(cond)                                                  \
+  (static_cast<bool>(cond)                                                 \
+       ? (void)0                                                          \
+       : ::aiacc::internal::CheckFailed(#cond, __FILE__, __LINE__))
+
+namespace aiacc::internal {
+[[noreturn]] void CheckFailed(const char* cond, const char* file, int line);
+}  // namespace aiacc::internal

@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace aiacc {
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::Exponential(double rate) {
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+}  // namespace aiacc

@@ -1,0 +1,78 @@
+// Deterministic RNG (xoshiro256**) so simulations, tests and benchmarks are
+// bit-reproducible across runs and platforms — std::mt19937 distributions are
+// not guaranteed identical across standard library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace aiacc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    auto next = [&seed] {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = next();
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(NextU64() % span);
+  }
+
+  /// Standard normal via Box-Muller (no cached spare: determinism over speed).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (lambda).
+  double Exponential(double rate);
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// UniformRandomBitGenerator interface, so Rng plugs into std::shuffle.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return NextU64(); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace aiacc

@@ -1,0 +1,62 @@
+// Small statistics helpers used by the measurement harness: running moments,
+// geometric mean (the paper reports geomean over 5 runs), percentiles, and a
+// fixed-width table printer for bench output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aiacc {
+
+/// Online mean/variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of positive samples; returns 0 for an empty input.
+double GeometricMean(const std::vector<double>& xs);
+
+/// p in [0,100]; linear interpolation between order statistics.
+double Percentile(std::vector<double> xs, double p);
+
+/// Fixed-width ASCII table used by every bench binary so output diffs are
+/// stable. Columns are sized to the widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Render to stdout.
+  void Print() const;
+  /// Render to a string (tests).
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string FormatDouble(double v, int precision = 2);
+std::string FormatBytes(double bytes);
+std::string FormatRate(double bytes_per_sec);
+
+}  // namespace aiacc

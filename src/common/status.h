@@ -1,0 +1,159 @@
+// Lightweight Status / Result<T> error-handling types used across the
+// AIACC-Training reproduction. We do not use exceptions on hot paths; fallible
+// operations return Status or Result<T> and callers decide how to react
+// (Core Guidelines E.27-style for a library that must also run inside a
+// deterministic simulator where unwinding would be awkward).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace aiacc {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,
+  kAborted,
+  kResourceExhausted,
+  kCancelled,
+  kDataLoss,
+  kDeadlineExceeded,
+};
+
+/// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// A cheap, value-semantic error carrier. An engaged message is only
+/// allocated on the error path; the OK status is trivially copyable in
+/// practice (empty string).
+class Status {
+ public:
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status Aborted(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status Cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
+}
+inline Status DataLoss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+
+/// Result<T>: either a value or a non-OK Status. Modeled on std::expected
+/// (not yet available in our toolchain's libstdc++ for all uses we need).
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror std::expected ergonomics.
+  Result(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() &&
+           "Result<T> must not hold an OK status without a value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+
+  [[nodiscard]] const Status& status() const noexcept {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace aiacc
+
+/// Early-return helper: propagate a non-OK status to the caller.
+#define AIACC_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::aiacc::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)

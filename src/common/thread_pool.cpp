@@ -1,0 +1,46 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace aiacc {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  AIACC_CHECK(n_threads > 0);
+  threads_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  tasks_.Shutdown();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    ++in_flight_;
+  }
+  tasks_.Push(std::move(task));
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(idle_mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (auto task = tasks_.Pop()) {
+    (*task)();
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace aiacc

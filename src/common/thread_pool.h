@@ -1,0 +1,54 @@
+// Fixed-size worker pool. The AIACC threaded backend uses one pool as the
+// "communication thread pool" of Algorithm 1: each worker owns a stream
+// context and pulls all-reduce units from a shared queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/queues.h"
+
+namespace aiacc {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue fire-and-forget work.
+  void Submit(std::function<void()> task);
+
+  /// Enqueue work and get a future for its completion/result.
+  template <typename F>
+  auto SubmitWithResult(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    Submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Blocks until every submitted task (so far) has finished.
+  void WaitIdle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;  // queued + running
+};
+
+}  // namespace aiacc

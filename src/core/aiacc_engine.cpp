@@ -1,0 +1,224 @@
+#include "core/aiacc_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aiacc::core {
+
+AiaccEngine::AiaccEngine(WorkloadSetup setup, CommConfig config,
+                         SyncParams sync_params)
+    : DdlEngine(setup),
+      config_(config),
+      registry_(GradientRegistry::FromModel(*setup.model, setup.wire_dtype)),
+      sync_(*setup.fabric, sync_params),
+      packer_(config.granularity_bytes) {
+  // Map registry ids (name-sorted) to the model's backward ready schedule.
+  ready_offset_.assign(static_cast<std::size_t>(registry_.size()), 0.0);
+  for (const dnn::GradientSpec& g : setup_.model->gradients()) {
+    auto id = registry_.IdOf(g.name);
+    AIACC_CHECK(id.ok());
+    ready_offset_[static_cast<std::size_t>(*id)] =
+        profile_.ready_time[static_cast<std::size_t>(g.id)];
+  }
+  reduced_bytes_.assign(static_cast<std::size_t>(registry_.size()), 0);
+}
+
+void AiaccEngine::SetConfig(const CommConfig& config) {
+  AIACC_CHECK(iter_.on_done == nullptr && "reconfigure only between iterations");
+  config_ = config;
+  packer_ = StreamingPacker(config.granularity_bytes);
+}
+
+int AiaccEngine::EffectiveStreamLimit() const {
+  const bool compute_active = !iter_.backward_done;
+  const double busy =
+      compute_active ? setup_.model->SmBusyFraction() : 0.0;
+  return std::min(config_.num_streams,
+                  setup_.gpu.UsableCommStreams(busy));
+}
+
+void AiaccEngine::RunIteration(std::function<void(IterationStats)> on_done) {
+  AIACC_CHECK(iter_.on_done == nullptr && "iteration already in flight");
+  iter_ = IterationState{};
+  iter_.start_time = Sim().Now();
+  iter_.on_done = std::move(on_done);
+  iter_.local_ready = BitVector(static_cast<std::size_t>(registry_.size()));
+  iter_.gradients_remaining = registry_.size();
+  iter_.bytes_remaining = registry_.TotalBytes();
+  packer_.Reset();
+  std::fill(reduced_bytes_.begin(), reduced_bytes_.end(), 0);
+
+  // Forward compute, then backward produces gradients on the schedule
+  // (per-iteration compute jitter models run-to-run hardware variance).
+  const double jitter = NextComputeJitter();
+  const double backward_start =
+      iter_.start_time + profile_.forward_time * jitter;
+  iter_.backward_end = backward_start + profile_.backward_time * jitter;
+  for (int id = 0; id < registry_.size(); ++id) {
+    const double t = backward_start +
+                     ready_offset_[static_cast<std::size_t>(id)] * jitter;
+    Sim().ScheduleAt(t, [this, id] { OnGradientReady(id); });
+  }
+  if (setup_.tracer != nullptr) {
+    setup_.tracer->AddSpan("compute", "forward", iter_.start_time,
+                           backward_start);
+    setup_.tracer->AddSpan("compute", "backward", backward_start,
+                           iter_.backward_end);
+  }
+  // Backward completion: flush any remainder below the sync threshold and
+  // re-evaluate the stream limit (compute kernels have left the SMs).
+  Sim().ScheduleAt(iter_.backward_end, [this] {
+    iter_.backward_done = true;
+    MaybeStartSyncRound(/*flush=*/true);
+    Dispatch();
+  });
+}
+
+void AiaccEngine::OnGradientReady(int registry_id) {
+  // The training worker's hook pushes the gradient into the CUDA-MPI aware
+  // gradient queue; the MPI process marks the synchronization vector.
+  iter_.local_ready.Set(static_cast<std::size_t>(registry_id));
+  iter_.pending_sync_bytes += registry_.Get(registry_id).bytes;
+  MaybeStartSyncRound(/*flush=*/false);
+}
+
+void AiaccEngine::MaybeStartSyncRound(bool flush) {
+  if (iter_.sync_in_flight) return;
+  if (iter_.local_ready.None()) return;
+  if (!flush && !iter_.backward_done &&
+      iter_.pending_sync_bytes < config_.min_bucket_bytes) {
+    return;
+  }
+  iter_.sync_in_flight = true;
+  ++iter_.stats.sync_rounds;
+  BitVector to_sync = iter_.local_ready;
+  // Gradients entering this round leave the local-pending set; they are
+  // owned by the sync round until agreement.
+  iter_.local_ready.Reset();
+  iter_.pending_sync_bytes = 0;
+  const double round_start = Sim().Now();
+  sync_.StartRound(to_sync, [this, round_start](BitVector agreed) {
+    iter_.sync_in_flight = false;
+    if (setup_.tracer != nullptr) {
+      setup_.tracer->AddSpan("sync", "bitvector round", round_start,
+                             Sim().Now());
+    }
+    OnSyncAgreed(agreed);
+    // More gradients may have landed while the round was in flight.
+    MaybeStartSyncRound(/*flush=*/iter_.backward_done);
+  });
+}
+
+void AiaccEngine::OnSyncAgreed(const BitVector& agreed) {
+  // Agreed gradients join the packing stream; complete units become
+  // dispatchable immediately, the trailing partial waits for more gradients
+  // (or the end-of-backward flush), exactly like the fusion behaviour of
+  // production libraries — sync-round boundaries do not fragment units.
+  for (std::size_t i : agreed.SetIndices()) {
+    const int id = static_cast<int>(i);
+    packer_.Add(id, registry_.Get(id).bytes);
+    ++iter_.synced_gradients;
+  }
+  if (iter_.synced_gradients == registry_.size()) packer_.Flush();
+  Dispatch();
+}
+
+void AiaccEngine::Dispatch() {
+  // Algorithm 1: hand all-reduce units to free communication threads; stop
+  // when the pool (or the GPU's schedulable stream budget) is exhausted.
+  const int limit = EffectiveStreamLimit();
+  while (iter_.active_streams < limit && packer_.HasReadyUnit()) {
+    AllReduceUnit unit = packer_.PopReadyUnit();
+    ++iter_.active_streams;
+    iter_.stats.max_concurrent_streams =
+        std::max(iter_.stats.max_concurrent_streams, iter_.active_streams);
+    ++iter_.stats.allreduce_units;
+
+    const std::size_t unit_bytes = unit.TotalBytes();
+    // Stream-slot assignment (for the execution trace): lowest free slot.
+    int slot = -1;
+    if (setup_.tracer != nullptr) {
+      for (std::size_t i = 0; i < stream_slot_busy_.size(); ++i) {
+        if (!stream_slot_busy_[i]) {
+          slot = static_cast<int>(i);
+          break;
+        }
+      }
+      if (slot < 0) {
+        slot = static_cast<int>(stream_slot_busy_.size());
+        stream_slot_busy_.push_back(false);
+      }
+      stream_slot_busy_[static_cast<std::size_t>(slot)] = true;
+    }
+    const double dispatch_time = Sim().Now();
+    const std::uint64_t unit_id = unit.unit_id;
+    // Count gradients completed by this unit (for bookkeeping a gradient is
+    // done when all its bytes have been reduced).
+    collective::SimCollectives::Unit sim_unit;
+    sim_unit.bytes_per_rank = static_cast<double>(unit_bytes);
+    sim_unit.op = collective::ReduceOp::kAvg;
+    sim_unit.algorithm = config_.algorithm;
+    sim_unit.on_done = [this, unit_bytes, slot, dispatch_time, unit_id,
+                        segments = unit.segments](double) {
+      if (setup_.tracer != nullptr && slot >= 0) {
+        setup_.tracer->AddSpan(
+            "stream " + std::to_string(slot),
+            "unit " + std::to_string(unit_id) + " (" +
+                std::to_string(unit_bytes >> 10) + " KiB)",
+            dispatch_time, Sim().Now());
+        stream_slot_busy_[static_cast<std::size_t>(slot)] = false;
+      }
+      int whole = 0;
+      for (const UnitSegment& seg : segments) {
+        auto& done = reduced_bytes_[static_cast<std::size_t>(seg.gradient_id)];
+        done += seg.length;
+        if (done == registry_.Get(seg.gradient_id).bytes) ++whole;
+      }
+      OnUnitComplete(unit_bytes, whole);
+    };
+    // Kernel launch overhead before the collective begins.
+    Sim().ScheduleAfter(setup_.gpu.params().kernel_launch_overhead,
+                        [this, u = std::move(sim_unit)]() mutable {
+                          setup_.collectives->Start(std::move(u));
+                        });
+  }
+}
+
+void AiaccEngine::OnUnitComplete(std::size_t unit_bytes,
+                                 int num_whole_gradients) {
+  --iter_.active_streams;
+  iter_.gradients_remaining -= num_whole_gradients;
+  iter_.bytes_remaining -= std::min(iter_.bytes_remaining, unit_bytes);
+  const int n = WorldSize();
+  iter_.stats.comm_bytes_per_nic +=
+      2.0 * static_cast<double>(unit_bytes) * (n - 1) / std::max(1, n);
+  Dispatch();
+  MaybeFinishIteration();
+}
+
+void AiaccEngine::MaybeFinishIteration() {
+  if (iter_.done_fired) return;
+  if (!iter_.backward_done || iter_.gradients_remaining > 0) return;
+  AIACC_CHECK(!packer_.HasReadyUnit());
+  AIACC_CHECK(iter_.active_streams == 0);
+  iter_.done_fired = true;
+  // Optimizer update on the aggregated gradients (optionally CPU-offloaded,
+  // the §IX extension).
+  const double param_bytes =
+      static_cast<double>(setup_.model->TotalParameterBytes());
+  const double update = setup_.cpu_optimizer_offload
+                            ? setup_.gpu.CpuOffloadUpdateTime(param_bytes)
+                            : setup_.gpu.OptimizerUpdateTime(param_bytes);
+  Sim().ScheduleAfter(update, [this] {
+    iter_.stats.duration = Sim().Now() - iter_.start_time;
+    if (setup_.tracer != nullptr) {
+      setup_.tracer->AddInstant("compute", "iteration complete", Sim().Now());
+    }
+    auto done = std::move(iter_.on_done);
+    iter_.on_done = nullptr;
+    done(iter_.stats);
+  });
+}
+
+}  // namespace aiacc::core

@@ -1,0 +1,93 @@
+// The paper's contribution: multi-streamed, concurrent, fully decentralized
+// gradient communication (Sections V and Algorithm 1), as a simulated-time
+// engine.
+//
+// Per iteration:
+//   1. forward compute;
+//   2. backward compute produces gradients on the model's ready schedule;
+//      each ready gradient is pushed through the gradient queue and buffered
+//      in the communication bucket;
+//   3. when buffered bytes reach the minimum communication granularity, a
+//      decentralized synchronization round (bit-vector min-all-reduce among
+//      the MPI processes) agrees on the globally-ready set;
+//   4. agreed gradients are packed/split into all-reduce units of the tuned
+//      granularity and dispatched to the communication stream pool; up to
+//      min(config streams, GPU-schedulable streams) units fly concurrently,
+//      each as an independent ring (or hierarchical) all-reduce;
+//   5. the iteration completes when backward is done, every gradient has
+//      been reduced, and the optimizer update has been applied.
+//
+// Synchronization, packing and dispatch all run concurrently with backward
+// compute (they live on the CPU-side MPI process), so communication overlaps
+// computation exactly as in Fig. 5/6 of the paper.
+#pragma once
+
+#include <deque>
+
+#include "core/config.h"
+#include "core/ddl_engine.h"
+#include "core/packing.h"
+#include "core/registry.h"
+#include "core/sync.h"
+
+namespace aiacc::core {
+
+class AiaccEngine final : public DdlEngine {
+ public:
+  AiaccEngine(WorkloadSetup setup, CommConfig config,
+              SyncParams sync_params = {});
+
+  [[nodiscard]] std::string Name() const override { return "aiacc"; }
+  void RunIteration(std::function<void(IterationStats)> on_done) override;
+
+  /// Reconfigure between iterations (the auto-tuner changes parameters
+  /// during the warm-up phase). Must not be called mid-iteration.
+  void SetConfig(const CommConfig& config);
+  [[nodiscard]] const CommConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] const GradientRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  struct IterationState {
+    double start_time = 0.0;
+    double backward_end = 0.0;
+    bool backward_done = false;
+    BitVector local_ready;     // produced locally, not yet sync-agreed
+    std::size_t pending_sync_bytes = 0;
+    bool sync_in_flight = false;
+    int synced_gradients = 0;  // agreed ready so far this iteration
+    int active_streams = 0;
+    int gradients_remaining = 0;  // not yet fully reduced
+    std::size_t bytes_remaining = 0;
+    bool done_fired = false;
+    std::function<void(IterationStats)> on_done;
+    IterationStats stats;
+  };
+
+  void OnGradientReady(int registry_id);
+  void MaybeStartSyncRound(bool flush);
+  void OnSyncAgreed(const BitVector& agreed);
+  void Dispatch();
+  void OnUnitComplete(std::size_t unit_bytes, int num_whole_gradients);
+  void MaybeFinishIteration();
+  [[nodiscard]] int EffectiveStreamLimit() const;
+
+  CommConfig config_;
+  GradientRegistry registry_;
+  DecentralizedSync sync_;
+  /// Carves the agreed-ready gradient stream into granularity-sized units
+  /// (the paper's gradient packing, §V-B).
+  StreamingPacker packer_;
+  /// registry id -> ready time offset within backward (seconds).
+  std::vector<double> ready_offset_;
+  /// Tracks how many bytes of each gradient have been reduced (a split
+  /// gradient finishes when all its units complete).
+  std::vector<std::size_t> reduced_bytes_;
+  /// Trace-only stream-slot occupancy (lowest-free-slot assignment).
+  std::vector<bool> stream_slot_busy_;
+  IterationState iter_;
+};
+
+}  // namespace aiacc::core

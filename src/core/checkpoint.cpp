@@ -1,0 +1,131 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace aiacc::core {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xA1ACC001;
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t Fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void WriteTensorList(ByteWriter& writer,
+                     const std::vector<std::vector<float>>& tensors) {
+  writer.WriteU64(tensors.size());
+  for (const auto& t : tensors) writer.WriteF32Vector(t);
+}
+
+Result<std::vector<std::vector<float>>> ReadTensorList(ByteReader& reader) {
+  auto count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  std::vector<std::vector<float>> tensors;
+  tensors.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto t = reader.ReadF32Vector();
+    if (!t.ok()) return t.status();
+    tensors.push_back(std::move(*t));
+  }
+  return tensors;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SerializeCheckpoint(const Checkpoint& ckpt) {
+  ByteWriter body;
+  body.WriteI64(ckpt.iteration);
+  body.WriteF64(ckpt.learning_rate);
+  WriteTensorList(body, ckpt.parameters);
+  WriteTensorList(body, ckpt.optimizer_state);
+
+  ByteWriter out;
+  out.WriteU32(kMagic);
+  out.WriteU32(kVersion);
+  out.WriteU64(body.bytes().size());
+  out.WriteBytes(body.bytes().data(), body.bytes().size());
+  out.WriteU64(Fnv1a(body.bytes().data(), body.bytes().size()));
+  return std::move(out).Take();
+}
+
+Result<Checkpoint> DeserializeCheckpoint(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader header(bytes);
+  auto magic = header.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kMagic) return DataLoss("bad checkpoint magic");
+  auto version = header.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return Unimplemented("unsupported checkpoint version " +
+                         std::to_string(*version));
+  }
+  auto body_len = header.ReadU64();
+  if (!body_len.ok()) return body_len.status();
+  constexpr std::size_t kHeader = 4 + 4 + 8;
+  if (bytes.size() < kHeader + *body_len + 8) {
+    return DataLoss("checkpoint truncated");
+  }
+  const std::uint8_t* body = bytes.data() + kHeader;
+  ByteReader tail(body + *body_len, 8);
+  auto stored_sum = tail.ReadU64();
+  if (!stored_sum.ok()) return stored_sum.status();
+  if (Fnv1a(body, static_cast<std::size_t>(*body_len)) != *stored_sum) {
+    return DataLoss("checkpoint checksum mismatch");
+  }
+
+  ByteReader reader(body, static_cast<std::size_t>(*body_len));
+  Checkpoint ckpt;
+  auto iter = reader.ReadI64();
+  if (!iter.ok()) return iter.status();
+  ckpt.iteration = *iter;
+  auto lr = reader.ReadF64();
+  if (!lr.ok()) return lr.status();
+  ckpt.learning_rate = *lr;
+  auto params = ReadTensorList(reader);
+  if (!params.ok()) return params.status();
+  ckpt.parameters = std::move(*params);
+  auto opt = ReadTensorList(reader);
+  if (!opt.ok()) return opt.status();
+  ckpt.optimizer_state = std::move(*opt);
+  return ckpt;
+}
+
+Status SaveCheckpoint(const Checkpoint& ckpt, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = SerializeCheckpoint(ckpt);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Unavailable("cannot open " + tmp);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return DataLoss("short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Unavailable("rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("no checkpoint at " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) return DataLoss("short read from " + path);
+  return DeserializeCheckpoint(bytes);
+}
+
+}  // namespace aiacc::core

@@ -1,0 +1,33 @@
+// Fault tolerance (paper §IV): checkpoint the training state so a failed
+// run restarts from the last checkpoint, and elastic deployment support that
+// seeds newly-joined workers with the current parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace aiacc::core {
+
+struct Checkpoint {
+  std::int64_t iteration = 0;
+  double learning_rate = 0.0;
+  std::vector<std::vector<float>> parameters;
+  std::vector<std::vector<float>> optimizer_state;
+};
+
+/// Serialize with a magic header, format version and a trailing checksum so
+/// a truncated/corrupt file (the node died mid-write) is detected instead of
+/// silently restoring garbage.
+std::vector<std::uint8_t> SerializeCheckpoint(const Checkpoint& ckpt);
+Result<Checkpoint> DeserializeCheckpoint(
+    const std::vector<std::uint8_t>& bytes);
+
+/// File round-trip (atomic: writes to "<path>.tmp" then renames).
+Status SaveCheckpoint(const Checkpoint& ckpt, const std::string& path);
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace aiacc::core

@@ -1,0 +1,35 @@
+// Gradient compression (paper §IV/§X): AIACC-Training transmits gradients
+// in half-precision to halve wire traffic. This is a real IEEE 754 binary16
+// codec (round-to-nearest-even, correct subnormal/inf/NaN handling), not a
+// size annotation: the threaded backend ships the encoded bytes and the
+// numeric tests measure the quantization error end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aiacc::core {
+
+/// Convert one float to IEEE 754 binary16 (round to nearest even).
+std::uint16_t FloatToHalf(float value) noexcept;
+
+/// Convert one binary16 value back to float (exact).
+float HalfToFloat(std::uint16_t half) noexcept;
+
+/// Encode a float tensor into packed halfs.
+std::vector<std::uint16_t> CompressToHalf(std::span<const float> values);
+
+/// Decode packed halfs into `out` (sizes must match).
+void DecompressFromHalf(std::span<const std::uint16_t> halfs,
+                        std::span<float> out);
+
+/// In-place lossy round-trip: value = half(value). This is what the wire
+/// does to a gradient; exposed so tests and the threaded backend share the
+/// exact quantization.
+void QuantizeToHalfInPlace(std::span<float> values);
+
+/// Largest relative error binary16 introduces for normal values (2^-11).
+inline constexpr float kHalfRelativeError = 1.0f / 2048.0f;
+
+}  // namespace aiacc::core

@@ -1,0 +1,39 @@
+#include "core/config.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace aiacc::core {
+
+std::string CommConfig::ToString() const {
+  std::ostringstream out;
+  out << "{streams=" << num_streams
+      << ", granularity=" << (granularity_bytes >> 20) << "MiB"
+      << ", algo=" << collective::ToString(algorithm)
+      << ", min_bucket=" << (min_bucket_bytes >> 10) << "KiB}";
+  return out.str();
+}
+
+std::vector<CommConfig> CommConfigSpace::AllConfigs() const {
+  std::vector<CommConfig> out;
+  out.reserve(NumPoints());
+  for (std::size_t i = 0; i < NumPoints(); ++i) out.push_back(ConfigAt(i));
+  return out;
+}
+
+CommConfig CommConfigSpace::ConfigAt(std::size_t index) const {
+  AIACC_CHECK(index < NumPoints());
+  const std::size_t n_streams = stream_options.size();
+  const std::size_t n_gran = granularity_options.size();
+  CommConfig cfg;
+  cfg.num_streams = stream_options[index % n_streams];
+  index /= n_streams;
+  cfg.granularity_bytes = granularity_options[index % n_gran];
+  index /= n_gran;
+  cfg.algorithm = algorithm_options[index];
+  cfg.min_bucket_bytes = std::min<std::size_t>(cfg.granularity_bytes, 1u << 20);
+  return cfg;
+}
+
+}  // namespace aiacc::core

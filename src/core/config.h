@@ -1,0 +1,51 @@
+// Communication hyperparameters that AIACC-Training auto-tunes at runtime
+// (§VI): the number of concurrent communication streams, the gradient
+// communication granularity (all-reduce unit size), and the all-reduce
+// algorithm. These form the search space of the auto-tuner.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "collective/simulated.h"
+
+namespace aiacc::core {
+
+struct CommConfig {
+  /// Concurrent communication streams (CUDA streams in the paper). The
+  /// tuner explores 1..32; deployments settle between 2 and 24 (§VIII-D).
+  int num_streams = 8;
+  /// Target all-reduce unit size in bytes: ready gradients are packed (small
+  /// tensors merged, large tensors split) to this granularity.
+  std::size_t granularity_bytes = 8u << 20;
+  /// Ring vs hierarchical ("tree") all-reduce.
+  collective::Algorithm algorithm = collective::Algorithm::kRing;
+  /// Minimum locally-buffered bytes before a synchronization round is
+  /// triggered (the "minimum communication granularity" of §V-A).
+  std::size_t min_bucket_bytes = 1u << 20;
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const CommConfig&, const CommConfig&) = default;
+};
+
+/// The discrete search space used by the auto-tuner and benches.
+struct CommConfigSpace {
+  std::vector<int> stream_options = {1, 2, 4, 8, 12, 16, 24, 32};
+  std::vector<std::size_t> granularity_options = {
+      1u << 20, 2u << 20, 4u << 20, 8u << 20, 16u << 20, 32u << 20, 64u << 20};
+  std::vector<collective::Algorithm> algorithm_options = {
+      collective::Algorithm::kRing, collective::Algorithm::kHierarchical};
+
+  [[nodiscard]] std::size_t NumPoints() const noexcept {
+    return stream_options.size() * granularity_options.size() *
+           algorithm_options.size();
+  }
+  /// Enumerate every configuration (grid order).
+  [[nodiscard]] std::vector<CommConfig> AllConfigs() const;
+  /// Map a flat index to a configuration (for samplers).
+  [[nodiscard]] CommConfig ConfigAt(std::size_t index) const;
+};
+
+}  // namespace aiacc::core

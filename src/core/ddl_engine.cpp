@@ -1,0 +1,53 @@
+#include "core/ddl_engine.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aiacc::core {
+
+DdlEngine::DdlEngine(WorkloadSetup setup)
+    : setup_(setup), jitter_rng_(setup.jitter_seed) {
+  AIACC_CHECK(setup_.fabric != nullptr);
+  AIACC_CHECK(setup_.collectives != nullptr);
+  AIACC_CHECK(setup_.model != nullptr);
+  AIACC_CHECK(setup_.batch_per_gpu > 0);
+  profile_ = setup_.model->Profile(setup_.gpu, setup_.batch_per_gpu);
+}
+
+double DdlEngine::NextComputeJitter() {
+  if (setup_.compute_jitter_sigma <= 0.0) return 1.0;
+  return std::exp(jitter_rng_.Normal(0.0, setup_.compute_jitter_sigma));
+}
+
+std::vector<IterationStats> DdlEngine::RunIterations(int count) {
+  std::vector<IterationStats> stats;
+  stats.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bool finished = false;
+    RunIteration([&](IterationStats s) {
+      stats.push_back(s);
+      finished = true;
+    });
+    // The DES is single-threaded: run until this iteration's completion
+    // callback fired.
+    while (!finished && Sim().Step()) {
+    }
+    AIACC_CHECK(finished && "iteration did not complete (engine deadlock)");
+  }
+  return stats;
+}
+
+double DdlEngine::MeasureThroughput(int warmup, int measure) {
+  AIACC_CHECK(measure > 0);
+  (void)RunIterations(warmup);
+  const double t0 = Sim().Now();
+  (void)RunIterations(measure);
+  const double elapsed = Sim().Now() - t0;
+  AIACC_CHECK(elapsed > 0.0);
+  const double samples = static_cast<double>(setup_.batch_per_gpu) *
+                         WorldSize() * measure;
+  return samples / elapsed;
+}
+
+}  // namespace aiacc::core

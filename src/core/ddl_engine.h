@@ -1,0 +1,101 @@
+// Common interface for the simulated distributed-training engines: AIACC and
+// the baselines (Horovod-like, PyTorch-DDP-like, BytePS-like, MXNet-KVStore-
+// like) all implement DdlEngine over the same substrate, so every comparison
+// in the benches is strategy-vs-strategy on identical simulated hardware.
+//
+// Symmetric-worker model: synchronous data parallelism makes all workers
+// statistically identical, so one engine instance simulates the global
+// iteration timeline; per-host asymmetries that matter (the master's
+// serialized coordination, PS incast) are modeled explicitly by the
+// respective strategies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collective/simulated.h"
+#include "common/rng.h"
+#include "dnn/model.h"
+#include "gpu/gpu_model.h"
+#include "net/fabric.h"
+#include "sim/trace.h"
+
+namespace aiacc::core {
+
+struct WorkloadSetup {
+  net::CloudFabric* fabric = nullptr;
+  collective::SimCollectives* collectives = nullptr;
+  gpu::GpuModel gpu;
+  const dnn::ModelDescriptor* model = nullptr;
+  /// Per-GPU minibatch (samples; for NLP models, sequences).
+  int batch_per_gpu = 64;
+  /// Gradient wire precision (fp16 when AIACC's compression is on).
+  dnn::DType wire_dtype = dnn::DType::kF32;
+  /// Optional execution tracer: engines emit compute/sync/stream spans for
+  /// chrome://tracing (production-debugging support).
+  sim::Tracer* tracer = nullptr;
+  /// §IX extension: run the parameter update on the host CPU (reduces GPU
+  /// memory footprint; pays a CPU pass + PCIe upload per iteration).
+  bool cpu_optimizer_offload = false;
+  /// Multiplicative log-normal jitter on per-iteration compute time
+  /// (sigma of ln-space noise). 0 keeps the simulator fully deterministic;
+  /// the paper's 5-run geometric-mean methodology (§VII-D) is reproduced by
+  /// measuring under nonzero jitter with different seeds.
+  double compute_jitter_sigma = 0.0;
+  std::uint64_t jitter_seed = 1;
+};
+
+struct IterationStats {
+  double duration = 0.0;        // seconds of simulated time
+  double comm_bytes_per_nic = 0.0;
+  int sync_rounds = 0;
+  int allreduce_units = 0;
+  int max_concurrent_streams = 0;
+};
+
+class DdlEngine {
+ public:
+  explicit DdlEngine(WorkloadSetup setup);
+  virtual ~DdlEngine() = default;
+  DdlEngine(const DdlEngine&) = delete;
+  DdlEngine& operator=(const DdlEngine&) = delete;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Simulate one synchronous training iteration starting at the engine's
+  /// current simulated time; `on_done` fires (with per-iteration stats) when
+  /// the optimizer update completes and the next iteration may begin.
+  virtual void RunIteration(std::function<void(IterationStats)> on_done) = 0;
+
+  /// Drive `count` back-to-back iterations to completion on the simulation
+  /// engine; returns their stats.
+  std::vector<IterationStats> RunIterations(int count);
+
+  /// Steady-state cluster throughput in samples/sec: run `warmup` iterations,
+  /// then measure over `measure` iterations (the paper reports throughput
+  /// after the first 100 iterations; benches use scaled-down counts since the
+  /// simulator is deterministic and converges immediately).
+  double MeasureThroughput(int warmup, int measure);
+
+  [[nodiscard]] const WorkloadSetup& setup() const noexcept { return setup_; }
+  [[nodiscard]] int WorldSize() const noexcept {
+    return setup_.fabric->topology().WorldSize();
+  }
+
+ protected:
+  [[nodiscard]] sim::Engine& Sim() noexcept { return setup_.fabric->engine(); }
+
+  /// Per-iteration compute-time multiplier (1.0 when jitter is disabled) —
+  /// models run-to-run hardware variance (clocking, input pipeline).
+  [[nodiscard]] double NextComputeJitter();
+
+  WorkloadSetup setup_;
+  Rng jitter_rng_;
+  /// Per-iteration compute profile (forward/backward durations and the
+  /// gradient ready schedule) — identical across iterations.
+  dnn::ModelDescriptor::IterationProfile profile_;
+};
+
+}  // namespace aiacc::core

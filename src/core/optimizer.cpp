@@ -1,0 +1,155 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aiacc::core {
+namespace {
+
+/// Lazily size per-tensor state to match the parameter layout.
+void EnsureState(std::vector<std::vector<float>>& state,
+                 const std::vector<std::span<float>>& params) {
+  if (state.size() == params.size()) return;
+  AIACC_CHECK(state.empty());
+  state.resize(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    state[i].assign(params[i].size(), 0.0f);
+  }
+}
+
+double L2Norm(std::span<const float> v) {
+  double sum = 0.0;
+  for (float x : v) sum += double{x} * x;
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+double LinearDecay::LearningRate(std::int64_t step) const {
+  const double frac =
+      1.0 - static_cast<double>(std::min(step, total_)) /
+                static_cast<double>(total_);
+  return base_ * std::max(frac, final_fraction_);
+}
+
+double StepDecay::LearningRate(std::int64_t step) const {
+  const auto k = static_cast<double>(step / step_size_);
+  return base_ * std::pow(gamma_, k);
+}
+
+void SgdOptimizer::Step(const std::vector<std::span<float>>& params,
+                        const std::vector<std::span<const float>>& grads,
+                        double lr) {
+  AIACC_CHECK(params.size() == grads.size());
+  EnsureState(velocity_, params);
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    AIACC_CHECK(params[t].size() == grads[t].size());
+    std::vector<float>& vel = velocity_[t];
+    for (std::size_t i = 0; i < params[t].size(); ++i) {
+      vel[i] = static_cast<float>(momentum_ * vel[i] + grads[t][i]);
+      params[t][i] -= static_cast<float>(lr * vel[i]);
+    }
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<std::span<float>>& params,
+                         const std::vector<std::span<const float>>& grads,
+                         double lr) {
+  AIACC_CHECK(params.size() == grads.size());
+  EnsureState(m_, params);
+  EnsureState(v_, params);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    AIACC_CHECK(params[t].size() == grads[t].size());
+    std::vector<float>& m = m_[t];
+    std::vector<float>& v = v_[t];
+    for (std::size_t i = 0; i < params[t].size(); ++i) {
+      const double g = grads[t][i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+      const double m_hat = m[i] / bc1;
+      const double v_hat = v[i] / bc2;
+      params[t][i] -=
+          static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps_));
+    }
+  }
+}
+
+std::vector<std::vector<float>> AdamOptimizer::ExportState() const {
+  // Layout: [t as a single float][m tensors...][v tensors...].
+  std::vector<std::vector<float>> out;
+  out.push_back({static_cast<float>(t_)});
+  for (const auto& m : m_) out.push_back(m);
+  for (const auto& v : v_) out.push_back(v);
+  return out;
+}
+
+void AdamOptimizer::ImportState(std::vector<std::vector<float>> state) {
+  AIACC_CHECK(!state.empty());
+  AIACC_CHECK(state.front().size() == 1);
+  AIACC_CHECK((state.size() - 1) % 2 == 0);
+  t_ = static_cast<std::int64_t>(state.front()[0]);
+  const std::size_t n = (state.size() - 1) / 2;
+  m_.assign(state.begin() + 1, state.begin() + 1 + static_cast<long>(n));
+  v_.assign(state.begin() + 1 + static_cast<long>(n), state.end());
+}
+
+void HybridAdamSgdOptimizer::Step(
+    const std::vector<std::span<float>>& params,
+    const std::vector<std::span<const float>>& grads, double lr) {
+  AIACC_CHECK(params.size() == grads.size());
+  // Snapshot, run Adam, then rescale each tensor's step to the magnitude an
+  // SGD step would have taken (trust-ratio style), so the update direction
+  // is adaptive but the per-layer step size follows SGD's well-understood
+  // scaling. Tensors with fewer than 32 elements (biases, norms) keep the
+  // raw Adam step.
+  std::vector<std::vector<float>> before(params.size());
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    before[t].assign(params[t].begin(), params[t].end());
+  }
+  adam_.Step(params, grads, lr);
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    if (params[t].size() < 32) continue;
+    double adam_step_norm = 0.0;
+    for (std::size_t i = 0; i < params[t].size(); ++i) {
+      const double d = double{params[t][i]} - before[t][i];
+      adam_step_norm += d * d;
+    }
+    adam_step_norm = std::sqrt(adam_step_norm);
+    if (adam_step_norm < 1e-12) continue;
+    const double sgd_step_norm = lr * L2Norm(grads[t]);
+    const double scale = sgd_step_norm / adam_step_norm;
+    for (std::size_t i = 0; i < params[t].size(); ++i) {
+      params[t][i] = static_cast<float>(
+          before[t][i] + scale * (double{params[t][i]} - before[t][i]));
+    }
+  }
+}
+
+std::vector<std::vector<float>> HybridAdamSgdOptimizer::ExportState() const {
+  return adam_.ExportState();
+}
+
+void HybridAdamSgdOptimizer::ImportState(
+    std::vector<std::vector<float>> state) {
+  adam_.ImportState(std::move(state));
+}
+
+NanReport CheckForNan(const std::vector<std::span<const float>>& grads,
+                      std::size_t max_entries) {
+  NanReport report;
+  for (std::size_t t = 0; t < grads.size(); ++t) {
+    for (std::size_t i = 0; i < grads[t].size(); ++i) {
+      const float v = grads[t][i];
+      if (std::isnan(v) || std::isinf(v)) {
+        report.entries.push_back(NanReport::Entry{t, i, v});
+        if (report.entries.size() >= max_entries) return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace aiacc::core

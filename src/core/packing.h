@@ -1,0 +1,120 @@
+// Gradient packing (paper §V-B): after a synchronization round, the agreed
+// ready gradients are packed into all-reduce units of the tuned granularity.
+// Small tensors are merged into one unit; tensors larger than the granularity
+// are split across several units. Packing follows gradient-id order, so all
+// workers implicitly agree on the layout without further coordination.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/registry.h"
+
+namespace aiacc::core {
+
+/// A contiguous piece of one gradient inside an all-reduce unit.
+struct UnitSegment {
+  int gradient_id = 0;
+  std::size_t offset = 0;  // byte offset inside the gradient tensor
+  std::size_t length = 0;  // bytes
+
+  friend bool operator==(const UnitSegment&, const UnitSegment&) = default;
+};
+
+/// One all-reduce unit: dispatched to one communication stream.
+struct AllReduceUnit {
+  std::uint64_t unit_id = 0;
+  std::vector<UnitSegment> segments;
+
+  [[nodiscard]] std::size_t TotalBytes() const noexcept {
+    std::size_t n = 0;
+    for (const UnitSegment& s : segments) n += s.length;
+    return n;
+  }
+};
+
+class PackingPlanner {
+ public:
+  explicit PackingPlanner(std::size_t granularity_bytes)
+      : granularity_(granularity_bytes) {
+    AIACC_CHECK(granularity_ > 0);
+  }
+
+  /// Pack `ready_ids` (ascending gradient ids) into units of ~granularity
+  /// bytes. Every byte of every ready gradient appears in exactly one unit;
+  /// units are filled greedily in id order; a unit never exceeds the
+  /// granularity unless a single segment's minimum slice would (slices are
+  /// kept element-aligned via `alignment`, default fp32).
+  [[nodiscard]] std::vector<AllReduceUnit> Pack(
+      const GradientRegistry& registry, const std::vector<int>& ready_ids,
+      std::size_t alignment = 4);
+
+  [[nodiscard]] std::size_t granularity() const noexcept {
+    return granularity_;
+  }
+
+ private:
+  std::size_t granularity_;
+  std::uint64_t next_unit_id_ = 1;
+};
+
+/// Streaming variant used by the engines: gradients agreed ready by
+/// successive synchronization rounds are appended to a byte-stream; complete
+/// units of exactly the granularity are carved off as they fill, and the
+/// trailing partial unit is only emitted on Flush() (end of backward). This
+/// is how Horovod's fusion buffer and AIACC's all-reduce units behave —
+/// packing does not fragment at sync-round boundaries.
+class StreamingPacker {
+ public:
+  explicit StreamingPacker(std::size_t granularity_bytes,
+                           std::size_t alignment = 4)
+      : granularity_(granularity_bytes), alignment_(alignment) {
+    AIACC_CHECK(granularity_ > 0);
+    AIACC_CHECK(alignment_ > 0);
+  }
+
+  /// Append a ready gradient (in agreement order).
+  void Add(int gradient_id, std::size_t bytes);
+
+  /// Close the current partial unit (if any) so it becomes ready.
+  void Flush();
+
+  /// Take the next complete unit, if one is ready.
+  [[nodiscard]] bool HasReadyUnit() const noexcept { return !ready_.empty(); }
+  AllReduceUnit PopReadyUnit();
+  [[nodiscard]] std::size_t ReadyUnits() const noexcept {
+    return ready_.size();
+  }
+  /// Bytes buffered in the open (partial) unit.
+  [[nodiscard]] std::size_t PendingBytes() const noexcept {
+    return current_bytes_;
+  }
+
+  void Reset();
+
+ private:
+  void CloseCurrent();
+
+  std::size_t granularity_;
+  std::size_t alignment_;
+  std::uint64_t next_unit_id_ = 1;
+  AllReduceUnit current_;
+  std::size_t current_bytes_ = 0;
+  std::deque<AllReduceUnit> ready_;  // FIFO (front = oldest)
+};
+
+/// Gather the unit's bytes from per-gradient buffers into one contiguous
+/// staging buffer (and the inverse). These run on real data in the threaded
+/// backend and in numeric tests; `gradient_data[id]` is the flat byte view
+/// of gradient `id`.
+void GatherUnit(const AllReduceUnit& unit,
+                const std::vector<std::span<const std::byte>>& gradient_data,
+                std::span<std::byte> staging);
+void ScatterUnit(const AllReduceUnit& unit,
+                 std::span<const std::byte> staging,
+                 const std::vector<std::span<std::byte>>& gradient_data);
+
+}  // namespace aiacc::core

@@ -1,0 +1,71 @@
+#include "core/sync.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aiacc::core {
+
+double DecentralizedSync::RoundCost(std::size_t vector_bytes) const {
+  const auto& topo = fabric_.topology();
+  const int n = topo.WorldSize();
+  if (n <= 1) return params_.shm_hop;
+  const int m = topo.num_hosts;
+  // A ring over all n MPI processes: per lap, m hops cross host boundaries
+  // (each NIC once) and n - m stay on-host; reduce-scatter + all-gather of
+  // the bit-vector = 2 laps. Payload transfer adds a tiny bandwidth term.
+  const double inter = topo.IsMultiNode() ? fabric_.InterNodeHopCost() : 0.0;
+  const double lap =
+      m * (topo.IsMultiNode() ? inter : 0.0) + (n - m) * params_.shm_hop;
+  const double wire = topo.IsMultiNode()
+                          ? 2.0 * static_cast<double>(vector_bytes) /
+                                fabric_.InterNodeStreamCap()
+                          : 0.0;
+  return 2.0 * lap + wire;
+}
+
+void DecentralizedSync::StartRound(const BitVector& local_ready,
+                                   std::function<void(BitVector)> done) {
+  const double cost = RoundCost(local_ready.ByteSize());
+  fabric_.engine().ScheduleAfter(
+      cost, [this, agreed = local_ready, done = std::move(done)]() mutable {
+        ++rounds_completed_;
+        done(std::move(agreed));
+      });
+}
+
+double MasterSync::MasterProcessingCost(std::size_t ready_tensors) const {
+  const int n = fabric_.topology().WorldSize();
+  // The master ingests one readiness message per worker and walks every
+  // (worker, tensor) entry to compute the intersection — all serialized on
+  // the coordinator thread.
+  return n * params_.master_per_message +
+         static_cast<double>(ready_tensors) * n * params_.master_per_entry;
+}
+
+void MasterSync::StartRound(const BitVector& local_ready,
+                            std::function<void(BitVector)> done) {
+  sim::Engine& engine = fabric_.engine();
+  const double now = engine.Now();
+  const auto& topo = fabric_.topology();
+  const double hop =
+      topo.IsMultiNode() ? fabric_.InterNodeHopCost() : params_.shm_hop;
+
+  // Workers report at the next negotiation cycle boundary.
+  const double cycle = params_.master_cycle_time;
+  const double cycle_start = std::ceil(now / cycle) * cycle;
+  // Requests reach the master one hop later, then wait for the serialized
+  // master thread.
+  const double arrive = std::max(cycle_start + hop, master_busy_until_);
+  const double processing = MasterProcessingCost(local_ready.Count());
+  master_busy_until_ = arrive + processing;
+  // Response broadcast: master emits n messages back-to-back + one hop.
+  const double respond = master_busy_until_ +
+                         topo.WorldSize() * params_.master_per_message + hop;
+  engine.ScheduleAt(
+      respond, [this, agreed = local_ready, done = std::move(done)]() mutable {
+        ++rounds_completed_;
+        done(std::move(agreed));
+      });
+}
+
+}  // namespace aiacc::core

@@ -1,0 +1,111 @@
+// Gradient synchronization protocols (paper §V-A-2).
+//
+// AIACC-Training: fully decentralized — the per-worker MPI processes ring
+// all-reduce the gradient synchronization bit-vector with a `min` operator;
+// a gradient is agreed ready iff every worker has produced it. Cost is a
+// pipelined ring of a tiny payload: 2(n-1) hops, of which only one per host
+// boundary crosses the NIC (MPI processes on one host talk via shared
+// memory).
+//
+// Horovod-style baseline: a master (rank 0) collects readiness from every
+// worker, computes the intersection, and broadcasts the response. The master
+// serializes per-worker message handling and per-tensor response assembly,
+// so rounds queue up behind it — the §VIII-C CTR bottleneck.
+//
+// Both are modeled with analytic per-round costs on the simulation clock
+// (their payloads are a few hundred bytes; link contention from sync traffic
+// is negligible, the latency/serialization structure is what matters).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/bitvector.h"
+#include "net/fabric.h"
+#include "sim/engine.h"
+
+namespace aiacc::core {
+
+struct SyncParams {
+  /// Hop between two MPI processes on the same host (shared memory).
+  double shm_hop = 1e-6;
+  /// Master-side cost to ingest one worker's readiness message.
+  double master_per_message = 5e-6;
+  /// Master-side cost per (worker, tensor) readiness entry: the coordinator
+  /// parses every worker's per-tensor announcement and assembles per-tensor
+  /// responses, so its work is O(world * tensors) per round — the scaling
+  /// that melts down on the CTR workload (§VIII-C).
+  double master_per_entry = 0.3e-6;
+  /// Coordination cycle period of the master-based protocol (Horovod's
+  /// HOROVOD_CYCLE_TIME; readiness is only negotiated once per cycle).
+  double master_cycle_time = 1e-3;
+};
+
+/// Agreement over which gradients are globally ready. Implementations are
+/// symmetric-worker models: callers pass the local ready vector, and in a
+/// synchronous data-parallel step all workers' vectors are identical, so the
+/// agreed set equals the input; what differs across protocols is *when* the
+/// agreement lands (the completion delay and its scaling with world size and
+/// tensor count).
+class SyncProtocol {
+ public:
+  virtual ~SyncProtocol() = default;
+
+  /// Begin a round for `local_ready`; `done` fires on the simulation engine
+  /// with the agreed vector once the protocol completes. Implementations may
+  /// queue rounds internally (the master serializes them).
+  virtual void StartRound(const BitVector& local_ready,
+                          std::function<void(BitVector)> done) = 0;
+
+  [[nodiscard]] virtual std::string Name() const = 0;
+
+  /// Completed rounds (diagnostics / bench output).
+  [[nodiscard]] std::uint64_t RoundsCompleted() const noexcept {
+    return rounds_completed_;
+  }
+
+ protected:
+  std::uint64_t rounds_completed_ = 0;
+};
+
+/// AIACC's decentralized ring-min protocol.
+class DecentralizedSync final : public SyncProtocol {
+ public:
+  DecentralizedSync(net::CloudFabric& fabric, SyncParams params = {})
+      : fabric_(fabric), params_(params) {}
+
+  void StartRound(const BitVector& local_ready,
+                  std::function<void(BitVector)> done) override;
+  [[nodiscard]] std::string Name() const override { return "decentralized"; }
+
+  /// Analytic one-round latency (also used by tests).
+  [[nodiscard]] double RoundCost(std::size_t vector_bytes) const;
+
+ private:
+  net::CloudFabric& fabric_;
+  SyncParams params_;
+};
+
+/// Horovod-style master-coordinated protocol.
+class MasterSync final : public SyncProtocol {
+ public:
+  MasterSync(net::CloudFabric& fabric, SyncParams params = {})
+      : fabric_(fabric), params_(params) {}
+
+  void StartRound(const BitVector& local_ready,
+                  std::function<void(BitVector)> done) override;
+  [[nodiscard]] std::string Name() const override { return "master"; }
+
+  /// Master-side serialized processing time for one round announcing
+  /// `ready_tensors` tensors.
+  [[nodiscard]] double MasterProcessingCost(std::size_t ready_tensors) const;
+
+ private:
+  net::CloudFabric& fabric_;
+  SyncParams params_;
+  /// Simulated time until which the master thread is busy with earlier
+  /// rounds; later rounds queue behind it.
+  double master_busy_until_ = 0.0;
+};
+
+}  // namespace aiacc::core

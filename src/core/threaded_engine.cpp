@@ -1,0 +1,302 @@
+#include "core/threaded_engine.h"
+
+#include <algorithm>
+
+#include "collective/threaded.h"
+#include "common/logging.h"
+
+namespace aiacc::core {
+namespace {
+
+// Tag layout: sync rounds use the low namespace; each all-reduce unit gets
+// its own channel derived from its (rank-agreed) unit id.
+constexpr int kSyncTag = 1;
+constexpr int kUnitTagBase = 1024;
+
+}  // namespace
+
+ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config)
+    : world_size_(world_size), config_(config), transport_(world_size) {
+  AIACC_CHECK(world_size >= 1);
+  AIACC_CHECK(config_.num_streams >= 1);
+  workers_.reserve(static_cast<std::size_t>(world_size));
+  ranks_.reserve(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r) {
+    workers_.emplace_back(new Worker(this, r));
+    auto state = std::make_unique<RankState>();
+    state->queue = std::make_unique<BoundedQueue<int>>(4096);
+    state->unit_queue = std::make_unique<BlockingQueue<AllReduceUnit>>();
+    ranks_.push_back(std::move(state));
+  }
+}
+
+ThreadedAiaccEngine::~ThreadedAiaccEngine() { Shutdown(); }
+
+void ThreadedAiaccEngine::Shutdown() {
+  if (shutdown_.exchange(true)) return;
+  for (auto& state : ranks_) {
+    state->queue->Shutdown();
+    state->unit_queue->Shutdown();
+  }
+  transport_.Shutdown();
+  for (auto& state : ranks_) {
+    if (state->mpi_thread.joinable()) state->mpi_thread.join();
+    for (auto& t : state->comm_threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+Status ThreadedAiaccEngine::Worker::Register(const std::string& name,
+                                             std::span<float> tensor) {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  if (state.registry.finalized()) {
+    return FailedPrecondition("registration already finalized");
+  }
+  for (const auto& [existing, span] : state.pending_reg) {
+    if (existing == name) return AlreadyExists("gradient '" + name + "'");
+  }
+  state.pending_reg.emplace_back(name, tensor);
+  return Status::Ok();
+}
+
+void ThreadedAiaccEngine::Worker::Finalize() {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  AIACC_CHECK(!state.pending_reg.empty());
+  for (const auto& [name, span] : state.pending_reg) {
+    const Status st =
+        state.registry.Register(name, span.size() * sizeof(float));
+    AIACC_CHECK(st.ok());
+  }
+  state.registry.Finalize();
+  // Tensor lookup by registry id (name-sorted order, identical on every
+  // rank — the paper's sorted registration).
+  state.tensors.resize(static_cast<std::size_t>(state.registry.size()));
+  for (const auto& [name, span] : state.pending_reg) {
+    auto id = state.registry.IdOf(name);
+    AIACC_CHECK(id.ok());
+    state.tensors[static_cast<std::size_t>(*id)] = span;
+  }
+  state.reduced_bytes.assign(
+      static_cast<std::size_t>(state.registry.size()), 0);
+
+  // Wait for every rank before starting the communication threads: the
+  // collectives need all participants.
+  {
+    std::unique_lock<std::mutex> lock(engine_->finalize_mu_);
+    if (++engine_->finalized_count_ == engine_->world_size_) {
+      engine_->finalize_cv_.notify_all();
+    } else {
+      engine_->finalize_cv_.wait(lock, [this] {
+        return engine_->finalized_count_ == engine_->world_size_;
+      });
+    }
+  }
+
+  state.mpi_thread =
+      std::thread([this] { engine_->MpiProcessLoop(rank_); });
+  for (int s = 0; s < engine_->config_.num_streams; ++s) {
+    state.comm_threads.emplace_back(
+        [this, s] { engine_->CommThreadLoop(rank_, s); });
+  }
+}
+
+void ThreadedAiaccEngine::Worker::Push(const std::string& name) {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  auto id = state.registry.IdOf(name);
+  AIACC_CHECK(id.ok());
+  state.queue->Push(*id);
+}
+
+void ThreadedAiaccEngine::Worker::FlushIteration() {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  state.queue->Push(kFlush);
+}
+
+void ThreadedAiaccEngine::Worker::PushAll() {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  for (int id = 0; id < state.registry.size(); ++id) {
+    state.queue->Push(id);
+  }
+  FlushIteration();
+}
+
+void ThreadedAiaccEngine::Worker::WaitIteration() {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&] { return state.iteration_done; });
+  state.iteration_done = false;
+  ++stats_.iterations;
+}
+
+void ThreadedAiaccEngine::MpiProcessLoop(int rank) {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    RunIterationProtocol(rank);
+  }
+}
+
+void ThreadedAiaccEngine::RunIterationProtocol(int rank) {
+  RankState& state = *ranks_[static_cast<std::size_t>(rank)];
+  Worker& worker = *workers_[static_cast<std::size_t>(rank)];
+  const int n = state.registry.size();
+
+  // Fresh iteration state.
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    std::fill(state.reduced_bytes.begin(), state.reduced_bytes.end(), 0);
+  }
+  state.gradients_remaining.store(n, std::memory_order_release);
+  StreamingPacker packer(config_.granularity_bytes);
+  BitVector local_ready(static_cast<std::size_t>(n));
+  int agreed_total = 0;
+  bool flush_seen = false;
+
+  // The first pop blocks until the worker produces something (or shutdown).
+  auto first = state.queue->Pop();
+  if (!first.has_value()) return;  // shutdown
+  if (*first != kFlush) {
+    local_ready.Set(static_cast<std::size_t>(*first));
+  } else {
+    flush_seen = true;
+  }
+
+  std::vector<float> sync_vector(static_cast<std::size_t>(n));
+  while (agreed_total < n) {
+    // Drain whatever else has been produced.
+    while (!flush_seen) {
+      auto msg = state.queue->TryPop();
+      if (!msg.has_value()) break;
+      if (*msg == kFlush) {
+        flush_seen = true;
+      } else {
+        local_ready.Set(static_cast<std::size_t>(*msg));
+      }
+    }
+
+    // Decentralized synchronization round: min-all-reduce the bit-vector
+    // (as 0/1 floats) among the MPI processes. Every rank executes the same
+    // number of rounds: the agreed count after each round is identical
+    // everywhere, and the loop condition depends only on it.
+    for (int i = 0; i < n; ++i) {
+      sync_vector[static_cast<std::size_t>(i)] =
+          local_ready.Test(static_cast<std::size_t>(i)) ? 1.0f : 0.0f;
+    }
+    collective::Comm comm{&transport_, rank, world_size_, kSyncTag};
+    collective::RingAllReduce(comm, sync_vector, collective::ReduceOp::kMin);
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    ++worker.stats_.sync_rounds;
+
+    // Gradients agreed by everyone enter the packing stream (in id order,
+    // so all ranks build identical units with identical unit ids).
+    for (int i = 0; i < n; ++i) {
+      if (sync_vector[static_cast<std::size_t>(i)] >= 1.0f &&
+          local_ready.Test(static_cast<std::size_t>(i))) {
+        local_ready.Clear(static_cast<std::size_t>(i));
+        packer.Add(i, state.registry.Get(i).bytes);
+        ++agreed_total;
+      }
+    }
+    if (agreed_total == n) packer.Flush();
+    while (packer.HasReadyUnit()) {
+      state.unit_queue->Push(packer.PopReadyUnit());
+    }
+    // If nothing new was agreed and production continues, take one blocking
+    // message so the loop does not spin on empty rounds.
+    if (agreed_total < n && !flush_seen) {
+      auto msg = state.queue->Pop();
+      if (!msg.has_value()) return;  // shutdown
+      if (*msg == kFlush) {
+        flush_seen = true;
+      } else {
+        local_ready.Set(static_cast<std::size_t>(*msg));
+      }
+    }
+  }
+
+  // Consume this iteration's flush marker if the blocking pops above raced
+  // ahead of it (all n ids can be agreed before the marker is read); a
+  // stale marker must never leak into the next iteration's protocol.
+  while (!flush_seen) {
+    auto msg = state.queue->Pop();
+    if (!msg.has_value()) return;  // shutdown
+    AIACC_CHECK(*msg == kFlush && "gradient pushed after all were agreed");
+    flush_seen = true;
+  }
+
+  // All units are in flight; wait for the stream pool to finish them.
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&] {
+      return state.gradients_remaining.load(std::memory_order_acquire) == 0 ||
+             shutdown_.load(std::memory_order_acquire);
+    });
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    state.iteration_done = true;
+  }
+  state.cv.notify_all();
+}
+
+void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
+  (void)stream_index;
+  RankState& state = *ranks_[static_cast<std::size_t>(rank)];
+  Worker& worker = *workers_[static_cast<std::size_t>(rank)];
+  while (auto unit = state.unit_queue->Pop()) {
+    const std::size_t bytes = unit->TotalBytes();
+    AIACC_CHECK(bytes % sizeof(float) == 0);
+    std::vector<float> staging(bytes / sizeof(float));
+
+    // Gather the unit's slice of each gradient into the staging buffer.
+    {
+      std::vector<std::span<const std::byte>> views;
+      views.reserve(state.tensors.size());
+      for (auto t : state.tensors) {
+        views.push_back(std::as_bytes(t));
+      }
+      GatherUnit(*unit, views,
+                 std::as_writable_bytes(std::span<float>(staging)));
+    }
+
+    // One concurrent all-reduce per unit, on the unit's own tag channel —
+    // this thread is one "communication stream" of Algorithm 1.
+    collective::Comm comm{&transport_, rank, world_size_,
+                          kUnitTagBase +
+                              static_cast<int>(unit->unit_id) * 4};
+    if (config_.algorithm == collective::Algorithm::kHierarchical &&
+        world_size_ % 2 == 0 && world_size_ > 2) {
+      collective::HierarchicalAllReduce(comm, /*gpus_per_host=*/2, staging,
+                                        collective::ReduceOp::kAvg);
+    } else {
+      collective::RingAllReduce(comm, staging, collective::ReduceOp::kAvg);
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+
+    // Scatter the averaged bytes back and account for completed gradients.
+    int completed = 0;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      std::vector<std::span<std::byte>> views;
+      views.reserve(state.tensors.size());
+      for (auto t : state.tensors) {
+        views.push_back(std::as_writable_bytes(t));
+      }
+      ScatterUnit(*unit, std::as_bytes(std::span<const float>(staging)),
+                  views);
+      for (const UnitSegment& seg : unit->segments) {
+        auto& done =
+            state.reduced_bytes[static_cast<std::size_t>(seg.gradient_id)];
+        done += seg.length;
+        if (done == state.registry.Get(seg.gradient_id).bytes) ++completed;
+      }
+      ++worker.stats_.units_reduced;
+      worker.stats_.bytes_reduced += bytes;
+    }
+    if (completed > 0 &&
+        state.gradients_remaining.fetch_sub(completed,
+                                            std::memory_order_acq_rel) ==
+            completed) {
+      state.cv.notify_all();
+    }
+  }
+}
+
+}  // namespace aiacc::core

@@ -1,0 +1,358 @@
+#include "dnn/convnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aiacc::dnn {
+namespace {
+constexpr int kK = 3;  // conv kernel size (valid padding)
+}
+
+ConvNet::ConvNet(ConvNetConfig config, std::uint64_t seed)
+    : config_(std::move(config)) {
+  AIACC_CHECK(!config_.conv_channels.empty());
+  Rng rng(seed);
+  int c = config_.input_channels;
+  int hw = config_.input_hw;
+  for (int out_c : config_.conv_channels) {
+    StageDims d;
+    d.in_c = c;
+    d.in_hw = hw;
+    d.conv_hw = hw - (kK - 1);
+    AIACC_CHECK(d.conv_hw >= 2);
+    d.pool_hw = d.conv_hw / 2;
+    AIACC_CHECK(d.pool_hw >= 1);
+    dims_.push_back(d);
+
+    std::vector<float> w(static_cast<std::size_t>(out_c) * c * kK * kK);
+    const double scale = std::sqrt(2.0 / (c * kK * kK));
+    for (float& v : w) v = static_cast<float>(rng.Normal(0.0, scale));
+    conv_weights_.push_back(std::move(w));
+    conv_biases_.emplace_back(static_cast<std::size_t>(out_c), 0.0f);
+    grad_conv_weights_.emplace_back(conv_weights_.back().size(), 0.0f);
+    grad_conv_biases_.emplace_back(static_cast<std::size_t>(out_c), 0.0f);
+
+    c = out_c;
+    hw = d.pool_hw;
+  }
+  flat_size_ = c * hw * hw;
+  fc_weight_.resize(static_cast<std::size_t>(config_.num_classes) *
+                    flat_size_);
+  const double fc_scale = std::sqrt(2.0 / flat_size_);
+  for (float& v : fc_weight_) v = static_cast<float>(rng.Normal(0.0, fc_scale));
+  fc_bias_.assign(static_cast<std::size_t>(config_.num_classes), 0.0f);
+  grad_fc_weight_.assign(fc_weight_.size(), 0.0f);
+  grad_fc_bias_.assign(fc_bias_.size(), 0.0f);
+}
+
+std::size_t ConvNet::NumParameters() const noexcept {
+  std::size_t n = fc_weight_.size() + fc_bias_.size();
+  for (std::size_t s = 0; s < conv_weights_.size(); ++s) {
+    n += conv_weights_[s].size() + conv_biases_[s].size();
+  }
+  return n;
+}
+
+std::vector<std::span<float>> ConvNet::ParameterTensors() {
+  std::vector<std::span<float>> out;
+  for (std::size_t s = 0; s < conv_weights_.size(); ++s) {
+    out.emplace_back(conv_weights_[s]);
+    out.emplace_back(conv_biases_[s]);
+  }
+  out.emplace_back(fc_weight_);
+  out.emplace_back(fc_bias_);
+  return out;
+}
+
+std::vector<std::span<float>> ConvNet::GradientTensors() {
+  std::vector<std::span<float>> out;
+  for (std::size_t s = 0; s < grad_conv_weights_.size(); ++s) {
+    out.emplace_back(grad_conv_weights_[s]);
+    out.emplace_back(grad_conv_biases_[s]);
+  }
+  out.emplace_back(grad_fc_weight_);
+  out.emplace_back(grad_fc_bias_);
+  return out;
+}
+
+std::vector<float> ConvNet::Forward(std::span<const float> images,
+                                    int batch) {
+  batch_ = batch;
+  const std::size_t stages = dims_.size();
+  pre_relu_.assign(stages, {});
+  pooled_.assign(stages, {});
+  pool_argmax_.assign(stages, {});
+
+  // `current` holds the stage input, NCHW.
+  std::vector<float> current(images.begin(), images.end());
+  for (std::size_t s = 0; s < stages; ++s) {
+    const StageDims& d = dims_[s];
+    const int out_c = static_cast<int>(conv_biases_[s].size());
+    const int chw = d.conv_hw;
+    pre_relu_[s].assign(
+        static_cast<std::size_t>(batch) * out_c * chw * chw, 0.0f);
+    // Valid 3x3 convolution.
+    for (int b = 0; b < batch; ++b) {
+      for (int oc = 0; oc < out_c; ++oc) {
+        for (int y = 0; y < chw; ++y) {
+          for (int x = 0; x < chw; ++x) {
+            double sum = conv_biases_[s][static_cast<std::size_t>(oc)];
+            for (int ic = 0; ic < d.in_c; ++ic) {
+              for (int ky = 0; ky < kK; ++ky) {
+                for (int kx = 0; kx < kK; ++kx) {
+                  const float in = current[static_cast<std::size_t>(
+                      ((b * d.in_c + ic) * d.in_hw + (y + ky)) * d.in_hw +
+                      (x + kx))];
+                  const float w = conv_weights_[s][static_cast<std::size_t>(
+                      ((oc * d.in_c + ic) * kK + ky) * kK + kx)];
+                  sum += double{in} * w;
+                }
+              }
+            }
+            pre_relu_[s][static_cast<std::size_t>(
+                ((b * out_c + oc) * chw + y) * chw + x)] =
+                static_cast<float>(sum);
+          }
+        }
+      }
+    }
+    // ReLU + 2x2 max pool (stride 2), recording argmax for backward.
+    const int phw = d.pool_hw;
+    pooled_[s].assign(static_cast<std::size_t>(batch) * out_c * phw * phw,
+                      0.0f);
+    pool_argmax_[s].assign(pooled_[s].size(), 0);
+    for (int b = 0; b < batch; ++b) {
+      for (int oc = 0; oc < out_c; ++oc) {
+        for (int py = 0; py < phw; ++py) {
+          for (int px = 0; px < phw; ++px) {
+            float best = -1e30f;
+            int best_idx = 0;
+            for (int dy = 0; dy < 2; ++dy) {
+              for (int dx = 0; dx < 2; ++dx) {
+                const int idx = static_cast<int>(
+                    ((b * out_c + oc) * chw + (py * 2 + dy)) * chw +
+                    (px * 2 + dx));
+                const float v = std::max(
+                    0.0f, pre_relu_[s][static_cast<std::size_t>(idx)]);
+                if (v > best) {
+                  best = v;
+                  best_idx = idx;
+                }
+              }
+            }
+            const std::size_t pidx = static_cast<std::size_t>(
+                ((b * out_c + oc) * phw + py) * phw + px);
+            pooled_[s][pidx] = best;
+            pool_argmax_[s][pidx] = best_idx;
+          }
+        }
+      }
+    }
+    current = pooled_[s];
+  }
+
+  // Dense head.
+  logits_.assign(static_cast<std::size_t>(batch) * config_.num_classes, 0.0f);
+  for (int b = 0; b < batch; ++b) {
+    for (int k = 0; k < config_.num_classes; ++k) {
+      double sum = fc_bias_[static_cast<std::size_t>(k)];
+      for (int i = 0; i < flat_size_; ++i) {
+        sum += double{fc_weight_[static_cast<std::size_t>(k * flat_size_ +
+                                                          i)]} *
+               current[static_cast<std::size_t>(b * flat_size_ + i)];
+      }
+      logits_[static_cast<std::size_t>(b * config_.num_classes + k)] =
+          static_cast<float>(sum);
+    }
+  }
+  // Softmax probabilities (saved for loss/backward).
+  probs_ = logits_;
+  for (int b = 0; b < batch; ++b) {
+    float* row = &probs_[static_cast<std::size_t>(b * config_.num_classes)];
+    const float mx = *std::max_element(row, row + config_.num_classes);
+    double z = 0.0;
+    for (int k = 0; k < config_.num_classes; ++k) {
+      row[k] = std::exp(row[k] - mx);
+      z += row[k];
+    }
+    for (int k = 0; k < config_.num_classes; ++k) {
+      row[k] = static_cast<float>(row[k] / z);
+    }
+  }
+  return logits_;
+}
+
+float ConvNet::Loss(std::span<const int> labels) const {
+  AIACC_CHECK(static_cast<int>(labels.size()) == batch_);
+  double sum = 0.0;
+  for (int b = 0; b < batch_; ++b) {
+    const float p = probs_[static_cast<std::size_t>(
+        b * config_.num_classes + labels[static_cast<std::size_t>(b)])];
+    sum -= std::log(std::max(p, 1e-12f));
+  }
+  return static_cast<float>(sum / batch_);
+}
+
+double ConvNet::Accuracy(std::span<const int> labels) const {
+  int correct = 0;
+  for (int b = 0; b < batch_; ++b) {
+    const float* row =
+        &logits_[static_cast<std::size_t>(b * config_.num_classes)];
+    const int pred = static_cast<int>(
+        std::max_element(row, row + config_.num_classes) - row);
+    if (pred == labels[static_cast<std::size_t>(b)]) ++correct;
+  }
+  return static_cast<double>(correct) / batch_;
+}
+
+void ConvNet::Backward(std::span<const float> images,
+                       std::span<const int> labels, int batch) {
+  AIACC_CHECK(batch == batch_);
+  const std::size_t stages = dims_.size();
+
+  // dLoss/dLogits for softmax cross-entropy, averaged over the batch.
+  std::vector<float> dlogits = probs_;
+  for (int b = 0; b < batch; ++b) {
+    dlogits[static_cast<std::size_t>(b * config_.num_classes +
+                                     labels[static_cast<std::size_t>(b)])] -=
+        1.0f;
+  }
+  for (float& v : dlogits) v /= static_cast<float>(batch);
+
+  // Dense head gradients.
+  const std::vector<float>& flat_in = pooled_.back();
+  std::fill(grad_fc_weight_.begin(), grad_fc_weight_.end(), 0.0f);
+  std::fill(grad_fc_bias_.begin(), grad_fc_bias_.end(), 0.0f);
+  std::vector<float> dflat(static_cast<std::size_t>(batch) * flat_size_,
+                           0.0f);
+  for (int b = 0; b < batch; ++b) {
+    for (int k = 0; k < config_.num_classes; ++k) {
+      const float d =
+          dlogits[static_cast<std::size_t>(b * config_.num_classes + k)];
+      grad_fc_bias_[static_cast<std::size_t>(k)] += d;
+      for (int i = 0; i < flat_size_; ++i) {
+        grad_fc_weight_[static_cast<std::size_t>(k * flat_size_ + i)] +=
+            d * flat_in[static_cast<std::size_t>(b * flat_size_ + i)];
+        dflat[static_cast<std::size_t>(b * flat_size_ + i)] +=
+            d * fc_weight_[static_cast<std::size_t>(k * flat_size_ + i)];
+      }
+    }
+  }
+
+  // Walk the conv stages backwards. `dpool` is dLoss/d(pool output).
+  std::vector<float> dpool = std::move(dflat);
+  for (std::size_t s = stages; s-- > 0;) {
+    const StageDims& d = dims_[s];
+    const int out_c = static_cast<int>(conv_biases_[s].size());
+    const int chw = d.conv_hw;
+
+    // Un-pool through the recorded argmax, then ReLU'.
+    std::vector<float> dconv(
+        static_cast<std::size_t>(batch) * out_c * chw * chw, 0.0f);
+    for (std::size_t pidx = 0; pidx < dpool.size(); ++pidx) {
+      const int win = pool_argmax_[s][pidx];
+      if (pre_relu_[s][static_cast<std::size_t>(win)] > 0.0f) {
+        dconv[static_cast<std::size_t>(win)] += dpool[pidx];
+      }
+    }
+
+    // Conv gradients (+ input gradient for the next stage down).
+    const std::vector<float>& stage_input =
+        s == 0 ? std::vector<float>(images.begin(), images.end())
+               : pooled_[s - 1];
+    std::fill(grad_conv_weights_[s].begin(), grad_conv_weights_[s].end(),
+              0.0f);
+    std::fill(grad_conv_biases_[s].begin(), grad_conv_biases_[s].end(),
+              0.0f);
+    std::vector<float> dinput;
+    if (s > 0) {
+      dinput.assign(
+          static_cast<std::size_t>(batch) * d.in_c * d.in_hw * d.in_hw,
+          0.0f);
+    }
+    for (int b = 0; b < batch; ++b) {
+      for (int oc = 0; oc < out_c; ++oc) {
+        for (int y = 0; y < chw; ++y) {
+          for (int x = 0; x < chw; ++x) {
+            const float g = dconv[static_cast<std::size_t>(
+                ((b * out_c + oc) * chw + y) * chw + x)];
+            if (g == 0.0f) continue;
+            grad_conv_biases_[s][static_cast<std::size_t>(oc)] += g;
+            for (int ic = 0; ic < d.in_c; ++ic) {
+              for (int ky = 0; ky < kK; ++ky) {
+                for (int kx = 0; kx < kK; ++kx) {
+                  const std::size_t in_idx = static_cast<std::size_t>(
+                      ((b * d.in_c + ic) * d.in_hw + (y + ky)) * d.in_hw +
+                      (x + kx));
+                  const std::size_t w_idx = static_cast<std::size_t>(
+                      ((oc * d.in_c + ic) * kK + ky) * kK + kx);
+                  grad_conv_weights_[s][w_idx] += g * stage_input[in_idx];
+                  if (s > 0) dinput[in_idx] += g * conv_weights_[s][w_idx];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    if (s > 0) dpool = std::move(dinput);
+  }
+}
+
+void ConvNet::SgdStep(float lr) {
+  auto params = ParameterTensors();
+  auto grads = GradientTensors();
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    for (std::size_t i = 0; i < params[t].size(); ++i) {
+      params[t][i] -= lr * grads[t][i];
+    }
+  }
+}
+
+bool ConvNet::ParametersEqual(const ConvNet& other, float tol) const {
+  auto mine = const_cast<ConvNet*>(this)->ParameterTensors();
+  auto theirs = const_cast<ConvNet&>(other).ParameterTensors();
+  if (mine.size() != theirs.size()) return false;
+  for (std::size_t t = 0; t < mine.size(); ++t) {
+    if (mine[t].size() != theirs[t].size()) return false;
+    for (std::size_t i = 0; i < mine[t].size(); ++i) {
+      if (std::fabs(mine[t][i] - theirs[t][i]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+SyntheticImageDataset MakeSyntheticImages(int num_samples, int hw,
+                                          int num_classes,
+                                          std::uint64_t seed) {
+  SyntheticImageDataset ds;
+  ds.num_samples = num_samples;
+  ds.hw = hw;
+  ds.num_classes = num_classes;
+  Rng rng(seed);
+  ds.images.resize(static_cast<std::size_t>(num_samples) * hw * hw);
+  ds.labels.resize(static_cast<std::size_t>(num_samples));
+  for (int n = 0; n < num_samples; ++n) {
+    const int label = static_cast<int>(rng.UniformInt(0, num_classes - 1));
+    ds.labels[static_cast<std::size_t>(n)] = label;
+    float* img = &ds.images[static_cast<std::size_t>(n) * hw * hw];
+    for (int y = 0; y < hw; ++y) {
+      for (int x = 0; x < hw; ++x) {
+        // Class-dependent spatial pattern: stripes of varying orientation.
+        double v = 0.0;
+        switch (label % 3) {
+          case 0: v = (y / 2) % 2 ? 1.0 : -1.0; break;          // horizontal
+          case 1: v = (x / 2) % 2 ? 1.0 : -1.0; break;          // vertical
+          default: v = ((x + y) / 2) % 2 ? 1.0 : -1.0; break;   // diagonal
+        }
+        img[y * hw + x] =
+            static_cast<float>(v + rng.Normal(0.0, 0.25));
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace aiacc::dnn

@@ -1,0 +1,109 @@
+// A real, numerically-exact convolutional network — the CV counterpart of
+// the MLP substrate. Architecture: [Conv(3x3, valid) -> ReLU -> MaxPool2x2]
+// x N -> Flatten -> Dense -> softmax cross-entropy. Used to push an actual
+// CNN (the paper's dominant workload class) through the distributed
+// gradient paths: data-parallel ConvNet training via Perseus / the threaded
+// AIACC engine must match sequential full-batch training.
+//
+// Layout conventions: tensors are NCHW, flattened row-major; conv weights
+// are [out_c, in_c, k, k].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aiacc::dnn {
+
+struct ConvNetConfig {
+  int input_channels = 1;
+  int input_hw = 8;                     // square inputs
+  std::vector<int> conv_channels = {4, 8};  // one 3x3 conv per entry
+  int num_classes = 3;
+};
+
+class ConvNet {
+ public:
+  ConvNet(ConvNetConfig config, std::uint64_t seed);
+
+  [[nodiscard]] const ConvNetConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t NumParameters() const noexcept;
+  [[nodiscard]] std::size_t NumTensors() const noexcept {
+    return conv_weights_.size() + conv_biases_.size() + 2;  // + fc w, b
+  }
+
+  /// Parameter / gradient tensors in registration order:
+  /// conv0.w, conv0.b, conv1.w, conv1.b, ..., fc.w, fc.b.
+  [[nodiscard]] std::vector<std::span<float>> ParameterTensors();
+  [[nodiscard]] std::vector<std::span<float>> GradientTensors();
+
+  /// Forward pass over `batch` images; returns per-class logits
+  /// (batch x num_classes).
+  std::vector<float> Forward(std::span<const float> images, int batch);
+
+  /// Mean softmax cross-entropy of the last Forward's logits vs labels.
+  float Loss(std::span<const int> labels) const;
+
+  /// Backward from softmax cross-entropy; fills gradient tensors (averaged
+  /// over the batch). Must follow Forward on the same batch.
+  void Backward(std::span<const float> images, std::span<const int> labels,
+                int batch);
+
+  /// p -= lr * g on every parameter.
+  void SgdStep(float lr);
+
+  [[nodiscard]] bool ParametersEqual(const ConvNet& other, float tol) const;
+
+  /// Classification accuracy of the last Forward's logits.
+  [[nodiscard]] double Accuracy(std::span<const int> labels) const;
+
+ private:
+  struct StageDims {
+    int in_c, in_hw;    // input of the conv
+    int conv_hw;        // after valid 3x3 conv: in_hw - 2
+    int pool_hw;        // after 2x2 max pool: conv_hw / 2
+  };
+
+  ConvNetConfig config_;
+  std::vector<StageDims> dims_;
+  int flat_size_ = 0;
+
+  std::vector<std::vector<float>> conv_weights_;  // [out,in,3,3]
+  std::vector<std::vector<float>> conv_biases_;
+  std::vector<float> fc_weight_;  // [classes, flat]
+  std::vector<float> fc_bias_;
+
+  std::vector<std::vector<float>> grad_conv_weights_;
+  std::vector<std::vector<float>> grad_conv_biases_;
+  std::vector<float> grad_fc_weight_;
+  std::vector<float> grad_fc_bias_;
+
+  // Forward activations (saved for backward).
+  int batch_ = 0;
+  std::vector<std::vector<float>> pre_relu_;   // conv output per stage
+  std::vector<std::vector<float>> pooled_;     // pool output per stage
+  std::vector<std::vector<int>> pool_argmax_;  // winning index per pool cell
+  std::vector<float> logits_;
+  std::vector<float> probs_;
+};
+
+/// Synthetic image-classification dataset: class-dependent spatial patterns
+/// plus noise, learnable by a small ConvNet.
+struct SyntheticImageDataset {
+  std::vector<float> images;  // n x (c*hw*hw)
+  std::vector<int> labels;    // n
+  int num_samples = 0;
+  int channels = 1;
+  int hw = 8;
+  int num_classes = 3;
+};
+
+SyntheticImageDataset MakeSyntheticImages(int num_samples, int hw,
+                                          int num_classes,
+                                          std::uint64_t seed);
+
+}  // namespace aiacc::dnn

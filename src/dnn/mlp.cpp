@@ -1,0 +1,199 @@
+#include "dnn/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aiacc::dnn {
+
+Mlp::Mlp(std::vector<int> layer_sizes, std::uint64_t seed)
+    : layer_sizes_(std::move(layer_sizes)) {
+  AIACC_CHECK(layer_sizes_.size() >= 2);
+  Rng rng(seed);
+  const std::size_t n_layers = layer_sizes_.size() - 1;
+  weights_.resize(n_layers);
+  biases_.resize(n_layers);
+  grad_weights_.resize(n_layers);
+  grad_biases_.resize(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    weights_[l].resize(static_cast<std::size_t>(in) * out);
+    // Xavier-ish init, deterministic.
+    const double scale = std::sqrt(2.0 / (in + out));
+    for (float& w : weights_[l]) {
+      w = static_cast<float>(rng.Normal(0.0, scale));
+    }
+    biases_[l].assign(static_cast<std::size_t>(out), 0.0f);
+    grad_weights_[l].assign(weights_[l].size(), 0.0f);
+    grad_biases_[l].assign(biases_[l].size(), 0.0f);
+  }
+}
+
+std::size_t Mlp::NumParameters() const noexcept {
+  std::size_t n = 0;
+  for (const auto& w : weights_) n += w.size();
+  for (const auto& b : biases_) n += b.size();
+  return n;
+}
+
+std::vector<std::span<float>> Mlp::ParameterTensors() {
+  std::vector<std::span<float>> out;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    out.emplace_back(weights_[l]);
+    out.emplace_back(biases_[l]);
+  }
+  return out;
+}
+
+std::vector<std::span<float>> Mlp::GradientTensors() {
+  std::vector<std::span<float>> out;
+  for (std::size_t l = 0; l < grad_weights_.size(); ++l) {
+    out.emplace_back(grad_weights_[l]);
+    out.emplace_back(grad_biases_[l]);
+  }
+  return out;
+}
+
+std::vector<float> Mlp::Forward(std::span<const float> x, int batch) {
+  const std::size_t n_layers = weights_.size();
+  activations_.assign(n_layers + 1, {});
+  activations_[0].assign(x.begin(), x.end());
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    std::vector<float>& act = activations_[l + 1];
+    act.assign(static_cast<std::size_t>(batch) * out, 0.0f);
+    const std::vector<float>& prev = activations_[l];
+    for (int b = 0; b < batch; ++b) {
+      for (int o = 0; o < out; ++o) {
+        double sum = biases_[l][static_cast<std::size_t>(o)];
+        const float* w_row = &weights_[l][static_cast<std::size_t>(o) * in];
+        const float* x_row = &prev[static_cast<std::size_t>(b) * in];
+        for (int i = 0; i < in; ++i) sum += double{w_row[i]} * x_row[i];
+        // tanh on hidden layers, identity on the output layer.
+        const bool last = (l + 1 == n_layers);
+        act[static_cast<std::size_t>(b) * out + o] =
+            last ? static_cast<float>(sum)
+                 : static_cast<float>(std::tanh(sum));
+      }
+    }
+  }
+  return activations_.back();
+}
+
+float Mlp::MseLoss(std::span<const float> pred, std::span<const float> target) {
+  AIACC_CHECK(pred.size() == target.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = double{pred[i]} - target[i];
+    sum += d * d;
+  }
+  return static_cast<float>(sum / static_cast<double>(pred.size()));
+}
+
+void Mlp::Backward(std::span<const float> x, std::span<const float> target,
+                   int batch) {
+  (void)x;  // activations_[0] already holds the inputs from Forward.
+  const std::size_t n_layers = weights_.size();
+  AIACC_CHECK(activations_.size() == n_layers + 1);
+  const int out_size = layer_sizes_.back();
+  AIACC_CHECK(target.size() ==
+              static_cast<std::size_t>(batch) * out_size);
+
+  // dLoss/dPred for MSE averaged over batch*out elements.
+  std::vector<float> delta(static_cast<std::size_t>(batch) * out_size);
+  const float inv_n = 2.0f / static_cast<float>(delta.size());
+  const std::vector<float>& pred = activations_.back();
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = inv_n * (pred[i] - target[i]);
+  }
+
+  for (std::size_t l = n_layers; l-- > 0;) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    const std::vector<float>& prev = activations_[l];
+    // Parameter gradients.
+    std::fill(grad_weights_[l].begin(), grad_weights_[l].end(), 0.0f);
+    std::fill(grad_biases_[l].begin(), grad_biases_[l].end(), 0.0f);
+    for (int b = 0; b < batch; ++b) {
+      for (int o = 0; o < out; ++o) {
+        const float d = delta[static_cast<std::size_t>(b) * out + o];
+        grad_biases_[l][static_cast<std::size_t>(o)] += d;
+        float* gw_row = &grad_weights_[l][static_cast<std::size_t>(o) * in];
+        const float* x_row = &prev[static_cast<std::size_t>(b) * in];
+        for (int i = 0; i < in; ++i) gw_row[i] += d * x_row[i];
+      }
+    }
+    if (l == 0) break;
+    // Propagate delta to the previous layer through W^T and tanh'.
+    std::vector<float> new_delta(static_cast<std::size_t>(batch) * in, 0.0f);
+    for (int b = 0; b < batch; ++b) {
+      for (int i = 0; i < in; ++i) {
+        double sum = 0.0;
+        for (int o = 0; o < out; ++o) {
+          sum += double{weights_[l][static_cast<std::size_t>(o) * in + i]} *
+                 delta[static_cast<std::size_t>(b) * out + o];
+        }
+        const float a = prev[static_cast<std::size_t>(b) * in + i];
+        new_delta[static_cast<std::size_t>(b) * in + i] =
+            static_cast<float>(sum * (1.0 - double{a} * a));  // tanh'
+      }
+    }
+    delta = std::move(new_delta);
+  }
+}
+
+void Mlp::SgdStep(float lr) {
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    for (std::size_t i = 0; i < weights_[l].size(); ++i) {
+      weights_[l][i] -= lr * grad_weights_[l][i];
+    }
+    for (std::size_t i = 0; i < biases_[l].size(); ++i) {
+      biases_[l][i] -= lr * grad_biases_[l][i];
+    }
+  }
+}
+
+bool Mlp::ParametersEqual(const Mlp& other, float tol) const {
+  if (layer_sizes_ != other.layer_sizes_) return false;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    for (std::size_t i = 0; i < weights_[l].size(); ++i) {
+      if (std::fabs(weights_[l][i] - other.weights_[l][i]) > tol) return false;
+    }
+    for (std::size_t i = 0; i < biases_[l].size(); ++i) {
+      if (std::fabs(biases_[l][i] - other.biases_[l][i]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+SyntheticDataset MakeSyntheticDataset(int num_samples, int input_size,
+                                      int output_size, std::uint64_t seed) {
+  SyntheticDataset ds;
+  ds.num_samples = num_samples;
+  ds.input_size = input_size;
+  ds.output_size = output_size;
+  Rng rng(seed);
+  ds.inputs.resize(static_cast<std::size_t>(num_samples) * input_size);
+  for (float& v : ds.inputs) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  // Teacher: one random linear map + tanh, so the task is learnable.
+  std::vector<float> teacher(static_cast<std::size_t>(input_size) *
+                             output_size);
+  for (float& w : teacher) w = static_cast<float>(rng.Normal(0.0, 0.5));
+  ds.targets.resize(static_cast<std::size_t>(num_samples) * output_size);
+  for (int n = 0; n < num_samples; ++n) {
+    for (int o = 0; o < output_size; ++o) {
+      double sum = 0.0;
+      for (int i = 0; i < input_size; ++i) {
+        sum += double{teacher[static_cast<std::size_t>(i) * output_size + o]} *
+               ds.inputs[static_cast<std::size_t>(n) * input_size + i];
+      }
+      ds.targets[static_cast<std::size_t>(n) * output_size + o] =
+          static_cast<float>(std::tanh(sum) + rng.Normal(0.0, 0.01));
+    }
+  }
+  return ds;
+}
+
+}  // namespace aiacc::dnn

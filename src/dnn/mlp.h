@@ -1,0 +1,80 @@
+// A real, numerically-exact multi-layer perceptron. This is the workload we
+// push through the *actual* communication code paths (threaded transport and
+// simulated collectives carrying real payloads) to prove the aggregation
+// math is correct: data-parallel training with AIACC gradient aggregation
+// must match single-worker full-batch training bit-for-bit when gradients are
+// averaged deterministically.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aiacc::dnn {
+
+/// Dense tanh MLP with a mean-squared-error head. Parameters and gradients
+/// live in flat per-tensor vectors matching how AIACC registers gradients.
+class Mlp {
+ public:
+  /// `layer_sizes` = {in, hidden..., out}.
+  Mlp(std::vector<int> layer_sizes, std::uint64_t seed);
+
+  [[nodiscard]] int InputSize() const noexcept { return layer_sizes_.front(); }
+  [[nodiscard]] int OutputSize() const noexcept { return layer_sizes_.back(); }
+  [[nodiscard]] std::size_t NumTensors() const noexcept {
+    return weights_.size() + biases_.size();
+  }
+  [[nodiscard]] std::size_t NumParameters() const noexcept;
+
+  /// Parameter tensors in registration order: w0, b0, w1, b1, ...
+  [[nodiscard]] std::vector<std::span<float>> ParameterTensors();
+  /// Gradient tensors in the same order (valid after Backward).
+  [[nodiscard]] std::vector<std::span<float>> GradientTensors();
+
+  /// Forward pass over a batch; rows of `x` are samples. Returns predictions
+  /// (batch x out).
+  std::vector<float> Forward(std::span<const float> x, int batch);
+
+  /// MSE loss for predictions vs targets.
+  static float MseLoss(std::span<const float> pred,
+                       std::span<const float> target);
+
+  /// Backward pass: computes dLoss/dParams into the gradient tensors.
+  /// Must follow a Forward over the same batch. Gradients are averaged over
+  /// the batch (so data-parallel averaging of per-worker gradients equals the
+  /// full-batch gradient).
+  void Backward(std::span<const float> x, std::span<const float> target,
+                int batch);
+
+  /// Plain SGD step: p -= lr * g.
+  void SgdStep(float lr);
+
+  /// Deep equality of parameters (for distributed-vs-sequential tests).
+  [[nodiscard]] bool ParametersEqual(const Mlp& other, float tol) const;
+
+ private:
+  std::vector<int> layer_sizes_;
+  std::vector<std::vector<float>> weights_;  // [out x in] row-major
+  std::vector<std::vector<float>> biases_;
+  std::vector<std::vector<float>> grad_weights_;
+  std::vector<std::vector<float>> grad_biases_;
+  // Saved activations from Forward (per layer, batch x width).
+  std::vector<std::vector<float>> activations_;
+};
+
+/// Deterministic synthetic regression dataset: targets come from a fixed
+/// random teacher network plus mild noise.
+struct SyntheticDataset {
+  std::vector<float> inputs;   // n x in
+  std::vector<float> targets;  // n x out
+  int num_samples = 0;
+  int input_size = 0;
+  int output_size = 0;
+};
+
+SyntheticDataset MakeSyntheticDataset(int num_samples, int input_size,
+                                      int output_size, std::uint64_t seed);
+
+}  // namespace aiacc::dnn

@@ -1,0 +1,97 @@
+#include "dnn/model.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace aiacc::dnn {
+
+std::string TensorShape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) out << ",";
+    out << dims[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+ModelDescriptor::ModelDescriptor(std::string name,
+                                 std::vector<LayerSpec> layers,
+                                 double sm_busy_fraction)
+    : name_(std::move(name)),
+      layers_(std::move(layers)),
+      sm_busy_fraction_(sm_busy_fraction) {
+  AIACC_CHECK(!layers_.empty());
+  int next_id = 0;
+  for (int li = 0; li < static_cast<int>(layers_.size()); ++li) {
+    const LayerSpec& layer = layers_[static_cast<std::size_t>(li)];
+    fwd_flops_ += layer.fwd_flops_per_sample;
+    int pi = 0;
+    for (const TensorShape& shape : layer.params) {
+      GradientSpec grad;
+      grad.id = next_id++;
+      grad.name = layer.name + ".p" + std::to_string(pi++);
+      grad.shape = shape;
+      grad.layer_index = li;
+      total_params_ += grad.NumElements();
+      gradients_.push_back(std::move(grad));
+    }
+  }
+  AIACC_CHECK(!gradients_.empty());
+  // Per-layer gradient id lists (gradient ids are assigned in layer order,
+  // so each layer's ids are contiguous).
+  layer_gradients_.resize(layers_.size());
+  for (const GradientSpec& g : gradients_) {
+    layer_gradients_[static_cast<std::size_t>(g.layer_index)].push_back(g.id);
+  }
+  // Backward production order: gradients of later layers are produced first;
+  // within a layer, parameters surface in registration order.
+  backward_order_.reserve(gradients_.size());
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    for (int id : layer_gradients_[li]) backward_order_.push_back(id);
+  }
+}
+
+ModelDescriptor::IterationProfile ModelDescriptor::Profile(
+    const gpu::GpuModel& gpu, int batch) const {
+  AIACC_CHECK(batch > 0);
+  IterationProfile profile;
+  const double b = static_cast<double>(batch);
+  profile.forward_time = gpu.ComputeTime(FwdFlopsPerSample() * b);
+  profile.backward_time = gpu.ComputeTime(BwdFlopsPerSample() * b);
+
+  // Cumulative backward FLOPs, walking layers from the output backwards; a
+  // layer's gradients become ready when its backward kernels finish.
+  std::vector<double> layer_bwd_flops(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    layer_bwd_flops[li] = 2.0 * layers_[li].fwd_flops_per_sample * b;
+  }
+  const double total_bwd = BwdFlopsPerSample() * b;
+  profile.ready_time.assign(gradients_.size(), 0.0);
+  double cum = 0.0;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    cum += layer_bwd_flops[li];
+    const double t = profile.backward_time * (total_bwd > 0 ? cum / total_bwd
+                                                            : 1.0);
+    for (int id : layer_gradients_[li]) {
+      profile.ready_time[static_cast<std::size_t>(id)] = t;
+    }
+  }
+  return profile;
+}
+
+std::vector<ModelDescriptor::GraphNode> ModelDescriptor::GraphFingerprint()
+    const {
+  std::vector<GraphNode> nodes;
+  nodes.reserve(layers_.size());
+  for (const LayerSpec& layer : layers_) {
+    std::int64_t elems = 0;
+    for (const TensorShape& s : layer.params) elems += s.NumElements();
+    nodes.push_back(GraphNode{layer.kind, elems});
+  }
+  return nodes;
+}
+
+}  // namespace aiacc::dnn

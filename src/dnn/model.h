@@ -1,0 +1,112 @@
+// ModelDescriptor: the analytic representation of a DNN workload — per-layer
+// parameter tensors and forward FLOPs. From it we derive everything the
+// communication simulation needs: the gradient list (in backward production
+// order), total parameter bytes, and the per-gradient ready-time schedule for
+// a given GPU and batch size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/tensor.h"
+#include "gpu/gpu_model.h"
+
+namespace aiacc::dnn {
+
+/// Coarse layer category, used for computation-graph similarity (§VI's
+/// tuning cache keys deployments by DNN computation graph).
+enum class LayerKind : std::uint8_t {
+  kConv,
+  kDense,
+  kNorm,
+  kAttention,
+  kEmbedding,
+  kOther,
+};
+
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::kOther;
+  /// Forward FLOPs per training sample (1 MAC = 2 FLOPs).
+  double fwd_flops_per_sample = 0.0;
+  /// Parameter tensors this layer owns (each produces one gradient).
+  std::vector<TensorShape> params;
+};
+
+class ModelDescriptor {
+ public:
+  ModelDescriptor(std::string name, std::vector<LayerSpec> layers,
+                  double sm_busy_fraction = 0.85);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<LayerSpec>& layers() const noexcept {
+    return layers_;
+  }
+
+  /// All gradients, ordered by id. Ids are assigned in *forward* layer order
+  /// (the paper sorts parameters at registration, giving a deterministic id
+  /// space shared by all workers).
+  [[nodiscard]] const std::vector<GradientSpec>& gradients() const noexcept {
+    return gradients_;
+  }
+
+  /// Gradient ids in backward production order: last layer first.
+  [[nodiscard]] const std::vector<int>& backward_order() const noexcept {
+    return backward_order_;
+  }
+
+  [[nodiscard]] std::int64_t TotalParameters() const noexcept {
+    return total_params_;
+  }
+  [[nodiscard]] std::size_t TotalParameterBytes(
+      DType dtype = DType::kF32) const noexcept {
+    return static_cast<std::size_t>(total_params_) * DTypeSize(dtype);
+  }
+  [[nodiscard]] double FwdFlopsPerSample() const noexcept {
+    return fwd_flops_;
+  }
+  /// Backward costs ~2x forward (grad w.r.t. inputs + grad w.r.t. weights).
+  [[nodiscard]] double BwdFlopsPerSample() const noexcept {
+    return 2.0 * fwd_flops_;
+  }
+  [[nodiscard]] int NumGradients() const noexcept {
+    return static_cast<int>(gradients_.size());
+  }
+
+  /// Fraction of SMs occupied by compute kernels while fwd/bwd runs.
+  [[nodiscard]] double SmBusyFraction() const noexcept {
+    return sm_busy_fraction_;
+  }
+
+  /// Per-iteration timing for one worker at `batch` samples.
+  struct IterationProfile {
+    double forward_time = 0.0;
+    double backward_time = 0.0;
+    /// ready_time[g] (seconds after backward starts) for gradient id g,
+    /// proportional to cumulative backward FLOPs of the producing layers.
+    std::vector<double> ready_time;
+  };
+  [[nodiscard]] IterationProfile Profile(const gpu::GpuModel& gpu,
+                                         int batch) const;
+
+  /// Graph fingerprint used by the tuning cache (see autotune::GraphDistance):
+  /// a sequence of (kind, param_elements) pairs, one per layer.
+  struct GraphNode {
+    LayerKind kind;
+    std::int64_t param_elements;
+  };
+  [[nodiscard]] std::vector<GraphNode> GraphFingerprint() const;
+
+ private:
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+  std::vector<GradientSpec> gradients_;
+  std::vector<std::vector<int>> layer_gradients_;  // layer -> gradient ids
+  std::vector<int> backward_order_;
+  std::int64_t total_params_ = 0;
+  double fwd_flops_ = 0.0;
+  double sm_busy_fraction_;
+};
+
+}  // namespace aiacc::dnn

@@ -1,0 +1,32 @@
+#include "dnn/sampler.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace aiacc::dnn {
+
+std::vector<int> DistributedSampler::Indices() const {
+  std::vector<int> all(static_cast<std::size_t>(dataset_size_));
+  std::iota(all.begin(), all.end(), 0);
+  if (shuffle_) {
+    // Epoch-seeded shuffle, identical on every rank.
+    Rng rng(seed_ * 1000003ULL + static_cast<std::uint64_t>(epoch_));
+    std::shuffle(all.begin(), all.end(), rng);
+  }
+  // Pad by wrap-around so every rank gets the same count.
+  const int per_rank = SamplesPerRank();
+  const int total = per_rank * world_size_;
+  all.reserve(static_cast<std::size_t>(total));
+  for (int i = dataset_size_; i < total; ++i) {
+    all.push_back(all[static_cast<std::size_t>(i - dataset_size_)]);
+  }
+  // Contiguous slice for this rank.
+  std::vector<int> mine(
+      all.begin() + static_cast<std::ptrdiff_t>(rank_) * per_rank,
+      all.begin() + static_cast<std::ptrdiff_t>(rank_ + 1) * per_rank);
+  return mine;
+}
+
+}  // namespace aiacc::dnn

@@ -1,0 +1,52 @@
+// DistributedSampler: deterministic data sharding for data parallelism —
+// the utility the porting tool inserts into converted scripts
+// (sampler=perseus.DistributedSampler(...)). Semantics follow the PyTorch
+// sampler the paper's users would know: every rank sees an identical
+// epoch-seeded shuffle of the dataset, takes a disjoint contiguous slice of
+// it, and the dataset is padded by wrap-around so all ranks process the
+// same number of samples (keeping collective calls aligned).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace aiacc::dnn {
+
+class DistributedSampler {
+ public:
+  DistributedSampler(int dataset_size, int world_size, int rank,
+                     std::uint64_t seed = 0, bool shuffle = true)
+      : dataset_size_(dataset_size),
+        world_size_(world_size),
+        rank_(rank),
+        seed_(seed),
+        shuffle_(shuffle) {
+    AIACC_CHECK(dataset_size >= 1);
+    AIACC_CHECK(world_size >= 1);
+    AIACC_CHECK(rank >= 0 && rank < world_size);
+  }
+
+  /// Samples per rank per epoch: ceil(dataset / world).
+  [[nodiscard]] int SamplesPerRank() const noexcept {
+    return (dataset_size_ + world_size_ - 1) / world_size_;
+  }
+
+  /// Advance to `epoch` (changes the shuffle; identical on every rank).
+  void SetEpoch(int epoch) noexcept { epoch_ = epoch; }
+  [[nodiscard]] int epoch() const noexcept { return epoch_; }
+
+  /// This rank's sample indices for the current epoch.
+  [[nodiscard]] std::vector<int> Indices() const;
+
+ private:
+  int dataset_size_;
+  int world_size_;
+  int rank_;
+  std::uint64_t seed_;
+  bool shuffle_;
+  int epoch_ = 0;
+};
+
+}  // namespace aiacc::dnn

@@ -1,0 +1,49 @@
+// Descriptor types for model parameters/gradients. The simulator never
+// materializes full ImageNet-scale tensors — descriptors carry shapes and
+// byte sizes — but the collective layer *does* move real float payloads for
+// (smaller) verification buffers, so sizes here are exact.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace aiacc::dnn {
+
+struct TensorShape {
+  std::vector<std::int64_t> dims;
+
+  [[nodiscard]] std::int64_t NumElements() const noexcept {
+    std::int64_t n = 1;
+    for (std::int64_t d : dims) n *= d;
+    return n;
+  }
+
+  [[nodiscard]] std::string ToString() const;
+};
+
+/// Data type of gradients on the wire. The paper's gradient-compression
+/// feature transmits fp16 ("half-precision representation", §X).
+enum class DType : std::uint8_t { kF32, kF16 };
+
+inline std::size_t DTypeSize(DType t) noexcept {
+  return t == DType::kF32 ? 4 : 2;
+}
+
+/// One gradient tensor produced during backward propagation.
+struct GradientSpec {
+  int id = 0;            // index in the gradient synchronization vector
+  std::string name;
+  TensorShape shape;
+  int layer_index = 0;   // producing layer (forward order)
+
+  [[nodiscard]] std::int64_t NumElements() const noexcept {
+    return shape.NumElements();
+  }
+  [[nodiscard]] std::size_t ByteSize(DType dtype = DType::kF32) const noexcept {
+    return static_cast<std::size_t>(NumElements()) * DTypeSize(dtype);
+  }
+};
+
+}  // namespace aiacc::dnn

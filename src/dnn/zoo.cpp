@@ -1,0 +1,285 @@
+#include "dnn/zoo.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aiacc::dnn {
+namespace {
+
+// --- building blocks -------------------------------------------------------
+
+/// 2D convolution layer: kxk kernel, `in`->`out` channels, producing an
+/// `out_hw` x `out_hw` feature map, with optional bias and a following
+/// batch-norm (scale+shift). FLOPs: 2 * k^2 * in * out * out_hw^2.
+LayerSpec Conv(std::string name, int in, int out, int k, int out_hw,
+               bool bias = false, bool batch_norm = true) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kConv;
+  layer.fwd_flops_per_sample = 2.0 * k * k * in * out *
+                               static_cast<double>(out_hw) * out_hw;
+  layer.params.push_back(TensorShape{{out, in, k, k}});
+  if (bias) layer.params.push_back(TensorShape{{out}});
+  if (batch_norm) {
+    layer.params.push_back(TensorShape{{out}});  // BN gamma
+    layer.params.push_back(TensorShape{{out}});  // BN beta
+  }
+  return layer;
+}
+
+/// Fully connected layer `in`->`out` with bias.
+LayerSpec Dense(std::string name, std::int64_t in, std::int64_t out,
+                double flops_scale = 1.0) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kDense;
+  layer.fwd_flops_per_sample =
+      2.0 * static_cast<double>(in) * static_cast<double>(out) * flops_scale;
+  layer.params.push_back(TensorShape{{out, in}});
+  layer.params.push_back(TensorShape{{out}});
+  return layer;
+}
+
+/// LayerNorm over width d.
+LayerSpec LayerNorm(std::string name, int d, double tokens) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kNorm;
+  layer.fwd_flops_per_sample = 8.0 * d * tokens;
+  layer.params.push_back(TensorShape{{d}});
+  layer.params.push_back(TensorShape{{d}});
+  return layer;
+}
+
+/// Multi-head self-attention block at width d over `tokens` tokens per
+/// sample: QKV + output projections (4*d^2 weights) plus the d*tokens^2
+/// attention matmuls.
+LayerSpec Attention(std::string name, int d, double tokens) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kAttention;
+  layer.fwd_flops_per_sample =
+      2.0 * 4.0 * static_cast<double>(d) * d * tokens +  // projections
+      2.0 * 2.0 * static_cast<double>(d) * tokens * tokens;  // QK^T, AV
+  for (const char* p : {"q", "k", "v", "o"}) {
+    (void)p;
+    layer.params.push_back(TensorShape{{d, d}});
+    layer.params.push_back(TensorShape{{d}});
+  }
+  return layer;
+}
+
+/// Token embedding table (gradient is dense in our descriptor; the CTR model
+/// uses many small tables instead to model sparse traffic).
+LayerSpec Embedding(std::string name, std::int64_t vocab, int d,
+                    double tokens) {
+  LayerSpec layer;
+  layer.name = std::move(name);
+  layer.kind = LayerKind::kEmbedding;
+  layer.fwd_flops_per_sample = 2.0 * d * tokens;  // lookup + scale
+  layer.params.push_back(TensorShape{{vocab, d}});
+  return layer;
+}
+
+/// Transformer feed-forward block d -> ff -> d.
+void AppendTransformerFfn(std::vector<LayerSpec>& layers,
+                          const std::string& prefix, int d, int ff,
+                          double tokens) {
+  layers.push_back(Dense(prefix + ".ffn1", d, ff, tokens));
+  layers.push_back(Dense(prefix + ".ffn2", ff, d, tokens));
+}
+
+/// One full transformer encoder block.
+void AppendEncoderBlock(std::vector<LayerSpec>& layers,
+                        const std::string& prefix, int d, int ff,
+                        double tokens) {
+  layers.push_back(Attention(prefix + ".attn", d, tokens));
+  layers.push_back(LayerNorm(prefix + ".ln1", d, tokens));
+  AppendTransformerFfn(layers, prefix, d, ff, tokens);
+  layers.push_back(LayerNorm(prefix + ".ln2", d, tokens));
+}
+
+/// ResNet bottleneck unit: 1x1 (width), 3x3 (width), 1x1 (4*width), with a
+/// projection shortcut on the first unit of each stage.
+void AppendBottleneck(std::vector<LayerSpec>& layers, const std::string& name,
+                      int in, int width, int hw, bool downsample) {
+  const int out = width * 4;
+  layers.push_back(Conv(name + ".conv1", in, width, 1, hw));
+  layers.push_back(Conv(name + ".conv2", width, width, 3, hw));
+  layers.push_back(Conv(name + ".conv3", width, out, 1, hw));
+  if (downsample) {
+    layers.push_back(Conv(name + ".down", in, out, 1, hw));
+  }
+}
+
+ModelDescriptor MakeResNet(const std::string& name,
+                           const std::vector<int>& stage_blocks, int input_hw,
+                           int head_dim, double sm_busy_fraction) {
+  std::vector<LayerSpec> layers;
+  // Stem: 7x7/2 conv + pool.
+  const int stem_hw = input_hw / 4;
+  layers.push_back(Conv("stem", 3, 64, 7, input_hw / 2));
+  int in = 64;
+  int hw = stem_hw;
+  const int widths[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    if (stage > 0) hw /= 2;
+    for (int b = 0; b < stage_blocks[static_cast<std::size_t>(stage)]; ++b) {
+      const std::string block_name =
+          "s" + std::to_string(stage + 1) + ".b" + std::to_string(b);
+      AppendBottleneck(layers, block_name, in, widths[stage], hw, b == 0);
+      in = widths[stage] * 4;
+    }
+  }
+  layers.push_back(Dense("fc", in, head_dim));
+  return ModelDescriptor(name, std::move(layers), sm_busy_fraction);
+}
+
+}  // namespace
+
+ModelDescriptor MakeVgg16() {
+  std::vector<LayerSpec> layers;
+  struct ConvCfg { int in, out, hw; };
+  // Feature extractor: (in, out, output feature size) per 3x3 conv.
+  const ConvCfg cfg[] = {
+      {3, 64, 224},    {64, 64, 224},                      // block1
+      {64, 128, 112},  {128, 128, 112},                    // block2
+      {128, 256, 56},  {256, 256, 56},  {256, 256, 56},    // block3
+      {256, 512, 28},  {512, 512, 28},  {512, 512, 28},    // block4
+      {512, 512, 14},  {512, 512, 14},  {512, 512, 14},    // block5
+  };
+  int i = 0;
+  for (const ConvCfg& c : cfg) {
+    layers.push_back(Conv("conv" + std::to_string(i++), c.in, c.out, 3, c.hw,
+                          /*bias=*/true, /*batch_norm=*/false));
+  }
+  layers.push_back(Dense("fc1", 512 * 7 * 7, 4096));
+  layers.push_back(Dense("fc2", 4096, 4096));
+  layers.push_back(Dense("fc3", 4096, 1000));
+  // VGG's huge dense tail means compute kernels are GEMM-heavy; SM occupancy
+  // is high during backward.
+  return ModelDescriptor("vgg16", std::move(layers), 0.85);
+}
+
+ModelDescriptor MakeResNet50() {
+  return MakeResNet("resnet50", {3, 4, 6, 3}, 224, 1000, 0.80);
+}
+
+ModelDescriptor MakeResNet101() {
+  return MakeResNet("resnet101", {3, 4, 23, 3}, 224, 1000, 0.80);
+}
+
+ModelDescriptor MakeTransformerBase(int seq_len) {
+  AIACC_CHECK(seq_len > 0);
+  const int d = 512;
+  const int ff = 2048;
+  const double tokens = seq_len;
+  std::vector<LayerSpec> layers;
+  layers.push_back(Embedding("embed", 37000, d, tokens));
+  for (int l = 0; l < 6; ++l) {
+    AppendEncoderBlock(layers, "enc" + std::to_string(l), d, ff, tokens);
+  }
+  for (int l = 0; l < 6; ++l) {
+    const std::string prefix = "dec" + std::to_string(l);
+    layers.push_back(Attention(prefix + ".self_attn", d, tokens));
+    layers.push_back(LayerNorm(prefix + ".ln1", d, tokens));
+    layers.push_back(Attention(prefix + ".cross_attn", d, tokens));
+    layers.push_back(LayerNorm(prefix + ".ln2", d, tokens));
+    AppendTransformerFfn(layers, prefix, d, ff, tokens);
+    layers.push_back(LayerNorm(prefix + ".ln3", d, tokens));
+  }
+  // Output projection shares the embedding in the reference model; the
+  // softmax matmul cost still applies.
+  LayerSpec softmax;
+  softmax.name = "softmax_proj";
+  softmax.kind = LayerKind::kDense;
+  softmax.fwd_flops_per_sample = 2.0 * 37000.0 * d * tokens;
+  layers.push_back(std::move(softmax));
+  return ModelDescriptor("transformer", std::move(layers), 0.88);
+}
+
+ModelDescriptor MakeBertLarge(int seq_len) {
+  AIACC_CHECK(seq_len > 0);
+  const int d = 1024;
+  const int ff = 4096;
+  const double tokens = seq_len;
+  std::vector<LayerSpec> layers;
+  for (int l = 0; l < 24; ++l) {
+    AppendEncoderBlock(layers, "layer" + std::to_string(l), d, ff, tokens);
+  }
+  return ModelDescriptor("bert-large", std::move(layers), 0.90);
+}
+
+ModelDescriptor MakeGpt2Xl(int seq_len) {
+  AIACC_CHECK(seq_len > 0);
+  const int d = 1600;
+  const int ff = 4 * d;
+  const double tokens = seq_len;
+  std::vector<LayerSpec> layers;
+  layers.push_back(Embedding("wte", 50257, d, tokens));
+  layers.push_back(Embedding("wpe", 1024, d, tokens));
+  for (int l = 0; l < 48; ++l) {
+    AppendEncoderBlock(layers, "h" + std::to_string(l), d, ff, tokens);
+  }
+  layers.push_back(LayerNorm("ln_f", d, tokens));
+  return ModelDescriptor("gpt2-xl", std::move(layers), 0.90);
+}
+
+ModelDescriptor MakeCtrModel(int num_embedding_fields) {
+  AIACC_CHECK(num_embedding_fields > 0);
+  std::vector<LayerSpec> layers;
+  // Warehouse-scale CTR profile: tens of thousands of per-field embedding
+  // shards, each a *small* dense gradient (the trained slice of a huge
+  // sparse table touched by the minibatch). Communication cost per tensor is
+  // tiny but per-tensor *bookkeeping* is huge — exactly the profile on which
+  // a master-coordinated framework melts down (§VIII-C: the master walks
+  // every (worker, tensor) readiness entry).
+  const std::int64_t field_rows[] = {32, 64, 128, 256, 512};
+  const int dim = 8;
+  for (int f = 0; f < num_embedding_fields; ++f) {
+    const std::int64_t rows = field_rows[static_cast<std::size_t>(f) % 5];
+    layers.push_back(
+        Embedding("field" + std::to_string(f), rows, dim, /*tokens=*/1.0));
+  }
+  // Field embeddings are sum-pooled into a fixed-width vector before the
+  // dense tower (standard practice: the tower does not scale with fields).
+  const std::int64_t pooled = 4096;
+  layers.push_back(Dense("tower1", pooled, 1024));
+  layers.push_back(Dense("tower2", 1024, 512));
+  layers.push_back(Dense("tower3", 512, 256));
+  layers.push_back(Dense("tower4", 256, 1));
+  // CTR models are memory-bound lookups: GPUs are mostly idle during
+  // backward, so comm streams schedule freely.
+  return ModelDescriptor("ctr", std::move(layers), 0.35);
+}
+
+ModelDescriptor MakeInsightFaceR100() {
+  // 112x112 input, deeper stage-3, 512-d embedding head (ArcFace backbone).
+  return MakeResNet("insightface-r100", {3, 13, 30, 3}, 112, 512, 0.80);
+}
+
+std::vector<ModelDescriptor> AllZooModels() {
+  std::vector<ModelDescriptor> models;
+  models.push_back(MakeVgg16());
+  models.push_back(MakeResNet50());
+  models.push_back(MakeResNet101());
+  models.push_back(MakeTransformerBase());
+  models.push_back(MakeBertLarge());
+  return models;
+}
+
+ModelDescriptor MakeModelByName(const std::string& name) {
+  if (name == "vgg16") return MakeVgg16();
+  if (name == "resnet50") return MakeResNet50();
+  if (name == "resnet101") return MakeResNet101();
+  if (name == "transformer") return MakeTransformerBase();
+  if (name == "bert-large") return MakeBertLarge();
+  if (name == "gpt2-xl") return MakeGpt2Xl();
+  if (name == "ctr") return MakeCtrModel();
+  if (name == "insightface-r100") return MakeInsightFaceR100();
+  AIACC_CHECK(false && "unknown model name");
+  return MakeResNet50();  // unreachable
+}
+
+}  // namespace aiacc::dnn

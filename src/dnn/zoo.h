@@ -1,0 +1,53 @@
+// Model zoo: analytic descriptors for every DNN the paper evaluates
+// (Table I, §VII-B, §VIII-C/D). Architectures are constructed layer-by-layer
+// from their published definitions, so parameter counts are exact; FLOPs use
+// the 1 MAC = 2 FLOPs convention throughout (Table I mixes conventions across
+// rows — EXPERIMENTS.md records both numbers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/model.h"
+
+namespace aiacc::dnn {
+
+/// VGG-16, ImageNet 224x224 (138.3M params).
+ModelDescriptor MakeVgg16();
+
+/// ResNet-50, ImageNet (25.6M params).
+ModelDescriptor MakeResNet50();
+
+/// ResNet-101, ImageNet.
+ModelDescriptor MakeResNet101();
+
+/// Transformer base (Vaswani et al.), shared 37k vocab, 6+6 layers, d=512.
+/// `seq_len` tokens per sample on each of the encoder/decoder sides.
+ModelDescriptor MakeTransformerBase(int seq_len = 512);
+
+/// BERT-Large encoder stack: 24 layers, d=1024, ff=4096 (302.2M params,
+/// matching Table I, which counts the encoder without embedding tables).
+/// `seq_len` tokens per sample.
+ModelDescriptor MakeBertLarge(int seq_len = 384);
+
+/// GPT-2 XL: 48 decoder layers, d=1600 (~1.56B params incl. embeddings).
+ModelDescriptor MakeGpt2Xl(int seq_len = 512);
+
+/// Synthetic warehouse-scale CTR model (§VIII-C): tens of thousands of small
+/// embedding-shard gradients plus a modest MLP tower. Communication is
+/// dominated by per-tensor bookkeeping, which is what makes Horovod's
+/// master-based synchronization the bottleneck at 128 GPUs.
+ModelDescriptor MakeCtrModel(int num_embedding_fields = 20000);
+
+/// InsightFace-style ResNet-100 face-recognition backbone (112x112 input,
+/// 512-d embedding head).
+ModelDescriptor MakeInsightFaceR100();
+
+/// All public zoo entries (excludes CTR variants), for sweeps.
+std::vector<ModelDescriptor> AllZooModels();
+
+/// Lookup by name ("vgg16", "resnet50", "resnet101", "transformer",
+/// "bert-large", "gpt2-xl", "ctr", "insightface-r100").
+ModelDescriptor MakeModelByName(const std::string& name);
+
+}  // namespace aiacc::dnn

@@ -1,0 +1,92 @@
+// GPU device model (substitution for real V100s, see DESIGN.md §1).
+//
+// Two behaviours matter for reproducing the paper:
+//   1. Compute time. Forward/backward duration is FLOPs / effective
+//      throughput, with an achieved-efficiency factor (DNN kernels on a V100
+//      reach ~25-35% of peak fp32 in practice; we calibrate ResNet-50 at
+//      batch 64 to ~370 images/s, matching published single-GPU numbers).
+//   2. Concurrent communication streams. CUDA streams map to SMs; while
+//      compute kernels occupy most SMs, only a few comm kernels co-schedule.
+//      This caps how many concurrent all-reduce units a worker can drive
+//      during backward — the paper's explanation for why compute-intensive
+//      models limit stream counts (§VIII-A) and why small batches leave more
+//      room for streams (§VII-D footnote 5).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace aiacc::gpu {
+
+struct GpuParams {
+  /// Peak fp32 throughput (V100: 15.7 TFLOP/s).
+  double peak_flops = 15.7e12;
+  /// Fraction of peak a well-tuned DNN kernel mix achieves. Calibrated so a
+  /// V100 runs ResNet-50 (batch 64, 2*MAC FLOPs convention) at ~360 images/s,
+  /// matching published single-GPU fp32 numbers.
+  double achieved_efficiency = 0.55;
+  /// Streaming multiprocessors on the device (V100: 80).
+  int num_sms = 80;
+  /// SMs a communication kernel (ring copy/reduce + proxy) occupies.
+  int sms_per_comm_stream = 3;
+  /// Kernel launch + stream synchronization overhead per dispatched unit.
+  double kernel_launch_overhead = 8e-6;
+  /// Effective rate of the optimizer update (bytes of parameters per sec);
+  /// fused SGD/Adam kernels are memory-bound at ~HBM bandwidth / 3 passes.
+  double optimizer_update_rate = 250e9;
+  /// Host-CPU optimizer rate for the CPU-offload extension (paper §IX
+  /// "Utilizing multi-core CPUs"): multi-core vectorized update, DDR-bound.
+  double cpu_optimizer_update_rate = 30e9;
+  /// PCIe rate for shipping updated parameters back to the GPU when the
+  /// optimizer runs on the CPU.
+  double pcie_upload_rate = 12e9;
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const GpuParams& params() const noexcept { return params_; }
+
+  /// Sustained FLOP/s for DNN kernels.
+  [[nodiscard]] double EffectiveFlops() const noexcept {
+    return params_.peak_flops * params_.achieved_efficiency;
+  }
+
+  /// Seconds to execute `flops` of DNN compute.
+  [[nodiscard]] double ComputeTime(double flops) const noexcept {
+    return flops / EffectiveFlops();
+  }
+
+  /// Maximum concurrent communication streams the hardware scheduler will
+  /// co-dispatch. `sm_busy_fraction` is the share of SMs held by compute
+  /// kernels right now (0 when the GPU is idle in the comm tail). At least
+  /// one stream always makes progress (it time-slices if necessary).
+  [[nodiscard]] int UsableCommStreams(double sm_busy_fraction) const noexcept {
+    const double free_sms =
+        static_cast<double>(params_.num_sms) *
+        std::clamp(1.0 - sm_busy_fraction, 0.0, 1.0);
+    const int slots =
+        static_cast<int>(free_sms) / std::max(1, params_.sms_per_comm_stream);
+    return std::max(1, slots);
+  }
+
+  /// Seconds for the optimizer to apply updates to `param_bytes` of weights.
+  [[nodiscard]] double OptimizerUpdateTime(double param_bytes) const noexcept {
+    return param_bytes / params_.optimizer_update_rate;
+  }
+
+  /// CPU-offloaded update (§IX): gradients already sit in host memory on the
+  /// TCP path, so the cost is the CPU update pass plus uploading the fresh
+  /// parameters over PCIe. Frees GPU memory; the paper cautions the
+  /// transfer can become the bottleneck — this model makes that visible.
+  [[nodiscard]] double CpuOffloadUpdateTime(double param_bytes) const noexcept {
+    return param_bytes / params_.cpu_optimizer_update_rate +
+           param_bytes / params_.pcie_upload_rate;
+  }
+
+ private:
+  GpuParams params_;
+};
+
+}  // namespace aiacc::gpu

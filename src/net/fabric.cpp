@@ -1,0 +1,90 @@
+#include "net/fabric.h"
+
+#include <string>
+
+namespace aiacc::net {
+
+CloudFabric::CloudFabric(sim::Engine& engine, Topology topology,
+                         FabricParams params)
+    : engine_(engine),
+      topology_(topology),
+      params_(params),
+      network_(engine) {
+  topology_.Validate();
+  const double nic_bw = NicBandwidth();
+  egress_.reserve(static_cast<std::size_t>(topology_.num_hosts));
+  ingress_.reserve(static_cast<std::size_t>(topology_.num_hosts));
+  nvlink_.reserve(static_cast<std::size_t>(topology_.num_hosts));
+  for (int h = 0; h < topology_.num_hosts; ++h) {
+    egress_.push_back(
+        network_.AddLink("host" + std::to_string(h) + ".egress", nic_bw));
+    ingress_.push_back(
+        network_.AddLink("host" + std::to_string(h) + ".ingress", nic_bw));
+    nvlink_.push_back(network_.AddLink("host" + std::to_string(h) + ".nvlink",
+                                       params_.nvlink_bandwidth));
+    pcie_.push_back(network_.AddLink("host" + std::to_string(h) + ".pcie",
+                                     params_.pcie_bandwidth));
+  }
+}
+
+double CloudFabric::NicBandwidth() const noexcept {
+  return topology_.inter_node == TransportKind::kTcp
+             ? params_.tcp_nic_bandwidth
+             : params_.rdma_nic_bandwidth;
+}
+
+double CloudFabric::InterNodeStreamCap() const noexcept {
+  return topology_.inter_node == TransportKind::kTcp
+             ? params_.tcp_single_stream_cap * params_.tcp_nic_bandwidth
+             : params_.rdma_single_stream_cap * params_.rdma_nic_bandwidth;
+}
+
+double CloudFabric::InterNodeHopCost() const noexcept {
+  return topology_.inter_node == TransportKind::kTcp
+             ? params_.tcp_latency + params_.tcp_per_message_overhead
+             : params_.rdma_latency + params_.rdma_per_message_overhead;
+}
+
+double CloudFabric::NvlinkHopCost() const noexcept {
+  return params_.nvlink_latency + params_.nvlink_per_message_overhead;
+}
+
+std::vector<LinkIndex> CloudFabric::PathBetween(int src_rank,
+                                                int dst_rank) const {
+  const int sh = topology_.HostOfRank(src_rank);
+  const int dh = topology_.HostOfRank(dst_rank);
+  if (sh == dh) return {NvlinkLink(sh)};
+  return {EgressLink(sh), IngressLink(dh)};
+}
+
+std::vector<LinkIndex> CloudFabric::AllHostsRingPath() const {
+  std::vector<LinkIndex> path;
+  path.reserve(static_cast<std::size_t>(topology_.num_hosts) * 3);
+  for (int h = 0; h < topology_.num_hosts; ++h) {
+    if (topology_.num_hosts > 1) {
+      path.push_back(EgressLink(h));
+      path.push_back(IngressLink(h));
+    }
+    if (topology_.gpus_per_host > 1) path.push_back(NvlinkLink(h));
+  }
+  if (path.empty()) path.push_back(NvlinkLink(0));  // single GPU: degenerate
+  return path;
+}
+
+std::vector<LinkIndex> CloudFabric::IntraNodeRingPath(int host) const {
+  return {NvlinkLink(host)};
+}
+
+void CloudFabric::SendMessage(int src_rank, int dst_rank, double bytes,
+                              std::function<void()> on_delivered) {
+  const bool local = topology_.SameHost(src_rank, dst_rank);
+  Network::FlowSpec spec;
+  spec.path = PathBetween(src_rank, dst_rank);
+  spec.bytes = bytes;
+  spec.rate_cap = local ? params_.nvlink_bandwidth : InterNodeStreamCap();
+  spec.start_delay = local ? NvlinkHopCost() : InterNodeHopCost();
+  spec.on_complete = std::move(on_delivered);
+  network_.StartFlow(std::move(spec));
+}
+
+}  // namespace aiacc::net

@@ -1,0 +1,87 @@
+// CloudFabric: instantiates the link graph for a Topology on a Network and
+// provides the path/cap/latency bookkeeping the collective layer needs.
+//
+// Link graph (fluid model):
+//   * per host: one NIC egress link and one NIC ingress link (the inter-node
+//     switch fabric is assumed non-blocking, as in a cloud Clos network);
+//   * per host: one shared NVLink fabric link for intra-node traffic.
+//
+// A point-to-point transfer src->dst loads [egress(src_host), ingress(dst
+// host)] when the hosts differ, or [nvlink(host)] otherwise. A ring spanning
+// every host loads all egress+ingress links simultaneously (each node
+// boundary crosses exactly one NIC).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "net/params.h"
+#include "net/topology.h"
+#include "sim/engine.h"
+
+namespace aiacc::net {
+
+class CloudFabric {
+ public:
+  CloudFabric(sim::Engine& engine, Topology topology, FabricParams params);
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const FabricParams& params() const noexcept { return params_; }
+  [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] const Network& network() const noexcept { return network_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+
+  [[nodiscard]] LinkIndex EgressLink(int host) const {
+    return egress_[static_cast<std::size_t>(host)];
+  }
+  [[nodiscard]] LinkIndex IngressLink(int host) const {
+    return ingress_[static_cast<std::size_t>(host)];
+  }
+  [[nodiscard]] LinkIndex NvlinkLink(int host) const {
+    return nvlink_[static_cast<std::size_t>(host)];
+  }
+  /// GPU<->CPU staging (PCIe) — used by parameter-server baselines that
+  /// aggregate on the host CPU.
+  [[nodiscard]] LinkIndex PcieLink(int host) const {
+    return pcie_[static_cast<std::size_t>(host)];
+  }
+
+  /// Inter-node NIC capacity in bytes/sec for this fabric's transport.
+  [[nodiscard]] double NicBandwidth() const noexcept;
+  /// Absolute single-stream rate cap (bytes/sec) on the inter-node links.
+  [[nodiscard]] double InterNodeStreamCap() const noexcept;
+  /// One-way latency + fixed per-message overhead on the inter-node links.
+  [[nodiscard]] double InterNodeHopCost() const noexcept;
+  /// Same for the intra-node NVLink fabric.
+  [[nodiscard]] double NvlinkHopCost() const noexcept;
+
+  /// Path for a point-to-point transfer between two global ranks.
+  [[nodiscard]] std::vector<LinkIndex> PathBetween(int src_rank,
+                                                   int dst_rank) const;
+
+  /// Path loading every NIC (a flat ring across all hosts). Includes each
+  /// host's NVLink fabric as well, which matters only when NVLink could
+  /// bottleneck (it doesn't at paper scales, but keep the model honest).
+  [[nodiscard]] std::vector<LinkIndex> AllHostsRingPath() const;
+
+  /// Path for an intra-node ring on one host.
+  [[nodiscard]] std::vector<LinkIndex> IntraNodeRingPath(int host) const;
+
+  /// Convenience point-to-point message: completes after hop latency +
+  /// per-message overhead + serialized transfer at the single-stream cap.
+  void SendMessage(int src_rank, int dst_rank, double bytes,
+                   std::function<void()> on_delivered);
+
+ private:
+  sim::Engine& engine_;
+  Topology topology_;
+  FabricParams params_;
+  Network network_;
+  std::vector<LinkIndex> egress_;
+  std::vector<LinkIndex> ingress_;
+  std::vector<LinkIndex> nvlink_;
+  std::vector<LinkIndex> pcie_;
+};
+
+}  // namespace aiacc::net

@@ -1,0 +1,213 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace aiacc::net {
+namespace {
+// Flows within a byte of done are finished (guards float accumulation drift).
+constexpr double kByteEpsilon = 1.0;
+}  // namespace
+
+LinkIndex Network::AddLink(std::string name, double capacity) {
+  AIACC_CHECK(capacity > 0.0);
+  links_.push_back(Link{std::move(name), capacity, {}});
+  return static_cast<LinkIndex>(links_.size() - 1);
+}
+
+double Network::AverageUtilization(LinkIndex l, double t0, double t1) const {
+  AIACC_CHECK(t1 > t0);
+  const Link& link = links_[static_cast<std::size_t>(l)];
+  return link.stats.busy_integral / ((t1 - t0) * link.capacity);
+}
+
+FlowId Network::StartFlow(FlowSpec spec) {
+  AIACC_CHECK(spec.bytes >= 0.0);
+  AIACC_CHECK(spec.rate_cap > 0.0);
+  const FlowId id = next_flow_id_++;
+  Flow flow{id, std::move(spec.path), spec.bytes, spec.rate_cap, 0.0,
+            std::move(spec.on_complete)};
+  for (LinkIndex l : flow.path) {
+    AIACC_CHECK(l >= 0 && l < NumLinks());
+  }
+  if (spec.start_delay > 0.0) {
+    engine_.ScheduleAfter(spec.start_delay,
+                          [this, f = std::move(flow)]() mutable {
+                            ActivateFlow(std::move(f));
+                          });
+  } else {
+    ActivateFlow(std::move(flow));
+  }
+  return id;
+}
+
+void Network::ActivateFlow(Flow flow) {
+  if (flow.remaining <= kByteEpsilon) {
+    // Zero/near-zero payload: deliver immediately after the start delay.
+    if (flow.on_complete) flow.on_complete();
+    return;
+  }
+  Settle();
+  active_index_[flow.id] = active_.size();
+  active_.push_back(std::move(flow));
+  Reflow();
+}
+
+bool Network::CancelFlow(FlowId id) {
+  auto it = active_index_.find(id);
+  if (it == active_index_.end()) return false;
+  Settle();
+  const std::size_t slot = it->second;
+  // Swap-remove and fix the moved flow's index.
+  active_[slot] = std::move(active_.back());
+  active_.pop_back();
+  active_index_.erase(it);
+  if (slot < active_.size()) active_index_[active_[slot].id] = slot;
+  Reflow();
+  return true;
+}
+
+double Network::FlowRate(FlowId id) const {
+  auto it = active_index_.find(id);
+  return it == active_index_.end() ? 0.0 : active_[it->second].rate;
+}
+
+void Network::Settle() {
+  const double now = engine_.Now();
+  const double dt = now - last_update_;
+  if (dt > 0.0) {
+    for (Flow& flow : active_) {
+      const double moved = flow.rate * dt;
+      flow.remaining = std::max(0.0, flow.remaining - moved);
+      for (LinkIndex l : flow.path) {
+        Link& link = links_[static_cast<std::size_t>(l)];
+        link.stats.bytes_carried += moved;
+        link.stats.busy_integral += flow.rate * dt;
+      }
+    }
+  }
+  last_update_ = now;
+}
+
+void Network::ComputeRates() {
+  // Progressive filling with per-flow caps:
+  //   1. every unfixed flow whose cap is below the tightest fair share it
+  //      could get is fixed at its cap;
+  //   2. otherwise the most-contended link saturates and its flows are fixed
+  //      at the fair share.
+  // Each round fixes at least one flow, so this terminates in <= |F| rounds.
+  const std::size_t n = active_.size();
+  if (n == 0) return;
+
+  std::vector<double> residual(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    residual[i] = links_[i].capacity;
+  }
+  std::vector<int> unfixed_on_link(links_.size(), 0);
+  std::vector<bool> fixed(n, false);
+  for (const Flow& flow : active_) {
+    for (LinkIndex l : flow.path) ++unfixed_on_link[static_cast<std::size_t>(l)];
+  }
+
+  std::size_t n_fixed = 0;
+  while (n_fixed < n) {
+    // Tightest per-link fair share among links with unfixed flows.
+    double share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (unfixed_on_link[l] > 0) {
+        share = std::min(share, residual[l] / unfixed_on_link[l]);
+      }
+    }
+    AIACC_CHECK(share < std::numeric_limits<double>::infinity());
+
+    // Fix cap-limited flows first (cap <= the share they would receive).
+    bool fixed_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      if (active_[i].rate_cap <= share) {
+        active_[i].rate = active_[i].rate_cap;
+        fixed[i] = true;
+        ++n_fixed;
+        fixed_any = true;
+        for (LinkIndex l : active_[i].path) {
+          residual[static_cast<std::size_t>(l)] -= active_[i].rate;
+          --unfixed_on_link[static_cast<std::size_t>(l)];
+        }
+      }
+    }
+    if (fixed_any) continue;
+
+    // No cap binds: saturate the bottleneck link(s) at `share`. Snapshot the
+    // bottleneck set before fixing flows — fixing mutates residuals.
+    std::vector<bool> is_bottleneck(links_.size(), false);
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      is_bottleneck[l] = unfixed_on_link[l] > 0 &&
+                         residual[l] / unfixed_on_link[l] <=
+                             share * (1.0 + 1e-12);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (fixed[i]) continue;
+      bool on_bottleneck = false;
+      for (LinkIndex l : active_[i].path) {
+        if (is_bottleneck[static_cast<std::size_t>(l)]) {
+          on_bottleneck = true;
+          break;
+        }
+      }
+      if (!on_bottleneck) continue;
+      active_[i].rate = share;
+      fixed[i] = true;
+      ++n_fixed;
+      for (LinkIndex l : active_[i].path) {
+        residual[static_cast<std::size_t>(l)] -= share;
+        --unfixed_on_link[static_cast<std::size_t>(l)];
+      }
+    }
+  }
+}
+
+void Network::Reflow() {
+  if (completion_event_ != 0) {
+    engine_.Cancel(completion_event_);
+    completion_event_ = 0;
+  }
+  if (active_.empty()) return;
+
+  ComputeRates();
+
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const Flow& flow : active_) {
+    AIACC_CHECK(flow.rate > 0.0);
+    earliest = std::min(earliest, flow.remaining / flow.rate);
+  }
+  completion_event_ = engine_.ScheduleAfter(
+      std::max(0.0, earliest), [this] { OnCompletionEvent(); });
+}
+
+void Network::OnCompletionEvent() {
+  completion_event_ = 0;
+  Settle();
+
+  // Collect finished flows, then run callbacks after the active set is
+  // consistent (callbacks commonly start follow-up flows).
+  std::vector<std::function<void()>> callbacks;
+  for (std::size_t i = 0; i < active_.size();) {
+    if (active_[i].remaining <= kByteEpsilon) {
+      if (active_[i].on_complete) {
+        callbacks.push_back(std::move(active_[i].on_complete));
+      }
+      active_index_.erase(active_[i].id);
+      active_[i] = std::move(active_.back());
+      active_.pop_back();
+      if (i < active_.size()) active_index_[active_[i].id] = i;
+    } else {
+      ++i;
+    }
+  }
+  Reflow();
+  for (auto& cb : callbacks) cb();
+}
+
+}  // namespace aiacc::net

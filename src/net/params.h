@@ -1,0 +1,65 @@
+// Calibration constants for the simulated cloud fabric. These are the only
+// "magic numbers" in the network model; everything else is derived. Values
+// are chosen to match the paper's measurements on the Alibaba GPU cloud
+// (ecs.gn6e instances, §VII-A) and the observations in §III/§V-B:
+//
+//   * inter-node VPC TCP/IP bandwidth: 30 Gbps per host NIC;
+//   * a single TCP communication stream utilizes at most ~30% of that link
+//     ("a single communication stream can only utilize at most 30% of the
+//      bandwidth provided by the TCP/IP link", §III; NCCL's one link tops out
+//      around 10 Gbps of a 30 Gbps NIC, §V-B);
+//   * a single RDMA stream (queue pair driven by one CPU-mediated proxy) can
+//     be as low as 5-10% of the RDMA link (§III) — we use 10%;
+//   * NVLink intra-node bandwidth far exceeds the NIC (V100 NVLink ~150 GB/s
+//     per direction aggregated), so intra-node steps are near-free relative
+//     to inter-node ones.
+#pragma once
+
+#include <cstddef>
+
+namespace aiacc::net {
+
+struct FabricParams {
+  /// Host NIC bandwidth in bytes/sec for the TCP/IP (VPC) fabric. 30 Gbps.
+  double tcp_nic_bandwidth = 30e9 / 8.0;
+
+  /// Fraction of the NIC a *single* TCP stream can drive (kernel TCP stack,
+  /// single connection, single copy pipeline). Paper §III: at most 30%.
+  double tcp_single_stream_cap = 0.30;
+
+  /// One-way latency of an inter-node TCP message (propagation + kernel +
+  /// VPC overlay overhead). ~50us is typical for intra-AZ VPC RTT/2.
+  double tcp_latency = 50e-6;
+
+  /// Per-message fixed CPU/proxy overhead on the sender (connection wakeup,
+  /// scatter-gather setup). Dominates for tiny messages such as the gradient
+  /// synchronization bit-vector.
+  double tcp_per_message_overhead = 15e-6;
+
+  /// Host NIC bandwidth for RDMA-enabled instances (100 Gbps class).
+  double rdma_nic_bandwidth = 100e9 / 8.0;
+
+  /// Fraction of the RDMA link a single stream/QP can drive (paper §III:
+  /// "as low as 10% to 5% of RDMA"). We use the optimistic end.
+  double rdma_single_stream_cap = 0.10;
+
+  /// RDMA one-way latency (microseconds class).
+  double rdma_latency = 5e-6;
+
+  /// Per-message overhead for RDMA verbs postings.
+  double rdma_per_message_overhead = 2e-6;
+
+  /// Aggregate intra-node NVLink bandwidth between two GPUs, bytes/sec.
+  double nvlink_bandwidth = 150e9;
+
+  /// NVLink hop latency.
+  double nvlink_latency = 2e-6;
+
+  /// Per-message overhead on NVLink (kernel launch for a copy/reduce).
+  double nvlink_per_message_overhead = 3e-6;
+
+  /// PCIe bandwidth for GPU<->CPU staging (TCP path crosses the CPU).
+  double pcie_bandwidth = 12e9;
+};
+
+}  // namespace aiacc::net

@@ -1,0 +1,18 @@
+#include "net/topology.h"
+
+#include <sstream>
+
+namespace aiacc::net {
+
+std::string ToString(TransportKind kind) {
+  return kind == TransportKind::kTcp ? "TCP" : "RDMA";
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream out;
+  out << num_hosts << " host(s) x " << gpus_per_host << " GPU(s), inter-node "
+      << net::ToString(inter_node);
+  return out.str();
+}
+
+}  // namespace aiacc::net

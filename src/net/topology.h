@@ -1,0 +1,49 @@
+// Cluster topology description: `num_hosts` computing nodes, each with
+// `gpus_per_host` GPUs (8 on the paper's ecs.gn6e instances). GPUs are
+// addressed by a global rank in [0, WorldSize()): rank = host * gpus_per_host
+// + local index, matching the paper's rank layout where consecutive ranks
+// share a node and rings cross the NIC once per node boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+
+namespace aiacc::net {
+
+/// Inter-node transport flavour. Intra-node traffic always uses NVLink.
+enum class TransportKind : std::uint8_t { kTcp, kRdma };
+
+std::string ToString(TransportKind kind);
+
+struct Topology {
+  int num_hosts = 1;
+  int gpus_per_host = 8;
+  TransportKind inter_node = TransportKind::kTcp;
+
+  [[nodiscard]] int WorldSize() const noexcept {
+    return num_hosts * gpus_per_host;
+  }
+  [[nodiscard]] int HostOfRank(int rank) const noexcept {
+    return rank / gpus_per_host;
+  }
+  [[nodiscard]] int LocalIndexOfRank(int rank) const noexcept {
+    return rank % gpus_per_host;
+  }
+  [[nodiscard]] bool SameHost(int a, int b) const noexcept {
+    return HostOfRank(a) == HostOfRank(b);
+  }
+  [[nodiscard]] bool IsMultiNode() const noexcept { return num_hosts > 1; }
+
+  void Validate() const {
+    AIACC_CHECK(num_hosts >= 1);
+    AIACC_CHECK(gpus_per_host >= 1);
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+}  // namespace aiacc::net

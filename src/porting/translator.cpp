@@ -1,0 +1,233 @@
+#include "porting/translator.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace aiacc::porting {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Indentation(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  return line.substr(0, i);
+}
+
+std::string Trimmed(const std::string& line) {
+  const std::size_t b = line.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const std::size_t e = line.find_last_not_of(" \t\r");
+  return line.substr(b, e - b + 1);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool Contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// Replace every occurrence of `from` with `to`; returns the count.
+int ReplaceAll(std::string& s, const std::string& from, const std::string& to) {
+  int count = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+    ++count;
+  }
+  return count;
+}
+
+/// "lr=0.1" -> "lr=0.1 * perseus.size()" inside an optimizer constructor.
+bool ScaleLearningRate(std::string& line) {
+  const std::size_t lr = line.find("lr=");
+  if (lr == std::string::npos) return false;
+  // Find the end of the numeric literal after "lr=".
+  std::size_t end = lr + 3;
+  while (end < line.size() &&
+         (std::isdigit(static_cast<unsigned char>(line[end])) ||
+          line[end] == '.' || line[end] == 'e' || line[end] == 'E' ||
+          line[end] == '-' || line[end] == '+')) {
+    ++end;
+  }
+  if (end == lr + 3) return false;  // not a literal (e.g. lr=args.lr)
+  if (Contains(line, "perseus.size()")) return false;  // already scaled
+  line.insert(end, " * perseus.size()");
+  return true;
+}
+
+}  // namespace
+
+std::string ToString(Edit::Kind kind) {
+  switch (kind) {
+    case Edit::Kind::kImportSwap: return "import-swap";
+    case Edit::Kind::kInsertInit: return "insert-init";
+    case Edit::Kind::kWrapOptimizer: return "wrap-optimizer";
+    case Edit::Kind::kScaleLearningRate: return "scale-learning-rate";
+    case Edit::Kind::kShardDataLoader: return "shard-data-loader";
+    case Edit::Kind::kBroadcastParams: return "broadcast-parameters";
+    case Edit::Kind::kGuardCheckpoint: return "guard-checkpoint";
+  }
+  return "?";
+}
+
+TranslationResult PortHorovodScript(const std::string& source) {
+  TranslationResult result;
+  if (Contains(source, "import perseus")) {
+    result.already_ported = true;
+    result.source = source;
+    return result;
+  }
+  std::vector<std::string> lines = SplitLines(source);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string& line = lines[i];
+    const std::string trimmed = Trimmed(line);
+    // "import horovod.torch as hvd" -> "import perseus.torch as hvd":
+    // the user's alias (`hvd`) is preserved so no other line changes —
+    // the paper's one-line port.
+    if (StartsWith(trimmed, "import horovod") ||
+        StartsWith(trimmed, "from horovod")) {
+      const int swapped = ReplaceAll(line, "horovod", "perseus");
+      if (swapped > 0) {
+        result.edits.push_back(
+            Edit{static_cast<int>(i + 1), Edit::Kind::kImportSwap,
+                 "swapped horovod import for perseus (alias preserved)"});
+      }
+    }
+  }
+  result.source = JoinLines(lines);
+  return result;
+}
+
+TranslationResult PortSequentialScript(const std::string& source) {
+  TranslationResult result;
+  if (Contains(source, "import perseus") || Contains(source, "perseus.init")) {
+    result.already_ported = true;
+    result.source = source;
+    return result;
+  }
+
+  const std::vector<std::string> in = SplitLines(source);
+  std::vector<std::string> out;
+  out.reserve(in.size() + 8);
+
+  // Pass 1: locate the last top-level import to anchor the init insertion.
+  std::size_t last_import = 0;
+  bool has_import = false;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::string t = Trimmed(in[i]);
+    if (Indentation(in[i]).empty() &&
+        (StartsWith(t, "import ") || StartsWith(t, "from "))) {
+      last_import = i;
+      has_import = true;
+    }
+  }
+
+  bool wrapped_optimizer = false;
+  bool broadcast_inserted = false;
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    std::string line = in[i];
+    const std::string trimmed = Trimmed(line);
+    const std::string indent = Indentation(line);
+    const int lineno = static_cast<int>(i + 1);
+
+    // Guard checkpoint writes to rank 0 (every worker writing the same file
+    // is a classic porting bug the tool prevents).
+    if (StartsWith(trimmed, "torch.save(")) {
+      out.push_back(indent + "if perseus.rank() == 0:");
+      out.push_back(indent + "    " + trimmed);
+      result.edits.push_back(Edit{lineno, Edit::Kind::kGuardCheckpoint,
+                                  "checkpoint write restricted to rank 0"});
+      continue;
+    }
+
+    // Shard the data loader: add a distributed sampler argument.
+    if (Contains(line, "DataLoader(") && !Contains(line, "sampler=")) {
+      const std::size_t close = line.rfind(')');
+      if (close != std::string::npos) {
+        // "DataLoader(dataset, ...)" -> first argument names the dataset.
+        const std::size_t open = line.find("DataLoader(") + 11;
+        std::size_t arg_end = open;
+        while (arg_end < line.size() && line[arg_end] != ',' &&
+               line[arg_end] != ')') {
+          ++arg_end;
+        }
+        const std::string dataset = line.substr(open, arg_end - open);
+        line.insert(close, ", sampler=perseus.DistributedSampler(" + dataset +
+                               ", num_replicas=perseus.size(), "
+                               "rank=perseus.rank())");
+        result.edits.push_back(Edit{lineno, Edit::Kind::kShardDataLoader,
+                                    "data loader shards via "
+                                    "DistributedSampler"});
+      }
+    }
+
+    // Wrap the optimizer and scale the learning rate by world size.
+    if (!wrapped_optimizer && StartsWith(trimmed, "optimizer =")) {
+      if (ScaleLearningRate(line)) {
+        result.edits.push_back(Edit{lineno, Edit::Kind::kScaleLearningRate,
+                                    "learning rate scaled by perseus.size()"});
+      }
+      out.push_back(line);
+      out.push_back(indent +
+                    "optimizer = perseus.DistributedOptimizer(optimizer)");
+      result.edits.push_back(Edit{lineno, Edit::Kind::kWrapOptimizer,
+                                  "optimizer wrapped for multi-streamed "
+                                  "gradient aggregation"});
+      wrapped_optimizer = true;
+      continue;
+    }
+
+    out.push_back(line);
+
+    // Insert init right after the import block.
+    if (has_import && i == last_import) {
+      out.push_back("import perseus.torch as perseus");
+      out.push_back("");
+      out.push_back("perseus.init()");
+      result.edits.push_back(Edit{lineno, Edit::Kind::kInsertInit,
+                                  "perseus imported and initialized"});
+    }
+
+    // Broadcast initial parameters right after the model is constructed.
+    if (!broadcast_inserted && StartsWith(trimmed, "model =")) {
+      out.push_back(indent +
+                    "perseus.broadcast_parameters(model.state_dict(), "
+                    "root_rank=0)");
+      result.edits.push_back(Edit{lineno, Edit::Kind::kBroadcastParams,
+                                  "initial parameters broadcast from rank 0"});
+      broadcast_inserted = true;
+    }
+  }
+
+  result.source = JoinLines(out);
+  return result;
+}
+
+}  // namespace aiacc::porting

@@ -1,0 +1,53 @@
+// Source-to-source porting tool (paper §IV "Programming interface"):
+// AIACC-Training converts user training scripts to its Perseus API with
+// zero user involvement. Two entry points mirror the paper's two paths:
+//
+//   * PortHorovodScript  — an existing Horovod program ports by swapping
+//     the import package ("just changing one line of the code", §IV);
+//   * PortSequentialScript — a vanilla single-GPU PyTorch-style script is
+//     rewritten into a distributed one: initialize Perseus, shard the data
+//     loader, wrap the optimizer (scaling the learning rate by world size),
+//     broadcast initial parameters, and guard checkpoint writes to rank 0.
+//
+// The translator is line-based and conservative: it only rewrites patterns
+// it fully recognizes, and reports every edit so the user can audit the
+// result. Idempotent: porting an already-ported script is a no-op.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aiacc::porting {
+
+struct Edit {
+  int line = 0;  // 1-based line in the *input* source
+  enum class Kind {
+    kImportSwap,       // horovod -> perseus import
+    kInsertInit,       // perseus.init()
+    kWrapOptimizer,    // optimizer = perseus.DistributedOptimizer(...)
+    kScaleLearningRate,
+    kShardDataLoader,  // sampler=perseus.DistributedSampler(...)
+    kBroadcastParams,  // perseus.broadcast_parameters(...)
+    kGuardCheckpoint,  // if perseus.rank() == 0:
+  };
+  Kind kind;
+  std::string description;
+};
+
+std::string ToString(Edit::Kind kind);
+
+struct TranslationResult {
+  std::string source;        // rewritten script
+  std::vector<Edit> edits;
+  /// True when the input already used Perseus (nothing to do).
+  bool already_ported = false;
+};
+
+/// Horovod -> Perseus: swap the import package, keep the user's alias so the
+/// rest of the program is untouched.
+TranslationResult PortHorovodScript(const std::string& source);
+
+/// Sequential single-GPU script -> Perseus distributed data parallelism.
+TranslationResult PortSequentialScript(const std::string& source);
+
+}  // namespace aiacc::porting

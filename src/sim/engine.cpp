@@ -1,0 +1,65 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace aiacc::sim {
+
+EventId Engine::ScheduleAt(Time when, std::function<void()> fn) {
+  AIACC_CHECK(when >= now_);
+  AIACC_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Engine::Step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(top.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(top.id);
+    AIACC_CHECK(cb_it != callbacks_.end());
+    std::function<void()> fn = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    now_ = top.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::Run() {
+  while (Step()) {
+  }
+}
+
+void Engine::RunUntil(Time deadline) {
+  while (!heap_.empty()) {
+    // Peek past cancelled entries without executing.
+    const Entry top = heap_.top();
+    if (cancelled_.contains(top.id)) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.time > deadline) break;
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace aiacc::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation engine. Single-threaded and deterministic: events
+// fire in (time, insertion-sequence) order, so two events at the same
+// simulated instant always run in the order they were scheduled. All timed
+// substrates (network flows, GPU compute, the AIACC engine) run on top of it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace aiacc::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Handle for cancelling a scheduled event. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] Time Now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute simulated time `when` (>= Now()).
+  EventId ScheduleAt(Time when, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventId ScheduleAfter(Time delay, std::function<void()> fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled before. O(1); the heap entry is skipped lazily.
+  bool Cancel(EventId id);
+
+  /// Run the next pending event (if any). Returns false when the queue is
+  /// exhausted.
+  bool Step();
+
+  /// Run until no events remain.
+  void Run();
+
+  /// Run events with time <= `deadline`; Now() ends at min(deadline, last
+  /// event time). Events scheduled beyond the deadline stay pending.
+  void RunUntil(Time deadline);
+
+  [[nodiscard]] std::size_t PendingEvents() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+
+  /// Total events executed — a cheap progress/debug metric.
+  [[nodiscard]] std::uint64_t ExecutedEvents() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId id;
+    // Min-heap by (time, id): earlier time first; FIFO among equal times.
+    bool operator>(const Entry& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Callback storage separated from the heap so cancellation can free the
+  // closure immediately (closures can own large gradient buffers).
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace aiacc::sim

@@ -1,0 +1,56 @@
+// Execution tracing for simulated runs. The engines emit spans (forward,
+// backward, sync rounds, per-stream all-reduce units) onto named tracks;
+// the tracer renders them as Chrome trace-event JSON ("chrome://tracing" /
+// Perfetto), the way a production library exposes its overlap behaviour for
+// debugging. Pure data, no global state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aiacc::sim {
+
+class Tracer {
+ public:
+  struct Span {
+    std::string track;   // e.g. "compute", "sync", "stream 3"
+    std::string name;    // e.g. "backward", "unit 17 (8 MiB)"
+    double begin = 0.0;  // simulated seconds
+    double end = 0.0;
+  };
+  struct Instant {
+    std::string track;
+    std::string name;
+    double time = 0.0;
+  };
+
+  void AddSpan(std::string track, std::string name, double begin, double end);
+  void AddInstant(std::string track, std::string name, double time);
+
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<Instant>& instants() const noexcept {
+    return instants_;
+  }
+  void Clear();
+
+  /// Chrome trace-event format: {"traceEvents":[{"ph":"X",...},...]}.
+  /// Tracks become thread ids (tid), simulated seconds become microseconds.
+  [[nodiscard]] std::string ToChromeJson() const;
+
+  /// Write the JSON to a file.
+  Status WriteTo(const std::string& path) const;
+
+  /// Total busy time on one track (for overlap assertions in tests).
+  [[nodiscard]] double BusyTime(const std::string& track) const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+};
+
+}  // namespace aiacc::sim

@@ -1,0 +1,128 @@
+#include "trainer/elastic.h"
+
+#include <memory>
+
+#include "collective/simulated.h"
+#include "common/logging.h"
+#include "core/aiacc_engine.h"
+#include "dnn/zoo.h"
+
+namespace aiacc::trainer {
+namespace {
+
+/// One engine deployment reused for the whole simulation (the topology is
+/// unchanged after replacement: the new node takes the failed node's slot).
+struct ElasticDeployment {
+  dnn::ModelDescriptor model;
+  sim::Engine sim;
+  net::CloudFabric fabric;
+  collective::SimCollectives collectives;
+  core::AiaccEngine engine;
+
+  ElasticDeployment(const ElasticSpec& spec)
+      : model(dnn::MakeModelByName(spec.model_name)),
+        fabric(sim, spec.topology, net::FabricParams{}),
+        collectives(fabric),
+        engine(
+            [&] {
+              core::WorkloadSetup setup;
+              setup.fabric = &fabric;
+              setup.collectives = &collectives;
+              setup.model = &model;
+              setup.batch_per_gpu = spec.batch_per_gpu;
+              return setup;
+            }(),
+            spec.config) {}
+
+  double RunOneIteration() {
+    const auto stats = engine.RunIterations(1);
+    return stats.front().duration;
+  }
+};
+
+}  // namespace
+
+ElasticReport SimulateElasticTraining(const ElasticSpec& spec) {
+  AIACC_CHECK(spec.total_iterations > 0);
+  ElasticReport report;
+  ElasticDeployment dep(spec);
+
+  auto log = [&](double time, std::string what) {
+    report.timeline.push_back(ElasticEvent{time, std::move(what)});
+  };
+
+  // Ideal reference: one measured iteration (the simulator is
+  // deterministic, so every healthy iteration costs the same).
+  const double iter_time = dep.RunOneIteration();
+  report.ideal_time = iter_time * spec.total_iterations;
+
+  const double ckpt_time =
+      spec.checkpoint_interval > 0
+          ? static_cast<double>(dep.model.TotalParameterBytes()) /
+                spec.checkpoint_write_rate
+          : 0.0;
+
+  double now = 0.0;
+  int completed = 0;          // iterations whose results are durable-ish
+  int last_checkpoint = 0;    // iteration count captured by the checkpoint
+  bool failure_pending = spec.fail_at_iteration >= 0;
+
+  log(now, "training starts (" + std::to_string(spec.topology.WorldSize()) +
+               " GPUs, " + spec.model_name + ")");
+
+  while (completed < spec.total_iterations) {
+    if (failure_pending && completed == spec.fail_at_iteration) {
+      // The node dies mid-iteration: the in-flight iteration is lost and
+      // everything after the last checkpoint must be replayed.
+      failure_pending = false;
+      now += 0.5 * iter_time;  // partial iteration wasted
+      log(now, "NODE FAILURE during iteration " + std::to_string(completed));
+
+      now += spec.replacement_delay;
+      report.replacement_overhead += spec.replacement_delay;
+      log(now, "replacement instance provisioned");
+
+      // Parameter propagation to the new node (paper: "elastic deployment
+      // by propagating training parameters into newly added computing
+      // nodes") — a timed broadcast of the full parameter set.
+      double broadcast_done = -1.0;
+      dep.collectives.Broadcast(
+          static_cast<double>(dep.model.TotalParameterBytes()),
+          /*root=*/0, /*ranks=*/{}, [&](double) { broadcast_done = 0.0; });
+      const double t0 = dep.sim.Now();
+      dep.sim.Run();
+      AIACC_CHECK(broadcast_done == 0.0);
+      report.rejoin_broadcast_time = dep.sim.Now() - t0;
+      now += report.rejoin_broadcast_time;
+      log(now, "parameters broadcast to the joining worker");
+
+      const int lost = completed - last_checkpoint;
+      report.iterations_replayed = lost;
+      report.replay_overhead += lost * iter_time + 0.5 * iter_time;
+      completed = last_checkpoint;
+      log(now, "resumed from checkpoint @" + std::to_string(last_checkpoint) +
+                   " (replaying " + std::to_string(lost) + " iterations)");
+      continue;
+    }
+
+    now += iter_time;
+    ++completed;
+
+    if (spec.checkpoint_interval > 0 &&
+        completed % spec.checkpoint_interval == 0 &&
+        completed < spec.total_iterations) {
+      now += ckpt_time;
+      report.checkpoint_overhead += ckpt_time;
+      ++report.checkpoints_written;
+      last_checkpoint = completed;
+      log(now, "checkpoint @" + std::to_string(completed));
+    }
+  }
+
+  report.total_time = now;
+  log(now, "training complete (" + std::to_string(spec.total_iterations) +
+               " iterations)");
+  return report;
+}
+
+}  // namespace aiacc::trainer

@@ -1,0 +1,62 @@
+// Elastic and fault-tolerant training simulation (paper §IV "Other features
+// and optimizations"): AIACC-Training restarts from the last checkpoint on
+// node failure and propagates training parameters into newly added
+// computing nodes. This module simulates a full training run with periodic
+// checkpointing, a mid-run node failure, instance replacement, and the
+// parameter-broadcast rejoin — producing a timeline and the recovery
+// overhead breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "net/topology.h"
+
+namespace aiacc::trainer {
+
+struct ElasticSpec {
+  std::string model_name = "resnet50";
+  net::Topology topology;
+  int batch_per_gpu = 64;
+  core::CommConfig config;
+
+  int total_iterations = 60;
+  /// Checkpoint every k iterations (0 disables checkpointing — after a
+  /// failure training restarts from scratch).
+  int checkpoint_interval = 10;
+  /// Iteration during which a node fails (-1 = no failure).
+  int fail_at_iteration = -1;
+  /// Wall-clock to provision a replacement instance (cloud control plane).
+  double replacement_delay = 30.0;
+  /// Sustained checkpoint-write rate to remote storage (bytes/sec). Writes
+  /// block the next iteration (synchronous checkpointing).
+  double checkpoint_write_rate = 2e9;
+};
+
+struct ElasticEvent {
+  double time = 0.0;
+  std::string what;
+};
+
+struct ElasticReport {
+  double total_time = 0.0;
+  /// Same run with no failure and no checkpointing.
+  double ideal_time = 0.0;
+  double checkpoint_overhead = 0.0;
+  double replay_overhead = 0.0;     // re-running lost iterations
+  double replacement_overhead = 0.0;  // instance provisioning wait
+  double rejoin_broadcast_time = 0.0; // parameter propagation to the joiner
+  int iterations_replayed = 0;
+  int checkpoints_written = 0;
+  std::vector<ElasticEvent> timeline;
+
+  [[nodiscard]] double RecoveryOverhead() const noexcept {
+    return total_time - ideal_time;
+  }
+};
+
+/// Simulate the run described by `spec` and return the timeline/overheads.
+ElasticReport SimulateElasticTraining(const ElasticSpec& spec);
+
+}  // namespace aiacc::trainer

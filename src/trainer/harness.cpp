@@ -1,0 +1,332 @@
+#include "trainer/harness.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "dnn/zoo.h"
+
+namespace aiacc::trainer {
+
+std::string ToString(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kAiacc: return "aiacc";
+    case EngineKind::kAiaccAutotuned: return "aiacc-autotuned";
+    case EngineKind::kHorovod: return "horovod";
+    case EngineKind::kPytorchDdp: return "pytorch-ddp";
+    case EngineKind::kByteps: return "byteps";
+    case EngineKind::kMxnetKvstore: return "mxnet-kvstore";
+  }
+  return "?";
+}
+
+net::Topology MakeTopology(int gpus, int gpus_per_host,
+                           net::TransportKind transport) {
+  AIACC_CHECK(gpus >= 1);
+  net::Topology topo;
+  topo.inter_node = transport;
+  if (gpus <= gpus_per_host) {
+    topo.num_hosts = 1;
+    topo.gpus_per_host = gpus;
+  } else {
+    AIACC_CHECK(gpus % gpus_per_host == 0);
+    topo.num_hosts = gpus / gpus_per_host;
+    topo.gpus_per_host = gpus_per_host;
+  }
+  return topo;
+}
+
+namespace {
+
+/// Owns the full simulated deployment for one run.
+struct Deployment {
+  dnn::ModelDescriptor model;
+  sim::Engine sim;
+  net::CloudFabric fabric;
+  collective::SimCollectives collectives;
+  std::unique_ptr<core::DdlEngine> engine;
+
+  Deployment(const RunSpec& spec, std::uint64_t jitter_seed = 1)
+      : model(dnn::MakeModelByName(spec.model_name)),
+        fabric(sim, spec.topology, spec.fabric_params),
+        collectives(fabric) {
+    // Foreign-tenant congestion on host 0's NIC: TCP shares links per
+    // *connection*, so a tenant driving `load` of the NIC holds many
+    // connections — modeled as 20*load flows per direction, each capped at
+    // its proportional slice. Under max-min fairness they collectively
+    // squeeze the training streams to roughly (1 - load) of the link.
+    if (spec.background_load > 0.0 && spec.topology.num_hosts > 1) {
+      const int connections =
+          std::max(1, static_cast<int>(spec.background_load * 20.0));
+      const double per_connection_cap =
+          spec.background_load * fabric.NicBandwidth() / connections;
+      for (net::LinkIndex link :
+           {fabric.EgressLink(0), fabric.IngressLink(0)}) {
+        for (int c = 0; c < connections; ++c) {
+          net::Network::FlowSpec flow;
+          flow.path = {link};
+          flow.bytes = 1e18;  // effectively infinite
+          flow.rate_cap = per_connection_cap;
+          fabric.network().StartFlow(std::move(flow));
+        }
+      }
+    }
+
+    core::WorkloadSetup setup;
+    setup.fabric = &fabric;
+    setup.collectives = &collectives;
+    setup.gpu = gpu::GpuModel(spec.gpu_params);
+    setup.model = &model;
+    setup.batch_per_gpu = spec.batch_per_gpu;
+    setup.wire_dtype = spec.wire_dtype;
+    setup.cpu_optimizer_offload = spec.cpu_optimizer_offload;
+    setup.compute_jitter_sigma = spec.compute_jitter_sigma;
+    setup.jitter_seed = jitter_seed;
+    switch (spec.engine) {
+      case EngineKind::kAiacc:
+      case EngineKind::kAiaccAutotuned:
+        engine = std::make_unique<core::AiaccEngine>(setup, spec.aiacc_config);
+        break;
+      case EngineKind::kHorovod:
+        engine = std::make_unique<baselines::HorovodLikeEngine>(setup);
+        break;
+      case EngineKind::kPytorchDdp:
+        engine = std::make_unique<baselines::DdpLikeEngine>(setup);
+        break;
+      case EngineKind::kByteps:
+        engine = baselines::MakeBytePsEngine(setup);
+        break;
+      case EngineKind::kMxnetKvstore:
+        engine = baselines::MakeMxnetKvStoreEngine(setup);
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+namespace {
+RunResult RunOnce(const RunSpec& spec, std::uint64_t jitter_seed);
+}  // namespace
+
+RunResult Run(const RunSpec& spec) {
+  AIACC_CHECK(spec.repeats >= 1);
+  if (spec.repeats == 1) return RunOnce(spec, 1);
+  // §VII-D methodology: geometric mean over independent repeats.
+  std::vector<double> throughputs;
+  RunResult last;
+  for (int r = 0; r < spec.repeats; ++r) {
+    last = RunOnce(spec, static_cast<std::uint64_t>(r + 1));
+    throughputs.push_back(last.throughput);
+  }
+  last.throughput = GeometricMean(throughputs);
+  last.per_gpu_throughput = last.throughput / spec.topology.WorldSize();
+  return last;
+}
+
+namespace {
+RunResult RunOnce(const RunSpec& spec, std::uint64_t jitter_seed) {
+  Deployment dep(spec, jitter_seed);
+  RunResult result;
+  result.chosen_config = spec.aiacc_config;
+
+  if (spec.engine == EngineKind::kAiaccAutotuned) {
+    auto* aiacc = dynamic_cast<core::AiaccEngine*>(dep.engine.get());
+    AIACC_CHECK(aiacc != nullptr);
+    const int world = spec.topology.WorldSize();
+    const double samples_per_iter =
+        static_cast<double>(spec.batch_per_gpu) * world;
+    autotune::AutotuneOptions options;
+    options.solver.budget = spec.tune_budget;
+    options.cache = spec.tuning_cache;
+    options.model = &dep.model;
+    options.topology = spec.topology;
+    // Warm-up objective: one *real* training iteration under the candidate
+    // configuration; its gradients still update the model (no cycles
+    // wasted). Throughput of that single iteration is the score.
+    autotune::Objective objective =
+        [&](const core::CommConfig& cfg) -> double {
+      aiacc->SetConfig(cfg);
+      const auto stats = aiacc->RunIterations(1);
+      return samples_per_iter / stats.front().duration;
+    };
+    result.tuning = autotune::Tune(objective, options);
+    result.chosen_config = result.tuning->best_config;
+    aiacc->SetConfig(result.chosen_config);
+  }
+
+  (void)dep.engine->RunIterations(spec.warmup_iterations);
+  const double t0 = dep.sim.Now();
+  const auto stats = dep.engine->RunIterations(spec.measure_iterations);
+  const double elapsed = dep.sim.Now() - t0;
+  AIACC_CHECK(elapsed > 0.0);
+
+  const int world = spec.topology.WorldSize();
+  const double samples = static_cast<double>(spec.batch_per_gpu) * world *
+                         spec.measure_iterations;
+  result.throughput = samples / elapsed;
+  result.per_gpu_throughput = result.throughput / world;
+  result.iteration_time = elapsed / spec.measure_iterations;
+  result.last_iteration = stats.back();
+  return result;
+}
+}  // namespace
+
+std::vector<ScalingPoint> ScalingSweep(RunSpec spec,
+                                       const std::vector<int>& gpu_counts) {
+  // Single-GPU reference for the scaling-efficiency denominator (same model
+  // and batch, no communication).
+  RunSpec single = spec;
+  single.topology = MakeTopology(1, spec.topology.gpus_per_host,
+                                 spec.topology.inter_node);
+  single.engine = EngineKind::kAiacc;  // engine is irrelevant at world=1
+  const double single_gpu = Run(single).throughput;
+
+  std::vector<ScalingPoint> points;
+  for (int gpus : gpu_counts) {
+    RunSpec point_spec = spec;
+    point_spec.topology = MakeTopology(gpus, spec.topology.gpus_per_host,
+                                       spec.topology.inter_node);
+    const RunResult r = Run(point_spec);
+    ScalingPoint p;
+    p.gpus = gpus;
+    p.throughput = r.throughput;
+    p.scaling_efficiency = r.throughput / (single_gpu * gpus);
+    points.push_back(p);
+  }
+  return points;
+}
+
+double RunHybrid(const HybridSpec& spec) {
+  // Deployment: replicas of `model_shards` consecutive GPUs; stage s of
+  // replica r sits on rank r*shards + s.
+  const int world = spec.topology.WorldSize();
+  AIACC_CHECK(world % spec.model_shards == 0);
+  const int replicas = world / spec.model_shards;
+  const int shards = spec.model_shards;
+
+  dnn::ModelDescriptor model = dnn::MakeModelByName(spec.model_name);
+  sim::Engine sim;
+  net::CloudFabric fabric(sim, spec.topology, spec.fabric_params);
+  collective::SimCollectives collectives(fabric);
+  gpu::GpuModel gpu(spec.gpu_params);
+
+  // Per-iteration compute: the replica's batch flows through a pipeline of
+  // `shards` stages; with k microbatches the bubble adds (shards-1)/k of the
+  // per-stage time.
+  const auto profile = model.Profile(gpu, spec.batch_per_replica);
+  constexpr double kMicrobatches = 4.0;
+  const double stage_compute =
+      (profile.forward_time + profile.backward_time) / shards;
+  const double compute_time =
+      (profile.forward_time + profile.backward_time) +
+      stage_compute * (shards - 1) / kMicrobatches;
+
+  // Activation exchange between adjacent stages (both directions over the
+  // iteration); consecutive ranks share a host whenever gpus_per_host >=
+  // shards, so this typically rides NVLink.
+  const double act_bytes = 1.0e6 * spec.batch_per_replica * 2.0;
+
+  // Gradient communication: shard s all-reduces S/shards bytes across its
+  // replica group {r*shards + s : r}.
+  const double shard_bytes =
+      static_cast<double>(model.TotalParameterBytes()) / shards;
+
+  double total = 0.0;
+  const int iters = spec.measure_iterations;
+  for (int it = 0; it < iters; ++it) {
+    const double start = sim.Now();
+    int remaining = shards + (shards > 1 ? shards - 1 : 0);
+    bool finished = false;
+    auto on_piece_done = [&](double) {
+      if (--remaining == 0) finished = true;
+    };
+    // Serialized per-key exchange queue for the KVStore baseline.
+    std::deque<std::vector<int>> kv_queue;
+    std::function<void()> kv_pump = [&] {
+      if (kv_queue.empty()) return;
+      std::vector<int> group = std::move(kv_queue.front());
+      kv_queue.pop_front();
+      collective::SimCollectives::Unit unit;
+      unit.bytes_per_rank = 2.0 * shard_bytes;
+      unit.ranks = std::move(group);
+      unit.algorithm = collective::Algorithm::kRing;
+      unit.on_done = [&](double t) {
+        on_piece_done(t);
+        kv_pump();
+      };
+      collectives.Start(std::move(unit));
+    };
+    // Kick gradient units after compute; activations modeled as concurrent
+    // intra-replica flows during compute.
+    sim.ScheduleAfter(compute_time, [&] {
+      for (int s = 0; s < shards; ++s) {
+        std::vector<int> group;
+        for (int r = 0; r < replicas; ++r) group.push_back(r * shards + s);
+        if (spec.use_aiacc) {
+          // Multi-stream: split the shard into `num_streams` concurrent
+          // units.
+          const int streams = std::max(1, spec.aiacc_config.num_streams);
+          // One completion per shard: count sub-units internally.
+          auto pending = std::make_shared<int>(streams);
+          for (int u = 0; u < streams; ++u) {
+            collective::SimCollectives::Unit unit;
+            unit.bytes_per_rank = shard_bytes / streams;
+            unit.ranks = group;
+            unit.algorithm = spec.aiacc_config.algorithm;
+            unit.on_done = [&, pending](double t) {
+              if (--*pending == 0) on_piece_done(t);
+            };
+            collectives.Start(std::move(unit));
+          }
+        } else {
+          // KVStore-style PS per shard: push+pull moves twice the ring
+          // volume at the single-stream rate, and the KVStore engine
+          // serializes per-key (per-shard) exchanges instead of running
+          // them concurrently.
+          kv_queue.push_back(group);
+        }
+      }
+      if (!spec.use_aiacc) kv_pump();
+    });
+    // Activation traffic between adjacent stages of every replica.
+    if (shards > 1) {
+      for (int s = 0; s + 1 < shards; ++s) {
+        // All replicas exchange concurrently; model one aggregate flow per
+        // stage boundary (loads NVLink/NICs of all hosts involved).
+        net::Network::FlowSpec flow;
+        bool multi_host = false;
+        for (int r = 0; r < replicas; ++r) {
+          const int a = r * shards + s;
+          const int b = a + 1;
+          for (net::LinkIndex l : fabric.PathBetween(a, b)) {
+            if (std::find(flow.path.begin(), flow.path.end(), l) ==
+                flow.path.end()) {
+              flow.path.push_back(l);
+            }
+          }
+          multi_host |= !spec.topology.SameHost(a, b);
+        }
+        flow.bytes = act_bytes;
+        flow.rate_cap = multi_host ? fabric.InterNodeStreamCap()
+                                   : spec.fabric_params.nvlink_bandwidth;
+        flow.start_delay = multi_host ? fabric.InterNodeHopCost()
+                                      : fabric.NvlinkHopCost();
+        flow.on_complete = [&] { on_piece_done(sim.Now()); };
+        fabric.network().StartFlow(std::move(flow));
+      }
+    }
+    while (!finished && sim.Step()) {
+    }
+    AIACC_CHECK(finished);
+    total += sim.Now() - start;
+  }
+  const double samples =
+      static_cast<double>(spec.batch_per_replica) * replicas * iters;
+  return samples / total;
+}
+
+}  // namespace aiacc::trainer

@@ -1,0 +1,68 @@
+#include "transport/inproc.h"
+
+#include "common/logging.h"
+
+namespace aiacc::transport {
+
+InProcTransport::InProcTransport(int world_size)
+    : world_size_(world_size), mailboxes_(static_cast<std::size_t>(world_size)) {
+  AIACC_CHECK(world_size >= 1);
+}
+
+void InProcTransport::Send(int src, int dst, int tag, Payload payload) {
+  AIACC_CHECK(src >= 0 && src < world_size_);
+  AIACC_CHECK(dst >= 0 && dst < world_size_);
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.slots[{src, tag}].push_back(std::move(payload));
+  }
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  box.cv.notify_all();
+}
+
+Result<Payload> InProcTransport::Recv(int rank, int src, int tag) {
+  AIACC_CHECK(rank >= 0 && rank < world_size_);
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(src, tag);
+  box.cv.wait(lock, [&] {
+    auto it = box.slots.find(key);
+    return (it != box.slots.end() && !it->second.empty()) ||
+           shutdown_.load(std::memory_order_acquire);
+  });
+  auto it = box.slots.find(key);
+  if (it == box.slots.end() || it->second.empty()) {
+    return Unavailable("transport shut down");
+  }
+  Payload payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
+void InProcTransport::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  for (Mailbox& box : mailboxes_) box.cv.notify_all();
+  barrier_cv_.notify_all();
+}
+
+void InProcTransport::Barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const int my_generation = barrier_generation_;
+  if (++barrier_count_ == world_size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+    return;
+  }
+  barrier_cv_.wait(lock, [&] {
+    return barrier_generation_ != my_generation ||
+           shutdown_.load(std::memory_order_acquire);
+  });
+}
+
+std::uint64_t InProcTransport::TotalMessages() const {
+  return total_messages_.load(std::memory_order_relaxed);
+}
+
+}  // namespace aiacc::transport

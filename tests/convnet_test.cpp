@@ -1,0 +1,173 @@
+// ConvNet numeric tests: central-difference gradient checks through conv /
+// ReLU / max-pool / dense / softmax-CE, training convergence, and the
+// distributed CV path — data-parallel ConvNet training through the real
+// threaded AIACC engine must match sequential full-batch training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "core/threaded_engine.h"
+#include "dnn/convnet.h"
+
+namespace aiacc::dnn {
+namespace {
+
+ConvNetConfig SmallConfig() {
+  ConvNetConfig cfg;
+  cfg.input_channels = 1;
+  cfg.input_hw = 12;
+  cfg.conv_channels = {3, 4};
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+TEST(ConvNetTest, ShapesAndDeterminism) {
+  ConvNet a(SmallConfig(), 7);
+  ConvNet b(SmallConfig(), 7);
+  const auto ds = MakeSyntheticImages(4, 12, 3, 1);
+  EXPECT_EQ(a.Forward(ds.images, 4), b.Forward(ds.images, 4));
+  EXPECT_EQ(a.Forward(ds.images, 4).size(), 12u);  // 4 x 3 classes
+  EXPECT_GT(a.NumParameters(), 0u);
+  EXPECT_EQ(a.ParameterTensors().size(), a.NumTensors());
+  EXPECT_EQ(a.GradientTensors().size(), a.NumTensors());
+}
+
+TEST(ConvNetTest, SoftmaxLossSane) {
+  ConvNet net(SmallConfig(), 3);
+  const auto ds = MakeSyntheticImages(8, 12, 3, 2);
+  net.Forward(ds.images, 8);
+  const float loss = net.Loss(ds.labels);
+  // Untrained: near ln(3).
+  EXPECT_GT(loss, 0.3f);
+  EXPECT_LT(loss, 3.0f);
+}
+
+TEST(ConvNetTest, NumericalGradientCheck) {
+  // Central differences through the entire network. Max-pool/ReLU kinks can
+  // break finite differences at crossing points, so check several elements
+  // per tensor and require the vast majority to match tightly.
+  ConvNet net(SmallConfig(), 11);
+  const auto ds = MakeSyntheticImages(3, 12, 3, 5);
+  net.Forward(ds.images, 3);
+  net.Backward(ds.images, ds.labels, 3);
+  auto params = net.ParameterTensors();
+  // Copy analytic gradients before probing (Forward overwrites state).
+  std::vector<std::vector<float>> analytic;
+  for (auto g : net.GradientTensors()) analytic.emplace_back(g.begin(), g.end());
+
+  const float eps = 1e-3f;
+  int checked = 0;
+  int mismatched = 0;
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    const std::size_t stride = std::max<std::size_t>(1, params[t].size() / 5);
+    for (std::size_t i = 0; i < params[t].size(); i += stride) {
+      const float saved = params[t][i];
+      params[t][i] = saved + eps;
+      net.Forward(ds.images, 3);
+      const float up = net.Loss(ds.labels);
+      params[t][i] = saved - eps;
+      net.Forward(ds.images, 3);
+      const float down = net.Loss(ds.labels);
+      params[t][i] = saved;
+      const float numeric = (up - down) / (2 * eps);
+      ++checked;
+      if (std::fabs(analytic[t][i] - numeric) >
+          5e-3f + 0.05f * std::fabs(numeric)) {
+        ++mismatched;
+      }
+    }
+  }
+  EXPECT_GE(checked, 20);
+  // Allow a few kink crossings, nothing systematic.
+  EXPECT_LE(mismatched, checked / 10);
+}
+
+TEST(ConvNetTest, LearnsSyntheticPatterns) {
+  // Single conv stage keeps a wide feature map (6 x 5 x 5 = 150 features)
+  // so the stripe patterns are separable.
+  ConvNetConfig cfg = SmallConfig();
+  cfg.conv_channels = {6};
+  ConvNet net(cfg, 21);
+  const auto ds = MakeSyntheticImages(48, 12, 3, 9);
+  net.Forward(ds.images, ds.num_samples);
+  const float initial = net.Loss(ds.labels);
+  for (int step = 0; step < 60; ++step) {
+    net.Forward(ds.images, ds.num_samples);
+    net.Backward(ds.images, ds.labels, ds.num_samples);
+    net.SgdStep(0.1f);
+  }
+  net.Forward(ds.images, ds.num_samples);
+  EXPECT_LT(net.Loss(ds.labels), initial * 0.5f);
+  EXPECT_GT(net.Accuracy(ds.labels), 0.85);
+}
+
+TEST(ConvNetTest, DistributedTrainingMatchesSequential) {
+  // The CV analogue of the MLP end-to-end test: 4 data-parallel ConvNet
+  // replicas through the real threaded AIACC engine == sequential
+  // full-batch training.
+  const int world = 4;
+  const int steps = 5;
+  const float lr = 0.1f;
+  const auto ds = MakeSyntheticImages(32, 12, 3, 13);
+  const int shard = ds.num_samples / world;
+  const int img = 12 * 12;
+
+  ConvNet reference(SmallConfig(), 42);
+  for (int s = 0; s < steps; ++s) {
+    reference.Forward(ds.images, ds.num_samples);
+    reference.Backward(ds.images, ds.labels, ds.num_samples);
+    reference.SgdStep(lr);
+  }
+
+  core::CommConfig config;
+  config.num_streams = 2;
+  config.granularity_bytes = 512;
+  core::ThreadedAiaccEngine engine(world, config);
+  std::vector<std::unique_ptr<ConvNet>> replicas(
+      static_cast<std::size_t>(world));
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      auto& worker = engine.worker(r);
+      auto net = std::make_unique<ConvNet>(SmallConfig(), 42);
+      auto grads = net->GradientTensors();
+      for (std::size_t t = 0; t < grads.size(); ++t) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "t%02zu", t);
+        ASSERT_TRUE(worker.Register(name, grads[t]).ok());
+      }
+      worker.Finalize();
+      std::vector<float> x(ds.images.begin() + r * shard * img,
+                           ds.images.begin() + (r + 1) * shard * img);
+      std::vector<int> y(ds.labels.begin() + r * shard,
+                         ds.labels.begin() + (r + 1) * shard);
+      for (int s = 0; s < steps; ++s) {
+        net->Forward(x, shard);
+        net->Backward(x, y, shard);
+        worker.PushAll();
+        worker.WaitIteration();
+        net->SgdStep(lr);
+      }
+      replicas[static_cast<std::size_t>(r)] = std::move(net);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& replica : replicas) {
+    EXPECT_TRUE(replica->ParametersEqual(reference, 5e-4f));
+  }
+}
+
+TEST(ConvNetTest, DatasetIsBalancedAndLearnable) {
+  const auto ds = MakeSyntheticImages(300, 12, 3, 77);
+  std::vector<int> counts(3, 0);
+  for (int label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 3);
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  for (int c : counts) EXPECT_GT(c, 50);
+}
+
+}  // namespace
+}  // namespace aiacc::dnn

@@ -1,0 +1,326 @@
+// Model-zoo descriptor tests (parameter counts vs Table I, backward
+// schedules, profiles) and numeric MLP gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/mlp.h"
+#include "dnn/sampler.h"
+#include "dnn/model.h"
+#include "dnn/zoo.h"
+#include "gpu/gpu_model.h"
+
+namespace aiacc::dnn {
+namespace {
+
+double Millions(std::int64_t n) { return static_cast<double>(n) / 1e6; }
+
+// Table I parameter counts (paper) with our analytic tolerance. We construct
+// the published architectures exactly, so CNNs land within a couple percent
+// (BN/bias bookkeeping); see EXPERIMENTS.md for the per-model comparison.
+TEST(ZooTest, Vgg16ParametersMatchTable1) {
+  const auto m = MakeVgg16();
+  EXPECT_NEAR(Millions(m.TotalParameters()), 138.3, 1.5);
+}
+
+TEST(ZooTest, ResNet50ParametersMatchTable1) {
+  const auto m = MakeResNet50();
+  EXPECT_NEAR(Millions(m.TotalParameters()), 25.6, 1.0);
+}
+
+TEST(ZooTest, ResNet101ParametersNearReference) {
+  // Table I lists 29.4M for ResNet-101; the published architecture has
+  // 44.5M. We build the published one and record the discrepancy in
+  // EXPERIMENTS.md.
+  const auto m = MakeResNet101();
+  EXPECT_NEAR(Millions(m.TotalParameters()), 44.5, 2.0);
+}
+
+TEST(ZooTest, TransformerParametersMatchTable1) {
+  const auto m = MakeTransformerBase();
+  EXPECT_NEAR(Millions(m.TotalParameters()), 66.5, 6.0);
+}
+
+TEST(ZooTest, BertLargeParametersMatchTable1) {
+  const auto m = MakeBertLarge();
+  EXPECT_NEAR(Millions(m.TotalParameters()), 302.2, 2.0);
+}
+
+TEST(ZooTest, Gpt2XlParametersNearPublished) {
+  const auto m = MakeGpt2Xl();
+  EXPECT_NEAR(Millions(m.TotalParameters()), 1558.0, 40.0);
+}
+
+TEST(ZooTest, Vgg16FlopsMatchTable1) {
+  // 31 GFLOPs/image under the 2*MAC convention.
+  const auto m = MakeVgg16();
+  EXPECT_NEAR(m.FwdFlopsPerSample() / 1e9, 31.0, 2.0);
+}
+
+TEST(ZooTest, BertLargeFlopsMatchTable1) {
+  const auto m = MakeBertLarge();
+  EXPECT_NEAR(m.FwdFlopsPerSample() / 1e9, 232.0, 25.0);
+}
+
+TEST(ZooTest, CtrModelHasThousandsOfSmallGradients) {
+  const auto m = MakeCtrModel();
+  EXPECT_GT(m.NumGradients(), 2000);
+  // Median gradient is small (the PS/negotiation-bound profile).
+  std::vector<std::size_t> sizes;
+  for (const auto& g : m.gradients()) sizes.push_back(g.ByteSize());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_LT(sizes[sizes.size() / 2], 300u << 10);
+}
+
+TEST(ZooTest, AllModelsHaveConsistentDescriptors) {
+  for (const auto& m : AllZooModels()) {
+    SCOPED_TRACE(m.name());
+    EXPECT_GT(m.TotalParameters(), 0);
+    EXPECT_GT(m.FwdFlopsPerSample(), 0.0);
+    EXPECT_EQ(static_cast<int>(m.gradients().size()), m.NumGradients());
+    EXPECT_EQ(m.backward_order().size(), m.gradients().size());
+    // backward_order is a permutation of gradient ids.
+    std::vector<bool> seen(m.gradients().size(), false);
+    for (int id : m.backward_order()) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, m.NumGradients());
+      EXPECT_FALSE(seen[static_cast<std::size_t>(id)]);
+      seen[static_cast<std::size_t>(id)] = true;
+    }
+    // Sum of gradient elements equals total parameters.
+    std::int64_t total = 0;
+    for (const auto& g : m.gradients()) total += g.NumElements();
+    EXPECT_EQ(total, m.TotalParameters());
+  }
+}
+
+TEST(ZooTest, MakeModelByNameRoundTrips) {
+  for (const char* name :
+       {"vgg16", "resnet50", "resnet101", "transformer", "bert-large",
+        "gpt2-xl", "ctr", "insightface-r100"}) {
+    EXPECT_EQ(MakeModelByName(name).name(), name);
+  }
+}
+
+TEST(ModelTest, BackwardOrderIsReverseLayerOrder) {
+  const auto m = MakeVgg16();
+  // First gradient produced belongs to the last layer.
+  const int first = m.backward_order().front();
+  EXPECT_EQ(m.gradients()[static_cast<std::size_t>(first)].layer_index,
+            static_cast<int>(m.layers().size()) - 1);
+  const int last = m.backward_order().back();
+  EXPECT_EQ(m.gradients()[static_cast<std::size_t>(last)].layer_index, 0);
+}
+
+TEST(ModelTest, ProfileReadyTimesMonotoneInBackwardOrder) {
+  const auto m = MakeResNet50();
+  gpu::GpuModel gpu;
+  const auto profile = m.Profile(gpu, 64);
+  EXPECT_GT(profile.forward_time, 0.0);
+  EXPECT_NEAR(profile.backward_time, 2.0 * profile.forward_time, 1e-9);
+  double prev = 0.0;
+  for (int id : m.backward_order()) {
+    const double t = profile.ready_time[static_cast<std::size_t>(id)];
+    EXPECT_GE(t, prev - 1e-12);
+    prev = t;
+  }
+  // The last gradient is ready exactly at backward end.
+  EXPECT_NEAR(prev, profile.backward_time, 1e-9);
+}
+
+TEST(ModelTest, ProfileScalesLinearlyWithBatch) {
+  const auto m = MakeResNet50();
+  gpu::GpuModel gpu;
+  const auto p1 = m.Profile(gpu, 32);
+  const auto p2 = m.Profile(gpu, 64);
+  EXPECT_NEAR(p2.forward_time, 2.0 * p1.forward_time, 1e-9);
+}
+
+TEST(ModelTest, GraphFingerprintMatchesLayers) {
+  const auto m = MakeResNet50();
+  const auto fp = m.GraphFingerprint();
+  EXPECT_EQ(fp.size(), m.layers().size());
+  EXPECT_EQ(fp.front().kind, LayerKind::kConv);
+  EXPECT_EQ(fp.back().kind, LayerKind::kDense);
+}
+
+TEST(GpuModelTest, CalibratedResNet50Throughput) {
+  // ~360 images/s on a V100 at batch 64 (fwd+bwd = 3x fwd FLOPs).
+  const auto m = MakeResNet50();
+  gpu::GpuModel gpu;
+  const auto profile = m.Profile(gpu, 64);
+  const double imgs_per_sec =
+      64.0 / (profile.forward_time + profile.backward_time);
+  EXPECT_GT(imgs_per_sec, 280.0);
+  EXPECT_LT(imgs_per_sec, 480.0);
+}
+
+TEST(GpuModelTest, UsableCommStreams) {
+  gpu::GpuModel gpu;
+  // Idle GPU: plenty of slots. Busy GPU: few. Never below 1.
+  EXPECT_GE(gpu.UsableCommStreams(0.0), 24);
+  EXPECT_LE(gpu.UsableCommStreams(0.9), 4);
+  EXPECT_GE(gpu.UsableCommStreams(1.0), 1);
+  EXPECT_GT(gpu.UsableCommStreams(0.5), gpu.UsableCommStreams(0.9));
+}
+
+// --------------------------------------------------------------- Sampler ---
+
+TEST(DistributedSamplerTest, DisjointCoverWithoutShuffle) {
+  const int n = 20;
+  const int world = 4;
+  std::vector<bool> seen(n, false);
+  for (int r = 0; r < world; ++r) {
+    DistributedSampler sampler(n, world, r, 0, /*shuffle=*/false);
+    for (int idx : sampler.Indices()) {
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, n);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+      seen[static_cast<std::size_t>(idx)] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(DistributedSamplerTest, PadsToEqualSizes) {
+  // 10 samples over 4 ranks -> 3 per rank, 2 wrap-around duplicates.
+  const int world = 4;
+  std::size_t total = 0;
+  std::vector<int> count(10, 0);
+  for (int r = 0; r < world; ++r) {
+    DistributedSampler sampler(10, world, r, 0, /*shuffle=*/false);
+    const auto idx = sampler.Indices();
+    EXPECT_EQ(static_cast<int>(idx.size()), sampler.SamplesPerRank());
+    EXPECT_EQ(idx.size(), 3u);
+    total += idx.size();
+    for (int i : idx) ++count[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(total, 12u);
+  for (int c : count) EXPECT_GE(c, 1);  // everything still covered
+}
+
+TEST(DistributedSamplerTest, ShuffleIsEpochSeededAndRankConsistent) {
+  DistributedSampler a(100, 4, 0, 7);
+  DistributedSampler b(100, 4, 0, 7);
+  a.SetEpoch(3);
+  b.SetEpoch(3);
+  EXPECT_EQ(a.Indices(), b.Indices());
+  b.SetEpoch(4);
+  EXPECT_NE(a.Indices(), b.Indices());
+
+  // Across ranks, the same epoch's shards are disjoint (same permutation).
+  std::vector<bool> seen(100, false);
+  for (int r = 0; r < 4; ++r) {
+    DistributedSampler s(100, 4, r, 7);
+    s.SetEpoch(3);
+    for (int idx : s.Indices()) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(idx)]);
+      seen[static_cast<std::size_t>(idx)] = true;
+    }
+  }
+}
+
+TEST(DistributedSamplerTest, SingleWorkerSeesEverything) {
+  DistributedSampler s(17, 1, 0, 0, /*shuffle=*/true);
+  auto idx = s.Indices();
+  std::sort(idx.begin(), idx.end());
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(idx[static_cast<std::size_t>(i)], i);
+}
+
+// ------------------------------------------------------------------- MLP ---
+
+TEST(MlpTest, ForwardShapesAndDeterminism) {
+  Mlp a({4, 8, 2}, 7);
+  Mlp b({4, 8, 2}, 7);
+  std::vector<float> x(4 * 3, 0.5f);
+  EXPECT_EQ(a.Forward(x, 3), b.Forward(x, 3));
+  EXPECT_EQ(a.Forward(x, 3).size(), 6u);
+}
+
+TEST(MlpTest, NumericalGradientCheck) {
+  // Central-difference check of dLoss/dParam on a tiny network.
+  Mlp mlp({3, 5, 2}, 11);
+  auto ds = MakeSyntheticDataset(4, 3, 2, 99);
+  mlp.Forward(ds.inputs, 4);
+  mlp.Backward(ds.inputs, ds.targets, 4);
+  auto params = mlp.ParameterTensors();
+  auto grads = mlp.GradientTensors();
+  const float eps = 1e-3f;
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    for (std::size_t i = 0; i < std::min<std::size_t>(params[t].size(), 4);
+         ++i) {
+      const float saved = params[t][i];
+      params[t][i] = saved + eps;
+      const float up = Mlp::MseLoss(mlp.Forward(ds.inputs, 4), ds.targets);
+      params[t][i] = saved - eps;
+      const float down = Mlp::MseLoss(mlp.Forward(ds.inputs, 4), ds.targets);
+      params[t][i] = saved;
+      const float numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grads[t][i], numeric, 5e-3)
+          << "tensor " << t << " element " << i;
+    }
+  }
+}
+
+TEST(MlpTest, SgdTrainingReducesLoss) {
+  Mlp mlp({6, 16, 2}, 3);
+  auto ds = MakeSyntheticDataset(64, 6, 2, 5);
+  const float initial = Mlp::MseLoss(mlp.Forward(ds.inputs, 64), ds.targets);
+  for (int step = 0; step < 200; ++step) {
+    mlp.Forward(ds.inputs, 64);
+    mlp.Backward(ds.inputs, ds.targets, 64);
+    mlp.SgdStep(0.5f);
+  }
+  const float trained = Mlp::MseLoss(mlp.Forward(ds.inputs, 64), ds.targets);
+  EXPECT_LT(trained, initial * 0.3f);
+}
+
+TEST(MlpTest, GradientIsAverageOverBatch) {
+  // Full-batch gradient equals the average of per-sample gradients — the
+  // property data-parallel averaging relies on.
+  Mlp mlp({3, 4, 1}, 17);
+  auto ds = MakeSyntheticDataset(2, 3, 1, 23);
+  mlp.Forward(ds.inputs, 2);
+  mlp.Backward(ds.inputs, ds.targets, 2);
+  std::vector<std::vector<float>> full;
+  for (auto g : mlp.GradientTensors()) full.emplace_back(g.begin(), g.end());
+
+  // Per-sample gradients averaged by hand.
+  std::vector<std::vector<float>> avg;
+  for (int s = 0; s < 2; ++s) {
+    std::vector<float> x(ds.inputs.begin() + s * 3,
+                         ds.inputs.begin() + (s + 1) * 3);
+    std::vector<float> y(ds.targets.begin() + s, ds.targets.begin() + s + 1);
+    Mlp clone({3, 4, 1}, 17);
+    clone.Forward(x, 1);
+    clone.Backward(x, y, 1);
+    auto grads = clone.GradientTensors();
+    if (avg.empty()) {
+      for (auto g : grads) avg.emplace_back(g.size(), 0.0f);
+    }
+    for (std::size_t t = 0; t < grads.size(); ++t) {
+      for (std::size_t i = 0; i < grads[t].size(); ++i) {
+        avg[t][i] += grads[t][i] / 2.0f;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < full.size(); ++t) {
+    for (std::size_t i = 0; i < full[t].size(); ++i) {
+      ASSERT_NEAR(full[t][i], avg[t][i], 1e-5);
+    }
+  }
+}
+
+TEST(MlpTest, ParametersEqualDetectsDifference) {
+  Mlp a({3, 4, 1}, 1);
+  Mlp b({3, 4, 1}, 1);
+  EXPECT_TRUE(a.ParametersEqual(b, 0.0f));
+  auto ds = MakeSyntheticDataset(4, 3, 1, 2);
+  a.Forward(ds.inputs, 4);
+  a.Backward(ds.inputs, ds.targets, 4);
+  a.SgdStep(0.1f);
+  EXPECT_FALSE(a.ParametersEqual(b, 1e-9f));
+}
+
+}  // namespace
+}  // namespace aiacc::dnn

@@ -1,0 +1,119 @@
+// Elastic / fault-tolerance simulation tests (paper §IV): checkpoint
+// cadence, failure replay accounting, rejoin broadcast, and the
+// no-checkpoint restart-from-scratch edge case.
+#include <gtest/gtest.h>
+
+#include "trainer/elastic.h"
+#include "trainer/harness.h"
+
+namespace aiacc::trainer {
+namespace {
+
+ElasticSpec BaseSpec() {
+  ElasticSpec spec;
+  spec.model_name = "resnet50";
+  spec.topology = MakeTopology(16);
+  spec.total_iterations = 40;
+  spec.checkpoint_interval = 10;
+  spec.replacement_delay = 30.0;
+  return spec;
+}
+
+TEST(ElasticTest, HealthyRunHasOnlyCheckpointOverhead) {
+  ElasticSpec spec = BaseSpec();
+  spec.fail_at_iteration = -1;
+  const auto report = SimulateElasticTraining(spec);
+  EXPECT_EQ(report.iterations_replayed, 0);
+  EXPECT_EQ(report.replay_overhead, 0.0);
+  EXPECT_EQ(report.replacement_overhead, 0.0);
+  EXPECT_EQ(report.checkpoints_written, 3);  // @10, @20, @30 (not @40 = end)
+  EXPECT_NEAR(report.total_time,
+              report.ideal_time + report.checkpoint_overhead, 1e-9);
+}
+
+TEST(ElasticTest, FailureReplaysSinceLastCheckpoint) {
+  ElasticSpec spec = BaseSpec();
+  spec.fail_at_iteration = 27;  // last checkpoint @20 -> replay 7
+  const auto report = SimulateElasticTraining(spec);
+  EXPECT_EQ(report.iterations_replayed, 7);
+  EXPECT_GT(report.replay_overhead, 0.0);
+  EXPECT_EQ(report.replacement_overhead, 30.0);
+  EXPECT_GT(report.rejoin_broadcast_time, 0.0);
+  // Total = ideal + checkpoints + replay + replacement + rejoin.
+  EXPECT_NEAR(report.total_time,
+              report.ideal_time + report.checkpoint_overhead +
+                  report.replay_overhead + report.replacement_overhead +
+                  report.rejoin_broadcast_time,
+              1e-6);
+}
+
+TEST(ElasticTest, FailureAtCheckpointBoundaryReplaysNothing) {
+  ElasticSpec spec = BaseSpec();
+  spec.fail_at_iteration = 20;  // exactly at the checkpoint
+  const auto report = SimulateElasticTraining(spec);
+  EXPECT_EQ(report.iterations_replayed, 0);
+  // Still pays the half-iteration that was in flight.
+  EXPECT_GT(report.replay_overhead, 0.0);
+}
+
+TEST(ElasticTest, NoCheckpointingMeansFullRestart) {
+  ElasticSpec spec = BaseSpec();
+  spec.checkpoint_interval = 0;
+  spec.fail_at_iteration = 25;
+  const auto report = SimulateElasticTraining(spec);
+  EXPECT_EQ(report.iterations_replayed, 25);
+  EXPECT_EQ(report.checkpoints_written, 0);
+  EXPECT_EQ(report.checkpoint_overhead, 0.0);
+}
+
+TEST(ElasticTest, TighterCheckpointsTradeOverheadForReplay) {
+  ElasticSpec frequent = BaseSpec();
+  frequent.checkpoint_interval = 5;
+  frequent.fail_at_iteration = 29;
+  ElasticSpec sparse = BaseSpec();
+  sparse.checkpoint_interval = 20;
+  sparse.fail_at_iteration = 29;
+
+  const auto f = SimulateElasticTraining(frequent);
+  const auto s = SimulateElasticTraining(sparse);
+  EXPECT_GT(f.checkpoint_overhead, s.checkpoint_overhead);
+  EXPECT_LT(f.replay_overhead, s.replay_overhead);
+  EXPECT_LT(f.iterations_replayed, s.iterations_replayed);
+}
+
+TEST(ElasticTest, TimelineIsChronologicalAndComplete) {
+  ElasticSpec spec = BaseSpec();
+  spec.fail_at_iteration = 15;
+  const auto report = SimulateElasticTraining(spec);
+  ASSERT_GE(report.timeline.size(), 5u);
+  for (std::size_t i = 1; i < report.timeline.size(); ++i) {
+    EXPECT_GE(report.timeline[i].time, report.timeline[i - 1].time);
+  }
+  bool saw_failure = false;
+  bool saw_rejoin = false;
+  bool saw_complete = false;
+  for (const auto& e : report.timeline) {
+    if (e.what.find("NODE FAILURE") != std::string::npos) saw_failure = true;
+    if (e.what.find("broadcast") != std::string::npos) saw_rejoin = true;
+    if (e.what.find("complete") != std::string::npos) saw_complete = true;
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_rejoin);
+  EXPECT_TRUE(saw_complete);
+}
+
+TEST(ElasticTest, RejoinBroadcastScalesWithModelSize) {
+  ElasticSpec small = BaseSpec();
+  small.model_name = "resnet50";  // ~100 MB
+  small.fail_at_iteration = 15;
+  ElasticSpec big = BaseSpec();
+  big.model_name = "bert-large";  // ~1.2 GB
+  big.batch_per_gpu = 8;
+  big.fail_at_iteration = 15;
+  const auto s = SimulateElasticTraining(small);
+  const auto b = SimulateElasticTraining(big);
+  EXPECT_GT(b.rejoin_broadcast_time, s.rejoin_broadcast_time * 5);
+}
+
+}  // namespace
+}  // namespace aiacc::trainer

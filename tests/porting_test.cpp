@@ -1,0 +1,159 @@
+// Source-to-source translator tests (paper §IV): Horovod one-line port,
+// full sequential-to-distributed conversion, idempotence, and conservative
+// behaviour on patterns the tool does not recognize.
+#include <gtest/gtest.h>
+
+#include "porting/translator.h"
+
+namespace aiacc::porting {
+namespace {
+
+bool HasEdit(const TranslationResult& r, Edit::Kind kind) {
+  for (const Edit& e : r.edits) {
+    if (e.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(HorovodPortTest, SwapsImportKeepingAlias) {
+  const std::string script =
+      "import torch\n"
+      "import horovod.torch as hvd\n"
+      "\n"
+      "hvd.init()\n"
+      "optimizer = hvd.DistributedOptimizer(optimizer)\n";
+  const auto result = PortHorovodScript(script);
+  EXPECT_FALSE(result.already_ported);
+  ASSERT_EQ(result.edits.size(), 1u);
+  EXPECT_EQ(result.edits[0].kind, Edit::Kind::kImportSwap);
+  EXPECT_EQ(result.edits[0].line, 2);
+  // The import now pulls Perseus, but the alias (and thus the rest of the
+  // program) is untouched — the paper's "changing one line" port.
+  EXPECT_NE(result.source.find("import perseus.torch as hvd"),
+            std::string::npos);
+  EXPECT_NE(result.source.find("hvd.init()"), std::string::npos);
+  EXPECT_EQ(result.source.find("import horovod"), std::string::npos);
+}
+
+TEST(HorovodPortTest, FromImportForm) {
+  const auto result =
+      PortHorovodScript("from horovod.tensorflow import keras as hvd_keras\n");
+  EXPECT_NE(result.source.find("from perseus.tensorflow"), std::string::npos);
+}
+
+TEST(HorovodPortTest, AlreadyPortedIsNoOp) {
+  const std::string script = "import perseus.torch as hvd\nhvd.init()\n";
+  const auto result = PortHorovodScript(script);
+  EXPECT_TRUE(result.already_ported);
+  EXPECT_EQ(result.source, script);
+  EXPECT_TRUE(result.edits.empty());
+}
+
+constexpr const char* kSequentialScript =
+    "import torch\n"
+    "import torch.nn as nn\n"
+    "from torch.utils.data import DataLoader\n"
+    "\n"
+    "model = ResNet50()\n"
+    "loader = DataLoader(train_dataset, batch_size=64, shuffle=True)\n"
+    "optimizer = torch.optim.SGD(model.parameters(), lr=0.1, momentum=0.9)\n"
+    "\n"
+    "for epoch in range(90):\n"
+    "    for x, y in loader:\n"
+    "        loss = criterion(model(x), y)\n"
+    "        loss.backward()\n"
+    "        optimizer.step()\n"
+    "    torch.save(model.state_dict(), 'ckpt.pt')\n";
+
+TEST(SequentialPortTest, AppliesAllSixTransformations) {
+  const auto result = PortSequentialScript(kSequentialScript);
+  EXPECT_FALSE(result.already_ported);
+  EXPECT_TRUE(HasEdit(result, Edit::Kind::kInsertInit));
+  EXPECT_TRUE(HasEdit(result, Edit::Kind::kBroadcastParams));
+  EXPECT_TRUE(HasEdit(result, Edit::Kind::kShardDataLoader));
+  EXPECT_TRUE(HasEdit(result, Edit::Kind::kWrapOptimizer));
+  EXPECT_TRUE(HasEdit(result, Edit::Kind::kScaleLearningRate));
+  EXPECT_TRUE(HasEdit(result, Edit::Kind::kGuardCheckpoint));
+}
+
+TEST(SequentialPortTest, GeneratedSourceHasExpectedLines) {
+  const auto result = PortSequentialScript(kSequentialScript);
+  const std::string& s = result.source;
+  EXPECT_NE(s.find("import perseus.torch as perseus"), std::string::npos);
+  EXPECT_NE(s.find("perseus.init()"), std::string::npos);
+  EXPECT_NE(s.find("perseus.broadcast_parameters(model.state_dict(), "
+                   "root_rank=0)"),
+            std::string::npos);
+  EXPECT_NE(s.find("sampler=perseus.DistributedSampler(train_dataset"),
+            std::string::npos);
+  EXPECT_NE(s.find("optimizer = perseus.DistributedOptimizer(optimizer)"),
+            std::string::npos);
+  EXPECT_NE(s.find("lr=0.1 * perseus.size()"), std::string::npos);
+  EXPECT_NE(s.find("if perseus.rank() == 0:"), std::string::npos);
+}
+
+TEST(SequentialPortTest, InitInsertedAfterImports) {
+  const auto result = PortSequentialScript(kSequentialScript);
+  const std::size_t init = result.source.find("perseus.init()");
+  const std::size_t model = result.source.find("model = ResNet50()");
+  ASSERT_NE(init, std::string::npos);
+  ASSERT_NE(model, std::string::npos);
+  EXPECT_LT(init, model);
+}
+
+TEST(SequentialPortTest, CheckpointGuardPreservesIndentation) {
+  const auto result = PortSequentialScript(kSequentialScript);
+  // The save was indented by 4 inside the epoch loop; the guard must keep
+  // that indentation and nest the save one level deeper.
+  EXPECT_NE(result.source.find("    if perseus.rank() == 0:\n"
+                               "        torch.save("),
+            std::string::npos);
+}
+
+TEST(SequentialPortTest, Idempotent) {
+  const auto once = PortSequentialScript(kSequentialScript);
+  const auto twice = PortSequentialScript(once.source);
+  EXPECT_TRUE(twice.already_ported);
+  EXPECT_EQ(twice.source, once.source);
+}
+
+TEST(SequentialPortTest, NonLiteralLearningRateLeftAlone) {
+  const std::string script =
+      "import torch\n"
+      "optimizer = torch.optim.SGD(model.parameters(), lr=args.lr)\n";
+  const auto result = PortSequentialScript(script);
+  EXPECT_FALSE(HasEdit(result, Edit::Kind::kScaleLearningRate));
+  EXPECT_TRUE(HasEdit(result, Edit::Kind::kWrapOptimizer));
+  EXPECT_EQ(result.source.find("args.lr * perseus.size()"),
+            std::string::npos);
+}
+
+TEST(SequentialPortTest, ExistingSamplerNotDuplicated) {
+  const std::string script =
+      "import torch\n"
+      "loader = DataLoader(ds, sampler=my_sampler)\n";
+  const auto result = PortSequentialScript(script);
+  EXPECT_FALSE(HasEdit(result, Edit::Kind::kShardDataLoader));
+}
+
+TEST(SequentialPortTest, OnlyFirstOptimizerWrapped) {
+  const std::string script =
+      "import torch\n"
+      "optimizer = torch.optim.SGD(p, lr=0.1)\n"
+      "optimizer = torch.optim.Adam(p, lr=0.001)\n";
+  const auto result = PortSequentialScript(script);
+  int wraps = 0;
+  for (const Edit& e : result.edits) {
+    if (e.kind == Edit::Kind::kWrapOptimizer) ++wraps;
+  }
+  EXPECT_EQ(wraps, 1);
+}
+
+TEST(SequentialPortTest, EditKindsHaveNames) {
+  for (int k = 0; k <= static_cast<int>(Edit::Kind::kGuardCheckpoint); ++k) {
+    EXPECT_NE(ToString(static_cast<Edit::Kind>(k)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace aiacc::porting

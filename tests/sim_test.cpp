@@ -1,0 +1,98 @@
+// Tests for the discrete-event engine: ordering, cancellation, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace aiacc::sim {
+namespace {
+
+TEST(SimEngineTest, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(3.0, [&] { order.push_back(3); });
+  engine.ScheduleAt(1.0, [&] { order.push_back(1); });
+  engine.ScheduleAt(2.0, [&] { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.Now(), 3.0);
+}
+
+TEST(SimEngineTest, FifoAmongEqualTimes) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimEngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.ScheduleAt(5.0, [&] {
+    engine.ScheduleAfter(2.5, [&] { fired_at = engine.Now(); });
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(SimEngineTest, CancelPreventsExecution) {
+  Engine engine;
+  bool ran = false;
+  const EventId id = engine.ScheduleAt(1.0, [&] { ran = true; });
+  EXPECT_TRUE(engine.Cancel(id));
+  EXPECT_FALSE(engine.Cancel(id));  // double-cancel reports failure
+  engine.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimEngineTest, CancelAfterFireFails) {
+  Engine engine;
+  const EventId id = engine.ScheduleAt(1.0, [] {});
+  engine.Run();
+  EXPECT_FALSE(engine.Cancel(id));
+}
+
+TEST(SimEngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  std::vector<double> fired;
+  engine.ScheduleAt(1.0, [&] { fired.push_back(1.0); });
+  engine.ScheduleAt(2.0, [&] { fired.push_back(2.0); });
+  engine.ScheduleAt(5.0, [&] { fired.push_back(5.0); });
+  engine.RunUntil(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(engine.Now(), 3.0);
+  EXPECT_EQ(engine.PendingEvents(), 1u);
+  engine.Run();
+  EXPECT_EQ(fired.back(), 5.0);
+}
+
+TEST(SimEngineTest, EventsScheduledDuringRunExecute) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) engine.ScheduleAfter(0.1, recurse);
+  };
+  engine.ScheduleAfter(0.1, recurse);
+  engine.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_NEAR(engine.Now(), 10.0, 1e-9);
+}
+
+TEST(SimEngineTest, ExecutedEventsCounts) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.ScheduleAt(i, [] {});
+  engine.Run();
+  EXPECT_EQ(engine.ExecutedEvents(), 7u);
+}
+
+TEST(SimEngineTest, StepReturnsFalseWhenEmpty) {
+  Engine engine;
+  EXPECT_FALSE(engine.Step());
+}
+
+}  // namespace
+}  // namespace aiacc::sim

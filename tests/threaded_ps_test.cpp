@@ -1,0 +1,192 @@
+// Functional parameter-server tests: averaging semantics, equivalence with
+// ring all-reduce, key partitioning across server threads, multi-iteration
+// reuse, and PS-based data-parallel training matching sequential training.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baselines/threaded_ps.h"
+#include "collective/threaded.h"
+#include "common/rng.h"
+#include "dnn/mlp.h"
+
+namespace aiacc::baselines {
+namespace {
+
+TEST(ThreadedPsTest, AveragesAcrossWorkers) {
+  const int workers = 3;
+  ThreadedParameterServer ps(workers, 2, {4, 2});
+  std::vector<std::vector<float>> key0 = {
+      {1, 2, 3, 4}, {2, 3, 4, 5}, {3, 4, 5, 6}};
+  std::vector<std::vector<float>> key1 = {{10, 20}, {30, 40}, {50, 60}};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      ps.PushPull(w, 0, key0[static_cast<std::size_t>(w)]);
+      ps.PushPull(w, 1, key1[static_cast<std::size_t>(w)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int w = 0; w < workers; ++w) {
+    EXPECT_EQ(key0[static_cast<std::size_t>(w)],
+              (std::vector<float>{2, 3, 4, 5}));
+    EXPECT_EQ(key1[static_cast<std::size_t>(w)],
+              (std::vector<float>{30, 40}));
+  }
+  EXPECT_EQ(ps.PushesServed(), 6u);  // 2 keys x 3 workers
+}
+
+TEST(ThreadedPsTest, MatchesRingAllReduce) {
+  const int workers = 4;
+  const std::vector<std::size_t> sizes = {33, 7, 129};
+  ThreadedParameterServer ps(workers, 3, sizes);
+  Rng rng(8);
+  // Identical inputs go through PS and through a ring all-reduce.
+  std::vector<std::vector<std::vector<float>>> ps_data(workers);
+  std::vector<std::vector<float>> ring_data(workers);
+  for (int w = 0; w < workers; ++w) {
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      std::vector<float> v(sizes[k]);
+      for (float& x : v) x = static_cast<float>(rng.Uniform(-3, 3));
+      ps_data[static_cast<std::size_t>(w)].push_back(v);
+      ring_data[static_cast<std::size_t>(w)].insert(
+          ring_data[static_cast<std::size_t>(w)].end(), v.begin(), v.end());
+    }
+  }
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::size_t k = 0; k < sizes.size(); ++k) {
+        ps.PushPull(w, static_cast<int>(k),
+                    ps_data[static_cast<std::size_t>(w)][k]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  transport::InProcTransport tr(workers);
+  std::vector<std::thread> ring_threads;
+  for (int w = 0; w < workers; ++w) {
+    ring_threads.emplace_back([&, w] {
+      collective::Comm comm{&tr, w, workers, 0};
+      collective::RingAllReduce(comm, ring_data[static_cast<std::size_t>(w)],
+                                collective::ReduceOp::kAvg);
+    });
+  }
+  for (auto& t : ring_threads) t.join();
+
+  for (int w = 0; w < workers; ++w) {
+    std::size_t offset = 0;
+    for (std::size_t k = 0; k < sizes.size(); ++k) {
+      for (std::size_t i = 0; i < sizes[k]; ++i) {
+        ASSERT_NEAR(ps_data[static_cast<std::size_t>(w)][k][i],
+                    ring_data[static_cast<std::size_t>(w)][offset + i], 1e-4)
+            << "worker " << w << " key " << k << " elem " << i;
+      }
+      offset += sizes[k];
+    }
+  }
+}
+
+TEST(ThreadedPsTest, ManyIterationsStayConsistent) {
+  const int workers = 2;
+  ThreadedParameterServer ps(workers, 1, {8});
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<float> v(8);
+      for (int iter = 0; iter < 50; ++iter) {
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          v[i] = static_cast<float>(w + iter);
+        }
+        ps.PushPull(w, 0, v);
+        // Average of (0 + iter) and (1 + iter) = iter + 0.5.
+        for (float x : v) {
+          ASSERT_FLOAT_EQ(x, static_cast<float>(iter) + 0.5f);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(ThreadedPsTest, PushThenDeferredPull) {
+  // BytePS pipelines pushes: all keys pushed first, then pulled.
+  const int workers = 2;
+  ThreadedParameterServer ps(workers, 2, {3, 3, 3, 3});
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<std::vector<float>> data(4, std::vector<float>(3));
+      for (int k = 0; k < 4; ++k) {
+        for (auto& x : data[static_cast<std::size_t>(k)]) {
+          x = static_cast<float>(k * 10 + w);
+        }
+        ps.Push(w, k, data[static_cast<std::size_t>(k)]);
+      }
+      for (int k = 0; k < 4; ++k) {
+        ps.Pull(w, k, data[static_cast<std::size_t>(k)]);
+        for (float x : data[static_cast<std::size_t>(k)]) {
+          ASSERT_FLOAT_EQ(x, static_cast<float>(k * 10) + 0.5f);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+TEST(ThreadedPsTest, PsTrainingMatchesSequential) {
+  // Data-parallel MLP training with PS aggregation == sequential full-batch
+  // (the same contract the all-reduce engines satisfy).
+  const int world = 4;
+  const int steps = 6;
+  const float lr = 0.2f;
+  const auto ds = dnn::MakeSyntheticDataset(32, 6, 2, 7);
+  const int shard = ds.num_samples / world;
+
+  dnn::Mlp reference({6, 12, 2}, 42);
+  for (int s = 0; s < steps; ++s) {
+    reference.Forward(ds.inputs, ds.num_samples);
+    reference.Backward(ds.inputs, ds.targets, ds.num_samples);
+    reference.SgdStep(lr);
+  }
+
+  // Key sizes from the model's gradient tensors.
+  dnn::Mlp proto({6, 12, 2}, 42);
+  std::vector<std::size_t> key_sizes;
+  for (auto g : proto.GradientTensors()) key_sizes.push_back(g.size());
+  ThreadedParameterServer ps(world, 2, key_sizes);
+
+  std::vector<std::unique_ptr<dnn::Mlp>> replicas(
+      static_cast<std::size_t>(world));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < world; ++w) {
+    threads.emplace_back([&, w] {
+      auto model = std::make_unique<dnn::Mlp>(std::vector<int>{6, 12, 2}, 42);
+      std::vector<float> x(ds.inputs.begin() + w * shard * 6,
+                           ds.inputs.begin() + (w + 1) * shard * 6);
+      std::vector<float> y(ds.targets.begin() + w * shard * 2,
+                           ds.targets.begin() + (w + 1) * shard * 2);
+      for (int s = 0; s < steps; ++s) {
+        model->Forward(x, shard);
+        model->Backward(x, y, shard);
+        auto grads = model->GradientTensors();
+        for (std::size_t k = 0; k < grads.size(); ++k) {
+          ps.Push(w, static_cast<int>(k), grads[k]);
+        }
+        for (std::size_t k = 0; k < grads.size(); ++k) {
+          ps.Pull(w, static_cast<int>(k), grads[k]);
+        }
+        model->SgdStep(lr);
+      }
+      replicas[static_cast<std::size_t>(w)] = std::move(model);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& replica : replicas) {
+    EXPECT_TRUE(replica->ParametersEqual(reference, 2e-4f));
+  }
+}
+
+}  // namespace
+}  // namespace aiacc::baselines

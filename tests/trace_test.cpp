@@ -1,0 +1,167 @@
+// Execution-trace tests: the tracer's JSON rendering and busy-time math,
+// plus the engine integration — the trace must show communication genuinely
+// overlapping backward compute (the paper's Fig. 5).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/aiacc_engine.h"
+#include "dnn/zoo.h"
+#include "sim/trace.h"
+#include "trainer/harness.h"
+
+namespace aiacc::sim {
+namespace {
+
+TEST(TracerTest, SpansAndInstantsRecorded) {
+  Tracer tracer;
+  tracer.AddSpan("compute", "forward", 0.0, 1.0);
+  tracer.AddSpan("compute", "backward", 1.0, 3.0);
+  tracer.AddInstant("compute", "done", 3.5);
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.instants().size(), 1u);
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+}
+
+TEST(TracerTest, BusyTimeMergesOverlaps) {
+  Tracer tracer;
+  tracer.AddSpan("s", "a", 0.0, 2.0);
+  tracer.AddSpan("s", "b", 1.0, 3.0);   // overlaps a
+  tracer.AddSpan("s", "c", 5.0, 6.0);   // disjoint
+  tracer.AddSpan("t", "x", 0.0, 100.0); // other track, ignored
+  EXPECT_DOUBLE_EQ(tracer.BusyTime("s"), 4.0);
+  EXPECT_DOUBLE_EQ(tracer.BusyTime("missing"), 0.0);
+}
+
+TEST(TracerTest, ChromeJsonWellFormed) {
+  Tracer tracer;
+  tracer.AddSpan("compute", "fwd \"quoted\"", 0.0, 0.001);
+  tracer.AddInstant("sync", "round", 0.002);
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaped
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int depth = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (char c : json) {
+    if (c == '"' && prev != '\\') in_string = !in_string;
+    if (!in_string) {
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+      EXPECT_GE(depth, 0);
+    }
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(TracerTest, WriteToFile) {
+  Tracer tracer;
+  tracer.AddSpan("s", "a", 0.0, 1.0);
+  const std::string path = ::testing::TempDir() + "/trace_test.json";
+  ASSERT_TRUE(tracer.WriteTo(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, tracer.ToChromeJson());
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, EngineEmitsOverlappingCommAndCompute) {
+  // Build a traced AIACC deployment and verify the paper's Fig. 5 picture:
+  // communication spans overlap the backward-compute span.
+  Tracer tracer;
+  dnn::ModelDescriptor model = dnn::MakeResNet50();
+  sim::Engine engine;
+  net::CloudFabric fabric(engine, trainer::MakeTopology(16),
+                          net::FabricParams{});
+  collective::SimCollectives collectives(fabric);
+  core::WorkloadSetup setup;
+  setup.fabric = &fabric;
+  setup.collectives = &collectives;
+  setup.model = &model;
+  setup.batch_per_gpu = 64;
+  setup.tracer = &tracer;
+  core::AiaccEngine ddl(setup, core::CommConfig{});
+  const auto stats = ddl.RunIterations(2);
+
+  // Span counts line up with the engine's own statistics.
+  int units = 0;
+  int syncs = 0;
+  double backward_begin = -1.0;
+  double backward_end = -1.0;
+  for (const auto& span : tracer.spans()) {
+    if (span.track.rfind("stream ", 0) == 0) ++units;
+    if (span.track == "sync") ++syncs;
+    if (span.name == "backward" && backward_begin < 0) {
+      backward_begin = span.begin;
+      backward_end = span.end;
+    }
+  }
+  int expected_units = 0;
+  int expected_syncs = 0;
+  for (const auto& s : stats) {
+    expected_units += s.allreduce_units;
+    expected_syncs += s.sync_rounds;
+  }
+  EXPECT_EQ(units, expected_units);
+  EXPECT_EQ(syncs, expected_syncs);
+  EXPECT_EQ(tracer.instants().size(), 2u);  // one per iteration
+
+  // Overlap: at least one communication span starts inside backward.
+  bool overlapped = false;
+  for (const auto& span : tracer.spans()) {
+    if (span.track.rfind("stream ", 0) == 0 && span.begin < backward_end &&
+        span.begin >= backward_begin) {
+      overlapped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(overlapped)
+      << "no all-reduce unit overlapped backward compute";
+}
+
+TEST(TracerTest, StreamSlotsNeverDoubleBooked) {
+  Tracer tracer;
+  dnn::ModelDescriptor model = dnn::MakeVgg16();
+  sim::Engine engine;
+  net::CloudFabric fabric(engine, trainer::MakeTopology(16),
+                          net::FabricParams{});
+  collective::SimCollectives collectives(fabric);
+  core::WorkloadSetup setup;
+  setup.fabric = &fabric;
+  setup.collectives = &collectives;
+  setup.model = &model;
+  setup.batch_per_gpu = 64;
+  setup.tracer = &tracer;
+  core::AiaccEngine ddl(setup, core::CommConfig{});
+  (void)ddl.RunIterations(1);
+
+  // Spans within one stream track must not overlap (a slot is one stream).
+  std::map<std::string, std::vector<std::pair<double, double>>> by_track;
+  for (const auto& span : tracer.spans()) {
+    if (span.track.rfind("stream ", 0) == 0) {
+      by_track[span.track].emplace_back(span.begin, span.end);
+    }
+  }
+  EXPECT_FALSE(by_track.empty());
+  for (auto& [track, intervals] : by_track) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-12)
+          << track << " double-booked";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aiacc::sim

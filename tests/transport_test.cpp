@@ -1,0 +1,154 @@
+// In-process transport tests: (src, tag) matching, FIFO per channel,
+// blocking receive semantics, barrier, shutdown, and concurrent stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "transport/inproc.h"
+
+namespace aiacc::transport {
+namespace {
+
+TEST(InProcTransportTest, DeliversToMatchingSourceAndTag) {
+  InProcTransport tr(3);
+  tr.Send(0, 2, /*tag=*/7, {1.0f});
+  tr.Send(1, 2, /*tag=*/7, {2.0f});
+  tr.Send(0, 2, /*tag=*/9, {3.0f});
+  EXPECT_EQ((*tr.Recv(2, 0, 7))[0], 1.0f);
+  EXPECT_EQ((*tr.Recv(2, 1, 7))[0], 2.0f);
+  EXPECT_EQ((*tr.Recv(2, 0, 9))[0], 3.0f);
+}
+
+TEST(InProcTransportTest, FifoWithinChannel) {
+  InProcTransport tr(2);
+  for (int i = 0; i < 100; ++i) {
+    tr.Send(0, 1, 0, {static_cast<float>(i)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ((*tr.Recv(1, 0, 0))[0], static_cast<float>(i));
+  }
+}
+
+TEST(InProcTransportTest, RecvBlocksUntilSend) {
+  InProcTransport tr(2);
+  std::atomic<bool> got{false};
+  std::thread receiver([&] {
+    auto p = tr.Recv(1, 0, 5);
+    ASSERT_TRUE(p.ok());
+    got.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  tr.Send(0, 1, 5, {42.0f});
+  receiver.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(InProcTransportTest, DifferentTagsDoNotCross) {
+  InProcTransport tr(2);
+  tr.Send(0, 1, /*tag=*/1, {1.0f});
+  std::atomic<bool> wrong_tag_received{false};
+  std::thread receiver([&] {
+    auto p = tr.Recv(1, 0, /*tag=*/2);  // must NOT match tag 1
+    if (p.ok()) wrong_tag_received.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(wrong_tag_received.load());
+  tr.Shutdown();
+  receiver.join();
+  EXPECT_FALSE(wrong_tag_received.load());
+}
+
+TEST(InProcTransportTest, ShutdownUnblocksReceivers) {
+  InProcTransport tr(2);
+  std::thread receiver([&] {
+    auto p = tr.Recv(1, 0, 0);
+    EXPECT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), StatusCode::kUnavailable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  tr.Shutdown();
+  receiver.join();
+}
+
+TEST(InProcTransportTest, BarrierSynchronizesAllRanks) {
+  const int world = 4;
+  InProcTransport tr(world);
+  std::atomic<int> before{0};
+  std::atomic<int> after{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      tr.Barrier();
+      // Every rank must observe all `before` increments post-barrier.
+      EXPECT_EQ(before.load(), world);
+      after.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(after.load(), world);
+}
+
+TEST(InProcTransportTest, BarrierReusable) {
+  const int world = 3;
+  InProcTransport tr(world);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        sum.fetch_add(1);
+        tr.Barrier();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(), world * 10);
+}
+
+TEST(InProcTransportTest, MessageCounter) {
+  InProcTransport tr(2);
+  EXPECT_EQ(tr.TotalMessages(), 0u);
+  tr.Send(0, 1, 0, {});
+  tr.Send(1, 0, 0, {});
+  EXPECT_EQ(tr.TotalMessages(), 2u);
+}
+
+TEST(InProcTransportTest, ConcurrentStress) {
+  // Two rank pairs exchange on independent channels concurrently; all
+  // payload sums must survive.
+  InProcTransport tr(4);
+  constexpr int kMessages = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<long long> received_sum{0};
+  for (int pair = 0; pair < 2; ++pair) {
+    const int sender = pair * 2;
+    const int receiver = pair * 2 + 1;
+    threads.emplace_back([&tr, sender, receiver] {
+      for (int i = 0; i < kMessages; ++i) {
+        tr.Send(sender, receiver, i % 4, {static_cast<float>(i)});
+      }
+    });
+    threads.emplace_back([&tr, sender, receiver, &received_sum] {
+      long long sum = 0;
+      // Per-tag FIFOs: drain each tag's expected share.
+      for (int tag = 0; tag < 4; ++tag) {
+        for (int i = 0; i < kMessages / 4; ++i) {
+          auto p = tr.Recv(receiver, sender, tag);
+          ASSERT_TRUE(p.ok());
+          sum += static_cast<long long>((*p)[0]);
+        }
+      }
+      received_sum.fetch_add(sum);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long long expected =
+      2LL * (static_cast<long long>(kMessages) * (kMessages - 1) / 2);
+  EXPECT_EQ(received_sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace aiacc::transport
