@@ -59,6 +59,38 @@ int main() {
   }
   tradeoff.Print();
 
+  // Gray failures: link-bandwidth degradation windows ("flaps") that slow
+  // training without killing a rank — the failure detector never fires, but
+  // throughput drops for the duration of the window.
+  std::printf("\nlink flaps (VGG-16, 64 GPUs, no node failure):\n");
+  TablePrinter flaps({"flap window", "bandwidth", "ideal", "total",
+                      "degradation ovh"});
+  struct FlapCase {
+    const char* label;
+    trainer::LinkFlap flap;
+  };
+  const FlapCase cases[] = {
+      {"none", {0, 0, 1.0}},
+      {"[20, 30) x0.5", {20, 30, 0.5}},
+      {"[20, 30) x0.1", {20, 30, 0.1}},
+      {"[10, 50) x0.5", {10, 50, 0.5}},
+  };
+  for (const FlapCase& c : cases) {
+    trainer::ElasticSpec spec;
+    spec.model_name = "vgg16";
+    spec.topology = trainer::MakeTopology(64);
+    spec.total_iterations = 60;
+    spec.checkpoint_interval = 0;
+    if (c.flap.to_iteration > c.flap.from_iteration) spec.flaps = {c.flap};
+    const auto r = trainer::SimulateElasticTraining(spec);
+    flaps.AddRow({c.label,
+                  "x" + FormatDouble(c.flap.bandwidth_factor, 1),
+                  FormatDouble(r.ideal_time, 1) + " s",
+                  FormatDouble(r.total_time, 1) + " s",
+                  FormatDouble(r.degradation_overhead, 2) + " s"});
+  }
+  flaps.Print();
+
   // A sample timeline.
   std::printf("\ntimeline (ResNet-50, interval 10, failure @27):\n");
   trainer::ElasticSpec spec;

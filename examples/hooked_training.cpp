@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/logging.h"
 #include "core/threaded_engine.h"
 #include "dnn/mlp.h"
 
@@ -68,7 +69,8 @@ int main(int argc, char** argv) {
           worker.Push(names[t]);
         }
         worker.FlushIteration();
-        worker.WaitIteration();  // all gradients averaged in place
+        const aiacc::Status st = worker.WaitIteration();
+        AIACC_CHECK(st.ok());  // all gradients averaged in place
         model.SgdStep(lr);
       }
 

@@ -1,5 +1,6 @@
 #include "collective/threaded.h"
 
+#include <chrono>
 #include <thread>
 
 #include "common/logging.h"
@@ -7,15 +8,35 @@
 namespace aiacc::collective {
 namespace {
 
+/// Receive honouring the Comm deadline (<= 0 blocks forever).
+Result<transport::Payload> TimedRecv(transport::Transport& tr,
+                                     std::int64_t timeout_ms, int rank,
+                                     int src, int tag) {
+  if (timeout_ms > 0) {
+    return tr.RecvFor(rank, src, tag, std::chrono::milliseconds(timeout_ms));
+  }
+  return tr.Recv(rank, src, tag);
+}
+
+Status CheckSize(const transport::Payload& received, std::size_t expected) {
+  if (received.size() != expected) {
+    return Internal("collective payload size mismatch: got " +
+                    std::to_string(received.size()) + ", want " +
+                    std::to_string(expected));
+  }
+  return Status::Ok();
+}
+
 /// Ring all-reduce over an arbitrary ordered set of global ranks.
 /// `op` must not be kAvg (callers finalize averaging themselves so that
 /// hierarchical composition divides exactly once).
-void RingAllReduceOnRing(transport::InProcTransport& tr,
-                         const std::vector<int>& ring, int my_pos,
-                         std::span<float> data, ReduceOp op, int tag) {
+Status RingAllReduceOnRing(transport::Transport& tr,
+                           const std::vector<int>& ring, int my_pos,
+                           std::span<float> data, ReduceOp op, int tag,
+                           std::int64_t timeout_ms) {
   AIACC_CHECK(op != ReduceOp::kAvg);
   const int n = static_cast<int>(ring.size());
-  if (n <= 1) return;
+  if (n <= 1) return Status::Ok();
   const int me = ring[static_cast<std::size_t>(my_pos)];
   const int next = ring[static_cast<std::size_t>((my_pos + 1) % n)];
   const int prev = ring[static_cast<std::size_t>((my_pos + n - 1) % n)];
@@ -33,43 +54,45 @@ void RingAllReduceOnRing(transport::InProcTransport& tr,
   for (int s = 0; s < n - 1; ++s) {
     std::span<float> to_send = chunk(my_pos - s);
     tr.Send(me, next, tag, transport::Payload(to_send.begin(), to_send.end()));
-    auto received = tr.Recv(me, prev, tag);
-    AIACC_CHECK(received.ok());
+    auto received = TimedRecv(tr, timeout_ms, me, prev, tag);
+    if (!received.ok()) return received.status();
     std::span<float> target = chunk(my_pos - s - 1);
-    AIACC_CHECK(received->size() == target.size());
+    AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
     Accumulate(target, *received, op);
   }
   // All-gather: circulate the fully-reduced chunks.
   for (int s = 0; s < n - 1; ++s) {
     std::span<float> to_send = chunk(my_pos - s + 1);
     tr.Send(me, next, tag, transport::Payload(to_send.begin(), to_send.end()));
-    auto received = tr.Recv(me, prev, tag);
-    AIACC_CHECK(received.ok());
+    auto received = TimedRecv(tr, timeout_ms, me, prev, tag);
+    if (!received.ok()) return received.status();
     std::span<float> target = chunk(my_pos - s);
-    AIACC_CHECK(received->size() == target.size());
+    AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
     std::copy(received->begin(), received->end(), target.begin());
   }
+  return Status::Ok();
 }
 
-void BroadcastOnRing(transport::InProcTransport& tr,
-                     const std::vector<int>& ring, int my_pos, int root_pos,
-                     std::span<float> data, int tag) {
+Status BroadcastOnRing(transport::Transport& tr, const std::vector<int>& ring,
+                       int my_pos, int root_pos, std::span<float> data,
+                       int tag, std::int64_t timeout_ms) {
   const int n = static_cast<int>(ring.size());
-  if (n <= 1) return;
+  if (n <= 1) return Status::Ok();
   const int me = ring[static_cast<std::size_t>(my_pos)];
   const int next = ring[static_cast<std::size_t>((my_pos + 1) % n)];
   const int prev = ring[static_cast<std::size_t>((my_pos + n - 1) % n)];
   const bool is_root = my_pos == root_pos;
   const bool next_is_root = (my_pos + 1) % n == root_pos;
   if (!is_root) {
-    auto received = tr.Recv(me, prev, tag);
-    AIACC_CHECK(received.ok());
-    AIACC_CHECK(received->size() == data.size());
+    auto received = TimedRecv(tr, timeout_ms, me, prev, tag);
+    if (!received.ok()) return received.status();
+    AIACC_RETURN_IF_ERROR(CheckSize(*received, data.size()));
     std::copy(received->begin(), received->end(), data.begin());
   }
   if (!next_is_root) {
     tr.Send(me, next, tag, transport::Payload(data.begin(), data.end()));
   }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -79,18 +102,20 @@ std::size_t ChunkBegin(std::size_t len, int n_chunks, int chunk) {
          static_cast<std::size_t>(n_chunks);
 }
 
-void RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
+Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
   AIACC_CHECK(comm.transport != nullptr);
   std::vector<int> ring(static_cast<std::size_t>(comm.world_size));
   for (int r = 0; r < comm.world_size; ++r) ring[static_cast<std::size_t>(r)] = r;
   const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
-  RingAllReduceOnRing(*comm.transport, ring, comm.rank, data, inner,
-                      comm.tag_base);
+  AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, ring, comm.rank,
+                                            data, inner, comm.tag_base,
+                                            comm.timeout_ms));
   FinalizeAvg(data, comm.world_size, op);
+  return Status::Ok();
 }
 
-void HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
-                           std::span<float> data, ReduceOp op) {
+Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
+                             std::span<float> data, ReduceOp op) {
   AIACC_CHECK(comm.transport != nullptr);
   AIACC_CHECK(gpus_per_host >= 1);
   AIACC_CHECK(comm.world_size % gpus_per_host == 0);
@@ -105,8 +130,9 @@ void HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
   for (int g = 0; g < gpus_per_host; ++g) {
     group[static_cast<std::size_t>(g)] = host * gpus_per_host + g;
   }
-  RingAllReduceOnRing(*comm.transport, group, local, data, inner,
-                      comm.tag_base);
+  AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, group, local,
+                                            data, inner, comm.tag_base,
+                                            comm.timeout_ms));
 
   // Phase 2: group leaders ring all-reduce across hosts.
   if (num_hosts > 1) {
@@ -115,22 +141,27 @@ void HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
       for (int h = 0; h < num_hosts; ++h) {
         leaders[static_cast<std::size_t>(h)] = h * gpus_per_host;
       }
-      RingAllReduceOnRing(*comm.transport, leaders, host, data, inner,
-                          comm.tag_base + 1);
+      AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, leaders,
+                                                host, data, inner,
+                                                comm.tag_base + 1,
+                                                comm.timeout_ms));
     }
     // Phase 3: leaders broadcast the global result inside their group.
-    BroadcastOnRing(*comm.transport, group, local, /*root_pos=*/0, data,
-                    comm.tag_base + 2);
+    AIACC_RETURN_IF_ERROR(BroadcastOnRing(*comm.transport, group, local,
+                                          /*root_pos=*/0, data,
+                                          comm.tag_base + 2,
+                                          comm.timeout_ms));
   }
   FinalizeAvg(data, comm.world_size, op);
+  return Status::Ok();
 }
 
-void ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
+Status ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
   AIACC_CHECK(comm.transport != nullptr);
   const int n = comm.world_size;
   if (n <= 1) {
     FinalizeAvg(data, 1, op);
-    return;
+    return Status::Ok();
   }
   const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
   const int me = comm.rank;
@@ -146,9 +177,11 @@ void ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
     std::span<float> to_send = chunk(me - s);
     comm.transport->Send(me, next, comm.tag_base,
                          transport::Payload(to_send.begin(), to_send.end()));
-    auto received = comm.transport->Recv(me, prev, comm.tag_base);
-    AIACC_CHECK(received.ok());
+    auto received =
+        TimedRecv(*comm.transport, comm.timeout_ms, me, prev, comm.tag_base);
+    if (!received.ok()) return received.status();
     std::span<float> target = chunk(me - s - 1);
+    AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
     Accumulate(target, *received, inner);
   }
   // Rank r now owns reduced chunk (r + 1) mod n; rotate ownership convention
@@ -156,16 +189,20 @@ void ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
   std::span<float> owned = chunk(me + 1);
   comm.transport->Send(me, next, comm.tag_base + 1,
                        transport::Payload(owned.begin(), owned.end()));
-  auto received = comm.transport->Recv(me, prev, comm.tag_base + 1);
-  AIACC_CHECK(received.ok());
+  auto received = TimedRecv(*comm.transport, comm.timeout_ms, me, prev,
+                            comm.tag_base + 1);
+  if (!received.ok()) return received.status();
   std::span<float> mine = chunk(me);
+  AIACC_RETURN_IF_ERROR(CheckSize(*received, mine.size()));
   std::copy(received->begin(), received->end(), mine.begin());
   FinalizeAvg(mine, n, op);
+  return Status::Ok();
 }
 
-void AllGather(const Comm& comm, std::span<float> data) {
+Status AllGather(const Comm& comm, std::span<float> data) {
+  AIACC_CHECK(comm.transport != nullptr);
   const int n = comm.world_size;
-  if (n <= 1) return;
+  if (n <= 1) return Status::Ok();
   const int me = comm.rank;
   const int next = (me + 1) % n;
   const int prev = (me + n - 1) % n;
@@ -179,26 +216,30 @@ void AllGather(const Comm& comm, std::span<float> data) {
     std::span<float> to_send = chunk(me - s);
     comm.transport->Send(me, next, comm.tag_base,
                          transport::Payload(to_send.begin(), to_send.end()));
-    auto received = comm.transport->Recv(me, prev, comm.tag_base);
-    AIACC_CHECK(received.ok());
+    auto received =
+        TimedRecv(*comm.transport, comm.timeout_ms, me, prev, comm.tag_base);
+    if (!received.ok()) return received.status();
     std::span<float> target = chunk(me - s - 1);
+    AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
     std::copy(received->begin(), received->end(), target.begin());
   }
+  return Status::Ok();
 }
 
-void Broadcast(const Comm& comm, int root, std::span<float> data) {
+Status Broadcast(const Comm& comm, int root, std::span<float> data) {
+  AIACC_CHECK(comm.transport != nullptr);
   std::vector<int> ring(static_cast<std::size_t>(comm.world_size));
   for (int r = 0; r < comm.world_size; ++r) ring[static_cast<std::size_t>(r)] = r;
-  BroadcastOnRing(*comm.transport, ring, comm.rank, root, data,
-                  comm.tag_base);
+  return BroadcastOnRing(*comm.transport, ring, comm.rank, root, data,
+                         comm.tag_base, comm.timeout_ms);
 }
 
-void Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op) {
+Status Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op) {
   AIACC_CHECK(comm.transport != nullptr);
   const int n = comm.world_size;
   if (n <= 1) {
     FinalizeAvg(data, 1, op);
-    return;
+    return Status::Ok();
   }
   const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
   // Chain along the ring ending at root: rank root+1 starts, each rank
@@ -210,24 +251,26 @@ void Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op) {
   if (position == 0) {
     comm.transport->Send(me, next, comm.tag_base,
                          transport::Payload(data.begin(), data.end()));
-    return;
+    return Status::Ok();
   }
-  auto received = comm.transport->Recv(me, prev, comm.tag_base);
-  AIACC_CHECK(received.ok());
-  AIACC_CHECK(received->size() == data.size());
+  auto received =
+      TimedRecv(*comm.transport, comm.timeout_ms, me, prev, comm.tag_base);
+  if (!received.ok()) return received.status();
+  AIACC_RETURN_IF_ERROR(CheckSize(*received, data.size()));
   if (me == root) {
     Accumulate(data, *received, inner);
     FinalizeAvg(data, n, op);
-    return;
+    return Status::Ok();
   }
   // Accumulate into a scratch so this rank's own buffer stays untouched.
   transport::Payload partial = std::move(*received);
   Accumulate(std::span<float>(partial), data, inner);
   comm.transport->Send(me, next, comm.tag_base, std::move(partial));
+  return Status::Ok();
 }
 
-void Gather(const Comm& comm, int root, std::span<const float> contribution,
-            std::span<float> gathered) {
+Status Gather(const Comm& comm, int root, std::span<const float> contribution,
+              std::span<float> gathered) {
   AIACC_CHECK(comm.transport != nullptr);
   const int n = comm.world_size;
   if (comm.rank == root) {
@@ -238,9 +281,10 @@ void Gather(const Comm& comm, int root, std::span<const float> contribution,
                       static_cast<std::ptrdiff_t>(contribution.size()));
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
-      auto received = comm.transport->Recv(root, r, comm.tag_base);
-      AIACC_CHECK(received.ok());
-      AIACC_CHECK(received->size() == contribution.size());
+      auto received =
+          TimedRecv(*comm.transport, comm.timeout_ms, root, r, comm.tag_base);
+      if (!received.ok()) return received.status();
+      AIACC_RETURN_IF_ERROR(CheckSize(*received, contribution.size()));
       std::copy(received->begin(), received->end(),
                 gathered.begin() + static_cast<std::ptrdiff_t>(r) *
                                        static_cast<std::ptrdiff_t>(
@@ -251,10 +295,11 @@ void Gather(const Comm& comm, int root, std::span<const float> contribution,
         comm.rank, root, comm.tag_base,
         transport::Payload(contribution.begin(), contribution.end()));
   }
+  return Status::Ok();
 }
 
-void Scatter(const Comm& comm, int root, std::span<const float> scattered,
-             std::span<float> chunk) {
+Status Scatter(const Comm& comm, int root, std::span<const float> scattered,
+               std::span<float> chunk) {
   AIACC_CHECK(comm.transport != nullptr);
   const int n = comm.world_size;
   if (comm.rank == root) {
@@ -270,15 +315,17 @@ void Scatter(const Comm& comm, int root, std::span<const float> scattered,
       }
     }
   } else {
-    auto received = comm.transport->Recv(comm.rank, root, comm.tag_base);
-    AIACC_CHECK(received.ok());
-    AIACC_CHECK(received->size() == chunk.size());
+    auto received = TimedRecv(*comm.transport, comm.timeout_ms, comm.rank,
+                              root, comm.tag_base);
+    if (!received.ok()) return received.status();
+    AIACC_RETURN_IF_ERROR(CheckSize(*received, chunk.size()));
     std::copy(received->begin(), received->end(), chunk.begin());
   }
+  return Status::Ok();
 }
 
-void AllToAll(const Comm& comm, std::span<const float> send,
-              std::span<float> recv) {
+Status AllToAll(const Comm& comm, std::span<const float> send,
+                std::span<float> recv) {
   AIACC_CHECK(comm.transport != nullptr);
   const int n = comm.world_size;
   AIACC_CHECK(send.size() == recv.size());
@@ -298,24 +345,27 @@ void AllToAll(const Comm& comm, std::span<const float> send,
   }
   for (int s = 0; s < n; ++s) {
     if (s == comm.rank) continue;
-    auto received = comm.transport->Recv(comm.rank, s, comm.tag_base);
-    AIACC_CHECK(received.ok());
-    AIACC_CHECK(received->size() == block);
+    auto received =
+        TimedRecv(*comm.transport, comm.timeout_ms, comm.rank, s,
+                  comm.tag_base);
+    if (!received.ok()) return received.status();
+    AIACC_RETURN_IF_ERROR(CheckSize(*received, block));
     std::copy(received->begin(), received->end(),
               recv.begin() + static_cast<std::ptrdiff_t>(s) *
                                  static_cast<std::ptrdiff_t>(block));
   }
+  return Status::Ok();
 }
 
-void MultiChannelAllReduce(const Comm& comm, std::span<float> data,
-                           ReduceOp op, int num_channels) {
+Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
+                             ReduceOp op, int num_channels) {
   AIACC_CHECK(num_channels >= 1);
   if (num_channels == 1 || data.size() < static_cast<std::size_t>(
                                num_channels * comm.world_size)) {
-    RingAllReduce(comm, data, op);
-    return;
+    return RingAllReduce(comm, data, op);
   }
   std::vector<std::thread> workers;
+  std::vector<Status> channel_status(static_cast<std::size_t>(num_channels));
   workers.reserve(static_cast<std::size_t>(num_channels));
   for (int c = 0; c < num_channels; ++c) {
     const std::size_t b = ChunkBegin(data.size(), num_channels, c);
@@ -324,11 +374,16 @@ void MultiChannelAllReduce(const Comm& comm, std::span<float> data,
     // Each channel gets a disjoint tag namespace (ring + hierarchical use at
     // most 3 tags).
     sub.tag_base = comm.tag_base + 16 * (c + 1);
-    workers.emplace_back([sub, slice = data.subspan(b, e - b), op] {
-      RingAllReduce(sub, slice, op);
+    Status* slot = &channel_status[static_cast<std::size_t>(c)];
+    workers.emplace_back([sub, slice = data.subspan(b, e - b), op, slot] {
+      *slot = RingAllReduce(sub, slice, op);
     });
   }
   for (auto& w : workers) w.join();
+  for (const Status& st : channel_status) {
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
 }
 
 }  // namespace aiacc::collective

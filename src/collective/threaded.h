@@ -4,77 +4,89 @@
 // reduce-scatter/all-gather/broadcast, and the multi-channel variant where a
 // rank participates in several concurrent rings (the paper's core idea) —
 // with real numerics and real concurrency.
+//
+// Every operation returns Status: Ok when the collective completed on this
+// rank, kDeadlineExceeded when a peer message missed the Comm's deadline
+// (crashed peer, dropped message), or kUnavailable when the transport was
+// shut down mid-algorithm. On a non-OK return the caller's buffer contents
+// are unspecified, but the call itself never hangs (given a deadline) and
+// never crashes.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "collective/ops.h"
+#include "common/status.h"
 #include "transport/inproc.h"
 
 namespace aiacc::collective {
 
 struct Comm {
-  transport::InProcTransport* transport = nullptr;
+  transport::Transport* transport = nullptr;
   int rank = 0;
   int world_size = 1;
   /// Tag namespace base; collectives use tags [tag_base, tag_base + steps).
   int tag_base = 0;
+  /// Per-message receive deadline in milliseconds; <= 0 blocks forever
+  /// (the pre-fault-tolerance behaviour).
+  std::int64_t timeout_ms = 0;
 };
 
 /// Classic chunked ring all-reduce: reduce-scatter then all-gather, 2(n-1)
 /// point-to-point steps per rank. In-place on `data`; every rank must pass
 /// equally-sized buffers. Blocking; call from all ranks concurrently.
-void RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op);
+Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op);
 
 /// Hierarchical all-reduce: ring within each host group of `gpus_per_host`
 /// consecutive ranks, ring across group leaders, broadcast within groups
 /// (the paper's "tree all-reduce", §V-B).
-void HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
-                           std::span<float> data, ReduceOp op);
+Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
+                             std::span<float> data, ReduceOp op);
 
 /// Reduce-scatter: after the call, rank r holds the reduction of chunk r in
 /// data[chunk_begin(r) .. chunk_end(r)); other regions are scratch.
-void ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op);
+Status ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op);
 
 /// All-gather assuming rank r holds valid chunk r (the state ReduceScatter
 /// leaves behind); fills every chunk on every rank.
-void AllGather(const Comm& comm, std::span<float> data);
+Status AllGather(const Comm& comm, std::span<float> data);
 
 /// Broadcast from `root` (ring pipeline).
-void Broadcast(const Comm& comm, int root, std::span<float> data);
+Status Broadcast(const Comm& comm, int root, std::span<float> data);
 
 /// Reduce to `root` only: after the call root holds op(all ranks' data);
 /// other ranks' buffers are unchanged. (Chain reduction along the ring —
 /// the building block of parameter-server push aggregation.)
-void Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op);
+Status Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op);
 
 /// Gather: root receives every rank's `contribution` into `gathered`
 /// (world_size * contribution.size(), rank-major). Non-root ranks may pass
 /// an empty `gathered`.
-void Gather(const Comm& comm, int root, std::span<const float> contribution,
-            std::span<float> gathered);
+Status Gather(const Comm& comm, int root, std::span<const float> contribution,
+              std::span<float> gathered);
 
 /// Scatter: root distributes `scattered` (world_size * chunk.size(),
 /// rank-major) so each rank receives its chunk. Non-root ranks may pass an
 /// empty `scattered`.
-void Scatter(const Comm& comm, int root, std::span<const float> scattered,
-             std::span<float> chunk);
+Status Scatter(const Comm& comm, int root, std::span<const float> scattered,
+               std::span<float> chunk);
 
 /// All-to-all personalized exchange: `send` and `recv` are world_size
 /// equal-sized blocks; block d of `send` goes to rank d, and block s of
 /// `recv` comes from rank s. (The exchange pattern of sparse/embedding
 /// workloads the paper's Discussion section points at.)
-void AllToAll(const Comm& comm, std::span<const float> send,
-              std::span<float> recv);
+Status AllToAll(const Comm& comm, std::span<const float> send,
+                std::span<float> recv);
 
 /// Multi-channel all-reduce: slices `data` into `num_channels` contiguous
 /// pieces and runs an independent ring per slice on its own tag namespace,
 /// each driven by its own thread — a rank participates in `num_channels`
 /// all-reduce operations simultaneously, the threaded analogue of AIACC's
-/// multi-streamed communication.
-void MultiChannelAllReduce(const Comm& comm, std::span<float> data,
-                           ReduceOp op, int num_channels);
+/// multi-streamed communication. Returns the first non-OK channel status.
+Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
+                             ReduceOp op, int num_channels);
 
 /// Chunk boundaries used by ring collectives (also exposed for tests):
 /// chunk c of n covers [ChunkBegin(len,n,c), ChunkBegin(len,n,c+1)).

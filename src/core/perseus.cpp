@@ -23,7 +23,9 @@ void Session::AllReduce(std::span<float> data, int num_channels,
   // MPI communicators), so namespaces never collide across operations.
   comm.tag_base = next_tag_;
   next_tag_ += 16 * (num_channels + 1);
-  collective::MultiChannelAllReduce(comm, data, op, num_channels);
+  const Status st =
+      collective::MultiChannelAllReduce(comm, data, op, num_channels);
+  AIACC_CHECK(st.ok() && "session all-reduce failed");
 }
 
 void Session::AllReduceFp16(std::span<float> data, int num_channels) {
@@ -40,11 +42,15 @@ void Session::BroadcastParameters(const std::vector<std::span<float>>& params,
     comm.world_size = size();
     comm.tag_base = next_tag_;
     next_tag_ += 4;
-    collective::Broadcast(comm, root, p);
+    const Status st = collective::Broadcast(comm, root, p);
+    AIACC_CHECK(st.ok() && "session broadcast failed");
   }
 }
 
-void Session::Barrier() { context_->transport().Barrier(); }
+void Session::Barrier() {
+  const Status st = context_->transport().Barrier();
+  AIACC_CHECK(st.ok() && "barrier interrupted");
+}
 
 core::NanReport Session::AllReduceGradients(
     const std::vector<std::span<float>>& grads, int num_channels,

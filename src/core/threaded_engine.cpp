@@ -1,6 +1,7 @@
 #include "core/threaded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "collective/threaded.h"
 #include "common/logging.h"
@@ -8,17 +9,38 @@
 namespace aiacc::core {
 namespace {
 
-// Tag layout: sync rounds use the low namespace; each all-reduce unit gets
-// its own channel derived from its (rank-agreed) unit id.
+// Tag layout: heartbeats own tag 0, sync rounds use the low namespace, and
+// each all-reduce unit gets its own channel derived from its (rank-agreed)
+// unit id.
+constexpr int kHeartbeatTag = 0;
 constexpr int kSyncTag = 1;
 constexpr int kUnitTagBase = 1024;
 
+std::string RankList(const std::vector<int>& ranks) {
+  std::string out;
+  for (int r : ranks) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(r);
+  }
+  return out;
+}
+
 }  // namespace
 
-ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config)
-    : world_size_(world_size), config_(config), transport_(world_size) {
+ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config,
+                                         FailureConfig failure)
+    : world_size_(world_size),
+      config_(config),
+      failure_(std::move(failure)),
+      inproc_(world_size),
+      transport_(&inproc_) {
   AIACC_CHECK(world_size >= 1);
   AIACC_CHECK(config_.num_streams >= 1);
+  if (failure_.faults.has_value()) {
+    faulty_ = std::make_unique<transport::FaultyTransport>(inproc_,
+                                                           *failure_.faults);
+    transport_ = faulty_.get();
+  }
   workers_.reserve(static_cast<std::size_t>(world_size));
   ranks_.reserve(static_cast<std::size_t>(world_size));
   for (int r = 0; r < world_size; ++r) {
@@ -38,13 +60,63 @@ void ThreadedAiaccEngine::Shutdown() {
     state->queue->Shutdown();
     state->unit_queue->Shutdown();
   }
-  transport_.Shutdown();
+  transport_->Shutdown();
+  for (auto& state : ranks_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->cv.notify_all();
+  }
   for (auto& state : ranks_) {
     if (state->mpi_thread.joinable()) state->mpi_thread.join();
+    if (state->heartbeat_thread.joinable()) state->heartbeat_thread.join();
     for (auto& t : state->comm_threads) {
       if (t.joinable()) t.join();
     }
   }
+}
+
+Status ThreadedAiaccEngine::health() const {
+  if (!aborted_.load(std::memory_order_acquire)) return Status::Ok();
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  return abort_status_;
+}
+
+std::vector<int> ThreadedAiaccEngine::SuspectedRanks() const {
+  std::lock_guard<std::mutex> lock(abort_mu_);
+  return suspected_;
+}
+
+void ThreadedAiaccEngine::Abort(Status status, std::vector<int> suspected) {
+  AIACC_CHECK(!status.ok());
+  {
+    std::lock_guard<std::mutex> lock(abort_mu_);
+    for (int r : suspected) {
+      auto it = std::lower_bound(suspected_.begin(), suspected_.end(), r);
+      if (it == suspected_.end() || *it != r) suspected_.insert(it, r);
+    }
+    if (!aborted_.exchange(true, std::memory_order_acq_rel)) {
+      abort_status_ = std::move(status);  // first failure wins
+    }
+  }
+  // Wake every blocked party: queue sleepers, collective receivers, and the
+  // workers parked in WaitIteration. The engine is dead from here on —
+  // recovery means rebuilding a fresh one over the survivors.
+  for (auto& state : ranks_) {
+    state->queue->Shutdown();
+    state->unit_queue->Shutdown();
+  }
+  transport_->Shutdown();
+  for (auto& state : ranks_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->cv.notify_all();
+  }
+}
+
+void ThreadedAiaccEngine::HandleCollectiveFailure(int rank,
+                                                  const Status& status) {
+  if (shutdown_.load(std::memory_order_acquire)) return;  // normal teardown
+  Abort(Status(status.code(), "rank " + std::to_string(rank) +
+                                  " collective failed: " + status.message()),
+        {});
 }
 
 Status ThreadedAiaccEngine::Worker::Register(const std::string& name,
@@ -95,6 +167,10 @@ void ThreadedAiaccEngine::Worker::Finalize() {
 
   state.mpi_thread =
       std::thread([this] { engine_->MpiProcessLoop(rank_); });
+  if (engine_->failure_.detect_failures && engine_->world_size_ > 1) {
+    state.heartbeat_thread =
+        std::thread([this] { engine_->HeartbeatLoop(rank_); });
+  }
   for (int s = 0; s < engine_->config_.num_streams; ++s) {
     state.comm_threads.emplace_back(
         [this, s] { engine_->CommThreadLoop(rank_, s); });
@@ -121,17 +197,94 @@ void ThreadedAiaccEngine::Worker::PushAll() {
   FlushIteration();
 }
 
-void ThreadedAiaccEngine::Worker::WaitIteration() {
+Status ThreadedAiaccEngine::Worker::WaitIteration() {
   RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(state.mu);
-  state.cv.wait(lock, [&] { return state.iteration_done; });
+  state.cv.wait(lock, [&] {
+    return state.iteration_done ||
+           engine_->aborted_.load(std::memory_order_acquire);
+  });
+  if (!state.iteration_done) return engine_->health();
   state.iteration_done = false;
   ++stats_.iterations;
+  return Status::Ok();
 }
 
 void ThreadedAiaccEngine::MpiProcessLoop(int rank) {
-  while (!shutdown_.load(std::memory_order_acquire)) {
+  while (!shutdown_.load(std::memory_order_acquire) &&
+         !aborted_.load(std::memory_order_acquire)) {
     RunIterationProtocol(rank);
+  }
+}
+
+void ThreadedAiaccEngine::HeartbeatLoop(int rank) {
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration<double, std::milli>(
+      failure_.heartbeat_interval_ms);
+  const auto timeout = std::chrono::duration<double, std::milli>(
+      failure_.heartbeat_timeout_ms);
+  std::vector<Clock::time_point> last_seen(
+      static_cast<std::size_t>(world_size_), Clock::now());
+  std::uint64_t beat = 0;
+  auto prev_loop = Clock::now();
+  while (!shutdown_.load(std::memory_order_acquire) &&
+         !aborted_.load(std::memory_order_acquire)) {
+    // Starvation guard: if *this* thread was descheduled for a large slice
+    // of the suspicion window, its staleness view is invalid — peers may
+    // have beaten the whole time. Refresh rather than falsely accuse.
+    const auto loop_start = Clock::now();
+    if (loop_start - prev_loop > timeout / 2) {
+      std::fill(last_seen.begin(), last_seen.end(), loop_start);
+    }
+    prev_loop = loop_start;
+    for (int peer = 0; peer < world_size_; ++peer) {
+      if (peer == rank) continue;
+      transport_->Send(rank, peer, kHeartbeatTag,
+                       {static_cast<float>(beat)});
+    }
+    ++beat;
+    for (int peer = 0; peer < world_size_; ++peer) {
+      if (peer == rank) continue;
+      while (transport_->TryRecv(rank, peer, kHeartbeatTag).has_value()) {
+        last_seen[static_cast<std::size_t>(peer)] = Clock::now();
+      }
+    }
+
+    const auto now = Clock::now();
+    std::vector<int> missing;
+    bool others_fresh = true;  // every non-missing peer seen recently
+    for (int peer = 0; peer < world_size_; ++peer) {
+      if (peer == rank) continue;
+      const auto silence = now - last_seen[static_cast<std::size_t>(peer)];
+      if (silence > timeout) {
+        missing.push_back(peer);
+      } else if (silence > timeout / 2) {
+        others_fresh = false;
+      }
+    }
+    // A minority verdict needs a stable picture: if the remaining peers are
+    // also going stale (they are about to cross the deadline too — e.g. we
+    // are the isolated one and their clocks just differ by a beat), wait
+    // for the next check instead of accusing whoever expired first.
+    if (!missing.empty() &&
+        (others_fresh ||
+         2 * static_cast<int>(missing.size()) > world_size_ - 1)) {
+      // Majority of peers silent: more likely *we* are the isolated /
+      // crashed node — indict ourselves so survivors and victim converge on
+      // the same suspect set.
+      if (2 * static_cast<int>(missing.size()) > world_size_ - 1) {
+        Abort(Unavailable("rank " + std::to_string(rank) +
+                          " isolated: no heartbeat from ranks " +
+                          RankList(missing)),
+              {rank});
+      } else {
+        Abort(Unavailable("heartbeat deadline missed by ranks " +
+                          RankList(missing)),
+              missing);
+      }
+      return;
+    }
+    std::this_thread::sleep_for(interval);
   }
 }
 
@@ -181,9 +334,18 @@ void ThreadedAiaccEngine::RunIterationProtocol(int rank) {
       sync_vector[static_cast<std::size_t>(i)] =
           local_ready.Test(static_cast<std::size_t>(i)) ? 1.0f : 0.0f;
     }
-    collective::Comm comm{&transport_, rank, world_size_, kSyncTag};
-    collective::RingAllReduce(comm, sync_vector, collective::ReduceOp::kMin);
-    if (shutdown_.load(std::memory_order_acquire)) return;
+    collective::Comm comm{transport_, rank, world_size_, kSyncTag,
+                          failure_.collective_timeout_ms};
+    const Status st =
+        collective::RingAllReduce(comm, sync_vector, collective::ReduceOp::kMin);
+    if (!st.ok()) {
+      HandleCollectiveFailure(rank, st);
+      return;
+    }
+    if (shutdown_.load(std::memory_order_acquire) ||
+        aborted_.load(std::memory_order_acquire)) {
+      return;
+    }
     ++worker.stats_.sync_rounds;
 
     // Gradients agreed by everyone enter the packing stream (in id order,
@@ -228,9 +390,13 @@ void ThreadedAiaccEngine::RunIterationProtocol(int rank) {
     std::unique_lock<std::mutex> lock(state.mu);
     state.cv.wait(lock, [&] {
       return state.gradients_remaining.load(std::memory_order_acquire) == 0 ||
-             shutdown_.load(std::memory_order_acquire);
+             shutdown_.load(std::memory_order_acquire) ||
+             aborted_.load(std::memory_order_acquire);
     });
-    if (shutdown_.load(std::memory_order_acquire)) return;
+    if (shutdown_.load(std::memory_order_acquire) ||
+        aborted_.load(std::memory_order_acquire)) {
+      return;
+    }
     state.iteration_done = true;
   }
   state.cv.notify_all();
@@ -258,17 +424,28 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
 
     // One concurrent all-reduce per unit, on the unit's own tag channel —
     // this thread is one "communication stream" of Algorithm 1.
-    collective::Comm comm{&transport_, rank, world_size_,
+    collective::Comm comm{transport_, rank, world_size_,
                           kUnitTagBase +
-                              static_cast<int>(unit->unit_id) * 4};
+                              static_cast<int>(unit->unit_id) * 4,
+                          failure_.collective_timeout_ms};
+    Status st;
     if (config_.algorithm == collective::Algorithm::kHierarchical &&
         world_size_ % 2 == 0 && world_size_ > 2) {
-      collective::HierarchicalAllReduce(comm, /*gpus_per_host=*/2, staging,
-                                        collective::ReduceOp::kAvg);
+      st = collective::HierarchicalAllReduce(comm, /*gpus_per_host=*/2,
+                                             staging,
+                                             collective::ReduceOp::kAvg);
     } else {
-      collective::RingAllReduce(comm, staging, collective::ReduceOp::kAvg);
+      st = collective::RingAllReduce(comm, staging,
+                                     collective::ReduceOp::kAvg);
     }
-    if (shutdown_.load(std::memory_order_acquire)) return;
+    if (!st.ok()) {
+      HandleCollectiveFailure(rank, st);
+      return;
+    }
+    if (shutdown_.load(std::memory_order_acquire) ||
+        aborted_.load(std::memory_order_acquire)) {
+      return;
+    }
 
     // Scatter the averaged bytes back and account for completed gradients.
     int completed = 0;

@@ -16,13 +16,25 @@
 //     tensors; the worker unblocks when every registered gradient is
 //     reduced, applies the optimizer, and starts the next iteration.
 //
+// Failure semantics (paper §IV reliability posture, made real): when a
+// FailureConfig enables detection, each rank's comm side also runs a
+// heartbeat thread on a reserved tag channel. A peer that misses its
+// heartbeat deadline — or a collective receive that misses the configured
+// per-message deadline — aborts the engine: every in-flight collective
+// returns kDeadlineExceeded/kUnavailable instead of hanging, WaitIteration
+// surfaces the abort Status to the caller, and SuspectedRanks() names the
+// peers that went silent so a trainer can rebuild over the survivors
+// (trainer/recovery.h).
+//
 // Everything is real: payloads, reductions, queues, thread concurrency. The
 // integration tests train a real MLP through this engine and require exact
 // agreement with sequential full-batch training.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -32,9 +44,27 @@
 #include "core/config.h"
 #include "core/packing.h"
 #include "core/registry.h"
+#include "transport/faulty.h"
 #include "transport/inproc.h"
 
 namespace aiacc::core {
+
+/// Failure-detection and fault-injection knobs. The default (all off) is
+/// the original engine: infinite patience, no extra threads.
+struct FailureConfig {
+  /// Run per-rank heartbeat threads and abort when a peer goes silent.
+  bool detect_failures = false;
+  double heartbeat_interval_ms = 5.0;
+  /// A peer is suspected after this long without a heartbeat. Must cover
+  /// many intervals so sporadic heartbeat loss is not a false positive.
+  double heartbeat_timeout_ms = 300.0;
+  /// Per-message deadline for engine collectives (<= 0 = block forever).
+  /// The backstop that turns a wedged collective into an abort even when
+  /// heartbeat detection is off.
+  std::int64_t collective_timeout_ms = 0;
+  /// When set, all engine traffic runs through a seeded FaultyTransport.
+  std::optional<transport::FaultSpec> faults;
+};
 
 class ThreadedAiaccEngine {
  public:
@@ -46,7 +76,8 @@ class ThreadedAiaccEngine {
     std::uint64_t iterations = 0;
   };
 
-  ThreadedAiaccEngine(int world_size, CommConfig config);
+  ThreadedAiaccEngine(int world_size, CommConfig config,
+                      FailureConfig failure = {});
   ~ThreadedAiaccEngine();
   ThreadedAiaccEngine(const ThreadedAiaccEngine&) = delete;
   ThreadedAiaccEngine& operator=(const ThreadedAiaccEngine&) = delete;
@@ -78,7 +109,10 @@ class ThreadedAiaccEngine {
 
     /// Block until every registered gradient has been averaged across all
     /// ranks (then the optimizer may run and the next iteration start).
-    void WaitIteration();
+    /// Returns Ok on completion, or the engine's abort Status when a peer
+    /// failure / deadline cut the iteration short — the tensors are then in
+    /// an unspecified state and the engine is dead (rebuild to recover).
+    [[nodiscard]] Status WaitIteration();
 
     [[nodiscard]] int rank() const noexcept { return rank_; }
     [[nodiscard]] const RankStats& stats() const noexcept { return stats_; }
@@ -101,6 +135,22 @@ class ThreadedAiaccEngine {
   /// Stop the communication threads (also done by the destructor).
   void Shutdown();
 
+  /// Ok while healthy; the first abort Status afterwards.
+  [[nodiscard]] Status health() const;
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+  /// Ranks that went silent (heartbeat verdicts), sorted. A crashed rank
+  /// reports itself as isolated, so survivors and the victim agree on the
+  /// same set.
+  [[nodiscard]] std::vector<int> SuspectedRanks() const;
+
+  /// The injector when FailureConfig::faults is set (tests poke it to
+  /// crash ranks mid-run); nullptr otherwise.
+  [[nodiscard]] transport::FaultyTransport* fault_injector() noexcept {
+    return faulty_.get();
+  }
+
  private:
   struct RankState {
     // Registration (worker thread only, until finalized).
@@ -118,6 +168,7 @@ class ThreadedAiaccEngine {
     bool iteration_done = false;
 
     std::thread mpi_thread;
+    std::thread heartbeat_thread;
     std::vector<std::thread> comm_threads;  // the stream pool
     std::unique_ptr<BlockingQueue<AllReduceUnit>> unit_queue;
     // Units completed this iteration (MPI process aggregates).
@@ -130,13 +181,28 @@ class ThreadedAiaccEngine {
   void MpiProcessLoop(int rank);
   void CommThreadLoop(int rank, int stream_index);
   void RunIterationProtocol(int rank);
+  void HeartbeatLoop(int rank);
+  /// Record the first failure, remember the suspects, and wake every
+  /// blocked thread with an error. Never joins (callable from engine
+  /// threads); Shutdown() still does the joining.
+  void Abort(Status status, std::vector<int> suspected);
+  /// Collective returned non-OK: normal teardown is silent, anything else
+  /// aborts the engine.
+  void HandleCollectiveFailure(int rank, const Status& status);
 
   const int world_size_;
   const CommConfig config_;
-  transport::InProcTransport transport_;
+  const FailureConfig failure_;
+  transport::InProcTransport inproc_;
+  std::unique_ptr<transport::FaultyTransport> faulty_;
+  transport::Transport* transport_;  // faulty_ when faults are configured
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<RankState>> ranks_;
   std::atomic<bool> shutdown_{false};
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mu_;
+  Status abort_status_;          // guarded by abort_mu_
+  std::vector<int> suspected_;   // guarded by abort_mu_, sorted unique
   std::atomic<int> finalized_count_{0};
   std::mutex finalize_mu_;
   std::condition_variable finalize_cv_;

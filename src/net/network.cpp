@@ -69,6 +69,28 @@ bool Network::CancelFlow(FlowId id) {
   return true;
 }
 
+void Network::SetLinkCapacity(LinkIndex l, double capacity) {
+  AIACC_CHECK(l >= 0 && l < NumLinks());
+  AIACC_CHECK(capacity > 0.0);
+  Settle();
+  links_[static_cast<std::size_t>(l)].capacity = capacity;
+  Reflow();
+}
+
+void Network::ScheduleDegradation(LinkIndex l, double after, double duration,
+                                  double factor) {
+  AIACC_CHECK(l >= 0 && l < NumLinks());
+  AIACC_CHECK(after >= 0.0);
+  AIACC_CHECK(duration > 0.0);
+  AIACC_CHECK(factor > 0.0);
+  engine_.ScheduleAfter(after, [this, l, duration, factor] {
+    SetLinkCapacity(l, LinkCapacity(l) * factor);
+    engine_.ScheduleAfter(duration, [this, l, factor] {
+      SetLinkCapacity(l, LinkCapacity(l) / factor);
+    });
+  });
+}
+
 double Network::FlowRate(FlowId id) const {
   auto it = active_index_.find(id);
   return it == active_index_.end() ? 0.0 : active_[it->second].rate;

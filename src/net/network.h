@@ -88,6 +88,18 @@ class Network {
   /// Instantaneous rate of a flow; 0 if unknown/finished.
   [[nodiscard]] double FlowRate(FlowId id) const;
 
+  /// Change a link's capacity immediately: in-flight flows keep the bytes
+  /// they moved so far and their rates are recomputed under the new
+  /// capacity. The gray-failure primitive (and elastic re-provisioning).
+  void SetLinkCapacity(LinkIndex l, double capacity);
+
+  /// Schedule a bandwidth degradation window ("link flap", §IV gray
+  /// failures): `after` seconds from now the link's capacity is multiplied
+  /// by `factor` (0 < factor), and `duration` seconds later divided back.
+  /// Multiplicative, so overlapping windows compose.
+  void ScheduleDegradation(LinkIndex l, double after, double duration,
+                           double factor);
+
  private:
   struct Link {
     std::string name;

@@ -1,5 +1,6 @@
 #include "trainer/elastic.h"
 
+#include <map>
 #include <memory>
 
 #include "collective/simulated.h"
@@ -38,12 +39,39 @@ struct ElasticDeployment {
     const auto stats = engine.RunIterations(1);
     return stats.front().duration;
   }
+
+  /// Iteration time with every host's egress+ingress capacity scaled by
+  /// `factor` (the simulator is idle between iterations, so the capacity
+  /// swap is safe and fully restored afterwards).
+  double RunOneDegradedIteration(const ElasticSpec& spec, double factor) {
+    net::Network& nw = fabric.network();
+    const int hosts = spec.topology.num_hosts;
+    for (int h = 0; h < hosts; ++h) {
+      nw.SetLinkCapacity(fabric.EgressLink(h),
+                         nw.LinkCapacity(fabric.EgressLink(h)) * factor);
+      nw.SetLinkCapacity(fabric.IngressLink(h),
+                         nw.LinkCapacity(fabric.IngressLink(h)) * factor);
+    }
+    const double duration = RunOneIteration();
+    for (int h = 0; h < hosts; ++h) {
+      nw.SetLinkCapacity(fabric.EgressLink(h),
+                         nw.LinkCapacity(fabric.EgressLink(h)) / factor);
+      nw.SetLinkCapacity(fabric.IngressLink(h),
+                         nw.LinkCapacity(fabric.IngressLink(h)) / factor);
+    }
+    return duration;
+  }
 };
 
 }  // namespace
 
 ElasticReport SimulateElasticTraining(const ElasticSpec& spec) {
   AIACC_CHECK(spec.total_iterations > 0);
+  for (const LinkFlap& flap : spec.flaps) {
+    AIACC_CHECK(flap.bandwidth_factor > 0.0);
+    AIACC_CHECK(flap.from_iteration >= 0);
+    AIACC_CHECK(flap.to_iteration > flap.from_iteration);
+  }
   ElasticReport report;
   ElasticDeployment dep(spec);
 
@@ -55,6 +83,30 @@ ElasticReport SimulateElasticTraining(const ElasticSpec& spec) {
   // deterministic, so every healthy iteration costs the same).
   const double iter_time = dep.RunOneIteration();
   report.ideal_time = iter_time * spec.total_iterations;
+
+  // Combined bandwidth factor while iteration `iter` runs; 1.0 = healthy.
+  auto factor_at = [&](int iter) {
+    double f = 1.0;
+    for (const LinkFlap& flap : spec.flaps) {
+      if (iter >= flap.from_iteration && iter < flap.to_iteration) {
+        f *= flap.bandwidth_factor;
+      }
+    }
+    return f;
+  };
+  // Degraded iterations are measured once per distinct factor (the
+  // simulator is deterministic, so one measurement is exact).
+  std::map<double, double> degraded_iter_time;
+  auto iter_time_at = [&](double factor) {
+    if (factor == 1.0) return iter_time;
+    auto it = degraded_iter_time.find(factor);
+    if (it == degraded_iter_time.end()) {
+      it = degraded_iter_time
+               .emplace(factor, dep.RunOneDegradedIteration(spec, factor))
+               .first;
+    }
+    return it->second;
+  };
 
   const double ckpt_time =
       spec.checkpoint_interval > 0
@@ -105,8 +157,19 @@ ElasticReport SimulateElasticTraining(const ElasticSpec& spec) {
       continue;
     }
 
-    now += iter_time;
+    const double factor = factor_at(completed);
+    if (factor != 1.0 && factor_at(completed - 1) == 1.0) {
+      log(now, "LINK FLAP begins (bandwidth x" + std::to_string(factor) +
+                   ") at iteration " + std::to_string(completed));
+    }
+    const double this_iter = iter_time_at(factor);
+    now += this_iter;
+    report.degradation_overhead += this_iter - iter_time;
     ++completed;
+    if (factor != 1.0 && factor_at(completed) == 1.0) {
+      log(now, "LINK FLAP ends after iteration " +
+                   std::to_string(completed - 1));
+    }
 
     if (spec.checkpoint_interval > 0 &&
         completed % spec.checkpoint_interval == 0 &&

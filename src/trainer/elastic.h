@@ -15,6 +15,18 @@
 
 namespace aiacc::trainer {
 
+/// A gray failure: the inter-host links lose bandwidth for a window of
+/// iterations (flapping NIC, congested uplink, throttled neighbor) without
+/// any node actually dying. [from_iteration, to_iteration) in completed-
+/// iteration space.
+struct LinkFlap {
+  int from_iteration = 0;
+  int to_iteration = 0;
+  /// Capacity multiplier while the flap is active (0 < factor <= 1 for a
+  /// degradation). Overlapping flaps compose multiplicatively.
+  double bandwidth_factor = 0.5;
+};
+
 struct ElasticSpec {
   std::string model_name = "resnet50";
   net::Topology topology;
@@ -32,6 +44,9 @@ struct ElasticSpec {
   /// Sustained checkpoint-write rate to remote storage (bytes/sec). Writes
   /// block the next iteration (synchronous checkpointing).
   double checkpoint_write_rate = 2e9;
+  /// Bandwidth degradation windows (gray failures) applied to every host's
+  /// egress+ingress links.
+  std::vector<LinkFlap> flaps;
 };
 
 struct ElasticEvent {
@@ -47,6 +62,7 @@ struct ElasticReport {
   double replay_overhead = 0.0;     // re-running lost iterations
   double replacement_overhead = 0.0;  // instance provisioning wait
   double rejoin_broadcast_time = 0.0; // parameter propagation to the joiner
+  double degradation_overhead = 0.0;  // extra time from link flaps
   int iterations_replayed = 0;
   int checkpoints_written = 0;
   std::vector<ElasticEvent> timeline;

@@ -1,0 +1,248 @@
+#include "trainer/recovery.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <thread>
+
+#include "common/logging.h"
+#include "core/checkpoint.h"
+#include "dnn/mlp.h"
+
+namespace aiacc::trainer {
+namespace {
+
+std::string RankList(const std::vector<int>& ranks) {
+  std::string out;
+  for (int r : ranks) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(r);
+  }
+  return out;
+}
+
+// Snapshot the model into a checkpoint and push it through the serialize /
+// deserialize round trip, so recovery restores exactly what a node would
+// have read back from disk (checksum path included).
+Result<core::Checkpoint> SnapshotModel(dnn::Mlp& model, std::int64_t iteration,
+                                       float learning_rate) {
+  core::Checkpoint snap;
+  snap.iteration = iteration;
+  snap.learning_rate = learning_rate;
+  for (std::span<float> t : model.ParameterTensors()) {
+    snap.parameters.emplace_back(t.begin(), t.end());
+  }
+  return core::DeserializeCheckpoint(core::SerializeCheckpoint(snap));
+}
+
+void RestoreModel(dnn::Mlp& model, const core::Checkpoint& ckpt) {
+  auto tensors = model.ParameterTensors();
+  AIACC_CHECK(tensors.size() == ckpt.parameters.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    AIACC_CHECK(tensors[i].size() == ckpt.parameters[i].size());
+    std::copy(ckpt.parameters[i].begin(), ckpt.parameters[i].end(),
+              tensors[i].begin());
+  }
+}
+
+}  // namespace
+
+RecoveryReport TrainWithRecovery(const RecoverySpec& spec) {
+  RecoveryReport report;
+  if (spec.world_size < 1 || spec.total_iterations < 1 ||
+      spec.checkpoint_interval < 1 || spec.min_world_size < 1) {
+    report.final_status = InvalidArgument("bad recovery spec");
+    return report;
+  }
+
+  const auto ds = dnn::MakeSyntheticDataset(
+      spec.num_samples, spec.layer_sizes.front(), spec.layer_sizes.back(),
+      spec.data_seed);
+  const int in = ds.input_size;
+  const int out = ds.output_size;
+
+  // Surviving ranks, by original id. Fault specs only apply to the first
+  // attempt (the faulty epoch); rebuilt engines run clean.
+  std::vector<int> live(static_cast<std::size_t>(spec.world_size));
+  std::iota(live.begin(), live.end(), 0);
+
+  // The restore point: iteration 0 is the freshly-initialised model, so a
+  // failure before the first snapshot still has somewhere to go back to.
+  core::Checkpoint restore_point;
+  {
+    dnn::Mlp init(spec.layer_sizes, spec.model_seed);
+    auto snap = SnapshotModel(init, 0, spec.learning_rate);
+    AIACC_CHECK(snap.ok());
+    restore_point = std::move(*snap);
+  }
+  report.timeline.push_back("HEALTHY: " + std::to_string(spec.world_size) +
+                            " ranks, " +
+                            std::to_string(spec.total_iterations) +
+                            " iterations");
+
+  for (;;) {
+    ++report.attempts;
+    const int world = static_cast<int>(live.size());
+    if (spec.num_samples % world != 0) {
+      report.final_status = InvalidArgument(
+          "num_samples=" + std::to_string(spec.num_samples) +
+          " not divisible by surviving world size " + std::to_string(world) +
+          " (equal shards required for exact recovery)");
+      return report;
+    }
+
+    core::FailureConfig failure = spec.failure;
+    if (report.attempts > 1) failure.faults.reset();
+
+    core::ThreadedAiaccEngine engine(world, spec.comm, failure);
+
+    const std::int64_t start_iter = restore_point.iteration;
+    const int shard = spec.num_samples / world;
+    std::mutex result_mu;
+    core::Checkpoint latest = restore_point;  // guarded by result_mu
+    std::vector<Status> rank_status(static_cast<std::size_t>(world),
+                                    Status::Ok());
+    std::vector<std::vector<float>> final_params;  // guarded by result_mu
+    std::atomic<std::int64_t> max_completed{start_iter};
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(world));
+    for (int r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        auto& worker = engine.worker(r);
+        dnn::Mlp model(spec.layer_sizes, spec.model_seed);
+        RestoreModel(model, restore_point);
+        auto grads = model.GradientTensors();
+        for (std::size_t t = 0; t < grads.size(); ++t) {
+          const Status st =
+              worker.Register("g" + std::to_string(t), grads[t]);
+          AIACC_CHECK(st.ok());
+        }
+        worker.Finalize();
+
+        const std::vector<float> x(
+            ds.inputs.begin() + static_cast<std::ptrdiff_t>(r) * shard * in,
+            ds.inputs.begin() +
+                static_cast<std::ptrdiff_t>(r + 1) * shard * in);
+        const std::vector<float> y(
+            ds.targets.begin() + static_cast<std::ptrdiff_t>(r) * shard * out,
+            ds.targets.begin() +
+                static_cast<std::ptrdiff_t>(r + 1) * shard * out);
+
+        for (std::int64_t iter = start_iter; iter < spec.total_iterations;
+             ++iter) {
+          model.Forward(x, shard);
+          model.Backward(x, y, shard);
+          worker.PushAll();
+          const Status st = worker.WaitIteration();
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(result_mu);
+            rank_status[static_cast<std::size_t>(r)] = st;
+            return;
+          }
+          model.SgdStep(spec.learning_rate);
+          const std::int64_t completed = iter + 1;
+          std::int64_t seen = max_completed.load(std::memory_order_relaxed);
+          while (seen < completed &&
+                 !max_completed.compare_exchange_weak(
+                     seen, completed, std::memory_order_relaxed)) {
+          }
+          // Replica 0 owns checkpointing (parameters are identical on every
+          // replica after the averaged step, so one writer suffices).
+          if (r == 0 && (completed % spec.checkpoint_interval == 0 ||
+                         completed == spec.total_iterations)) {
+            auto snap =
+                SnapshotModel(model, completed, spec.learning_rate);
+            if (snap.ok()) {
+              std::lock_guard<std::mutex> lock(result_mu);
+              latest = std::move(*snap);
+            }
+          }
+        }
+        if (r == 0) {
+          std::lock_guard<std::mutex> lock(result_mu);
+          for (std::span<float> t : model.ParameterTensors()) {
+            final_params.emplace_back(t.begin(), t.end());
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    engine.Shutdown();
+
+    Status failure_status = engine.health();
+    if (failure_status.ok()) {
+      for (const Status& st : rank_status) {
+        if (!st.ok()) {
+          failure_status = st;
+          break;
+        }
+      }
+    }
+    if (failure_status.ok()) {
+      report.final_status = Status::Ok();
+      report.final_world_size = world;
+      report.final_parameters = std::move(final_params);
+      report.timeline.push_back(
+          "COMPLETE: " + std::to_string(world) + " ranks finished iteration " +
+          std::to_string(spec.total_iterations));
+      return report;
+    }
+
+    // ABORTED. Map the engine's suspects (current-rank space) back to
+    // original rank ids and drop them from the survivor set.
+    const std::vector<int> suspects = engine.SuspectedRanks();
+    report.timeline.push_back("ABORTED at iteration <= " +
+                              std::to_string(max_completed.load()) + ": " +
+                              failure_status.message());
+    if (suspects.empty()) {
+      report.final_status = failure_status;
+      report.timeline.push_back("GIVE UP: no suspect to evict");
+      return report;
+    }
+    std::vector<int> evicted;
+    for (int s : suspects) {
+      evicted.push_back(live[static_cast<std::size_t>(s)]);
+    }
+    report.failed_ranks.insert(report.failed_ranks.end(), evicted.begin(),
+                               evicted.end());
+    std::vector<int> survivors;
+    for (int i = 0; i < world; ++i) {
+      if (std::find(suspects.begin(), suspects.end(), i) == suspects.end()) {
+        survivors.push_back(live[static_cast<std::size_t>(i)]);
+      }
+    }
+    live = std::move(survivors);
+    ++report.recoveries;
+    if (report.recoveries > spec.max_recoveries ||
+        static_cast<int>(live.size()) < spec.min_world_size) {
+      report.final_status = failure_status;
+      report.timeline.push_back(
+          "GIVE UP: " + std::to_string(live.size()) + " survivors, " +
+          std::to_string(report.recoveries) + " recoveries");
+      return report;
+    }
+
+    // REBUILD + RESTORE: the next attempt starts from the newest validated
+    // snapshot; everything after it is replayed.
+    {
+      std::lock_guard<std::mutex> lock(result_mu);
+      restore_point = std::move(latest);
+    }
+    const std::int64_t replay =
+        max_completed.load() - restore_point.iteration;
+    report.iterations_replayed += static_cast<int>(std::max<std::int64_t>(
+        0, replay));
+    report.timeline.push_back(
+        "REBUILD: evicted ranks {" + RankList(evicted) + "}, " +
+        std::to_string(live.size()) + " survivors");
+    report.timeline.push_back(
+        "RESTORE: checkpoint @ iteration " +
+        std::to_string(restore_point.iteration) + ", replaying " +
+        std::to_string(std::max<std::int64_t>(0, replay)) + " iterations");
+  }
+}
+
+}  // namespace aiacc::trainer

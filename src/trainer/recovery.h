@@ -1,0 +1,67 @@
+// Failure recovery for the *threaded* AIACC runtime — the real-concurrency
+// twin of the analytic SimulateElasticTraining (trainer/elastic.h).
+//
+// TrainWithRecovery drives a data-parallel MLP run through
+// ThreadedAiaccEngine and survives rank failures end to end:
+//
+//   HEALTHY ──(heartbeat miss / collective deadline)──▶ ABORTED
+//   ABORTED ──SuspectedRanks()──▶ REBUILD engine over the survivors
+//   REBUILD ──▶ RESTORE parameters from the last checkpoint snapshot
+//   RESTORE ──▶ REPLAY the lost iterations, then continue to completion
+//
+// Exactness: training is full-batch and deterministic, and the dataset is
+// sharded equally, so the mean of per-rank shard gradients equals the
+// full-batch gradient for *any* surviving world size that divides the sample
+// count. Recovery therefore lands back on the sequential trajectory — the
+// chaos-matrix test requires the recovered parameters to match fault-free
+// training to float tolerance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/threaded_engine.h"
+
+namespace aiacc::trainer {
+
+struct RecoverySpec {
+  std::vector<int> layer_sizes = {6, 12, 2};
+  std::uint64_t model_seed = 42;
+  /// Must stay divisible by every world size the run can shrink to.
+  int num_samples = 24;
+  std::uint64_t data_seed = 7;
+  int world_size = 4;
+  int total_iterations = 10;
+  float learning_rate = 0.1f;
+  core::CommConfig comm;
+  core::FailureConfig failure;
+  /// Snapshot parameters every this many iterations (and at iteration 0).
+  int checkpoint_interval = 2;
+  /// Give up after this many engine rebuilds.
+  int max_recoveries = 2;
+  /// Give up when fewer survivors than this remain.
+  int min_world_size = 2;
+};
+
+struct RecoveryReport {
+  Status final_status;
+  /// Engine runs attempted (1 = no failure).
+  int attempts = 0;
+  int recoveries = 0;
+  /// Iterations re-run because they post-dated the restored checkpoint.
+  int iterations_replayed = 0;
+  int final_world_size = 0;
+  /// Original rank ids that were declared failed, in detection order.
+  std::vector<int> failed_ranks;
+  /// Replica-0 parameters after the final iteration (empty on failure).
+  std::vector<std::vector<float>> final_parameters;
+  /// Human-readable recovery log (one line per state transition).
+  std::vector<std::string> timeline;
+};
+
+RecoveryReport TrainWithRecovery(const RecoverySpec& spec);
+
+}  // namespace aiacc::trainer

@@ -21,6 +21,15 @@ void InProcTransport::Send(int src, int dst, int tag, Payload payload) {
   box.cv.notify_all();
 }
 
+std::optional<Payload> InProcTransport::TakeLocked(Mailbox& box, int src,
+                                                   int tag) {
+  auto it = box.slots.find({src, tag});
+  if (it == box.slots.end() || it->second.empty()) return std::nullopt;
+  Payload payload = std::move(it->second.front());
+  it->second.pop_front();
+  return payload;
+}
+
 Result<Payload> InProcTransport::Recv(int rank, int src, int tag) {
   AIACC_CHECK(rank >= 0 && rank < world_size_);
   Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
@@ -31,34 +40,71 @@ Result<Payload> InProcTransport::Recv(int rank, int src, int tag) {
     return (it != box.slots.end() && !it->second.empty()) ||
            shutdown_.load(std::memory_order_acquire);
   });
-  auto it = box.slots.find(key);
-  if (it == box.slots.end() || it->second.empty()) {
-    return Unavailable("transport shut down");
+  if (auto payload = TakeLocked(box, src, tag)) return *std::move(payload);
+  return Unavailable("transport shut down");
+}
+
+Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
+                                         std::chrono::milliseconds timeout) {
+  if (timeout <= kNoTimeout) return Recv(rank, src, tag);
+  AIACC_CHECK(rank >= 0 && rank < world_size_);
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto key = std::make_pair(src, tag);
+  const bool woke = box.cv.wait_for(lock, timeout, [&] {
+    auto it = box.slots.find(key);
+    return (it != box.slots.end() && !it->second.empty()) ||
+           shutdown_.load(std::memory_order_acquire);
+  });
+  if (auto payload = TakeLocked(box, src, tag)) return *std::move(payload);
+  if (!woke) {
+    return DeadlineExceeded("no message from rank " + std::to_string(src) +
+                            " tag " + std::to_string(tag) + " within " +
+                            std::to_string(timeout.count()) + "ms");
   }
-  Payload payload = std::move(it->second.front());
-  it->second.pop_front();
-  return payload;
+  return Unavailable("transport shut down");
+}
+
+std::optional<Payload> InProcTransport::TryRecv(int rank, int src, int tag) {
+  AIACC_CHECK(rank >= 0 && rank < world_size_);
+  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  return TakeLocked(box, src, tag);
 }
 
 void InProcTransport::Shutdown() {
   shutdown_.store(true, std::memory_order_release);
-  for (Mailbox& box : mailboxes_) box.cv.notify_all();
-  barrier_cv_.notify_all();
+  // Notify while holding each waiter's mutex: a receiver that evaluated its
+  // predicate just before the store above still holds the lock until it
+  // actually sleeps, so taking the lock here guarantees the notification
+  // cannot fall into that window (the classic lost-wakeup race).
+  for (Mailbox& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_cv_.notify_all();
+  }
 }
 
-void InProcTransport::Barrier() {
+Status InProcTransport::Barrier() {
   std::unique_lock<std::mutex> lock(barrier_mu_);
   const int my_generation = barrier_generation_;
   if (++barrier_count_ == world_size_) {
     barrier_count_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
-    return;
+    return Status::Ok();
   }
   barrier_cv_.wait(lock, [&] {
     return barrier_generation_ != my_generation ||
            shutdown_.load(std::memory_order_acquire);
   });
+  if (barrier_generation_ == my_generation) {
+    return Unavailable("barrier interrupted by shutdown");
+  }
+  return Status::Ok();
 }
 
 std::uint64_t InProcTransport::TotalMessages() const {

@@ -4,13 +4,21 @@
 // logical channels, so one rank pair can run several concurrent
 // communication streams — the threaded analogue of the multi-CUDA-stream
 // design.
+//
+// `Transport` is the abstract interface the collective layer programs
+// against; `InProcTransport` is the reliable in-memory implementation and
+// `FaultyTransport` (transport/faulty.h) decorates any Transport with
+// seeded fault injection.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
@@ -19,30 +27,80 @@ namespace aiacc::transport {
 
 using Payload = std::vector<float>;
 
-class InProcTransport {
+/// Timeout value meaning "block forever" for RecvFor.
+inline constexpr std::chrono::milliseconds kNoTimeout{0};
+
+/// Abstract point-to-point transport: (src, tag)-matched channels between
+/// `world_size` ranks, plus a barrier. All methods are thread-safe; one
+/// logical channel (rank, src, tag) must have a single consumer thread at a
+/// time (MPI-style).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual int world_size() const noexcept = 0;
+
+  /// Deliver `payload` to `dst`'s mailbox under (src, tag). Never blocks on
+  /// the receiver (fault decorators may add sender-side delay).
+  virtual void Send(int src, int dst, int tag, Payload payload) = 0;
+
+  /// Block until a message from (src, tag) arrives at `rank`; returns its
+  /// payload, or Unavailable after Shutdown().
+  virtual Result<Payload> Recv(int rank, int src, int tag) = 0;
+
+  /// Deadline-aware receive: like Recv but returns kDeadlineExceeded if no
+  /// message arrives within `timeout`. `timeout <= 0` blocks like Recv.
+  /// This is what lets collectives abort instead of hanging when a peer has
+  /// crashed or the link is dropping messages.
+  virtual Result<Payload> RecvFor(int rank, int src, int tag,
+                                  std::chrono::milliseconds timeout) = 0;
+
+  /// Non-blocking receive. Decorators may relax delivery to datagram
+  /// semantics on this path (out-of-order arrivals delivered, gaps skipped)
+  /// — it is the heartbeat primitive, where freshness beats completeness.
+  virtual std::optional<Payload> TryRecv(int rank, int src, int tag) = 0;
+
+  /// Wake all blocked receivers with an error (teardown / failure
+  /// handling). Idempotent; the transport stays dead afterwards.
+  virtual void Shutdown() = 0;
+
+  [[nodiscard]] virtual bool IsShutdown() const noexcept = 0;
+
+  /// Sense-reversing barrier over all ranks (each rank calls once).
+  /// Returns Ok when every rank arrived, or Unavailable when the wait was
+  /// cut short by Shutdown() — callers must not treat a failed barrier as
+  /// a completed one.
+  virtual Status Barrier() = 0;
+
+  /// Messages delivered so far (all ranks) — used by tests to assert traffic
+  /// shapes (e.g. ring all-reduce sends exactly 2(n-1) messages per rank).
+  [[nodiscard]] virtual std::uint64_t TotalMessages() const = 0;
+};
+
+class InProcTransport final : public Transport {
  public:
   explicit InProcTransport(int world_size);
   InProcTransport(const InProcTransport&) = delete;
   InProcTransport& operator=(const InProcTransport&) = delete;
 
-  [[nodiscard]] int world_size() const noexcept { return world_size_; }
+  [[nodiscard]] int world_size() const noexcept override {
+    return world_size_;
+  }
 
-  /// Deliver `payload` to `dst`'s mailbox under (src, tag). Never blocks.
-  void Send(int src, int dst, int tag, Payload payload);
+  void Send(int src, int dst, int tag, Payload payload) override;
+  Result<Payload> Recv(int rank, int src, int tag) override;
+  Result<Payload> RecvFor(int rank, int src, int tag,
+                          std::chrono::milliseconds timeout) override;
+  std::optional<Payload> TryRecv(int rank, int src, int tag) override;
 
-  /// Block until a message from (src, tag) arrives at `rank`; returns its
-  /// payload, or Unavailable after Shutdown().
-  Result<Payload> Recv(int rank, int src, int tag);
+  void Shutdown() override;
+  [[nodiscard]] bool IsShutdown() const noexcept override {
+    return shutdown_.load(std::memory_order_acquire);
+  }
 
-  /// Wake all blocked receivers with an error (teardown / failure injection).
-  void Shutdown();
+  Status Barrier() override;
 
-  /// Simple sense-reversing barrier over all ranks (each rank calls once).
-  void Barrier();
-
-  /// Messages delivered so far (all ranks) — used by tests to assert traffic
-  /// shapes (e.g. ring all-reduce sends exactly 2(n-1) messages per rank).
-  [[nodiscard]] std::uint64_t TotalMessages() const;
+  [[nodiscard]] std::uint64_t TotalMessages() const override;
 
  private:
   struct Mailbox {
@@ -51,6 +109,9 @@ class InProcTransport {
     // (src, tag) -> FIFO of payloads.
     std::map<std::pair<int, int>, std::deque<Payload>> slots;
   };
+
+  /// Pop the front of (src, tag) if present; caller holds box.mu.
+  static std::optional<Payload> TakeLocked(Mailbox& box, int src, int tag);
 
   const int world_size_;
   std::vector<Mailbox> mailboxes_;

@@ -599,5 +599,106 @@ TEST_F(SimCollectiveTest, RdmaFasterThanTcp) {
   EXPECT_LT(rdma, tcp);
 }
 
+// ------------------------------------- threaded: shutdown robustness ------
+
+// Run the collective on every rank except `missing`, so it can never
+// complete; fire Shutdown mid-algorithm. Every participating thread must
+// return (join = no deadlock) and whoever was blocked must report non-OK.
+// Ranks that legitimately finish before the missing rank matters (e.g.
+// early pipeline stages) may return Ok — we require at least one observer.
+void ExpectUnblocksOnShutdown(int world, int missing,
+                              const std::function<Status(const Comm&)>& op) {
+  transport::InProcTransport tr(world);
+  std::vector<Status> status(static_cast<std::size_t>(world), Status::Ok());
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    if (r == missing) continue;
+    threads.emplace_back([&, r] {
+      Comm comm{&tr, r, world, 0};
+      status[static_cast<std::size_t>(r)] = op(comm);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  tr.Shutdown();
+  for (auto& t : threads) t.join();
+  int non_ok = 0;
+  for (int r = 0; r < world; ++r) {
+    if (r != missing && !status[static_cast<std::size_t>(r)].ok()) ++non_ok;
+  }
+  EXPECT_GE(non_ok, 1) << "no rank observed the shutdown";
+}
+
+TEST(ShutdownUnblocksTest, RingAllReduce) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> d(32, 1.0f);
+    return RingAllReduce(c, d, ReduceOp::kSum);
+  });
+}
+
+TEST(ShutdownUnblocksTest, HierarchicalAllReduce) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> d(32, 1.0f);
+    return HierarchicalAllReduce(c, /*gpus_per_host=*/2, d, ReduceOp::kAvg);
+  });
+}
+
+TEST(ShutdownUnblocksTest, ReduceScatter) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> d(32, 1.0f);
+    return ReduceScatter(c, d, ReduceOp::kSum);
+  });
+}
+
+TEST(ShutdownUnblocksTest, AllGather) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> d(32, 1.0f);
+    return AllGather(c, d);
+  });
+}
+
+TEST(ShutdownUnblocksTest, BroadcastFromMissingRoot) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> d(32, 1.0f);
+    return Broadcast(c, /*root=*/3, d);
+  });
+}
+
+TEST(ShutdownUnblocksTest, ReduceToRoot) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> d(32, 1.0f);
+    return Reduce(c, /*root=*/0, d, ReduceOp::kSum);
+  });
+}
+
+TEST(ShutdownUnblocksTest, GatherMissingContribution) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> mine(8, 1.0f);
+    std::vector<float> gathered(c.rank == 0 ? 32 : 0);
+    return Gather(c, /*root=*/0, mine, gathered);
+  });
+}
+
+TEST(ShutdownUnblocksTest, ScatterFromMissingRoot) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> chunk(8);
+    return Scatter(c, /*root=*/3, {}, chunk);
+  });
+}
+
+TEST(ShutdownUnblocksTest, AllToAll) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> send(32, 1.0f);
+    std::vector<float> recv(32);
+    return AllToAll(c, send, recv);
+  });
+}
+
+TEST(ShutdownUnblocksTest, MultiChannelAllReduce) {
+  ExpectUnblocksOnShutdown(4, 3, [](const Comm& c) {
+    std::vector<float> d(64, 1.0f);
+    return MultiChannelAllReduce(c, d, ReduceOp::kSum, /*num_channels=*/3);
+  });
+}
+
 }  // namespace
 }  // namespace aiacc::collective

@@ -146,7 +146,7 @@ TEST(ConvNetTest, DistributedTrainingMatchesSequential) {
         net->Forward(x, shard);
         net->Backward(x, y, shard);
         worker.PushAll();
-        worker.WaitIteration();
+        ASSERT_TRUE(worker.WaitIteration().ok());
         net->SgdStep(lr);
       }
       replicas[static_cast<std::size_t>(r)] = std::move(net);

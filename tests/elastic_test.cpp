@@ -115,5 +115,52 @@ TEST(ElasticTest, RejoinBroadcastScalesWithModelSize) {
   EXPECT_GT(b.rejoin_broadcast_time, s.rejoin_broadcast_time * 5);
 }
 
+TEST(ElasticTest, LinkFlapAddsDegradationOverhead) {
+  ElasticSpec spec = BaseSpec();
+  spec.fail_at_iteration = -1;
+  spec.flaps.push_back(LinkFlap{/*from=*/10, /*to=*/20,
+                                /*bandwidth_factor=*/0.25});
+  const auto report = SimulateElasticTraining(spec);
+  EXPECT_GT(report.degradation_overhead, 0.0);
+  // Total = ideal + checkpoints + degradation (nothing failed).
+  EXPECT_NEAR(report.total_time,
+              report.ideal_time + report.checkpoint_overhead +
+                  report.degradation_overhead,
+              1e-6);
+
+  ElasticSpec clean = BaseSpec();
+  clean.fail_at_iteration = -1;
+  const auto baseline = SimulateElasticTraining(clean);
+  EXPECT_GT(report.total_time, baseline.total_time);
+  EXPECT_EQ(baseline.degradation_overhead, 0.0);
+}
+
+TEST(ElasticTest, DeeperFlapHurtsMore) {
+  ElasticSpec mild = BaseSpec();
+  mild.fail_at_iteration = -1;
+  mild.flaps.push_back(LinkFlap{5, 15, 0.5});
+  ElasticSpec severe = BaseSpec();
+  severe.fail_at_iteration = -1;
+  severe.flaps.push_back(LinkFlap{5, 15, 0.1});
+  const auto m = SimulateElasticTraining(mild);
+  const auto s = SimulateElasticTraining(severe);
+  EXPECT_GT(s.degradation_overhead, m.degradation_overhead);
+}
+
+TEST(ElasticTest, FlapTimelineHasBeginAndEnd) {
+  ElasticSpec spec = BaseSpec();
+  spec.fail_at_iteration = -1;
+  spec.flaps.push_back(LinkFlap{10, 20, 0.25});
+  const auto report = SimulateElasticTraining(spec);
+  bool saw_begin = false;
+  bool saw_end = false;
+  for (const auto& e : report.timeline) {
+    if (e.what.find("LINK FLAP begins") != std::string::npos) saw_begin = true;
+    if (e.what.find("LINK FLAP ends") != std::string::npos) saw_end = true;
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+}
+
 }  // namespace
 }  // namespace aiacc::trainer

@@ -163,6 +163,45 @@ TEST_F(NetworkTest, FlowRateReflectsFairShare) {
 
 // ----------------------------------------------------------- CloudFabric ---
 
+TEST_F(NetworkTest, SetLinkCapacityRescalesInFlightFlow) {
+  const LinkIndex link = network.AddLink("l0", 100.0);
+  double done_at = -1.0;
+  network.StartFlow({{link}, 1000.0, Network::kUncapped, 0.0,
+                     [&] { done_at = engine.Now(); }});
+  // Halve the capacity at t=5 (500 bytes already moved): the remaining 500
+  // bytes crawl at 50 B/s -> 10 more seconds.
+  engine.ScheduleAfter(5.0, [&] { network.SetLinkCapacity(link, 50.0); });
+  engine.Run();
+  EXPECT_NEAR(done_at, 15.0, 1e-6);
+  EXPECT_NEAR(network.LinkCapacity(link), 50.0, 1e-12);
+}
+
+TEST_F(NetworkTest, DegradationWindowSlowsThenRecovers) {
+  const LinkIndex link = network.AddLink("l0", 100.0);
+  double done_at = -1.0;
+  network.StartFlow({{link}, 1000.0, Network::kUncapped, 0.0,
+                     [&] { done_at = engine.Now(); }});
+  // Flap: [2, 6) at 25% bandwidth. Progress: 200 B by t=2, then 4 s at
+  // 25 B/s = 100 B, then 700 B at full rate -> done at 6 + 7 = 13.
+  network.ScheduleDegradation(link, /*after=*/2.0, /*duration=*/4.0,
+                              /*factor=*/0.25);
+  engine.Run();
+  EXPECT_NEAR(done_at, 13.0, 1e-6);
+  // Capacity fully restored after the window.
+  EXPECT_NEAR(network.LinkCapacity(link), 100.0, 1e-9);
+}
+
+TEST_F(NetworkTest, OverlappingDegradationsCompose) {
+  const LinkIndex link = network.AddLink("l0", 100.0);
+  network.ScheduleDegradation(link, 0.0, 10.0, 0.5);
+  network.ScheduleDegradation(link, 2.0, 4.0, 0.5);
+  double probe = -1.0;
+  engine.ScheduleAfter(3.0, [&] { probe = network.LinkCapacity(link); });
+  engine.Run();
+  EXPECT_NEAR(probe, 25.0, 1e-9);  // both windows active at t=3
+  EXPECT_NEAR(network.LinkCapacity(link), 100.0, 1e-9);
+}
+
 TEST(CloudFabricTest, BuildsFourLinksPerHost) {
   sim::Engine engine;
   Topology topo{4, 8, TransportKind::kTcp};

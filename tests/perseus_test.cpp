@@ -105,7 +105,9 @@ TEST(PerseusTest, Fp16AllReduceQuantizesButAverages) {
 
 TEST(PerseusTest, BroadcastParametersMultiTensor) {
   const int world = 3;
-  std::vector<bool> ok(world, false);
+  // Not vector<bool>: rank threads write distinct indices concurrently, and
+  // bit-packing would make those writes share a word.
+  std::vector<char> ok(world, 0);
   RunRanks(world, [&](Session& s) {
     std::vector<float> t0(8, static_cast<float>(s.rank()));
     std::vector<float> t1(3, static_cast<float>(s.rank() * 100));

@@ -11,11 +11,17 @@
 //   * network: link byte accounting matches flow payloads exactly.
 #include <gtest/gtest.h>
 
+#include <span>
+#include <thread>
 #include <tuple>
+#include <vector>
 
+#include "collective/threaded.h"
+#include "common/rng.h"
 #include "dnn/zoo.h"
 #include "net/network.h"
 #include "trainer/harness.h"
+#include "transport/faulty.h"
 
 namespace aiacc::trainer {
 namespace {
@@ -256,3 +262,131 @@ TEST(NetworkPropertyTest, AggregateRateNeverExceedsCapacity) {
 
 }  // namespace
 }  // namespace aiacc::trainer
+
+// ----------------------------------------------- fault-schedule property --
+
+namespace aiacc::collective {
+namespace {
+
+// Under any randomized seeded fault schedule without crashes, a collective
+// with a deadline must terminate in bounded time on every rank, and the
+// outcome is all-or-nothing sound: if every rank reports Ok the results are
+// exactly correct; otherwise at least one rank reported a non-OK status.
+// (Lossless schedules — no drops — must always land in the first bucket.)
+struct FaultScheduleOutcome {
+  bool all_ok = true;
+  int non_ok = 0;
+};
+
+template <typename CollectiveFn>
+FaultScheduleOutcome RunUnderSchedule(int world,
+                                      const transport::FaultSpec& faults,
+                                      std::vector<std::vector<float>>& data,
+                                      const CollectiveFn& op) {
+  transport::InProcTransport inner(world);
+  transport::FaultyTransport tr(inner, faults);
+  std::vector<Status> status(static_cast<std::size_t>(world), Status::Ok());
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm{&tr, r, world, 0, /*timeout_ms=*/500};
+      status[static_cast<std::size_t>(r)] =
+          op(comm, data[static_cast<std::size_t>(r)]);
+    });
+  }
+  for (auto& t : threads) t.join();
+  FaultScheduleOutcome outcome;
+  for (const Status& st : status) {
+    if (!st.ok()) {
+      outcome.all_ok = false;
+      ++outcome.non_ok;
+    }
+  }
+  return outcome;
+}
+
+transport::FaultSpec RandomSchedule(std::uint64_t seed, bool allow_drops) {
+  Rng rng(seed * 7919 + 13);
+  transport::FaultSpec faults;
+  faults.seed = seed;
+  faults.all_links.dup_prob = rng.Uniform(0.0, 0.2);
+  faults.all_links.reorder_prob = rng.Uniform(0.0, 0.2);
+  faults.all_links.delay_prob = rng.Uniform(0.0, 0.1);
+  faults.all_links.max_delay_ms = 2.0;
+  if (allow_drops && rng.Chance(0.5)) {
+    faults.all_links.drop_prob = rng.Uniform(0.005, 0.02);
+  }
+  return faults;
+}
+
+TEST(FaultScheduleProperty, RingAllReduceExactOrNonOkNeverHangs) {
+  const int world = 4;
+  const std::size_t len = 96;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const transport::FaultSpec faults = RandomSchedule(seed, true);
+    Rng rng(seed);
+    std::vector<std::vector<float>> data(world);
+    std::vector<float> expected(len, 0.0f);
+    for (auto& v : data) {
+      v.resize(len);
+      for (float& x : v) x = static_cast<float>(rng.Uniform(-4.0, 4.0));
+      for (std::size_t i = 0; i < len; ++i) expected[i] += v[i];
+    }
+    const auto outcome = RunUnderSchedule(
+        world, faults, data, [](const Comm& c, std::span<float> d) {
+          return RingAllReduce(c, d, ReduceOp::kSum);
+        });
+    if (outcome.all_ok) {
+      for (int r = 0; r < world; ++r) {
+        for (std::size_t i = 0; i < len; ++i) {
+          ASSERT_NEAR(data[static_cast<std::size_t>(r)][i], expected[i], 1e-3)
+              << "seed " << seed << " rank " << r << " element " << i;
+        }
+      }
+    } else {
+      EXPECT_GE(outcome.non_ok, 1);
+    }
+    if (faults.all_links.drop_prob == 0.0) {
+      EXPECT_TRUE(outcome.all_ok)
+          << "lossless schedule " << seed << " must succeed";
+    }
+  }
+}
+
+TEST(FaultScheduleProperty, HierarchicalAllReduceExactOrNonOkNeverHangs) {
+  const int world = 4;
+  const std::size_t len = 64;
+  for (std::uint64_t seed = 101; seed <= 108; ++seed) {
+    const transport::FaultSpec faults = RandomSchedule(seed, true);
+    Rng rng(seed);
+    std::vector<std::vector<float>> data(world);
+    std::vector<float> expected(len, 0.0f);
+    for (auto& v : data) {
+      v.resize(len);
+      for (float& x : v) x = static_cast<float>(rng.Uniform(-4.0, 4.0));
+      for (std::size_t i = 0; i < len; ++i) expected[i] += v[i];
+    }
+    const auto outcome = RunUnderSchedule(
+        world, faults, data, [](const Comm& c, std::span<float> d) {
+          return HierarchicalAllReduce(c, /*gpus_per_host=*/2, d,
+                                       ReduceOp::kSum);
+        });
+    if (outcome.all_ok) {
+      for (int r = 0; r < world; ++r) {
+        for (std::size_t i = 0; i < len; ++i) {
+          ASSERT_NEAR(data[static_cast<std::size_t>(r)][i], expected[i], 1e-3)
+              << "seed " << seed << " rank " << r << " element " << i;
+        }
+      }
+    } else {
+      EXPECT_GE(outcome.non_ok, 1);
+    }
+    if (faults.all_links.drop_prob == 0.0) {
+      EXPECT_TRUE(outcome.all_ok)
+          << "lossless schedule " << seed << " must succeed";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aiacc::collective

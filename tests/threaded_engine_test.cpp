@@ -57,8 +57,9 @@ std::vector<std::unique_ptr<dnn::Mlp>> TrainDistributed(
       for (int s = 0; s < steps; ++s) {
         model->Forward(x, shard);
         model->Backward(x, y, shard);
-        worker.PushAll();        // gradients enter the engine
-        worker.WaitIteration();  // averaged in place across ranks
+        worker.PushAll();  // gradients enter the engine
+        // Averaged in place across ranks.
+        ASSERT_TRUE(worker.WaitIteration().ok());
         model->SgdStep(lr);
       }
       replicas[static_cast<std::size_t>(r)] = std::move(model);
@@ -142,7 +143,7 @@ TEST(ThreadedEngineTest, StatsReflectProtocolActivity) {
         model.Forward(x, shard);
         model.Backward(x, y, shard);
         worker.PushAll();
-        worker.WaitIteration();
+        ASSERT_TRUE(worker.WaitIteration().ok());
         model.SgdStep(0.1f);
       }
     });

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "transport/inproc.h"
@@ -81,7 +82,7 @@ TEST(InProcTransportTest, BarrierSynchronizesAllRanks) {
   for (int r = 0; r < world; ++r) {
     threads.emplace_back([&] {
       before.fetch_add(1);
-      tr.Barrier();
+      EXPECT_TRUE(tr.Barrier().ok());
       // Every rank must observe all `before` increments post-barrier.
       EXPECT_EQ(before.load(), world);
       after.fetch_add(1);
@@ -100,12 +101,82 @@ TEST(InProcTransportTest, BarrierReusable) {
     threads.emplace_back([&] {
       for (int round = 0; round < 10; ++round) {
         sum.fetch_add(1);
-        tr.Barrier();
+        EXPECT_TRUE(tr.Barrier().ok());
       }
     });
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(sum.load(), world * 10);
+}
+
+TEST(InProcTransportTest, RecvForTimesOutOnSilence) {
+  InProcTransport tr(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto p = tr.RecvFor(1, 0, 0, std::chrono::milliseconds(30));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(InProcTransportTest, RecvForDeliversWithinDeadline) {
+  InProcTransport tr(2);
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    tr.Send(0, 1, 3, {7.0f});
+  });
+  auto p = tr.RecvFor(1, 0, 3, std::chrono::milliseconds(2000));
+  sender.join();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)[0], 7.0f);
+}
+
+TEST(InProcTransportTest, RecvForShutdownBeatsDeadline) {
+  InProcTransport tr(2);
+  std::thread receiver([&] {
+    auto p = tr.RecvFor(1, 0, 0, std::chrono::milliseconds(10000));
+    EXPECT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), StatusCode::kUnavailable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  tr.Shutdown();
+  receiver.join();
+}
+
+TEST(InProcTransportTest, TryRecvNeverBlocks) {
+  InProcTransport tr(2);
+  EXPECT_FALSE(tr.TryRecv(1, 0, 0).has_value());
+  tr.Send(0, 1, 0, {1.0f});
+  tr.Send(0, 1, 0, {2.0f});
+  auto first = tr.TryRecv(1, 0, 0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ((*first)[0], 1.0f);
+  auto second = tr.TryRecv(1, 0, 0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ((*second)[0], 2.0f);
+  EXPECT_FALSE(tr.TryRecv(1, 0, 0).has_value());
+}
+
+TEST(InProcTransportTest, BarrierReturnsUnavailableOnShutdown) {
+  const int world = 3;
+  InProcTransport tr(world);
+  // Only 2 of 3 ranks arrive: the barrier cannot complete, so Shutdown must
+  // wake the waiters with a non-OK status (not a spurious "success").
+  std::vector<std::thread> threads;
+  std::atomic<int> non_ok{0};
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&] {
+      const Status st = tr.Barrier();
+      if (!st.ok()) {
+        EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+        non_ok.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  tr.Shutdown();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(non_ok.load(), 2);
 }
 
 TEST(InProcTransportTest, MessageCounter) {
