@@ -1,37 +1,94 @@
 // Reduction operators shared by the threaded and simulated collectives.
+//
+// Accumulate is the arithmetic inner loop of every reduce-scatter step, so
+// it is written to vectorize: the source and destination are declared
+// non-aliasing (`restrict` — a received payload and a caller tensor chunk
+// are always distinct buffers) and the body is unrolled in fixed-width
+// blocks, which lets the compiler emit straight-line SIMD with no runtime
+// aliasing checks and no per-element branch. RecvReduce fuses the
+// receive-side size validation with the reduction so a ring step consumes
+// the mailbox buffer directly in one pass — no staging copy, no second
+// traversal.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "common/logging.h"
+#include "common/status.h"
+
+#if defined(_MSC_VER)
+#define AIACC_RESTRICT __restrict
+#else
+#define AIACC_RESTRICT __restrict__
+#endif
 
 namespace aiacc::collective {
 
 enum class ReduceOp : std::uint8_t { kSum, kAvg, kMin, kMax };
 
+namespace detail {
+
+/// a[i] = f(a[i], b[i]) over two non-overlapping arrays. The 8-wide body is
+/// branch-free and alias-free, so it compiles to packed vector ops; the
+/// scalar tail handles odd lengths and keeps every offset/alignment legal.
+template <typename F>
+inline void VectorApply(float* AIACC_RESTRICT a, const float* AIACC_RESTRICT b,
+                        std::size_t n, F f) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    a[i + 0] = f(a[i + 0], b[i + 0]);
+    a[i + 1] = f(a[i + 1], b[i + 1]);
+    a[i + 2] = f(a[i + 2], b[i + 2]);
+    a[i + 3] = f(a[i + 3], b[i + 3]);
+    a[i + 4] = f(a[i + 4], b[i + 4]);
+    a[i + 5] = f(a[i + 5], b[i + 5]);
+    a[i + 6] = f(a[i + 6], b[i + 6]);
+    a[i + 7] = f(a[i + 7], b[i + 7]);
+  }
+  for (; i < n; ++i) a[i] = f(a[i], b[i]);
+}
+
+}  // namespace detail
+
 /// acc[i] = op(acc[i], in[i]). kAvg accumulates as a sum; callers divide by
-/// world size at the end (FinalizeAvg).
+/// world size at the end (FinalizeAvg). `acc` and `in` must not overlap.
 inline void Accumulate(std::span<float> acc, std::span<const float> in,
                        ReduceOp op) {
   AIACC_CHECK(acc.size() == in.size());
+  float* AIACC_RESTRICT a = acc.data();
+  const float* AIACC_RESTRICT b = in.data();
+  const std::size_t n = acc.size();
   switch (op) {
     case ReduceOp::kSum:
     case ReduceOp::kAvg:
-      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      detail::VectorApply(a, b, n, [](float x, float y) { return x + y; });
       break;
     case ReduceOp::kMin:
-      for (std::size_t i = 0; i < acc.size(); ++i) {
-        acc[i] = std::min(acc[i], in[i]);
-      }
+      detail::VectorApply(a, b, n,
+                          [](float x, float y) { return y < x ? y : x; });
       break;
     case ReduceOp::kMax:
-      for (std::size_t i = 0; i < acc.size(); ++i) {
-        acc[i] = std::max(acc[i], in[i]);
-      }
+      detail::VectorApply(a, b, n,
+                          [](float x, float y) { return y > x ? y : x; });
       break;
   }
+}
+
+/// Fused receive-side reduction: validate that the just-received payload
+/// matches the target chunk, then fold it into `acc` in a single pass. The
+/// ring reduce-scatter loop calls this straight on the mailbox buffer.
+/// Returns Internal on a size mismatch (framing bug or corrupted peer).
+inline Status RecvReduce(std::span<float> acc, std::span<const float> received,
+                         ReduceOp op) {
+  if (received.size() != acc.size()) {
+    return Internal("collective payload size mismatch: got " +
+                    std::to_string(received.size()) + ", want " +
+                    std::to_string(acc.size()));
+  }
+  Accumulate(acc, received, op);
+  return Status::Ok();
 }
 
 inline void FinalizeAvg(std::span<float> acc, int world_size, ReduceOp op) {

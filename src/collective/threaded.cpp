@@ -1,9 +1,12 @@
 #include "collective/threaded.h"
 
+#include <algorithm>
 #include <chrono>
-#include <thread>
+#include <condition_variable>
+#include <mutex>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace aiacc::collective {
 namespace {
@@ -27,13 +30,50 @@ Status CheckSize(const transport::Payload& received, std::size_t expected) {
   return Status::Ok();
 }
 
+/// Copy `src` into a send buffer. Pooled mode (`pool` set) first recycles
+/// `reuse` — typically the payload received on the previous ring step —
+/// falling back to the pool when its capacity is too small; legacy mode
+/// heap-allocates a fresh copy every call (the pre-pool behaviour, kept for
+/// bit-exact A/B comparison and as the bench baseline).
+transport::Payload FillSendBuffer(common::BufferPool* pool,
+                                  transport::Payload reuse,
+                                  std::span<const float> src) {
+  if (pool == nullptr) {
+    GlobalHotPathCounters().payload_allocs.fetch_add(
+        1, std::memory_order_relaxed);
+    return transport::Payload(src.begin(), src.end());
+  }
+  if (reuse.capacity() >= src.size()) {
+    reuse.resize(src.size());
+  } else {
+    if (reuse.capacity() > 0) pool->Release(std::move(reuse));
+    reuse = pool->Acquire(src.size());
+  }
+  std::copy(src.begin(), src.end(), reuse.begin());
+  return reuse;
+}
+
+/// Hand a finished payload back to the pool (no-op on the legacy path).
+void ReleasePayload(common::BufferPool* pool, transport::Payload&& payload) {
+  if (pool != nullptr && payload.capacity() > 0) {
+    pool->Release(std::move(payload));
+  }
+}
+
 /// Ring all-reduce over an arbitrary ordered set of global ranks.
 /// `op` must not be kAvg (callers finalize averaging themselves so that
 /// hierarchical composition divides exactly once).
+///
+/// Buffer lifecycle in pooled mode: each step's received payload becomes the
+/// next step's send buffer. In the reduce-scatter phase it is refilled (its
+/// contents were already folded into `data`); in the all-gather phase it is
+/// *forwarded unmodified* — the chunk received at step s is exactly the
+/// chunk sent at step s+1 — eliminating both the copy and the allocation.
 Status RingAllReduceOnRing(transport::Transport& tr,
                            const std::vector<int>& ring, int my_pos,
                            std::span<float> data, ReduceOp op, int tag,
-                           std::int64_t timeout_ms) {
+                           std::int64_t timeout_ms,
+                           common::BufferPool* pool) {
   AIACC_CHECK(op != ReduceOp::kAvg);
   const int n = static_cast<int>(ring.size());
   if (n <= 1) return Status::Ok();
@@ -49,33 +89,46 @@ Status RingAllReduceOnRing(transport::Transport& tr,
     return data.subspan(b, e - b);
   };
 
+  transport::Payload carry;  // recycled send buffer (pooled mode)
   // Reduce-scatter: after step s, each rank has accumulated s+1 inputs into
-  // the chunk it just received.
+  // the chunk it just received (folded straight out of the mailbox buffer).
   for (int s = 0; s < n - 1; ++s) {
     std::span<float> to_send = chunk(my_pos - s);
-    tr.Send(me, next, tag, transport::Payload(to_send.begin(), to_send.end()));
+    tr.Send(me, next, tag, FillSendBuffer(pool, std::move(carry), to_send));
+    carry = transport::Payload();
     auto received = TimedRecv(tr, timeout_ms, me, prev, tag);
     if (!received.ok()) return received.status();
-    std::span<float> target = chunk(my_pos - s - 1);
-    AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
-    Accumulate(target, *received, op);
+    AIACC_RETURN_IF_ERROR(RecvReduce(chunk(my_pos - s - 1), *received, op));
+    if (pool != nullptr) carry = std::move(*received);
   }
-  // All-gather: circulate the fully-reduced chunks.
+  // All-gather: circulate the fully-reduced chunks. From step 1 on, the
+  // payload received on the previous step *is* this step's chunk, so it is
+  // forwarded as-is.
   for (int s = 0; s < n - 1; ++s) {
     std::span<float> to_send = chunk(my_pos - s + 1);
-    tr.Send(me, next, tag, transport::Payload(to_send.begin(), to_send.end()));
+    transport::Payload out;
+    if (pool != nullptr && s > 0) {
+      out = std::move(carry);
+    } else {
+      out = FillSendBuffer(pool, std::move(carry), to_send);
+    }
+    carry = transport::Payload();
+    tr.Send(me, next, tag, std::move(out));
     auto received = TimedRecv(tr, timeout_ms, me, prev, tag);
     if (!received.ok()) return received.status();
     std::span<float> target = chunk(my_pos - s);
     AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
     std::copy(received->begin(), received->end(), target.begin());
+    if (pool != nullptr) carry = std::move(*received);
   }
+  ReleasePayload(pool, std::move(carry));
   return Status::Ok();
 }
 
 Status BroadcastOnRing(transport::Transport& tr, const std::vector<int>& ring,
                        int my_pos, int root_pos, std::span<float> data,
-                       int tag, std::int64_t timeout_ms) {
+                       int tag, std::int64_t timeout_ms,
+                       common::BufferPool* pool) {
   const int n = static_cast<int>(ring.size());
   if (n <= 1) return Status::Ok();
   const int me = ring[static_cast<std::size_t>(my_pos)];
@@ -88,11 +141,38 @@ Status BroadcastOnRing(transport::Transport& tr, const std::vector<int>& ring,
     if (!received.ok()) return received.status();
     AIACC_RETURN_IF_ERROR(CheckSize(*received, data.size()));
     std::copy(received->begin(), received->end(), data.begin());
+    if (next_is_root) {
+      ReleasePayload(pool, std::move(*received));  // end of the pipeline
+    } else if (pool != nullptr) {
+      // Forward the received payload unmodified (its contents == data).
+      tr.Send(me, next, tag, std::move(*received));
+    } else {
+      tr.Send(me, next, tag, transport::Payload(data.begin(), data.end()));
+    }
+    return Status::Ok();
   }
   if (!next_is_root) {
-    tr.Send(me, next, tag, transport::Payload(data.begin(), data.end()));
+    tr.Send(me, next, tag, FillSendBuffer(pool, {}, data));
   }
   return Status::Ok();
+}
+
+/// Persistent worker pool shared by every MultiChannelAllReduce invocation
+/// in the process. Ring channel tasks *block on each other across ranks*,
+/// so the pool grows (never shrinks) to at least the number of channel
+/// tasks reserved by all concurrent invocations — the reservation makes the
+/// blocked-task set always schedulable (see ThreadPool::EnsureWorkers).
+/// Leaked singleton: worker threads may still be draining at static
+/// destruction time.
+struct ChannelWorkers {
+  ThreadPool pool{1};
+  std::mutex mu;
+  std::size_t reserved = 0;  // channel tasks of in-flight invocations
+};
+
+ChannelWorkers& GlobalChannelWorkers() {
+  static ChannelWorkers* workers = new ChannelWorkers();
+  return *workers;
 }
 
 }  // namespace
@@ -109,7 +189,7 @@ Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
   const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
   AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, ring, comm.rank,
                                             data, inner, comm.tag_base,
-                                            comm.timeout_ms));
+                                            comm.timeout_ms, comm.pool));
   FinalizeAvg(data, comm.world_size, op);
   return Status::Ok();
 }
@@ -132,7 +212,7 @@ Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
   }
   AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, group, local,
                                             data, inner, comm.tag_base,
-                                            comm.timeout_ms));
+                                            comm.timeout_ms, comm.pool));
 
   // Phase 2: group leaders ring all-reduce across hosts.
   if (num_hosts > 1) {
@@ -144,13 +224,13 @@ Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
       AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, leaders,
                                                 host, data, inner,
                                                 comm.tag_base + 1,
-                                                comm.timeout_ms));
+                                                comm.timeout_ms, comm.pool));
     }
     // Phase 3: leaders broadcast the global result inside their group.
     AIACC_RETURN_IF_ERROR(BroadcastOnRing(*comm.transport, group, local,
                                           /*root_pos=*/0, data,
                                           comm.tag_base + 2,
-                                          comm.timeout_ms));
+                                          comm.timeout_ms, comm.pool));
   }
   FinalizeAvg(data, comm.world_size, op);
   return Status::Ok();
@@ -168,33 +248,36 @@ Status ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
   const int next = (me + 1) % n;
   const int prev = (me + n - 1) % n;
   const std::size_t len = data.size();
+  common::BufferPool* pool = comm.pool;
   auto chunk = [&](int c) -> std::span<float> {
     const int cc = ((c % n) + n) % n;
     const std::size_t b = ChunkBegin(len, n, cc);
     return data.subspan(b, ChunkBegin(len, n, cc + 1) - b);
   };
+  transport::Payload carry;
   for (int s = 0; s < n - 1; ++s) {
     std::span<float> to_send = chunk(me - s);
     comm.transport->Send(me, next, comm.tag_base,
-                         transport::Payload(to_send.begin(), to_send.end()));
+                         FillSendBuffer(pool, std::move(carry), to_send));
+    carry = transport::Payload();
     auto received =
         TimedRecv(*comm.transport, comm.timeout_ms, me, prev, comm.tag_base);
     if (!received.ok()) return received.status();
-    std::span<float> target = chunk(me - s - 1);
-    AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
-    Accumulate(target, *received, inner);
+    AIACC_RETURN_IF_ERROR(RecvReduce(chunk(me - s - 1), *received, inner));
+    if (pool != nullptr) carry = std::move(*received);
   }
   // Rank r now owns reduced chunk (r + 1) mod n; rotate ownership convention
   // so rank r owns chunk r: one extra pass of the owned chunk to `next`.
   std::span<float> owned = chunk(me + 1);
   comm.transport->Send(me, next, comm.tag_base + 1,
-                       transport::Payload(owned.begin(), owned.end()));
+                       FillSendBuffer(pool, std::move(carry), owned));
   auto received = TimedRecv(*comm.transport, comm.timeout_ms, me, prev,
                             comm.tag_base + 1);
   if (!received.ok()) return received.status();
   std::span<float> mine = chunk(me);
   AIACC_RETURN_IF_ERROR(CheckSize(*received, mine.size()));
   std::copy(received->begin(), received->end(), mine.begin());
+  ReleasePayload(pool, std::move(*received));
   FinalizeAvg(mine, n, op);
   return Status::Ok();
 }
@@ -207,22 +290,32 @@ Status AllGather(const Comm& comm, std::span<float> data) {
   const int next = (me + 1) % n;
   const int prev = (me + n - 1) % n;
   const std::size_t len = data.size();
+  common::BufferPool* pool = comm.pool;
   auto chunk = [&](int c) -> std::span<float> {
     const int cc = ((c % n) + n) % n;
     const std::size_t b = ChunkBegin(len, n, cc);
     return data.subspan(b, ChunkBegin(len, n, cc + 1) - b);
   };
+  transport::Payload carry;
   for (int s = 0; s < n - 1; ++s) {
     std::span<float> to_send = chunk(me - s);
-    comm.transport->Send(me, next, comm.tag_base,
-                         transport::Payload(to_send.begin(), to_send.end()));
+    transport::Payload out;
+    if (pool != nullptr && s > 0) {
+      out = std::move(carry);  // received at step s-1 == chunk(me - s)
+    } else {
+      out = FillSendBuffer(pool, std::move(carry), to_send);
+    }
+    carry = transport::Payload();
+    comm.transport->Send(me, next, comm.tag_base, std::move(out));
     auto received =
         TimedRecv(*comm.transport, comm.timeout_ms, me, prev, comm.tag_base);
     if (!received.ok()) return received.status();
     std::span<float> target = chunk(me - s - 1);
     AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
     std::copy(received->begin(), received->end(), target.begin());
+    if (pool != nullptr) carry = std::move(*received);
   }
+  ReleasePayload(pool, std::move(carry));
   return Status::Ok();
 }
 
@@ -231,7 +324,7 @@ Status Broadcast(const Comm& comm, int root, std::span<float> data) {
   std::vector<int> ring(static_cast<std::size_t>(comm.world_size));
   for (int r = 0; r < comm.world_size; ++r) ring[static_cast<std::size_t>(r)] = r;
   return BroadcastOnRing(*comm.transport, ring, comm.rank, root, data,
-                         comm.tag_base, comm.timeout_ms);
+                         comm.tag_base, comm.timeout_ms, comm.pool);
 }
 
 Status Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op) {
@@ -250,19 +343,21 @@ Status Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op) {
   const int prev = (me + n - 1) % n;
   if (position == 0) {
     comm.transport->Send(me, next, comm.tag_base,
-                         transport::Payload(data.begin(), data.end()));
+                         FillSendBuffer(comm.pool, {}, data));
     return Status::Ok();
   }
   auto received =
       TimedRecv(*comm.transport, comm.timeout_ms, me, prev, comm.tag_base);
   if (!received.ok()) return received.status();
-  AIACC_RETURN_IF_ERROR(CheckSize(*received, data.size()));
   if (me == root) {
-    Accumulate(data, *received, inner);
+    AIACC_RETURN_IF_ERROR(RecvReduce(data, *received, inner));
+    ReleasePayload(comm.pool, std::move(*received));
     FinalizeAvg(data, n, op);
     return Status::Ok();
   }
-  // Accumulate into a scratch so this rank's own buffer stays untouched.
+  AIACC_RETURN_IF_ERROR(CheckSize(*received, data.size()));
+  // Accumulate into the received scratch so this rank's own buffer stays
+  // untouched, then forward the same buffer (zero extra allocations).
   transport::Payload partial = std::move(*received);
   Accumulate(std::span<float>(partial), data, inner);
   comm.transport->Send(me, next, comm.tag_base, std::move(partial));
@@ -273,27 +368,85 @@ Status Gather(const Comm& comm, int root, std::span<const float> contribution,
               std::span<float> gathered) {
   AIACC_CHECK(comm.transport != nullptr);
   const int n = comm.world_size;
-  if (comm.rank == root) {
-    AIACC_CHECK(gathered.size() == contribution.size() * n);
-    std::copy(contribution.begin(), contribution.end(),
-              gathered.begin() +
-                  static_cast<std::ptrdiff_t>(comm.rank) *
-                      static_cast<std::ptrdiff_t>(contribution.size()));
-    for (int r = 0; r < n; ++r) {
-      if (r == root) continue;
-      auto received =
-          TimedRecv(*comm.transport, comm.timeout_ms, root, r, comm.tag_base);
-      if (!received.ok()) return received.status();
-      AIACC_RETURN_IF_ERROR(CheckSize(*received, contribution.size()));
-      std::copy(received->begin(), received->end(),
-                gathered.begin() + static_cast<std::ptrdiff_t>(r) *
-                                       static_cast<std::ptrdiff_t>(
-                                           contribution.size()));
+  common::BufferPool* pool = comm.pool;
+  if (comm.rank != root) {
+    comm.transport->Send(comm.rank, root, comm.tag_base,
+                         FillSendBuffer(pool, {}, contribution));
+    return Status::Ok();
+  }
+  AIACC_CHECK(gathered.size() ==
+              contribution.size() * static_cast<std::size_t>(n));
+  auto block_of = [&](int r) {
+    return gathered.subspan(
+        static_cast<std::size_t>(r) * contribution.size(),
+        contribution.size());
+  };
+  std::copy(contribution.begin(), contribution.end(), block_of(root).begin());
+
+  auto consume = [&](int r, transport::Payload&& payload) -> Status {
+    AIACC_RETURN_IF_ERROR(CheckSize(payload, contribution.size()));
+    std::copy(payload.begin(), payload.end(), block_of(r).begin());
+    ReleasePayload(pool, std::move(payload));
+    return Status::Ok();
+  };
+
+  std::vector<int> pending;
+  pending.reserve(static_cast<std::size_t>(n - 1));
+  for (int r = 0; r < n; ++r) {
+    if (r != root) pending.push_back(r);
+  }
+  // Drain peers in completion order: sweep every pending peer with TryRecv;
+  // when a full sweep makes no progress, park briefly on one pending peer
+  // (rotating) so the loop sleeps instead of spinning — an arrival from the
+  // parked peer or a Shutdown wakes it immediately, an arrival from any
+  // other peer is picked up by the next sweep within the park quantum.
+  // `timeout_ms` bounds the silence between two successful receives, the
+  // same per-message deadline the strict rank-order scan enforced.
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = comm.timeout_ms > 0;
+  constexpr std::chrono::milliseconds kParkQuantum{5};
+  auto wait_start = Clock::now();
+  std::size_t park = 0;
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      if (auto payload = comm.transport->TryRecv(root, *it, comm.tag_base)) {
+        AIACC_RETURN_IF_ERROR(consume(*it, std::move(*payload)));
+        it = pending.erase(it);
+        progressed = true;
+      } else {
+        ++it;
+      }
     }
-  } else {
-    comm.transport->Send(
-        comm.rank, root, comm.tag_base,
-        transport::Payload(contribution.begin(), contribution.end()));
+    if (pending.empty()) break;
+    if (progressed) {
+      wait_start = Clock::now();
+      continue;
+    }
+    const int r = pending[park++ % pending.size()];
+    auto quantum = kParkQuantum;
+    if (bounded) {
+      const auto remaining =
+          std::chrono::milliseconds(comm.timeout_ms) -
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Clock::now() - wait_start);
+      if (remaining <= std::chrono::milliseconds::zero()) {
+        return DeadlineExceeded("gather: no contribution within " +
+                                std::to_string(comm.timeout_ms) +
+                                "ms; still missing " +
+                                std::to_string(pending.size()) + " rank(s)");
+      }
+      quantum = std::min(quantum, remaining);
+    }
+    auto received = comm.transport->RecvFor(root, r, comm.tag_base, quantum);
+    if (received.ok()) {
+      AIACC_RETURN_IF_ERROR(consume(r, std::move(*received)));
+      pending.erase(std::find(pending.begin(), pending.end(), r));
+      wait_start = Clock::now();
+    } else if (received.status().code() != StatusCode::kDeadlineExceeded) {
+      return received.status();  // e.g. Unavailable after Shutdown
+    }
+    // Park quantum expired: sweep again.
   }
   return Status::Ok();
 }
@@ -303,7 +456,7 @@ Status Scatter(const Comm& comm, int root, std::span<const float> scattered,
   AIACC_CHECK(comm.transport != nullptr);
   const int n = comm.world_size;
   if (comm.rank == root) {
-    AIACC_CHECK(scattered.size() == chunk.size() * n);
+    AIACC_CHECK(scattered.size() == chunk.size() * static_cast<std::size_t>(n));
     for (int r = 0; r < n; ++r) {
       auto block = scattered.subspan(
           static_cast<std::size_t>(r) * chunk.size(), chunk.size());
@@ -311,7 +464,7 @@ Status Scatter(const Comm& comm, int root, std::span<const float> scattered,
         std::copy(block.begin(), block.end(), chunk.begin());
       } else {
         comm.transport->Send(root, r, comm.tag_base,
-                             transport::Payload(block.begin(), block.end()));
+                             FillSendBuffer(comm.pool, {}, block));
       }
     }
   } else {
@@ -320,6 +473,7 @@ Status Scatter(const Comm& comm, int root, std::span<const float> scattered,
     if (!received.ok()) return received.status();
     AIACC_RETURN_IF_ERROR(CheckSize(*received, chunk.size()));
     std::copy(received->begin(), received->end(), chunk.begin());
+    ReleasePayload(comm.pool, std::move(*received));
   }
   return Status::Ok();
 }
@@ -340,7 +494,7 @@ Status AllToAll(const Comm& comm, std::span<const float> send,
                                    static_cast<std::ptrdiff_t>(block));
     } else {
       comm.transport->Send(comm.rank, d, comm.tag_base,
-                           transport::Payload(out.begin(), out.end()));
+                           FillSendBuffer(comm.pool, {}, out));
     }
   }
   for (int s = 0; s < n; ++s) {
@@ -353,8 +507,13 @@ Status AllToAll(const Comm& comm, std::span<const float> send,
     std::copy(received->begin(), received->end(),
               recv.begin() + static_cast<std::ptrdiff_t>(s) *
                                  static_cast<std::ptrdiff_t>(block));
+    ReleasePayload(comm.pool, std::move(*received));
   }
   return Status::Ok();
+}
+
+int MultiChannelWorkerCount() {
+  return static_cast<int>(GlobalChannelWorkers().pool.size());
 }
 
 Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
@@ -364,22 +523,54 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
                                num_channels * comm.world_size)) {
     return RingAllReduce(comm, data, op);
   }
-  std::vector<std::thread> workers;
+  // Channel 0 runs on the calling thread, so k channels consume k-1 pool
+  // workers. Reserving before submitting keeps pool size >= the number of
+  // channel tasks in flight across *all* concurrent invocations — ring
+  // tasks block on their peers, so every submitted task must be running for
+  // any of them to finish.
+  ChannelWorkers& workers = GlobalChannelWorkers();
+  const std::size_t extra = static_cast<std::size_t>(num_channels - 1);
+  {
+    std::lock_guard<std::mutex> lock(workers.mu);
+    workers.reserved += extra;
+    workers.pool.EnsureWorkers(workers.reserved);
+  }
+
+  struct Completion {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = 0;
+  } done;
+  done.remaining = static_cast<int>(extra);
   std::vector<Status> channel_status(static_cast<std::size_t>(num_channels));
-  workers.reserve(static_cast<std::size_t>(num_channels));
-  for (int c = 0; c < num_channels; ++c) {
+  for (int c = 1; c < num_channels; ++c) {
     const std::size_t b = ChunkBegin(data.size(), num_channels, c);
     const std::size_t e = ChunkBegin(data.size(), num_channels, c + 1);
     Comm sub = comm;
-    // Each channel gets a disjoint tag namespace (ring + hierarchical use at
-    // most 3 tags).
-    sub.tag_base = comm.tag_base + 16 * (c + 1);
+    // Each channel gets a disjoint tag namespace (collective/tags.h).
+    sub.tag_base = ChannelTagBase(comm.tag_base, c);
     Status* slot = &channel_status[static_cast<std::size_t>(c)];
-    workers.emplace_back([sub, slice = data.subspan(b, e - b), op, slot] {
+    workers.pool.Submit([sub, slice = data.subspan(b, e - b), op, slot,
+                         &done] {
       *slot = RingAllReduce(sub, slice, op);
+      std::lock_guard<std::mutex> lock(done.mu);
+      if (--done.remaining == 0) done.cv.notify_all();
     });
   }
-  for (auto& w : workers) w.join();
+  {
+    const std::size_t e = ChunkBegin(data.size(), num_channels, 1);
+    Comm sub = comm;
+    sub.tag_base = ChannelTagBase(comm.tag_base, 0);
+    channel_status[0] = RingAllReduce(sub, data.subspan(0, e), op);
+  }
+  {
+    std::unique_lock<std::mutex> lock(done.mu);
+    done.cv.wait(lock, [&] { return done.remaining == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers.mu);
+    workers.reserved -= extra;
+  }
   for (const Status& st : channel_status) {
     if (!st.ok()) return st;
   }

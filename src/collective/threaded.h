@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "collective/ops.h"
+#include "collective/tags.h"
+#include "common/buffer_pool.h"
 #include "common/status.h"
 #include "transport/inproc.h"
 
@@ -32,6 +34,11 @@ struct Comm {
   /// Per-message receive deadline in milliseconds; <= 0 blocks forever
   /// (the pre-fault-tolerance behaviour).
   std::int64_t timeout_ms = 0;
+  /// Payload-buffer recycler for the hot path (see common/buffer_pool.h).
+  /// nullptr selects the legacy allocate-and-copy path — kept selectable so
+  /// tests can prove the pooled path bit-identical and benches can measure
+  /// the allocation cost it removes.
+  common::BufferPool* pool = &common::BufferPool::Global();
 };
 
 /// Classic chunked ring all-reduce: reduce-scatter then all-gather, 2(n-1)
@@ -63,7 +70,12 @@ Status Reduce(const Comm& comm, int root, std::span<float> data, ReduceOp op);
 
 /// Gather: root receives every rank's `contribution` into `gathered`
 /// (world_size * contribution.size(), rank-major). Non-root ranks may pass
-/// an empty `gathered`.
+/// an empty `gathered`. The root drains peers in *completion order* (a
+/// TryRecv sweep with a short blocking fallback), so one slow rank no
+/// longer serializes the ranks behind it in the fixed rank-order scan.
+/// Caveat: the sweep uses TryRecv, which a FaultyTransport relaxes to
+/// datagram semantics — do not run Gather over a *lossy* decorated channel
+/// (lossless fault specs are fine; transport/faulty.h explains the mix).
 Status Gather(const Comm& comm, int root, std::span<const float> contribution,
               std::span<float> gathered);
 
@@ -81,12 +93,20 @@ Status AllToAll(const Comm& comm, std::span<const float> send,
                 std::span<float> recv);
 
 /// Multi-channel all-reduce: slices `data` into `num_channels` contiguous
-/// pieces and runs an independent ring per slice on its own tag namespace,
-/// each driven by its own thread — a rank participates in `num_channels`
-/// all-reduce operations simultaneously, the threaded analogue of AIACC's
-/// multi-streamed communication. Returns the first non-OK channel status.
+/// pieces and runs an independent ring per slice on its own tag namespace
+/// (ChannelTagBase) — a rank participates in `num_channels` all-reduce
+/// operations simultaneously, the threaded analogue of AIACC's
+/// multi-streamed communication. Channel 0 runs on the calling thread; the
+/// rest run on a persistent process-wide worker pool that grows to peak
+/// demand and is reused across invocations (no thread is ever spawned per
+/// call). Returns the first non-OK channel status.
 Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
                              ReduceOp op, int num_channels);
+
+/// Current size of the persistent multi-channel worker pool (0 until the
+/// first multi-channel call). Exposed so tests can assert that repeated
+/// invocations reuse workers instead of spawning threads per call.
+int MultiChannelWorkerCount();
 
 /// Chunk boundaries used by ring collectives (also exposed for tests):
 /// chunk c of n covers [ChunkBegin(len,n,c), ChunkBegin(len,n,c+1)).

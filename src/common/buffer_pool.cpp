@@ -1,0 +1,100 @@
+#include "common/buffer_pool.h"
+
+#include <bit>
+
+#include "common/stats.h"
+
+namespace aiacc::common {
+
+BufferPool::BufferPool(std::size_t max_free_per_class)
+    : max_free_per_class_(max_free_per_class) {}
+
+std::size_t BufferPool::ClassCapacity(std::size_t cls) {
+  return std::size_t{1} << (cls + kMinClassLog2);
+}
+
+std::size_t BufferPool::ClassForRequest(std::size_t n) {
+  if (n <= ClassCapacity(0)) return 0;
+  const std::size_t log2 = std::bit_width(n - 1);  // ceil(log2(n))
+  if (log2 > kMaxClassLog2) return kNumClasses;    // unpoolable
+  return log2 - kMinClassLog2;
+}
+
+std::size_t BufferPool::ClassForCapacity(std::size_t cap) {
+  if (cap < ClassCapacity(0)) return kNumClasses;  // too small to serve any class
+  const std::size_t log2 = static_cast<std::size_t>(std::bit_width(cap)) - 1;
+  return std::min(log2 - kMinClassLog2, kNumClasses - 1);
+}
+
+BufferPool::Buffer BufferPool::Acquire(std::size_t n) {
+  const std::size_t cls = ClassForRequest(n);
+  if (cls < kNumClasses) {
+    SizeClass& sc = classes_[cls];
+    std::unique_lock<std::mutex> lock(sc.mu);
+    if (!sc.free.empty()) {
+      Buffer buffer = std::move(sc.free.back());
+      sc.free.pop_back();
+      lock.unlock();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      GlobalHotPathCounters().pool_hits.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      buffer.resize(n);  // capacity >= class size: never reallocates
+      return buffer;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  GlobalHotPathCounters().payload_allocs.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  Buffer buffer;
+  if (cls < kNumClasses) buffer.reserve(ClassCapacity(cls));
+  buffer.resize(n);
+  return buffer;
+}
+
+void BufferPool::Release(Buffer&& buffer) {
+  returns_.fetch_add(1, std::memory_order_relaxed);
+  GlobalHotPathCounters().pool_returns.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t cls = ClassForCapacity(buffer.capacity());
+  if (cls < kNumClasses) {
+    SizeClass& sc = classes_[cls];
+    std::lock_guard<std::mutex> lock(sc.mu);
+    if (sc.free.size() < max_free_per_class_) {
+      sc.free.push_back(std::move(buffer));
+      return;
+    }
+  }
+  discarded_.fetch_add(1, std::memory_order_relaxed);
+  // buffer freed on scope exit
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.returns = returns_.load(std::memory_order_relaxed);
+  s.discarded = discarded_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  returns_.store(0, std::memory_order_relaxed);
+  discarded_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t BufferPool::FreeBuffers() const {
+  std::size_t total = 0;
+  for (const SizeClass& sc : classes_) {
+    std::lock_guard<std::mutex> lock(sc.mu);
+    total += sc.free.size();
+  }
+  return total;
+}
+
+BufferPool& BufferPool::Global() {
+  static BufferPool* pool = new BufferPool();  // never destroyed: transports
+  return *pool;  // and engine threads may release during static teardown
+}
+
+}  // namespace aiacc::common

@@ -1,0 +1,95 @@
+// Size-classed recycling pool for payload buffers (std::vector<float>).
+//
+// The threaded collectives move one freshly sized buffer into the transport
+// per point-to-point step; without recycling, every step of every ring on
+// every rank heap-allocates — at multi-channel stream counts that is
+// thousands of allocations per training iteration, and the allocator lock
+// becomes a hidden serialization point between "independent" streams. The
+// pool makes the steady state allocation-free: buffers released after a
+// receive are handed back to the next sender of a similar size.
+//
+// Size classes are powers of two (floor on the stored capacity, ceil on the
+// requested length), so any released buffer can serve any request whose
+// rounded-up size is at most the buffer's class. Acquire reserves *exactly*
+// the class capacity, which keeps a buffer in the same class across its
+// whole acquire/release life — the population of each class is stable and
+// the steady state of a fixed communication pattern performs zero
+// allocations (counter-verified in tests/hotpath_test.cpp).
+//
+// Thread-safe; one mutex per size class. Misses/hits/returns feed the
+// global HotPathCounters (common/stats.h) so benches and tests can assert
+// allocation behaviour.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace aiacc::common {
+
+class BufferPool {
+ public:
+  using Buffer = std::vector<float>;
+
+  /// `max_free_per_class` bounds how many idle buffers each size class
+  /// retains; surplus releases are freed (counted as `discarded`).
+  explicit BufferPool(std::size_t max_free_per_class = 256);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer of size `n` with capacity equal to n's size class. Reuses a
+  /// pooled buffer when one is available (hit), otherwise allocates (miss).
+  [[nodiscard]] Buffer Acquire(std::size_t n);
+
+  /// Return a buffer for reuse. Accepts buffers of any origin (pooled or
+  /// not); they are filed under the class their capacity can serve.
+  void Release(Buffer&& buffer);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t discarded = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  void ResetStats();
+
+  /// Number of idle buffers currently pooled (all classes).
+  [[nodiscard]] std::size_t FreeBuffers() const;
+
+  /// Process-wide pool shared by all transports/collectives by default.
+  static BufferPool& Global();
+
+ private:
+  // Classes 0..kNumClasses-1 hold capacities 2^(k + kMinClassLog2); the
+  // largest class covers 2^26 floats (256 MiB) — anything bigger is served
+  // unpooled (always a miss, release frees).
+  static constexpr std::size_t kMinClassLog2 = 6;   // 64 floats
+  static constexpr std::size_t kMaxClassLog2 = 26;
+  static constexpr std::size_t kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+
+  struct SizeClass {
+    mutable std::mutex mu;
+    std::vector<Buffer> free;
+  };
+
+  /// Smallest class whose capacity is >= n, or kNumClasses when n exceeds
+  /// the largest class.
+  static std::size_t ClassForRequest(std::size_t n);
+  /// Largest class whose capacity is <= cap (requests of that class fit).
+  static std::size_t ClassForCapacity(std::size_t cap);
+  static std::size_t ClassCapacity(std::size_t cls);
+
+  const std::size_t max_free_per_class_;
+  std::array<SizeClass, kNumClasses> classes_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> returns_{0};
+  std::atomic<std::uint64_t> discarded_{0};
+};
+
+}  // namespace aiacc::common

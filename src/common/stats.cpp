@@ -110,4 +110,29 @@ std::string FormatRate(double bytes_per_sec) {
   return buf;
 }
 
+HotPathCounters::Snapshot HotPathCounters::Read() const {
+  Snapshot s;
+  s.payload_allocs = payload_allocs.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits.load(std::memory_order_relaxed);
+  s.pool_returns = pool_returns.load(std::memory_order_relaxed);
+  s.notifies = notifies.load(std::memory_order_relaxed);
+  s.wakeups = wakeups.load(std::memory_order_relaxed);
+  s.futile_wakeups = futile_wakeups.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HotPathCounters::Reset() {
+  payload_allocs.store(0, std::memory_order_relaxed);
+  pool_hits.store(0, std::memory_order_relaxed);
+  pool_returns.store(0, std::memory_order_relaxed);
+  notifies.store(0, std::memory_order_relaxed);
+  wakeups.store(0, std::memory_order_relaxed);
+  futile_wakeups.store(0, std::memory_order_relaxed);
+}
+
+HotPathCounters& GlobalHotPathCounters() {
+  static HotPathCounters* counters = new HotPathCounters();  // never destroyed
+  return *counters;
+}
+
 }  // namespace aiacc

@@ -6,17 +6,27 @@ namespace aiacc {
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   AIACC_CHECK(n_threads > 0);
-  threads_.reserve(n_threads);
-  for (std::size_t i = 0; i < n_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
-  }
+  EnsureWorkers(n_threads);
 }
 
 ThreadPool::~ThreadPool() {
   tasks_.Shutdown();
+  std::lock_guard<std::mutex> lock(threads_mu_);
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
+}
+
+void ThreadPool::EnsureWorkers(std::size_t n) {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  while (threads_.size() < n) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+std::size_t ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  return threads_.size();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

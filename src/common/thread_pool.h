@@ -38,12 +38,20 @@ class ThreadPool {
   /// Blocks until every submitted task (so far) has finished.
   void WaitIdle();
 
-  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+  /// Grow the pool so it has at least `n` workers (no-op when already that
+  /// large; the pool never shrinks). Lets long-lived pools absorb demand
+  /// spikes — callers that submit tasks which may *block* on each other
+  /// must reserve enough workers for every concurrently blocked task, or
+  /// the pool deadlocks.
+  void EnsureWorkers(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const;
 
  private:
   void WorkerLoop();
 
   BlockingQueue<std::function<void()>> tasks_;
+  mutable std::mutex threads_mu_;
   std::vector<std::thread> threads_;
 
   std::mutex idle_mu_;

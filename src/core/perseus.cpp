@@ -20,9 +20,11 @@ void Session::AllReduce(std::span<float> data, int num_channels,
   comm.rank = rank_;
   comm.world_size = size();
   // All ranks advance tags in lockstep (collective calls are ordered, as in
-  // MPI communicators), so namespaces never collide across operations.
+  // MPI communicators), so namespaces never collide across operations. The
+  // cursor advances by one channel stride per channel plus one for the
+  // fallback single-ring namespace (collective/tags.h).
   comm.tag_base = next_tag_;
-  next_tag_ += 16 * (num_channels + 1);
+  next_tag_ += collective::kChannelTagStride * (num_channels + 1);
   const Status st =
       collective::MultiChannelAllReduce(comm, data, op, num_channels);
   AIACC_CHECK(st.ok() && "session all-reduce failed");
@@ -41,7 +43,7 @@ void Session::BroadcastParameters(const std::vector<std::span<float>>& params,
     comm.rank = rank_;
     comm.world_size = size();
     comm.tag_base = next_tag_;
-    next_tag_ += 4;
+    next_tag_ += collective::kTagsPerCollective + 1;
     const Status st = collective::Broadcast(comm, root, p);
     AIACC_CHECK(st.ok() && "session broadcast failed");
   }
@@ -63,7 +65,8 @@ core::NanReport Session::AllReduceGradients(
               << "aggregation";
     // Keep collective ordering consistent across ranks: tags must advance
     // even when this rank skips, so other ranks' operations don't mismatch.
-    next_tag_ += 16 * (num_channels + 1) * static_cast<int>(grads.size());
+    next_tag_ += collective::kChannelTagStride * (num_channels + 1) *
+                 static_cast<int>(grads.size());
     return report;
   }
   for (const std::span<float>& g : grads) {

@@ -4,17 +4,19 @@
 #include <chrono>
 
 #include "collective/threaded.h"
+#include "common/buffer_pool.h"
 #include "common/logging.h"
 
 namespace aiacc::core {
 namespace {
 
-// Tag layout: heartbeats own tag 0, sync rounds use the low namespace, and
-// each all-reduce unit gets its own channel derived from its (rank-agreed)
-// unit id.
-constexpr int kHeartbeatTag = 0;
-constexpr int kSyncTag = 1;
-constexpr int kUnitTagBase = 1024;
+// Tag layout (collective/tags.h is the single source of truth): heartbeats
+// own tag 0, sync rounds use the low namespace, and each all-reduce unit
+// gets its own channel derived from its (rank-agreed) unit id.
+using collective::kHeartbeatTag;
+using collective::kSyncTag;
+using collective::kUnitTagBase;
+using collective::kUnitTagStride;
 
 std::string RankList(const std::vector<int>& ranks) {
   std::string out;
@@ -36,6 +38,17 @@ ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config,
       transport_(&inproc_) {
   AIACC_CHECK(world_size >= 1);
   AIACC_CHECK(config_.num_streams >= 1);
+  // One long-lived task per service loop: each rank runs an MPI process and
+  // `num_streams` communication streams, plus a heartbeat when detection is
+  // on. The pool is sized for all of them at once (they block on each
+  // other across ranks, so none may wait for a free worker).
+  const std::size_t service_tasks =
+      static_cast<std::size_t>(world_size) *
+          (1 + static_cast<std::size_t>(config_.num_streams)) +
+      (failure_.detect_failures && world_size > 1
+           ? static_cast<std::size_t>(world_size)
+           : 0);
+  service_pool_ = std::make_unique<ThreadPool>(service_tasks);
   if (failure_.faults.has_value()) {
     faulty_ = std::make_unique<transport::FaultyTransport>(inproc_,
                                                            *failure_.faults);
@@ -65,13 +78,9 @@ void ThreadedAiaccEngine::Shutdown() {
     std::lock_guard<std::mutex> lock(state->mu);
     state->cv.notify_all();
   }
-  for (auto& state : ranks_) {
-    if (state->mpi_thread.joinable()) state->mpi_thread.join();
-    if (state->heartbeat_thread.joinable()) state->heartbeat_thread.join();
-    for (auto& t : state->comm_threads) {
-      if (t.joinable()) t.join();
-    }
-  }
+  // Every service loop observes the signals above and returns; destroying
+  // the pool joins its workers.
+  service_pool_.reset();
 }
 
 Status ThreadedAiaccEngine::health() const {
@@ -165,14 +174,13 @@ void ThreadedAiaccEngine::Worker::Finalize() {
     }
   }
 
-  state.mpi_thread =
-      std::thread([this] { engine_->MpiProcessLoop(rank_); });
+  engine_->service_pool_->Submit([this] { engine_->MpiProcessLoop(rank_); });
   if (engine_->failure_.detect_failures && engine_->world_size_ > 1) {
-    state.heartbeat_thread =
-        std::thread([this] { engine_->HeartbeatLoop(rank_); });
+    engine_->service_pool_->Submit(
+        [this] { engine_->HeartbeatLoop(rank_); });
   }
   for (int s = 0; s < engine_->config_.num_streams; ++s) {
-    state.comm_threads.emplace_back(
+    engine_->service_pool_->Submit(
         [this, s] { engine_->CommThreadLoop(rank_, s); });
   }
 }
@@ -211,9 +219,13 @@ Status ThreadedAiaccEngine::Worker::WaitIteration() {
 }
 
 void ThreadedAiaccEngine::MpiProcessLoop(int rank) {
+  // The sync bit-vector is reused across every iteration of this rank's
+  // protocol — after the first round the engine's control plane allocates
+  // nothing per iteration.
+  std::vector<float> sync_scratch;
   while (!shutdown_.load(std::memory_order_acquire) &&
          !aborted_.load(std::memory_order_acquire)) {
-    RunIterationProtocol(rank);
+    RunIterationProtocol(rank, sync_scratch);
   }
 }
 
@@ -237,16 +249,19 @@ void ThreadedAiaccEngine::HeartbeatLoop(int rank) {
       std::fill(last_seen.begin(), last_seen.end(), loop_start);
     }
     prev_loop = loop_start;
+    auto& pool = common::BufferPool::Global();
     for (int peer = 0; peer < world_size_; ++peer) {
       if (peer == rank) continue;
-      transport_->Send(rank, peer, kHeartbeatTag,
-                       {static_cast<float>(beat)});
+      transport::Payload pulse = pool.Acquire(1);
+      pulse[0] = static_cast<float>(beat);
+      transport_->Send(rank, peer, kHeartbeatTag, std::move(pulse));
     }
     ++beat;
     for (int peer = 0; peer < world_size_; ++peer) {
       if (peer == rank) continue;
-      while (transport_->TryRecv(rank, peer, kHeartbeatTag).has_value()) {
+      while (auto pulse = transport_->TryRecv(rank, peer, kHeartbeatTag)) {
         last_seen[static_cast<std::size_t>(peer)] = Clock::now();
+        pool.Release(std::move(*pulse));
       }
     }
 
@@ -288,7 +303,8 @@ void ThreadedAiaccEngine::HeartbeatLoop(int rank) {
   }
 }
 
-void ThreadedAiaccEngine::RunIterationProtocol(int rank) {
+void ThreadedAiaccEngine::RunIterationProtocol(
+    int rank, std::vector<float>& sync_scratch) {
   RankState& state = *ranks_[static_cast<std::size_t>(rank)];
   Worker& worker = *workers_[static_cast<std::size_t>(rank)];
   const int n = state.registry.size();
@@ -313,7 +329,8 @@ void ThreadedAiaccEngine::RunIterationProtocol(int rank) {
     flush_seen = true;
   }
 
-  std::vector<float> sync_vector(static_cast<std::size_t>(n));
+  sync_scratch.resize(static_cast<std::size_t>(n));
+  std::span<float> sync_vector(sync_scratch);
   while (agreed_total < n) {
     // Drain whatever else has been produced.
     while (!flush_seen) {
@@ -406,10 +423,13 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
   (void)stream_index;
   RankState& state = *ranks_[static_cast<std::size_t>(rank)];
   Worker& worker = *workers_[static_cast<std::size_t>(rank)];
+  auto& buffer_pool = common::BufferPool::Global();
   while (auto unit = state.unit_queue->Pop()) {
     const std::size_t bytes = unit->TotalBytes();
     AIACC_CHECK(bytes % sizeof(float) == 0);
-    std::vector<float> staging(bytes / sizeof(float));
+    // Pooled staging: across iterations the same few buffers cycle through
+    // gather -> all-reduce -> scatter, so steady state allocates nothing.
+    std::vector<float> staging = buffer_pool.Acquire(bytes / sizeof(float));
 
     // Gather the unit's slice of each gradient into the staging buffer.
     {
@@ -426,7 +446,7 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
     // this thread is one "communication stream" of Algorithm 1.
     collective::Comm comm{transport_, rank, world_size_,
                           kUnitTagBase +
-                              static_cast<int>(unit->unit_id) * 4,
+                              static_cast<int>(unit->unit_id) * kUnitTagStride,
                           failure_.collective_timeout_ms};
     Status st;
     if (config_.algorithm == collective::Algorithm::kHierarchical &&
@@ -439,11 +459,13 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
                                      collective::ReduceOp::kAvg);
     }
     if (!st.ok()) {
+      buffer_pool.Release(std::move(staging));
       HandleCollectiveFailure(rank, st);
       return;
     }
     if (shutdown_.load(std::memory_order_acquire) ||
         aborted_.load(std::memory_order_acquire)) {
+      buffer_pool.Release(std::move(staging));
       return;
     }
 
@@ -467,6 +489,7 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
       ++worker.stats_.units_reduced;
       worker.stats_.bytes_reduced += bytes;
     }
+    buffer_pool.Release(std::move(staging));
     if (completed > 0 &&
         state.gradients_remaining.fetch_sub(completed,
                                             std::memory_order_acq_rel) ==

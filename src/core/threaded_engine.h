@@ -36,11 +36,11 @@
 #include <memory>
 #include <optional>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "common/bitvector.h"
 #include "common/queues.h"
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/packing.h"
 #include "core/registry.h"
@@ -167,9 +167,6 @@ class ThreadedAiaccEngine {
     std::condition_variable cv;
     bool iteration_done = false;
 
-    std::thread mpi_thread;
-    std::thread heartbeat_thread;
-    std::vector<std::thread> comm_threads;  // the stream pool
     std::unique_ptr<BlockingQueue<AllReduceUnit>> unit_queue;
     // Units completed this iteration (MPI process aggregates).
     std::atomic<int> gradients_remaining{0};
@@ -180,7 +177,9 @@ class ThreadedAiaccEngine {
 
   void MpiProcessLoop(int rank);
   void CommThreadLoop(int rank, int stream_index);
-  void RunIterationProtocol(int rank);
+  /// `sync_scratch` is the caller's reusable bit-vector buffer (one per MPI
+  /// process loop) so steady-state iterations allocate nothing.
+  void RunIterationProtocol(int rank, std::vector<float>& sync_scratch);
   void HeartbeatLoop(int rank);
   /// Record the first failure, remember the suspects, and wake every
   /// blocked thread with an error. Never joins (callable from engine
@@ -193,6 +192,13 @@ class ThreadedAiaccEngine {
   const int world_size_;
   const CommConfig config_;
   const FailureConfig failure_;
+  // All engine service loops (MPI processes, communication streams,
+  // heartbeats) run as long-lived tasks on this pool instead of per-rank
+  // raw threads. It is sized in the constructor for the exact task count —
+  // the loops block on each other across ranks, so every task must hold a
+  // worker for the engine to make progress. Destroying the pool (Shutdown)
+  // joins everything; Abort only signals and never joins.
+  std::unique_ptr<ThreadPool> service_pool_;
   transport::InProcTransport inproc_;
   std::unique_ptr<transport::FaultyTransport> faulty_;
   transport::Transport* transport_;  // faulty_ when faults are configured

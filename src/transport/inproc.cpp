@@ -4,72 +4,92 @@
 
 namespace aiacc::transport {
 
-InProcTransport::InProcTransport(int world_size)
-    : world_size_(world_size), mailboxes_(static_cast<std::size_t>(world_size)) {
+InProcTransport::InProcTransport(int world_size, WakeMode wake_mode)
+    : world_size_(world_size),
+      wake_mode_(wake_mode),
+      mailboxes_(static_cast<std::size_t>(world_size)) {
   AIACC_CHECK(world_size >= 1);
+}
+
+InProcTransport::Slot& InProcTransport::SlotFor(Mailbox& box, int src,
+                                                int tag) {
+  return box.slots[{src, tag}];  // map nodes are stable; never erased
 }
 
 void InProcTransport::Send(int src, int dst, int tag, Payload payload) {
   AIACC_CHECK(src >= 0 && src < world_size_);
   AIACC_CHECK(dst >= 0 && dst < world_size_);
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  Slot* slot;
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.slots[{src, tag}].push_back(std::move(payload));
+    slot = &SlotFor(box, src, tag);
+    slot->fifo.push_back(std::move(payload));
   }
   total_messages_.fetch_add(1, std::memory_order_relaxed);
-  box.cv.notify_all();
-}
-
-std::optional<Payload> InProcTransport::TakeLocked(Mailbox& box, int src,
-                                                   int tag) {
-  auto it = box.slots.find({src, tag});
-  if (it == box.slots.end() || it->second.empty()) return std::nullopt;
-  Payload payload = std::move(it->second.front());
-  it->second.pop_front();
-  return payload;
+  wake_counters_.notifies.fetch_add(1, std::memory_order_relaxed);
+  // Wake-targeted delivery: only the (src, tag) consumer is signalled. The
+  // herd mode reproduces the old behaviour — every receiver blocked on this
+  // mailbox wakes, rechecks its slot, and all but one go back to sleep.
+  if (wake_mode_ == WakeMode::kTargeted) {
+    slot->cv.notify_one();
+  } else {
+    box.shared_cv.notify_all();
+  }
 }
 
 Result<Payload> InProcTransport::Recv(int rank, int src, int tag) {
-  AIACC_CHECK(rank >= 0 && rank < world_size_);
-  Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
-  std::unique_lock<std::mutex> lock(box.mu);
-  const auto key = std::make_pair(src, tag);
-  box.cv.wait(lock, [&] {
-    auto it = box.slots.find(key);
-    return (it != box.slots.end() && !it->second.empty()) ||
-           shutdown_.load(std::memory_order_acquire);
-  });
-  if (auto payload = TakeLocked(box, src, tag)) return *std::move(payload);
-  return Unavailable("transport shut down");
+  return RecvFor(rank, src, tag, kNoTimeout);
 }
 
 Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
                                          std::chrono::milliseconds timeout) {
-  if (timeout <= kNoTimeout) return Recv(rank, src, tag);
   AIACC_CHECK(rank >= 0 && rank < world_size_);
+  const bool bounded = timeout > kNoTimeout;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
   std::unique_lock<std::mutex> lock(box.mu);
-  const auto key = std::make_pair(src, tag);
-  const bool woke = box.cv.wait_for(lock, timeout, [&] {
-    auto it = box.slots.find(key);
-    return (it != box.slots.end() && !it->second.empty()) ||
-           shutdown_.load(std::memory_order_acquire);
-  });
-  if (auto payload = TakeLocked(box, src, tag)) return *std::move(payload);
-  if (!woke) {
-    return DeadlineExceeded("no message from rank " + std::to_string(src) +
-                            " tag " + std::to_string(tag) + " within " +
-                            std::to_string(timeout.count()) + "ms");
+  Slot& slot = SlotFor(box, src, tag);
+  std::condition_variable& cv = WaitCv(box, slot);
+  while (true) {
+    if (!slot.fifo.empty()) {
+      Payload payload = std::move(slot.fifo.front());
+      slot.fifo.pop_front();
+      return payload;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return Unavailable("transport shut down");
+    }
+    if (bounded) {
+      if (cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (!slot.fifo.empty() ||
+            shutdown_.load(std::memory_order_acquire)) {
+          continue;  // raced with a delivery/shutdown: resolve at the top
+        }
+        return DeadlineExceeded("no message from rank " +
+                                std::to_string(src) + " tag " +
+                                std::to_string(tag) + " within " +
+                                std::to_string(timeout.count()) + "ms");
+      }
+    } else {
+      cv.wait(lock);
+    }
+    wake_counters_.wakeups.fetch_add(1, std::memory_order_relaxed);
+    if (slot.fifo.empty() && !shutdown_.load(std::memory_order_acquire)) {
+      wake_counters_.futile_wakeups.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  return Unavailable("transport shut down");
 }
 
 std::optional<Payload> InProcTransport::TryRecv(int rank, int src, int tag) {
   AIACC_CHECK(rank >= 0 && rank < world_size_);
   Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
   std::lock_guard<std::mutex> lock(box.mu);
-  return TakeLocked(box, src, tag);
+  auto it = box.slots.find({src, tag});
+  if (it == box.slots.end() || it->second.fifo.empty()) return std::nullopt;
+  Payload payload = std::move(it->second.fifo.front());
+  it->second.fifo.pop_front();
+  return payload;
 }
 
 void InProcTransport::Shutdown() {
@@ -77,10 +97,13 @@ void InProcTransport::Shutdown() {
   // Notify while holding each waiter's mutex: a receiver that evaluated its
   // predicate just before the store above still holds the lock until it
   // actually sleeps, so taking the lock here guarantees the notification
-  // cannot fall into that window (the classic lost-wakeup race).
+  // cannot fall into that window (the classic lost-wakeup race). Both the
+  // per-slot CVs and the shared herd CV are signalled so teardown covers
+  // either wake mode.
   for (Mailbox& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.cv.notify_all();
+    for (auto& [key, slot] : box.slots) slot.cv.notify_all();
+    box.shared_cv.notify_all();
   }
   {
     std::lock_guard<std::mutex> lock(barrier_mu_);

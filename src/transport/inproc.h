@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 
 namespace aiacc::transport {
@@ -77,9 +78,20 @@ class Transport {
   [[nodiscard]] virtual std::uint64_t TotalMessages() const = 0;
 };
 
+/// Receiver wakeup policy for InProcTransport.
+///
+/// kTargeted (default): every (src, tag) slot owns its own condition
+/// variable, so a Send signals exactly the one receiver that can consume
+/// the message. kSharedHerd is the pre-optimization behaviour — one CV per
+/// mailbox, `notify_all` on every Send — kept selectable so the hot-path
+/// bench (`bench_hotpath`) and regression tests can measure the thundering
+/// herd against the targeted protocol on identical workloads.
+enum class WakeMode { kTargeted, kSharedHerd };
+
 class InProcTransport final : public Transport {
  public:
-  explicit InProcTransport(int world_size);
+  explicit InProcTransport(int world_size,
+                           WakeMode wake_mode = WakeMode::kTargeted);
   InProcTransport(const InProcTransport&) = delete;
   InProcTransport& operator=(const InProcTransport&) = delete;
 
@@ -102,19 +114,40 @@ class InProcTransport final : public Transport {
 
   [[nodiscard]] std::uint64_t TotalMessages() const override;
 
+  /// Signal/wakeup instrumentation for this transport instance (notifies,
+  /// wakeups, futile wakeups). A futile wakeup is a blocked receiver that
+  /// woke and found its slot still empty — the cost the per-slot CVs
+  /// eliminate.
+  [[nodiscard]] const HotPathCounters& wake_counters() const noexcept {
+    return wake_counters_;
+  }
+  [[nodiscard]] WakeMode wake_mode() const noexcept { return wake_mode_; }
+
  private:
+  /// One (src, tag) channel: FIFO of payloads plus that channel's private
+  /// CV. Slots live in a node-based map and are never erased, so references
+  /// stay valid for the transport's lifetime.
+  struct Slot {
+    std::deque<Payload> fifo;
+    std::condition_variable cv;  // used in WakeMode::kTargeted
+  };
   struct Mailbox {
     std::mutex mu;
-    std::condition_variable cv;
-    // (src, tag) -> FIFO of payloads.
-    std::map<std::pair<int, int>, std::deque<Payload>> slots;
+    std::condition_variable shared_cv;  // used in WakeMode::kSharedHerd
+    std::map<std::pair<int, int>, Slot> slots;
   };
 
-  /// Pop the front of (src, tag) if present; caller holds box.mu.
-  static std::optional<Payload> TakeLocked(Mailbox& box, int src, int tag);
+  /// The slot for (src, tag), created on first use; caller holds box.mu.
+  static Slot& SlotFor(Mailbox& box, int src, int tag);
+  /// The CV a receiver of `slot` sleeps on under the current wake mode.
+  std::condition_variable& WaitCv(Mailbox& box, Slot& slot) noexcept {
+    return wake_mode_ == WakeMode::kTargeted ? slot.cv : box.shared_cv;
+  }
 
   const int world_size_;
+  const WakeMode wake_mode_;
   std::vector<Mailbox> mailboxes_;
+  HotPathCounters wake_counters_;
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> total_messages_{0};
 

@@ -221,5 +221,54 @@ TEST(InProcTransportTest, ConcurrentStress) {
   EXPECT_EQ(received_sum.load(), expected);
 }
 
+// ------------------------------------------------------- wakeup protocol --
+
+TEST(WakeModeTest, TargetedSendWakesOnlyTheMatchingReceiver) {
+  InProcTransport tr(2, WakeMode::kTargeted);
+  ASSERT_EQ(tr.wake_mode(), WakeMode::kTargeted);
+  constexpr int kReceivers = 3;
+  std::vector<std::thread> receivers;
+  for (int tag = 0; tag < kReceivers; ++tag) {
+    receivers.emplace_back([&tr, tag] {
+      auto p = tr.Recv(1, 0, tag);
+      ASSERT_TRUE(p.ok());
+      EXPECT_EQ((*p)[0], static_cast<float>(tag));
+    });
+  }
+  // Let all three receivers block on their private slot CVs, then deliver
+  // to just one tag: only that receiver may wake.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  tr.Send(0, 1, /*tag=*/1, {1.0f});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(tr.wake_counters().Read().futile_wakeups, 0u);
+  tr.Send(0, 1, /*tag=*/0, {0.0f});
+  tr.Send(0, 1, /*tag=*/2, {2.0f});
+  for (auto& t : receivers) t.join();
+  const auto counters = tr.wake_counters().Read();
+  EXPECT_EQ(counters.notifies, 3u);
+  EXPECT_EQ(counters.futile_wakeups, 0u);
+}
+
+TEST(WakeModeTest, SharedHerdWakesEveryBlockedReceiver) {
+  InProcTransport tr(2, WakeMode::kSharedHerd);
+  constexpr int kReceivers = 3;
+  std::vector<std::thread> receivers;
+  for (int tag = 0; tag < kReceivers; ++tag) {
+    receivers.emplace_back([&tr, tag] {
+      auto p = tr.Recv(1, 0, tag);
+      ASSERT_TRUE(p.ok());
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  tr.Send(0, 1, /*tag=*/1, {1.0f});
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // One delivery, notify_all on the shared CV: the two receivers blocked on
+  // the other tags wake, find their slots empty, and go back to sleep.
+  EXPECT_GE(tr.wake_counters().Read().futile_wakeups, 2u);
+  tr.Send(0, 1, /*tag=*/0, {0.0f});
+  tr.Send(0, 1, /*tag=*/2, {2.0f});
+  for (auto& t : receivers) t.join();
+}
+
 }  // namespace
 }  // namespace aiacc::transport
