@@ -11,8 +11,8 @@
 // Run: ./quickstart [world_size]
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 
+#include "common/sync.h"
 #include "core/perseus.h"
 #include "dnn/mlp.h"
 
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   std::printf("AIACC-Training quickstart: %d workers x %d samples/shard, "
               "%d steps\n", world, shard, steps);
 
-  std::mutex print_mu;
+  aiacc::common::Mutex print_mu{"quickstart-print"};
   perseus::RunRanks(world, [&](perseus::Session& session) {
     const int rank = session.rank();
 
@@ -65,14 +65,14 @@ int main(int argc, char** argv) {
       model.SgdStep(lr);
 
       if (rank == 0 && step % 10 == 0) {
-        std::lock_guard<std::mutex> lock(print_mu);
+        aiacc::common::MutexLock lock(print_mu);
         std::printf("  step %2d  loss %.5f\n", step, loss);
       }
     }
 
     if (rank == 0) {
       auto pred = model.Forward(x, shard);
-      std::lock_guard<std::mutex> lock(print_mu);
+      aiacc::common::MutexLock lock(print_mu);
       std::printf("final shard-0 loss: %.5f\n",
                   dnn::Mlp::MseLoss(pred, y));
     }

@@ -2,10 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 
 namespace aiacc::collective {
@@ -165,9 +164,9 @@ Status BroadcastOnRing(transport::Transport& tr, const std::vector<int>& ring,
 /// Leaked singleton: worker threads may still be draining at static
 /// destruction time.
 struct ChannelWorkers {
-  ThreadPool pool{1};
-  std::mutex mu;
-  std::size_t reserved = 0;  // channel tasks of in-flight invocations
+  ThreadPool pool{1};  // NOLOCK(internally synchronized; EnsureWorkers nests under mu)
+  common::Mutex mu{"channel-workers", common::lock_rank::kChannelWorkers};
+  std::size_t reserved GUARDED_BY(mu) = 0;  // channel tasks of in-flight invocations
 };
 
 ChannelWorkers& GlobalChannelWorkers() {
@@ -531,17 +530,21 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
   ChannelWorkers& workers = GlobalChannelWorkers();
   const std::size_t extra = static_cast<std::size_t>(num_channels - 1);
   {
-    std::lock_guard<std::mutex> lock(workers.mu);
+    common::MutexLock lock(workers.mu);
     workers.reserved += extra;
     workers.pool.EnsureWorkers(workers.reserved);
   }
 
+  // Stack-local completion latch: acquired last, nests under nothing.
   struct Completion {
-    std::mutex mu;
-    std::condition_variable cv;
-    int remaining = 0;
+    common::Mutex mu{"mc-completion"};
+    common::CondVar cv;
+    int remaining GUARDED_BY(mu) = 0;
   } done;
-  done.remaining = static_cast<int>(extra);
+  {
+    common::MutexLock lock(done.mu);
+    done.remaining = static_cast<int>(extra);
+  }
   std::vector<Status> channel_status(static_cast<std::size_t>(num_channels));
   for (int c = 1; c < num_channels; ++c) {
     const std::size_t b = ChunkBegin(data.size(), num_channels, c);
@@ -553,8 +556,8 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
     workers.pool.Submit([sub, slice = data.subspan(b, e - b), op, slot,
                          &done] {
       *slot = RingAllReduce(sub, slice, op);
-      std::lock_guard<std::mutex> lock(done.mu);
-      if (--done.remaining == 0) done.cv.notify_all();
+      common::MutexLock lock(done.mu);
+      if (--done.remaining == 0) done.cv.NotifyAll();
     });
   }
   {
@@ -564,11 +567,11 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
     channel_status[0] = RingAllReduce(sub, data.subspan(0, e), op);
   }
   {
-    std::unique_lock<std::mutex> lock(done.mu);
-    done.cv.wait(lock, [&] { return done.remaining == 0; });
+    common::MutexLock lock(done.mu);
+    while (done.remaining != 0) done.cv.Wait(lock);
   }
   {
-    std::lock_guard<std::mutex> lock(workers.mu);
+    common::MutexLock lock(workers.mu);
     workers.reserved -= extra;
   }
   for (const Status& st : channel_status) {

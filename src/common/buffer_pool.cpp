@@ -30,11 +30,11 @@ BufferPool::Buffer BufferPool::Acquire(std::size_t n) {
   const std::size_t cls = ClassForRequest(n);
   if (cls < kNumClasses) {
     SizeClass& sc = classes_[cls];
-    std::unique_lock<std::mutex> lock(sc.mu);
+    MutexLock lock(sc.mu);
     if (!sc.free.empty()) {
       Buffer buffer = std::move(sc.free.back());
       sc.free.pop_back();
-      lock.unlock();
+      lock.Unlock();
       hits_.fetch_add(1, std::memory_order_relaxed);
       GlobalHotPathCounters().pool_hits.fetch_add(1,
                                                   std::memory_order_relaxed);
@@ -57,7 +57,7 @@ void BufferPool::Release(Buffer&& buffer) {
   const std::size_t cls = ClassForCapacity(buffer.capacity());
   if (cls < kNumClasses) {
     SizeClass& sc = classes_[cls];
-    std::lock_guard<std::mutex> lock(sc.mu);
+    MutexLock lock(sc.mu);
     if (sc.free.size() < max_free_per_class_) {
       sc.free.push_back(std::move(buffer));
       return;
@@ -86,7 +86,7 @@ void BufferPool::ResetStats() {
 std::size_t BufferPool::FreeBuffers() const {
   std::size_t total = 0;
   for (const SizeClass& sc : classes_) {
-    std::lock_guard<std::mutex> lock(sc.mu);
+    MutexLock lock(sc.mu);
     total += sc.free.size();
   }
   return total;

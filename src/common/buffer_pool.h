@@ -25,8 +25,9 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace aiacc::common {
 
@@ -72,8 +73,8 @@ class BufferPool {
   static constexpr std::size_t kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
 
   struct SizeClass {
-    mutable std::mutex mu;
-    std::vector<Buffer> free;
+    mutable Mutex mu{"buffer-pool-class", lock_rank::kBufferPool};
+    std::vector<Buffer> free GUARDED_BY(mu);
   };
 
   /// Smallest class whose capacity is >= n, or kNumClasses when n exceeds

@@ -2,7 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace aiacc {
 namespace {
@@ -21,8 +22,10 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
-std::mutex& SinkMutex() {
-  static std::mutex m;
+// Rank kLogSink is the bottom of the lock hierarchy: any thread may emit a
+// log line while holding any other lock, so nothing may nest inside it.
+common::Mutex& SinkMutex() {
+  static common::Mutex m{"log-sink", common::lock_rank::kLogSink};
   return m;
 }
 
@@ -48,7 +51,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  common::MutexLock lock(SinkMutex());
   std::fputs(stream_.str().c_str(), stderr);
   std::fputc('\n', stderr);
 }

@@ -9,13 +9,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace aiacc {
 
@@ -28,18 +28,18 @@ class BlockingQueue {
   BlockingQueue(const BlockingQueue&) = delete;
   BlockingQueue& operator=(const BlockingQueue&) = delete;
 
-  void Push(T item) {
+  void Push(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   /// Blocks until an item arrives or the queue is shut down and empty.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !items_.empty() || shutdown_; });
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    while (items_.empty() && !shutdown_) cv_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -47,8 +47,8 @@ class BlockingQueue {
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -57,29 +57,29 @@ class BlockingQueue {
 
   /// After shutdown, Push is a no-op and Pop drains remaining items then
   /// returns nullopt.
-  void Shutdown() {
+  void Shutdown() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       shutdown_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
-  [[nodiscard]] bool IsShutdown() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] bool IsShutdown() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return shutdown_;
   }
 
-  [[nodiscard]] std::size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t Size() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool shutdown_ = false;
+  mutable common::Mutex mu_{"blocking-queue", common::lock_rank::kQueue};
+  common::CondVar cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// Bounded MPMC FIFO: Push blocks when full, Pop blocks when empty.
@@ -93,60 +93,60 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Returns false if the queue was shut down before space became available.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || shutdown_; });
+  bool Push(T item) EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    while (items_.size() >= capacity_ && !shutdown_) not_full_.Wait(lock);
     if (shutdown_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+    lock.Unlock();
+    not_empty_.NotifyOne();
     return true;
   }
 
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || shutdown_; });
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    while (items_.empty() && !shutdown_) not_empty_.Wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  std::optional<T> TryPop() EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    lock.Unlock();
+    not_full_.NotifyOne();
     return item;
   }
 
-  void Shutdown() {
+  void Shutdown() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       shutdown_ = true;
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  [[nodiscard]] std::size_t Size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] std::size_t Size() const EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return items_.size();
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool shutdown_ = false;
+  mutable common::Mutex mu_{"bounded-queue", common::lock_rank::kQueue};
+  common::CondVar not_empty_;
+  common::CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 /// Wait-free SPSC ring buffer (power-of-two capacity). Producer and consumer
@@ -188,7 +188,7 @@ class SpscRing {
 
  private:
   const std::size_t mask_;
-  std::vector<T> slots_;
+  std::vector<T> slots_;  // ordered by the head_/tail_ acquire-release fences
   alignas(64) std::atomic<std::size_t> head_{0};
   alignas(64) std::atomic<std::size_t> tail_{0};
 };

@@ -1,0 +1,84 @@
+#include "common/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace aiacc::common {
+namespace sync_internal {
+namespace {
+
+/// Locks held by this thread, in acquisition order. A plain vector: the
+/// stack is a handful of entries deep (the lock hierarchy has < 10 levels),
+/// so the linear scans below are cheaper than any clever structure.
+thread_local std::vector<const Mutex*> t_held_locks;
+
+/// Diagnostics bypass the aiacc logger: the log sink is itself one of the
+/// tracked locks, and the failing thread may already hold arbitrary locks.
+[[noreturn]] void DieWithHeldStack(const char* headline, const Mutex* m) {
+  std::fprintf(stderr, "FATAL lock-order violation: %s \"%s\" (rank %d)\n",
+               headline, m->name(), m->rank());
+  std::fprintf(stderr, "  locks held by this thread (acquisition order):\n");
+  for (const Mutex* h : t_held_locks) {
+    std::fprintf(stderr, "    \"%s\" (rank %d)\n", h->name(), h->rank());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void CheckAcquire(const Mutex* m) {
+  for (const Mutex* h : t_held_locks) {
+    if (h == m) {
+      DieWithHeldStack("self-deadlock acquiring", m);
+    }
+  }
+  if (m->rank() == kNoRank) return;
+  for (const Mutex* h : t_held_locks) {
+    if (h->rank() != kNoRank && h->rank() >= m->rank()) {
+      std::fprintf(stderr,
+                   "FATAL lock-order inversion: acquiring \"%s\" (rank %d) "
+                   "while holding \"%s\" (rank %d)\n",
+                   m->name(), m->rank(), h->name(), h->rank());
+      DieWithHeldStack("inversion detected acquiring", m);
+    }
+  }
+}
+
+void RecordAcquire(const Mutex* m) { t_held_locks.push_back(m); }
+
+void RecordRelease(const Mutex* m) {
+  // Locks are usually released LIFO, but overlapping MutexLock scopes may
+  // release out of order — scan from the top.
+  for (auto it = t_held_locks.rbegin(); it != t_held_locks.rend(); ++it) {
+    if (*it == m) {
+      t_held_locks.erase(std::next(it).base());
+      return;
+    }
+  }
+  DieWithHeldStack("releasing a lock this thread does not hold:", m);
+}
+
+std::size_t HeldLockCount() { return t_held_locks.size(); }
+
+}  // namespace sync_internal
+
+void Mutex::Lock() {
+#if !defined(AIACC_NO_LOCK_ORDER_CHECKS)
+  sync_internal::CheckAcquire(this);
+  mu_.lock();
+  sync_internal::RecordAcquire(this);
+#else
+  mu_.lock();
+#endif
+}
+
+void Mutex::Unlock() {
+#if !defined(AIACC_NO_LOCK_ORDER_CHECKS)
+  sync_internal::RecordRelease(this);
+#endif
+  mu_.unlock();
+}
+
+}  // namespace aiacc::common

@@ -11,44 +11,44 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   tasks_.Shutdown();
-  std::lock_guard<std::mutex> lock(threads_mu_);
+  common::MutexLock lock(threads_mu_);
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
 }
 
 void ThreadPool::EnsureWorkers(std::size_t n) {
-  std::lock_guard<std::mutex> lock(threads_mu_);
+  common::MutexLock lock(threads_mu_);
   while (threads_.size() < n) {
     threads_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
 std::size_t ThreadPool::size() const {
-  std::lock_guard<std::mutex> lock(threads_mu_);
+  common::MutexLock lock(threads_mu_);
   return threads_.size();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(idle_mu_);
+    common::MutexLock lock(idle_mu_);
     ++in_flight_;
   }
   tasks_.Push(std::move(task));
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(idle_mu_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  common::MutexLock lock(idle_mu_);
+  while (in_flight_ != 0) idle_cv_.Wait(lock);
 }
 
 void ThreadPool::WorkerLoop() {
   while (auto task = tasks_.Pop()) {
     (*task)();
     {
-      std::lock_guard<std::mutex> lock(idle_mu_);
+      common::MutexLock lock(idle_mu_);
       --in_flight_;
-      if (in_flight_ == 0) idle_cv_.notify_all();
+      if (in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

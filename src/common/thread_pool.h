@@ -3,7 +3,6 @@
 // context and pulls all-reduce units from a shared queue.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -11,6 +10,7 @@
 #include <vector>
 
 #include "common/queues.h"
+#include "common/sync.h"
 
 namespace aiacc {
 
@@ -50,13 +50,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  BlockingQueue<std::function<void()>> tasks_;
-  mutable std::mutex threads_mu_;
-  std::vector<std::thread> threads_;
+  // Internally synchronized; never nested under this class's own locks.
+  BlockingQueue<std::function<void()>> tasks_;  // NOLOCK(owns its own mutex)
+  mutable common::Mutex threads_mu_{"thread-pool-threads",
+                                    common::lock_rank::kThreadPool};
+  std::vector<std::thread> threads_ GUARDED_BY(threads_mu_);
 
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;  // queued + running
+  common::Mutex idle_mu_{"thread-pool-idle", common::lock_rank::kThreadPool};
+  common::CondVar idle_cv_;
+  std::size_t in_flight_ GUARDED_BY(idle_mu_) = 0;  // queued + running
 };
 
 }  // namespace aiacc

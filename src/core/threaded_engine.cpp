@@ -75,8 +75,8 @@ void ThreadedAiaccEngine::Shutdown() {
   }
   transport_->Shutdown();
   for (auto& state : ranks_) {
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->cv.notify_all();
+    common::MutexLock lock(state->mu);
+    state->cv.NotifyAll();
   }
   // Every service loop observes the signals above and returns; destroying
   // the pool joins its workers.
@@ -85,19 +85,19 @@ void ThreadedAiaccEngine::Shutdown() {
 
 Status ThreadedAiaccEngine::health() const {
   if (!aborted_.load(std::memory_order_acquire)) return Status::Ok();
-  std::lock_guard<std::mutex> lock(abort_mu_);
+  common::MutexLock lock(abort_mu_);
   return abort_status_;
 }
 
 std::vector<int> ThreadedAiaccEngine::SuspectedRanks() const {
-  std::lock_guard<std::mutex> lock(abort_mu_);
+  common::MutexLock lock(abort_mu_);
   return suspected_;
 }
 
 void ThreadedAiaccEngine::Abort(Status status, std::vector<int> suspected) {
   AIACC_CHECK(!status.ok());
   {
-    std::lock_guard<std::mutex> lock(abort_mu_);
+    common::MutexLock lock(abort_mu_);
     for (int r : suspected) {
       auto it = std::lower_bound(suspected_.begin(), suspected_.end(), r);
       if (it == suspected_.end() || *it != r) suspected_.insert(it, r);
@@ -115,8 +115,8 @@ void ThreadedAiaccEngine::Abort(Status status, std::vector<int> suspected) {
   }
   transport_->Shutdown();
   for (auto& state : ranks_) {
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->cv.notify_all();
+    common::MutexLock lock(state->mu);
+    state->cv.NotifyAll();
   }
 }
 
@@ -158,19 +158,22 @@ void ThreadedAiaccEngine::Worker::Finalize() {
     AIACC_CHECK(id.ok());
     state.tensors[static_cast<std::size_t>(*id)] = span;
   }
-  state.reduced_bytes.assign(
-      static_cast<std::size_t>(state.registry.size()), 0);
+  {
+    common::MutexLock lock(state.mu);
+    state.reduced_bytes.assign(
+        static_cast<std::size_t>(state.registry.size()), 0);
+  }
 
   // Wait for every rank before starting the communication threads: the
   // collectives need all participants.
   {
-    std::unique_lock<std::mutex> lock(engine_->finalize_mu_);
+    common::MutexLock lock(engine_->finalize_mu_);
     if (++engine_->finalized_count_ == engine_->world_size_) {
-      engine_->finalize_cv_.notify_all();
+      engine_->finalize_cv_.NotifyAll();
     } else {
-      engine_->finalize_cv_.wait(lock, [this] {
-        return engine_->finalized_count_ == engine_->world_size_;
-      });
+      while (engine_->finalized_count_ != engine_->world_size_) {
+        engine_->finalize_cv_.Wait(lock);
+      }
     }
   }
 
@@ -207,11 +210,11 @@ void ThreadedAiaccEngine::Worker::PushAll() {
 
 Status ThreadedAiaccEngine::Worker::WaitIteration() {
   RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.cv.wait(lock, [&] {
-    return state.iteration_done ||
-           engine_->aborted_.load(std::memory_order_acquire);
-  });
+  common::MutexLock lock(state.mu);
+  while (!state.iteration_done &&
+         !engine_->aborted_.load(std::memory_order_acquire)) {
+    state.cv.Wait(lock);
+  }
   if (!state.iteration_done) return engine_->health();
   state.iteration_done = false;
   ++stats_.iterations;
@@ -311,7 +314,7 @@ void ThreadedAiaccEngine::RunIterationProtocol(
 
   // Fresh iteration state.
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    common::MutexLock lock(state.mu);
     std::fill(state.reduced_bytes.begin(), state.reduced_bytes.end(), 0);
   }
   state.gradients_remaining.store(n, std::memory_order_release);
@@ -404,19 +407,19 @@ void ThreadedAiaccEngine::RunIterationProtocol(
 
   // All units are in flight; wait for the stream pool to finish them.
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.cv.wait(lock, [&] {
-      return state.gradients_remaining.load(std::memory_order_acquire) == 0 ||
-             shutdown_.load(std::memory_order_acquire) ||
-             aborted_.load(std::memory_order_acquire);
-    });
+    common::MutexLock lock(state.mu);
+    while (state.gradients_remaining.load(std::memory_order_acquire) != 0 &&
+           !shutdown_.load(std::memory_order_acquire) &&
+           !aborted_.load(std::memory_order_acquire)) {
+      state.cv.Wait(lock);
+    }
     if (shutdown_.load(std::memory_order_acquire) ||
         aborted_.load(std::memory_order_acquire)) {
       return;
     }
     state.iteration_done = true;
   }
-  state.cv.notify_all();
+  state.cv.NotifyAll();
 }
 
 void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
@@ -472,7 +475,7 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
     // Scatter the averaged bytes back and account for completed gradients.
     int completed = 0;
     {
-      std::lock_guard<std::mutex> lock(state.mu);
+      common::MutexLock lock(state.mu);
       std::vector<std::span<std::byte>> views;
       views.reserve(state.tensors.size());
       for (auto t : state.tensors) {
@@ -494,7 +497,7 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
         state.gradients_remaining.fetch_sub(completed,
                                             std::memory_order_acq_rel) ==
             completed) {
-      state.cv.notify_all();
+      state.cv.NotifyAll();
     }
   }
 }

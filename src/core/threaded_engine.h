@@ -31,12 +31,13 @@
 // agreement with sequential full-batch training.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "common/sync.h"
 
 #include "common/bitvector.h"
 #include "common/queues.h"
@@ -68,12 +69,15 @@ struct FailureConfig {
 
 class ThreadedAiaccEngine {
  public:
-  /// Statistics for one rank (read after Shutdown or between iterations).
+  /// Statistics for one rank. Atomic because three different threads write
+  /// here concurrently — the MPI-process loop (sync_rounds), the comm-stream
+  /// workers (units_reduced, bytes_reduced), and the caller's worker thread
+  /// (iterations) — and stats() may be read at any time.
   struct RankStats {
-    std::uint64_t sync_rounds = 0;
-    std::uint64_t units_reduced = 0;
-    std::uint64_t bytes_reduced = 0;
-    std::uint64_t iterations = 0;
+    std::atomic<std::uint64_t> sync_rounds{0};
+    std::atomic<std::uint64_t> units_reduced{0};
+    std::atomic<std::uint64_t> bytes_reduced{0};
+    std::atomic<std::uint64_t> iterations{0};
   };
 
   ThreadedAiaccEngine(int world_size, CommConfig config,
@@ -153,24 +157,25 @@ class ThreadedAiaccEngine {
 
  private:
   struct RankState {
-    // Registration (worker thread only, until finalized).
-    std::vector<std::pair<std::string, std::span<float>>> pending_reg;
-    GradientRegistry registry;
-    std::vector<std::span<float>> tensors;  // by registry id
+    // Registration (worker thread only, until finalized; immutable once the
+    // service loops start).
+    std::vector<std::pair<std::string, std::span<float>>> pending_reg;  // NOLOCK(registration phase only)
+    GradientRegistry registry;              // NOLOCK(frozen before service threads start)
+    std::vector<std::span<float>> tensors;  // NOLOCK(frozen before service threads start)
 
     // Gradient message queue worker -> MPI process. Ids >= 0; kFlush ends
     // an iteration's production.
-    std::unique_ptr<BoundedQueue<int>> queue;
+    std::unique_ptr<BoundedQueue<int>> queue;  // NOLOCK(set in ctor; queue is internally synchronized)
 
     // Completion signalling (MPI process -> worker).
-    std::mutex mu;
-    std::condition_variable cv;
-    bool iteration_done = false;
+    common::Mutex mu{"engine-rank-state", common::lock_rank::kEngineState};
+    common::CondVar cv;
+    bool iteration_done GUARDED_BY(mu) = false;
 
-    std::unique_ptr<BlockingQueue<AllReduceUnit>> unit_queue;
+    std::unique_ptr<BlockingQueue<AllReduceUnit>> unit_queue;  // NOLOCK(set in ctor; queue is internally synchronized)
     // Units completed this iteration (MPI process aggregates).
     std::atomic<int> gradients_remaining{0};
-    std::vector<std::size_t> reduced_bytes;
+    std::vector<std::size_t> reduced_bytes GUARDED_BY(mu);
   };
 
   static constexpr int kFlush = -1;
@@ -198,20 +203,22 @@ class ThreadedAiaccEngine {
   // the loops block on each other across ranks, so every task must hold a
   // worker for the engine to make progress. Destroying the pool (Shutdown)
   // joins everything; Abort only signals and never joins.
-  std::unique_ptr<ThreadPool> service_pool_;
-  transport::InProcTransport inproc_;
-  std::unique_ptr<transport::FaultyTransport> faulty_;
-  transport::Transport* transport_;  // faulty_ when faults are configured
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::unique_ptr<ThreadPool> service_pool_;  // NOLOCK(set in ctor, reset only by the one Shutdown winner)
+  transport::InProcTransport inproc_;         // NOLOCK(internally synchronized)
+  std::unique_ptr<transport::FaultyTransport> faulty_;  // NOLOCK(set in ctor only)
+  transport::Transport* transport_;  // NOLOCK(set in ctor; faulty_ when faults are configured)
+  std::vector<std::unique_ptr<Worker>> workers_;  // NOLOCK(sized in ctor, never resized)
+  std::vector<std::unique_ptr<RankState>> ranks_; // NOLOCK(sized in ctor, never resized)
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> aborted_{false};
-  mutable std::mutex abort_mu_;
-  Status abort_status_;          // guarded by abort_mu_
-  std::vector<int> suspected_;   // guarded by abort_mu_, sorted unique
+  mutable common::Mutex abort_mu_{"engine-abort",
+                                  common::lock_rank::kEngineAbort};
+  Status abort_status_ GUARDED_BY(abort_mu_);
+  std::vector<int> suspected_ GUARDED_BY(abort_mu_);  // sorted unique
   std::atomic<int> finalized_count_{0};
-  std::mutex finalize_mu_;
-  std::condition_variable finalize_cv_;
+  common::Mutex finalize_mu_{"engine-finalize",
+                             common::lock_rank::kEngineState};
+  common::CondVar finalize_cv_;
 };
 
 }  // namespace aiacc::core

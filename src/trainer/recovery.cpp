@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <numeric>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "core/checkpoint.h"
 #include "dnn/mlp.h"
 
@@ -100,7 +100,8 @@ RecoveryReport TrainWithRecovery(const RecoverySpec& spec) {
 
     const std::int64_t start_iter = restore_point.iteration;
     const int shard = spec.num_samples / world;
-    std::mutex result_mu;
+    common::Mutex result_mu{"recovery-result",
+                            common::lock_rank::kTrainer};
     core::Checkpoint latest = restore_point;  // guarded by result_mu
     std::vector<Status> rank_status(static_cast<std::size_t>(world),
                                     Status::Ok());
@@ -138,7 +139,7 @@ RecoveryReport TrainWithRecovery(const RecoverySpec& spec) {
           worker.PushAll();
           const Status st = worker.WaitIteration();
           if (!st.ok()) {
-            std::lock_guard<std::mutex> lock(result_mu);
+            common::MutexLock lock(result_mu);
             rank_status[static_cast<std::size_t>(r)] = st;
             return;
           }
@@ -156,13 +157,13 @@ RecoveryReport TrainWithRecovery(const RecoverySpec& spec) {
             auto snap =
                 SnapshotModel(model, completed, spec.learning_rate);
             if (snap.ok()) {
-              std::lock_guard<std::mutex> lock(result_mu);
+              common::MutexLock lock(result_mu);
               latest = std::move(*snap);
             }
           }
         }
         if (r == 0) {
-          std::lock_guard<std::mutex> lock(result_mu);
+          common::MutexLock lock(result_mu);
           for (std::span<float> t : model.ParameterTensors()) {
             final_params.emplace_back(t.begin(), t.end());
           }
@@ -228,7 +229,7 @@ RecoveryReport TrainWithRecovery(const RecoverySpec& spec) {
     // REBUILD + RESTORE: the next attempt starts from the newest validated
     // snapshot; everything after it is replayed.
     {
-      std::lock_guard<std::mutex> lock(result_mu);
+      common::MutexLock lock(result_mu);
       restore_point = std::move(latest);
     }
     const std::int64_t replay =

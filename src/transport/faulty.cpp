@@ -60,7 +60,7 @@ void FaultyTransport::Send(int src, int dst, int tag, Payload payload) {
   double sleep_ms = 0.0;
   std::vector<Payload> out;  // framed messages, in delivery order
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     const std::uint64_t sent =
         ++sends_by_rank_[static_cast<std::size_t>(src)];
     if (src == spec_.crash_rank && sent > spec_.crash_after_sends) {
@@ -138,7 +138,7 @@ Result<Payload> FaultyTransport::RecvFor(int rank, int src, int tag,
   constexpr auto kQuantum = std::chrono::milliseconds(20);
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       RecvChannel& ch = recv_channels_[{rank, src, tag}];
       if (auto payload = TakeExpectedLocked(ch)) return *std::move(payload);
       // The exact message we need may be sitting in the sender-side reorder
@@ -175,7 +175,7 @@ Result<Payload> FaultyTransport::RecvFor(int rank, int src, int tag,
 
     const auto seq = static_cast<std::uint64_t>((*raw)[0]);
     Payload body(raw->begin() + 1, raw->end());
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     RecvChannel& ch = recv_channels_[{rank, src, tag}];
     if (seq == ch.expected) {
       ++ch.expected;
@@ -192,14 +192,14 @@ std::optional<Payload> FaultyTransport::TryRecv(int rank, int src, int tag) {
     if (raw->empty()) continue;
     const auto seq = static_cast<std::uint64_t>((*raw)[0]);
     Payload body(raw->begin() + 1, raw->end());
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     RecvChannel& ch = recv_channels_[{rank, src, tag}];
     if (seq >= ch.expected) ch.stash[seq] = std::move(body);
   }
   // ...then deliver the oldest one, skipping gaps (datagram semantics: a
   // heartbeat reader cares that *something recent* arrived, not that every
   // beat did).
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   RecvChannel& ch = recv_channels_[{rank, src, tag}];
   if (ch.stash.empty()) return std::nullopt;
   auto it = ch.stash.begin();
@@ -211,18 +211,18 @@ std::optional<Payload> FaultyTransport::TryRecv(int rank, int src, int tag) {
 
 void FaultyTransport::CrashRank(int rank) {
   AIACC_CHECK(rank >= 0 && rank < world_size());
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   crashed_[static_cast<std::size_t>(rank)] = 1;
 }
 
 bool FaultyTransport::IsCrashed(int rank) const {
   AIACC_CHECK(rank >= 0 && rank < world_size());
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return crashed_[static_cast<std::size_t>(rank)] != 0;
 }
 
 FaultStats FaultyTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -29,13 +29,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "transport/inproc.h"
 
 namespace aiacc::transport {
@@ -135,18 +135,18 @@ class FaultyTransport final : public Transport {
                                 std::uint64_t seq) const;
   /// Frame/deframe: the wire payload carries [seq, data...].
   static Payload Frame(std::uint64_t seq, const Payload& data);
-  /// Stash-aware in-order receive step; holds mu_.
-  std::optional<Payload> TakeExpectedLocked(RecvChannel& ch);
+  /// Stash-aware in-order receive step.
+  std::optional<Payload> TakeExpectedLocked(RecvChannel& ch) REQUIRES(mu_);
 
-  Transport& inner_;
+  Transport& inner_;     // NOLOCK(internally synchronized Transport)
   const FaultSpec spec_;
 
-  mutable std::mutex mu_;
-  std::map<ChannelKey, SendChannel> send_channels_;   // (src, dst, tag)
-  std::map<ChannelKey, RecvChannel> recv_channels_;   // (rank, src, tag)
-  std::vector<char> crashed_;
-  std::vector<std::uint64_t> sends_by_rank_;
-  FaultStats stats_;
+  mutable common::Mutex mu_{"faulty-transport", common::lock_rank::kTransport};
+  std::map<ChannelKey, SendChannel> send_channels_ GUARDED_BY(mu_);  // (src, dst, tag)
+  std::map<ChannelKey, RecvChannel> recv_channels_ GUARDED_BY(mu_);  // (rank, src, tag)
+  std::vector<char> crashed_ GUARDED_BY(mu_);
+  std::vector<std::uint64_t> sends_by_rank_ GUARDED_BY(mu_);
+  FaultStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace aiacc::transport

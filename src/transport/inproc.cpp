@@ -22,7 +22,7 @@ void InProcTransport::Send(int src, int dst, int tag, Payload payload) {
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
   Slot* slot;
   {
-    std::lock_guard<std::mutex> lock(box.mu);
+    common::MutexLock lock(box.mu);
     slot = &SlotFor(box, src, tag);
     slot->fifo.push_back(std::move(payload));
   }
@@ -32,9 +32,9 @@ void InProcTransport::Send(int src, int dst, int tag, Payload payload) {
   // herd mode reproduces the old behaviour — every receiver blocked on this
   // mailbox wakes, rechecks its slot, and all but one go back to sleep.
   if (wake_mode_ == WakeMode::kTargeted) {
-    slot->cv.notify_one();
+    slot->cv.NotifyOne();
   } else {
-    box.shared_cv.notify_all();
+    box.shared_cv.NotifyAll();
   }
 }
 
@@ -48,9 +48,9 @@ Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
   const bool bounded = timeout > kNoTimeout;
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
-  std::unique_lock<std::mutex> lock(box.mu);
+  common::MutexLock lock(box.mu);
   Slot& slot = SlotFor(box, src, tag);
-  std::condition_variable& cv = WaitCv(box, slot);
+  common::CondVar& cv = WaitCv(box, slot);
   while (true) {
     if (!slot.fifo.empty()) {
       Payload payload = std::move(slot.fifo.front());
@@ -61,7 +61,7 @@ Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
       return Unavailable("transport shut down");
     }
     if (bounded) {
-      if (cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (cv.WaitUntil(lock, deadline) == std::cv_status::timeout) {
         if (!slot.fifo.empty() ||
             shutdown_.load(std::memory_order_acquire)) {
           continue;  // raced with a delivery/shutdown: resolve at the top
@@ -72,7 +72,7 @@ Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
                                 std::to_string(timeout.count()) + "ms");
       }
     } else {
-      cv.wait(lock);
+      cv.Wait(lock);
     }
     wake_counters_.wakeups.fetch_add(1, std::memory_order_relaxed);
     if (slot.fifo.empty() && !shutdown_.load(std::memory_order_acquire)) {
@@ -84,7 +84,7 @@ Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
 std::optional<Payload> InProcTransport::TryRecv(int rank, int src, int tag) {
   AIACC_CHECK(rank >= 0 && rank < world_size_);
   Mailbox& box = mailboxes_[static_cast<std::size_t>(rank)];
-  std::lock_guard<std::mutex> lock(box.mu);
+  common::MutexLock lock(box.mu);
   auto it = box.slots.find({src, tag});
   if (it == box.slots.end() || it->second.fifo.empty()) return std::nullopt;
   Payload payload = std::move(it->second.fifo.front());
@@ -101,29 +101,29 @@ void InProcTransport::Shutdown() {
   // per-slot CVs and the shared herd CV are signalled so teardown covers
   // either wake mode.
   for (Mailbox& box : mailboxes_) {
-    std::lock_guard<std::mutex> lock(box.mu);
-    for (auto& [key, slot] : box.slots) slot.cv.notify_all();
-    box.shared_cv.notify_all();
+    common::MutexLock lock(box.mu);
+    for (auto& [key, slot] : box.slots) slot.cv.NotifyAll();
+    box.shared_cv.NotifyAll();
   }
   {
-    std::lock_guard<std::mutex> lock(barrier_mu_);
-    barrier_cv_.notify_all();
+    common::MutexLock lock(barrier_mu_);
+    barrier_cv_.NotifyAll();
   }
 }
 
 Status InProcTransport::Barrier() {
-  std::unique_lock<std::mutex> lock(barrier_mu_);
+  common::MutexLock lock(barrier_mu_);
   const int my_generation = barrier_generation_;
   if (++barrier_count_ == world_size_) {
     barrier_count_ = 0;
     ++barrier_generation_;
-    barrier_cv_.notify_all();
+    barrier_cv_.NotifyAll();
     return Status::Ok();
   }
-  barrier_cv_.wait(lock, [&] {
-    return barrier_generation_ != my_generation ||
-           shutdown_.load(std::memory_order_acquire);
-  });
+  while (barrier_generation_ == my_generation &&
+         !shutdown_.load(std::memory_order_acquire)) {
+    barrier_cv_.Wait(lock);
+  }
   if (barrier_generation_ == my_generation) {
     return Unavailable("barrier interrupted by shutdown");
   }

@@ -13,16 +13,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace aiacc::transport {
 
@@ -126,35 +125,36 @@ class InProcTransport final : public Transport {
  private:
   /// One (src, tag) channel: FIFO of payloads plus that channel's private
   /// CV. Slots live in a node-based map and are never erased, so references
-  /// stay valid for the transport's lifetime.
+  /// stay valid for the transport's lifetime. Every field is protected by
+  /// the owning Mailbox's mu (not expressible as GUARDED_BY across structs).
   struct Slot {
     std::deque<Payload> fifo;
-    std::condition_variable cv;  // used in WakeMode::kTargeted
+    common::CondVar cv;  // used in WakeMode::kTargeted
   };
   struct Mailbox {
-    std::mutex mu;
-    std::condition_variable shared_cv;  // used in WakeMode::kSharedHerd
-    std::map<std::pair<int, int>, Slot> slots;
+    common::Mutex mu{"inproc-mailbox", common::lock_rank::kMailbox};
+    common::CondVar shared_cv;  // used in WakeMode::kSharedHerd
+    std::map<std::pair<int, int>, Slot> slots GUARDED_BY(mu);
   };
 
-  /// The slot for (src, tag), created on first use; caller holds box.mu.
-  static Slot& SlotFor(Mailbox& box, int src, int tag);
+  /// The slot for (src, tag), created on first use.
+  static Slot& SlotFor(Mailbox& box, int src, int tag) REQUIRES(box.mu);
   /// The CV a receiver of `slot` sleeps on under the current wake mode.
-  std::condition_variable& WaitCv(Mailbox& box, Slot& slot) noexcept {
+  common::CondVar& WaitCv(Mailbox& box, Slot& slot) noexcept {
     return wake_mode_ == WakeMode::kTargeted ? slot.cv : box.shared_cv;
   }
 
   const int world_size_;
   const WakeMode wake_mode_;
-  std::vector<Mailbox> mailboxes_;
-  HotPathCounters wake_counters_;
+  std::vector<Mailbox> mailboxes_;   // NOLOCK(sized at construction, never resized)
+  HotPathCounters wake_counters_;    // NOLOCK(atomic counters)
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> total_messages_{0};
 
-  std::mutex barrier_mu_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  int barrier_generation_ = 0;
+  common::Mutex barrier_mu_{"inproc-barrier", common::lock_rank::kMailbox};
+  common::CondVar barrier_cv_;
+  int barrier_count_ GUARDED_BY(barrier_mu_) = 0;
+  int barrier_generation_ GUARDED_BY(barrier_mu_) = 0;
 };
 
 }  // namespace aiacc::transport

@@ -12,7 +12,6 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <tuple>
@@ -22,6 +21,7 @@
 #include "collective/threaded.h"
 #include "common/buffer_pool.h"
 #include "common/rng.h"
+#include "common/sync.h"
 #include "transport/faulty.h"
 
 namespace aiacc::collective {
@@ -734,6 +734,7 @@ void ExpectBitIdentical(const std::vector<std::vector<float>>& legacy,
   ASSERT_EQ(legacy.size(), pooled.size());
   for (std::size_t r = 0; r < legacy.size(); ++r) {
     ASSERT_EQ(legacy[r].size(), pooled[r].size());
+    if (legacy[r].empty()) continue;  // data() may be null: UB for memcmp
     ASSERT_EQ(std::memcmp(legacy[r].data(), pooled[r].data(),
                           legacy[r].size() * sizeof(float)),
               0)
@@ -901,7 +902,7 @@ class RecvOrderRecorder final : public transport::Transport {
   }
 
   std::vector<int> OrderAtRank(int rank) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     std::vector<int> order;
     for (const auto& [r, src] : receives_) {
       if (r == rank) order.push_back(src);
@@ -911,13 +912,13 @@ class RecvOrderRecorder final : public transport::Transport {
 
  private:
   void Record(int rank, int src) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     receives_.emplace_back(rank, src);
   }
 
   transport::Transport& inner_;
-  mutable std::mutex mu_;
-  std::vector<std::pair<int, int>> receives_;
+  mutable common::Mutex mu_{"test-recv-order"};
+  std::vector<std::pair<int, int>> receives_ GUARDED_BY(mu_);
 };
 
 TEST(GatherOrderTest, RootDrainsPeersInCompletionOrder) {

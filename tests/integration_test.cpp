@@ -11,9 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <mutex>
 
 #include "collective/simulated.h"
+#include "common/sync.h"
 #include "core/checkpoint.h"
 #include "core/packing.h"
 #include "core/perseus.h"
@@ -128,7 +128,7 @@ TEST(PerseusIntegrationTest, ElasticWorkerJoinsViaBroadcast) {
 
 TEST(PerseusIntegrationTest, NanGradientSkipsAggregation) {
   const int world = 2;
-  std::mutex mu;
+  common::Mutex mu{"test-nan-reports"};
   int nan_reports = 0;
   perseus::RunRanks(world, [&](perseus::Session& session) {
     std::vector<float> good = {1.0f, 2.0f};
@@ -138,7 +138,7 @@ TEST(PerseusIntegrationTest, NanGradientSkipsAggregation) {
     grads.emplace_back(bad);
     auto report = session.AllReduceGradients(grads);
     if (!report.Clean()) {
-      std::lock_guard<std::mutex> lock(mu);
+      common::MutexLock lock(mu);
       ++nan_reports;
     }
   });

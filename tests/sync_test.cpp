@@ -1,0 +1,141 @@
+// Tests for the annotated synchronization layer (common/sync.h): basic
+// Mutex/MutexLock/CondVar behaviour, and the debug lock-order detector —
+// the inversion and self-deadlock paths must *abort with both lock names*
+// rather than deadlock, and consistently ordered acquisition must never
+// trip it.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace aiacc::common {
+namespace {
+
+TEST(SyncTest, MutexProvidesExclusion) {
+  Mutex mu{"test-counter"};
+  int counter GUARDED_BY(mu) = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SyncTest, MutexLockEarlyUnlockReleases) {
+  Mutex mu{"test-early-unlock"};
+  MutexLock lock(mu);
+  lock.Unlock();
+  // Re-acquiring on the same thread must not self-deadlock-abort: the
+  // tracker saw the release.
+  MutexLock again(mu);
+}
+
+TEST(SyncTest, CondVarWakesWaiter) {
+  Mutex mu{"test-cv"};
+  CondVar cv;
+  bool ready GUARDED_BY(mu) = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(lock);
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+}
+
+TEST(SyncTest, CondVarWaitForTimesOut) {
+  Mutex mu{"test-cv-timeout"};
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto verdict = cv.WaitFor(lock, std::chrono::milliseconds(5));
+  EXPECT_EQ(verdict, std::cv_status::timeout);
+}
+
+TEST(SyncTest, NamesAndRanksAreVisible) {
+  Mutex mu{"test-named", lock_rank::kQueue};
+  EXPECT_STREQ(mu.name(), "test-named");
+  EXPECT_EQ(mu.rank(), lock_rank::kQueue);
+  Mutex unranked{"test-unranked"};
+  EXPECT_EQ(unranked.rank(), kNoRank);
+}
+
+// Acquiring in ascending rank order — the documented hierarchy — must be
+// silent, including reacquisition after full release and unranked leaves
+// under ranked locks.
+TEST(SyncTest, ConsistentOrderingDoesNotTrip) {
+  Mutex outer{"test-outer", lock_rank::kEngineState};
+  Mutex inner{"test-inner", lock_rank::kTransport};
+  Mutex leaf{"test-leaf"};  // kNoRank: exempt from ordering
+  for (int i = 0; i < 3; ++i) {
+    MutexLock a(outer);
+    MutexLock b(inner);
+    MutexLock c(leaf);
+  }
+  {
+    MutexLock b(inner);  // inner alone is fine too
+  }
+  {
+    MutexLock a(outer);
+    MutexLock b(inner);
+  }
+}
+
+#if !defined(AIACC_NO_LOCK_ORDER_CHECKS) && defined(GTEST_HAS_DEATH_TEST)
+
+// The detector must abort — naming BOTH locks — when a thread acquires a
+// lower-ranked mutex while holding a higher-ranked one. This is the
+// regression test for the diagnostic itself: if the rank hierarchy in
+// common/sync.h is violated anywhere in the engine, this is the message a
+// developer gets instead of a rare production deadlock.
+TEST(SyncDeathTest, LockOrderInversionAbortsWithBothNames) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex low{"inversion-low", lock_rank::kEngineState};
+  Mutex high{"inversion-high", lock_rank::kTransport};
+  EXPECT_DEATH(
+      {
+        MutexLock a(high);
+        MutexLock b(low);  // rank 100 after rank 500: inversion
+      },
+      "lock-order inversion.*inversion-low.*inversion-high");
+}
+
+TEST(SyncDeathTest, SameRankNestingAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex first{"same-rank-first", lock_rank::kQueue};
+  Mutex second{"same-rank-second", lock_rank::kQueue};
+  EXPECT_DEATH(
+      {
+        MutexLock a(first);
+        MutexLock b(second);  // equal ranks: ordering is undefined -> abort
+      },
+      "same-rank-second.*same-rank-first");
+}
+
+TEST(SyncDeathTest, SelfDeadlockAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Mutex mu{"self-deadlock-mu"};
+  EXPECT_DEATH(
+      {
+        mu.Lock();
+        mu.Lock();  // would block forever on a plain std::mutex
+      },
+      "self-deadlock.*self-deadlock-mu");
+}
+
+#endif  // !AIACC_NO_LOCK_ORDER_CHECKS && GTEST_HAS_DEATH_TEST
+
+}  // namespace
+}  // namespace aiacc::common
