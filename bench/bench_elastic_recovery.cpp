@@ -5,12 +5,33 @@
 // checkpoint-interval trade-off (write overhead vs replay on failure).
 #include "bench_util.h"
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace_events.h"
 #include "trainer/elastic.h"
 
 using namespace aiacc;
 using namespace aiacc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace FILE] [--metrics-json FILE|-]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
   PrintHeader("§IV — fault tolerance & elastic deployment",
               "Paper §IV 'Other features and optimizations'",
               "recovery = replacement wait + parameter broadcast + replay "
@@ -31,6 +52,12 @@ int main() {
     spec.checkpoint_interval = 10;
     spec.fail_at_iteration = 27;
     const auto r = trainer::SimulateElasticTraining(spec);
+    auto& metrics = telemetry::MetricsRegistry::Global();
+    metrics.GetCounter("elastic.cases").Add();
+    metrics.GetGauge(telemetry::Scoped("elastic.total_time_s", model))
+        .Set(r.total_time);
+    metrics.GetGauge(telemetry::Scoped("elastic.replay_overhead_s", model))
+        .Set(r.replay_overhead);
     table.AddRow({model, FormatDouble(r.ideal_time, 1) + " s",
                   FormatDouble(r.total_time, 1) + " s",
                   FormatDouble(r.checkpoint_overhead, 2) + " s",
@@ -99,8 +126,51 @@ int main() {
   spec.total_iterations = 60;
   spec.checkpoint_interval = 10;
   spec.fail_at_iteration = 27;
-  for (const auto& e : trainer::SimulateElasticTraining(spec).timeline) {
+  const auto sample = trainer::SimulateElasticTraining(spec);
+  for (const auto& e : sample.timeline) {
     std::printf("  t=%8.2fs  %s\n", e.time, e.what.c_str());
+  }
+
+  // The simulated timeline renders through the same Chrome trace-event
+  // emitter as the runtime tracer: each event opens a phase span that lasts
+  // until the next event, plus a point marker at the transition.
+  if (!trace_path.empty()) {
+    std::vector<telemetry::SpanEvent> spans;
+    std::vector<telemetry::InstantEvent> instants;
+    const auto& tl = sample.timeline;
+    for (std::size_t i = 0; i < tl.size(); ++i) {
+      const double end =
+          i + 1 < tl.size() ? tl[i + 1].time : sample.total_time;
+      if (end > tl[i].time) {
+        spans.push_back(
+            {"recovery", tl[i].what, tl[i].time, end, "elastic"});
+      }
+      instants.push_back({"recovery", tl[i].what, tl[i].time, "elastic"});
+    }
+    const Status st =
+        telemetry::WriteChromeTrace(trace_path, spans, instants);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %zu spans -> %s\n", spans.size(),
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const std::string json =
+        telemetry::MetricsRegistry::Global().Snapshot().ToJson();
+    if (metrics_path == "-") {
+      std::fputs(json.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+        return 1;
+      }
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    }
   }
   return 0;
 }

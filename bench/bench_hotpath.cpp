@@ -12,7 +12,11 @@
 // futile wakeups per 1k messages. `--json` prints a machine-readable
 // summary; `--smoke` runs a small configuration and exits non-zero unless
 // the pooled steady state performed *zero* payload allocations (wired into
-// ctest). Quote numbers from the `release-bench` preset (-O3 -DNDEBUG).
+// ctest). `--trace FILE` records a phase-level wall-clock trace of the
+// whole run (Chrome trace-event JSON, opens in Perfetto) and prints a
+// per-category summary table; `--metrics-json FILE` dumps the process
+// metrics registry after the run (`-` = stdout). Quote numbers from the
+// `release-bench` preset (-O3 -DNDEBUG).
 #include <barrier>
 #include <chrono>
 #include <cstdio>
@@ -24,14 +28,15 @@
 
 #include "collective/threaded.h"
 #include "common/buffer_pool.h"
-#include "common/stats.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 #include "transport/inproc.h"
 
 namespace {
 
-using aiacc::GlobalHotPathCounters;
-using aiacc::HotPathCounters;
 using aiacc::common::BufferPool;
+using aiacc::telemetry::MetricsRegistry;
+using aiacc::telemetry::RuntimeTracer;
 
 struct BenchConfig {
   int world = 8;
@@ -60,28 +65,40 @@ struct PhaseResult {
   }
 };
 
+/// Payload allocations in the measured window: the legacy (pool-less) path
+/// counts through the registry's `hotpath.payload_allocs` counter; the
+/// pooled path's only allocations are pool misses.
+std::uint64_t PayloadAllocs(const BufferPool* pool) {
+  std::uint64_t n = MetricsRegistry::Global()
+                        .GetCounter("hotpath.payload_allocs")
+                        .Value();
+  if (pool != nullptr) n += pool->stats().misses;
+  return n;
+}
+
 /// Drive `world` rank threads through `iters` timed rounds of `op` after
-/// `warmup` untimed rounds; counters are reset on the start line so they
-/// cover exactly the measured window.
+/// `warmup` untimed rounds; counters are sampled on the start and finish
+/// lines so the deltas cover exactly the measured window.
 template <typename RankOp>
-PhaseResult TimeRanks(aiacc::transport::InProcTransport& tr, int world,
-                      int warmup, int iters, RankOp op) {
+PhaseResult TimeRanks(aiacc::transport::InProcTransport& tr,
+                      const BufferPool* pool, int world, int warmup,
+                      int iters, RankOp op) {
   std::barrier<> gate(static_cast<std::ptrdiff_t>(world) + 1);
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(world));
   for (int r = 0; r < world; ++r) {
     threads.emplace_back([&, r] {
       for (int i = 0; i < warmup; ++i) op(r);
-      gate.arrive_and_wait();  // warmed up; main resets counters
+      gate.arrive_and_wait();  // warmed up; main samples counters
       gate.arrive_and_wait();  // start line
       for (int i = 0; i < iters; ++i) op(r);
       gate.arrive_and_wait();  // finish line
     });
   }
   gate.arrive_and_wait();
-  GlobalHotPathCounters().Reset();
+  const std::uint64_t allocs0 = PayloadAllocs(pool);
   const std::uint64_t msgs0 = tr.TotalMessages();
-  const HotPathCounters::Snapshot wake0 = tr.wake_counters().Read();
+  const auto wake0 = tr.wake_counters();
   const auto t0 = std::chrono::steady_clock::now();
   gate.arrive_and_wait();
   gate.arrive_and_wait();
@@ -91,9 +108,8 @@ PhaseResult TimeRanks(aiacc::transport::InProcTransport& tr, int world,
   PhaseResult result;
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   result.messages = tr.TotalMessages() - msgs0;
-  const HotPathCounters::Snapshot global = GlobalHotPathCounters().Read();
-  result.payload_allocs = global.payload_allocs;
-  const HotPathCounters::Snapshot wake1 = tr.wake_counters().Read();
+  result.payload_allocs = PayloadAllocs(pool) - allocs0;
+  const auto wake1 = tr.wake_counters();
   result.wakeups = wake1.wakeups - wake0.wakeups;
   result.futile_wakeups = wake1.futile_wakeups - wake0.futile_wakeups;
   return result;
@@ -102,37 +118,54 @@ PhaseResult TimeRanks(aiacc::transport::InProcTransport& tr, int world,
 PhaseResult RunRing(aiacc::transport::WakeMode mode, BufferPool* pool,
                     const BenchConfig& cfg) {
   aiacc::transport::InProcTransport tr(cfg.world, mode);
-  return TimeRanks(tr, cfg.world, cfg.ring_warmup, cfg.ring_iters, [&](int r) {
-    thread_local std::vector<float> data;
-    data.assign(cfg.ring_elems, static_cast<float>(r + 1));
-    aiacc::collective::Comm comm{&tr,  r, cfg.world, /*tag_base=*/1,
-                                 /*timeout_ms=*/0, pool};
-    const aiacc::Status st = aiacc::collective::RingAllReduce(
-        comm, data, aiacc::collective::ReduceOp::kSum);
-    if (!st.ok()) {
-      std::fprintf(stderr, "ring all-reduce failed: %s\n",
-                   st.ToString().c_str());
-      std::exit(2);
-    }
-  });
+  return TimeRanks(
+      tr, pool, cfg.world, cfg.ring_warmup, cfg.ring_iters, [&](int r) {
+        thread_local std::vector<float> data;
+        data.assign(cfg.ring_elems, static_cast<float>(r + 1));
+        aiacc::collective::Comm comm{&tr,  r, cfg.world, /*tag_base=*/1,
+                                     /*timeout_ms=*/0, pool};
+        const aiacc::Status st = aiacc::collective::RingAllReduce(
+            comm, data, aiacc::collective::ReduceOp::kSum);
+        if (!st.ok()) {
+          std::fprintf(stderr, "ring all-reduce failed: %s\n",
+                       st.ToString().c_str());
+          std::exit(2);
+        }
+      });
 }
 
 PhaseResult RunMultiChannel(BufferPool* pool, const BenchConfig& cfg) {
   aiacc::transport::InProcTransport tr(
       cfg.world, aiacc::transport::WakeMode::kTargeted);
-  return TimeRanks(tr, cfg.world, /*warmup=*/2, cfg.mc_iters, [&](int r) {
-    thread_local std::vector<float> data;
-    data.assign(cfg.mc_elems, static_cast<float>(r + 1));
-    aiacc::collective::Comm comm{&tr,  r, cfg.world, /*tag_base=*/1,
-                                 /*timeout_ms=*/0, pool};
-    const aiacc::Status st = aiacc::collective::MultiChannelAllReduce(
-        comm, data, aiacc::collective::ReduceOp::kAvg, cfg.mc_channels);
-    if (!st.ok()) {
-      std::fprintf(stderr, "multi-channel all-reduce failed: %s\n",
-                   st.ToString().c_str());
-      std::exit(2);
-    }
-  });
+  return TimeRanks(
+      tr, pool, cfg.world, /*warmup=*/2, cfg.mc_iters, [&](int r) {
+        thread_local std::vector<float> data;
+        data.assign(cfg.mc_elems, static_cast<float>(r + 1));
+        aiacc::collective::Comm comm{&tr,  r, cfg.world, /*tag_base=*/1,
+                                     /*timeout_ms=*/0, pool};
+        const aiacc::Status st = aiacc::collective::MultiChannelAllReduce(
+            comm, data, aiacc::collective::ReduceOp::kAvg, cfg.mc_channels);
+        if (!st.ok()) {
+          std::fprintf(stderr, "multi-channel all-reduce failed: %s\n",
+                       st.ToString().c_str());
+          std::exit(2);
+        }
+      });
+}
+
+int WriteText(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return 0;
 }
 
 }  // namespace
@@ -140,6 +173,8 @@ PhaseResult RunMultiChannel(BufferPool* pool, const BenchConfig& cfg) {
 int main(int argc, char** argv) {
   bool json = false;
   bool smoke = false;
+  std::string trace_path;
+  std::string metrics_path;
   BenchConfig cfg;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -149,9 +184,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
       cfg.ring_iters = std::atoi(argv[++i]);
       cfg.mc_iters = cfg.ring_iters;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--smoke] [--iters N]\n", argv[0]);
+                   "usage: %s [--json] [--smoke] [--iters N] [--trace FILE] "
+                   "[--metrics-json FILE|-]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -162,6 +203,10 @@ int main(int argc, char** argv) {
     cfg.mc_elems = 8192;
     cfg.mc_channels = 2;
     cfg.mc_iters = 3;
+  }
+
+  if (!trace_path.empty()) {
+    RuntimeTracer::Global().Enable(aiacc::telemetry::TraceLevel::kPhase);
   }
 
   // Bench-local pool: the alloc counters then cover exactly this workload.
@@ -222,6 +267,32 @@ int main(int argc, char** argv) {
                 "persistent workers\n",
                 cfg.mc_channels, mc_gb_per_sec,
                 aiacc::collective::MultiChannelWorkerCount());
+  }
+
+  if (!trace_path.empty()) {
+    auto& tracer = RuntimeTracer::Global();
+    tracer.Disable();  // every recording thread joined above: safe to flush
+    const aiacc::Status st = tracer.WriteTo(trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::vector<aiacc::telemetry::SpanEvent> spans;
+    std::vector<aiacc::telemetry::InstantEvent> instants;
+    tracer.Collect(&spans, &instants);
+    std::printf("trace: %zu spans, %zu instants, %llu dropped -> %s\n",
+                spans.size(), instants.size(),
+                static_cast<unsigned long long>(tracer.dropped()),
+                trace_path.c_str());
+    std::fputs(
+        aiacc::telemetry::SummaryTable(aiacc::telemetry::SummarizeSpans(spans))
+            .c_str(),
+        stdout);
+  }
+  if (!metrics_path.empty()) {
+    const int rc = WriteText(
+        metrics_path, MetricsRegistry::Global().Snapshot().ToJson());
+    if (rc != 0) return rc;
   }
 
   if (smoke && pooled.payload_allocs != 0) {

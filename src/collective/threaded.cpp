@@ -6,9 +6,19 @@
 #include "common/logging.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
 
 namespace aiacc::collective {
 namespace {
+
+/// Registry counter for legacy-path (unpooled) payload allocations. Cached
+/// so the hot path pays one static-init guard check, not a registry lookup.
+telemetry::Counter& LegacyAllocCounter() {
+  static telemetry::Counter& counter =
+      telemetry::MetricsRegistry::Global().GetCounter("hotpath.payload_allocs");
+  return counter;
+}
 
 /// Receive honouring the Comm deadline (<= 0 blocks forever).
 Result<transport::Payload> TimedRecv(transport::Transport& tr,
@@ -38,8 +48,7 @@ transport::Payload FillSendBuffer(common::BufferPool* pool,
                                   transport::Payload reuse,
                                   std::span<const float> src) {
   if (pool == nullptr) {
-    GlobalHotPathCounters().payload_allocs.fetch_add(
-        1, std::memory_order_relaxed);
+    LegacyAllocCounter().Add();
     return transport::Payload(src.begin(), src.end());
   }
   if (reuse.capacity() >= src.size()) {
@@ -91,34 +100,57 @@ Status RingAllReduceOnRing(transport::Transport& tr,
   transport::Payload carry;  // recycled send buffer (pooled mode)
   // Reduce-scatter: after step s, each rank has accumulated s+1 inputs into
   // the chunk it just received (folded straight out of the mailbox buffer).
-  for (int s = 0; s < n - 1; ++s) {
-    std::span<float> to_send = chunk(my_pos - s);
-    tr.Send(me, next, tag, FillSendBuffer(pool, std::move(carry), to_send));
-    carry = transport::Payload();
-    auto received = TimedRecv(tr, timeout_ms, me, prev, tag);
-    if (!received.ok()) return received.status();
-    AIACC_RETURN_IF_ERROR(RecvReduce(chunk(my_pos - s - 1), *received, op));
-    if (pool != nullptr) carry = std::move(*received);
+  {
+    AIACC_TRACE_SPAN("comm.phase", "reduce-scatter");
+    for (int s = 0; s < n - 1; ++s) {
+      std::span<float> to_send = chunk(my_pos - s);
+      {
+        AIACC_TRACE_SPAN_V("comm.step", "send");
+        tr.Send(me, next, tag,
+                FillSendBuffer(pool, std::move(carry), to_send));
+      }
+      carry = transport::Payload();
+      Result<transport::Payload> received = [&] {
+        AIACC_TRACE_SPAN_V("comm.step", "recv-wait");
+        return TimedRecv(tr, timeout_ms, me, prev, tag);
+      }();
+      if (!received.ok()) return received.status();
+      {
+        AIACC_TRACE_SPAN_V("comm.step", "reduce");
+        AIACC_RETURN_IF_ERROR(
+            RecvReduce(chunk(my_pos - s - 1), *received, op));
+      }
+      if (pool != nullptr) carry = std::move(*received);
+    }
   }
   // All-gather: circulate the fully-reduced chunks. From step 1 on, the
   // payload received on the previous step *is* this step's chunk, so it is
   // forwarded as-is.
-  for (int s = 0; s < n - 1; ++s) {
-    std::span<float> to_send = chunk(my_pos - s + 1);
-    transport::Payload out;
-    if (pool != nullptr && s > 0) {
-      out = std::move(carry);
-    } else {
-      out = FillSendBuffer(pool, std::move(carry), to_send);
+  {
+    AIACC_TRACE_SPAN("comm.phase", "all-gather");
+    for (int s = 0; s < n - 1; ++s) {
+      std::span<float> to_send = chunk(my_pos - s + 1);
+      transport::Payload out;
+      if (pool != nullptr && s > 0) {
+        out = std::move(carry);
+      } else {
+        out = FillSendBuffer(pool, std::move(carry), to_send);
+      }
+      carry = transport::Payload();
+      {
+        AIACC_TRACE_SPAN_V("comm.step", "send");
+        tr.Send(me, next, tag, std::move(out));
+      }
+      Result<transport::Payload> received = [&] {
+        AIACC_TRACE_SPAN_V("comm.step", "recv-wait");
+        return TimedRecv(tr, timeout_ms, me, prev, tag);
+      }();
+      if (!received.ok()) return received.status();
+      std::span<float> target = chunk(my_pos - s);
+      AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
+      std::copy(received->begin(), received->end(), target.begin());
+      if (pool != nullptr) carry = std::move(*received);
     }
-    carry = transport::Payload();
-    tr.Send(me, next, tag, std::move(out));
-    auto received = TimedRecv(tr, timeout_ms, me, prev, tag);
-    if (!received.ok()) return received.status();
-    std::span<float> target = chunk(my_pos - s);
-    AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
-    std::copy(received->begin(), received->end(), target.begin());
-    if (pool != nullptr) carry = std::move(*received);
   }
   ReleasePayload(pool, std::move(carry));
   return Status::Ok();
@@ -183,6 +215,7 @@ std::size_t ChunkBegin(std::size_t len, int n_chunks, int chunk) {
 
 Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
   AIACC_CHECK(comm.transport != nullptr);
+  AIACC_TRACE_SPAN("comm", "ring-all-reduce");
   std::vector<int> ring(static_cast<std::size_t>(comm.world_size));
   for (int r = 0; r < comm.world_size; ++r) ring[static_cast<std::size_t>(r)] = r;
   const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
@@ -196,6 +229,7 @@ Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
 Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
                              std::span<float> data, ReduceOp op) {
   AIACC_CHECK(comm.transport != nullptr);
+  AIACC_TRACE_SPAN("comm", "hierarchical-all-reduce");
   AIACC_CHECK(gpus_per_host >= 1);
   AIACC_CHECK(comm.world_size % gpus_per_host == 0);
   const int host = comm.rank / gpus_per_host;
@@ -554,8 +588,11 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
     sub.tag_base = ChannelTagBase(comm.tag_base, c);
     Status* slot = &channel_status[static_cast<std::size_t>(c)];
     workers.pool.Submit([sub, slice = data.subspan(b, e - b), op, slot,
-                         &done] {
-      *slot = RingAllReduce(sub, slice, op);
+                         &done, c] {
+      {
+        AIACC_TRACE_SPAN_IDX("comm.channel", "channel", c);
+        *slot = RingAllReduce(sub, slice, op);
+      }
       common::MutexLock lock(done.mu);
       if (--done.remaining == 0) done.cv.NotifyAll();
     });
@@ -564,6 +601,7 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
     const std::size_t e = ChunkBegin(data.size(), num_channels, 1);
     Comm sub = comm;
     sub.tag_base = ChannelTagBase(comm.tag_base, 0);
+    AIACC_TRACE_SPAN_IDX("comm.channel", "channel", 0);
     channel_status[0] = RingAllReduce(sub, data.subspan(0, e), op);
   }
   {

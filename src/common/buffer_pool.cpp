@@ -2,8 +2,6 @@
 
 #include <bit>
 
-#include "common/stats.h"
-
 namespace aiacc::common {
 
 BufferPool::BufferPool(std::size_t max_free_per_class)
@@ -36,15 +34,11 @@ BufferPool::Buffer BufferPool::Acquire(std::size_t n) {
       sc.free.pop_back();
       lock.Unlock();
       hits_.fetch_add(1, std::memory_order_relaxed);
-      GlobalHotPathCounters().pool_hits.fetch_add(1,
-                                                  std::memory_order_relaxed);
       buffer.resize(n);  // capacity >= class size: never reallocates
       return buffer;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  GlobalHotPathCounters().payload_allocs.fetch_add(1,
-                                                   std::memory_order_relaxed);
   Buffer buffer;
   if (cls < kNumClasses) buffer.reserve(ClassCapacity(cls));
   buffer.resize(n);
@@ -53,7 +47,6 @@ BufferPool::Buffer BufferPool::Acquire(std::size_t n) {
 
 void BufferPool::Release(Buffer&& buffer) {
   returns_.fetch_add(1, std::memory_order_relaxed);
-  GlobalHotPathCounters().pool_returns.fetch_add(1, std::memory_order_relaxed);
   const std::size_t cls = ClassForCapacity(buffer.capacity());
   if (cls < kNumClasses) {
     SizeClass& sc = classes_[cls];

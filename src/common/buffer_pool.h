@@ -16,9 +16,10 @@
 // the steady state of a fixed communication pattern performs zero
 // allocations (counter-verified in tests/hotpath_test.cpp).
 //
-// Thread-safe; one mutex per size class. Misses/hits/returns feed the
-// global HotPathCounters (common/stats.h) so benches and tests can assert
-// allocation behaviour.
+// Thread-safe; one mutex per size class. Misses/hits/returns are counted
+// per instance (stats()); the telemetry registry exposes the global pool's
+// stats as `pool.*` callback counters (src/telemetry/telemetry.cpp), so
+// benches and tests can assert allocation behaviour on either surface.
 #pragma once
 
 #include <array>

@@ -8,8 +8,6 @@
 namespace aiacc {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-
 const char* LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kTrace: return "T";
@@ -29,14 +27,35 @@ common::Mutex& SinkMutex() {
   return m;
 }
 
+struct ThreadLogContext {
+  int rank = -1;
+  const char* role = nullptr;  // literal; nullptr = unset
+  int index = -1;
+};
+
+thread_local ThreadLogContext t_log_context;
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) noexcept {
-  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+void SetThreadLogContext(int rank, const char* role, int index) {
+  t_log_context = ThreadLogContext{rank, role, index};
 }
 
-LogLevel GetLogLevel() noexcept {
-  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+void ClearThreadLogContext() { t_log_context = ThreadLogContext{}; }
+
+std::string ThreadLogLabel() {
+  const ThreadLogContext& ctx = t_log_context;
+  if (ctx.role == nullptr && ctx.rank < 0) return "";
+  std::string label;
+  if (ctx.rank >= 0) {
+    label += "r" + std::to_string(ctx.rank);
+    if (ctx.role != nullptr) label += "/";
+  }
+  if (ctx.role != nullptr) {
+    label += ctx.role;
+    if (ctx.index >= 0) label += std::to_string(ctx.index);
+  }
+  return label;
 }
 
 namespace internal {
@@ -47,7 +66,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+  stream_ << "[" << LevelTag(level_);
+  const std::string label = ThreadLogLabel();
+  if (!label.empty()) stream_ << " " << label;
+  stream_ << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

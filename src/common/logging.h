@@ -17,19 +17,40 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
-/// Global minimum level; messages below it are discarded before formatting
-/// their arguments is *finished* (the stream still evaluates, so keep hot-path
-/// logging at kTrace/kDebug and guard with ShouldLog when formatting is pricey).
-void SetLogLevel(LogLevel level) noexcept;
-LogLevel GetLogLevel() noexcept;
+namespace internal {
+/// Global minimum level. Inline so ShouldLog compiles to a single relaxed
+/// load with no function call — the filtered-out cost of a log statement.
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+}  // namespace internal
+
+inline void SetLogLevel(LogLevel level) noexcept {
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+inline LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(
+      internal::g_log_level.load(std::memory_order_relaxed));
+}
+/// The AIACC_LOG macro short-circuits on this *before* constructing the
+/// message stream, so a filtered statement's `<<` arguments are never
+/// evaluated: the whole statement costs one relaxed load and a branch.
 inline bool ShouldLog(LogLevel level) noexcept {
   return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
 }
 
+/// Identity a thread attaches to its log lines and trace lane: typically
+/// "r<rank>/<role><index>" (e.g. "r2/comm1", "r0/hb") or a bare role for
+/// rankless threads. Long-lived runtime threads (engine comm loops,
+/// heartbeat, service workers) set this once at startup.
+void SetThreadLogContext(int rank, const char* role, int index = -1);
+void ClearThreadLogContext();
+/// The label composed from the thread's context, or "" when unset.
+std::string ThreadLogLabel();
+
 namespace internal {
 
-/// One log statement: accumulates a line, emits it (with level tag, file:line)
-/// on destruction. Not for storing.
+/// One log statement: accumulates a line, emits it (with level tag, thread
+/// label, file:line) on destruction. Not for storing.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -31,8 +31,12 @@ double GeometricMean(const std::vector<double>& xs) {
 }
 
 double Percentile(std::vector<double> xs, double p) {
+  return PercentileInPlace(xs, p);
+}
+
+double PercentileInPlace(std::vector<double>& xs, double p) {
   if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
+  if (!std::is_sorted(xs.begin(), xs.end())) std::sort(xs.begin(), xs.end());
   if (xs.size() == 1) return xs[0];
   const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -108,31 +112,6 @@ std::string FormatRate(double bytes_per_sec) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.2f %s", bps, units[u]);
   return buf;
-}
-
-HotPathCounters::Snapshot HotPathCounters::Read() const {
-  Snapshot s;
-  s.payload_allocs = payload_allocs.load(std::memory_order_relaxed);
-  s.pool_hits = pool_hits.load(std::memory_order_relaxed);
-  s.pool_returns = pool_returns.load(std::memory_order_relaxed);
-  s.notifies = notifies.load(std::memory_order_relaxed);
-  s.wakeups = wakeups.load(std::memory_order_relaxed);
-  s.futile_wakeups = futile_wakeups.load(std::memory_order_relaxed);
-  return s;
-}
-
-void HotPathCounters::Reset() {
-  payload_allocs.store(0, std::memory_order_relaxed);
-  pool_hits.store(0, std::memory_order_relaxed);
-  pool_returns.store(0, std::memory_order_relaxed);
-  notifies.store(0, std::memory_order_relaxed);
-  wakeups.store(0, std::memory_order_relaxed);
-  futile_wakeups.store(0, std::memory_order_relaxed);
-}
-
-HotPathCounters& GlobalHotPathCounters() {
-  static HotPathCounters* counters = new HotPathCounters();  // never destroyed
-  return *counters;
 }
 
 }  // namespace aiacc

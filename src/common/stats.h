@@ -3,9 +3,7 @@
 // fixed-width table printer for bench output.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,8 +34,15 @@ class RunningStats {
 /// Geometric mean of positive samples; returns 0 for an empty input.
 double GeometricMean(const std::vector<double>& xs);
 
-/// p in [0,100]; linear interpolation between order statistics.
+/// p in [0,100]; linear interpolation between order statistics. Copies its
+/// input; prefer PercentileInPlace when the caller owns the vector.
 double Percentile(std::vector<double> xs, double p);
+
+/// Same percentile, but sorts the caller's vector in place — no copy. After
+/// the first call the vector stays sorted, so extracting several quantiles
+/// from one sample set (telemetry snapshots pull p50 and p99) costs one
+/// sort total.
+double PercentileInPlace(std::vector<double>& xs, double p);
 
 /// Fixed-width ASCII table used by every bench binary so output diffs are
 /// stable. Columns are sized to the widest cell.
@@ -60,36 +65,5 @@ class TablePrinter {
 std::string FormatDouble(double v, int precision = 2);
 std::string FormatBytes(double bytes);
 std::string FormatRate(double bytes_per_sec);
-
-/// Lock-free instrumentation of the communication hot path: payload buffer
-/// allocations (BufferPool misses + legacy copy-path allocations) and
-/// condition-variable signal/wakeup counts in the transport. The process
-/// global instance aggregates allocation events; `InProcTransport` embeds a
-/// per-instance copy for its wake counters so tests can isolate one
-/// transport. Benches snapshot before/after a measured region and report
-/// deltas (e.g. allocations per all-reduce iteration).
-struct HotPathCounters {
-  std::atomic<std::uint64_t> payload_allocs{0};  // heap allocations of payload buffers
-  std::atomic<std::uint64_t> pool_hits{0};       // BufferPool reuse hits
-  std::atomic<std::uint64_t> pool_returns{0};    // buffers handed back
-  std::atomic<std::uint64_t> notifies{0};        // CV signals sent by senders
-  std::atomic<std::uint64_t> wakeups{0};         // blocked receivers woken
-  std::atomic<std::uint64_t> futile_wakeups{0};  // woke with nothing to take
-
-  struct Snapshot {
-    std::uint64_t payload_allocs = 0;
-    std::uint64_t pool_hits = 0;
-    std::uint64_t pool_returns = 0;
-    std::uint64_t notifies = 0;
-    std::uint64_t wakeups = 0;
-    std::uint64_t futile_wakeups = 0;
-  };
-  [[nodiscard]] Snapshot Read() const;
-  void Reset();
-};
-
-/// Process-wide hot-path counters (allocation events from every pool and
-/// legacy copy path).
-HotPathCounters& GlobalHotPathCounters();
 
 }  // namespace aiacc

@@ -8,10 +8,24 @@ namespace aiacc::common {
 namespace sync_internal {
 namespace {
 
-/// Locks held by this thread, in acquisition order. A plain vector: the
-/// stack is a handful of entries deep (the lock hierarchy has < 10 levels),
-/// so the linear scans below are cheaper than any clever structure.
-thread_local std::vector<const Mutex*> t_held_locks;
+/// Set once this thread's held-lock stack has been destroyed. glibc runs
+/// C++ thread_local destructors *before* atexit handlers, and exit-time
+/// work (the telemetry dump) legitimately takes ranked locks — so after
+/// teardown the detector must become a no-op rather than write through the
+/// dead vector. A plain bool is trivially destructible and stays readable
+/// for the rest of thread exit.
+thread_local bool t_stack_dead = false;
+
+struct HeldStack {
+  /// Locks held by this thread, in acquisition order. A plain vector: the
+  /// stack is a handful of entries deep (the lock hierarchy has < 10
+  /// levels), so the linear scans below are cheaper than any clever
+  /// structure.
+  std::vector<const Mutex*> locks;
+  ~HeldStack() { t_stack_dead = true; }
+};
+
+thread_local HeldStack t_held;
 
 /// Diagnostics bypass the aiacc logger: the log sink is itself one of the
 /// tracked locks, and the failing thread may already hold arbitrary locks.
@@ -19,7 +33,7 @@ thread_local std::vector<const Mutex*> t_held_locks;
   std::fprintf(stderr, "FATAL lock-order violation: %s \"%s\" (rank %d)\n",
                headline, m->name(), m->rank());
   std::fprintf(stderr, "  locks held by this thread (acquisition order):\n");
-  for (const Mutex* h : t_held_locks) {
+  for (const Mutex* h : t_held.locks) {
     std::fprintf(stderr, "    \"%s\" (rank %d)\n", h->name(), h->rank());
   }
   std::fflush(stderr);
@@ -29,13 +43,14 @@ thread_local std::vector<const Mutex*> t_held_locks;
 }  // namespace
 
 void CheckAcquire(const Mutex* m) {
-  for (const Mutex* h : t_held_locks) {
+  if (t_stack_dead) return;
+  for (const Mutex* h : t_held.locks) {
     if (h == m) {
       DieWithHeldStack("self-deadlock acquiring", m);
     }
   }
   if (m->rank() == kNoRank) return;
-  for (const Mutex* h : t_held_locks) {
+  for (const Mutex* h : t_held.locks) {
     if (h->rank() != kNoRank && h->rank() >= m->rank()) {
       std::fprintf(stderr,
                    "FATAL lock-order inversion: acquiring \"%s\" (rank %d) "
@@ -46,21 +61,27 @@ void CheckAcquire(const Mutex* m) {
   }
 }
 
-void RecordAcquire(const Mutex* m) { t_held_locks.push_back(m); }
+void RecordAcquire(const Mutex* m) {
+  if (t_stack_dead) return;
+  t_held.locks.push_back(m);
+}
 
 void RecordRelease(const Mutex* m) {
+  if (t_stack_dead) return;
   // Locks are usually released LIFO, but overlapping MutexLock scopes may
   // release out of order — scan from the top.
-  for (auto it = t_held_locks.rbegin(); it != t_held_locks.rend(); ++it) {
+  for (auto it = t_held.locks.rbegin(); it != t_held.locks.rend(); ++it) {
     if (*it == m) {
-      t_held_locks.erase(std::next(it).base());
+      t_held.locks.erase(std::next(it).base());
       return;
     }
   }
   DieWithHeldStack("releasing a lock this thread does not hold:", m);
 }
 
-std::size_t HeldLockCount() { return t_held_locks.size(); }
+std::size_t HeldLockCount() {
+  return t_stack_dead ? 0 : t_held.locks.size();
+}
 
 }  // namespace sync_internal
 

@@ -78,6 +78,9 @@ inline constexpr int kThreadPool = 400;     // ThreadPool threads/idle tracking
 inline constexpr int kTransport = 500;      // transport decorators (faulty)
 inline constexpr int kMailbox = 600;        // inproc mailboxes + barrier
 inline constexpr int kBufferPool = 700;     // buffer-pool size classes
+inline constexpr int kTelemetry = 750;      // metrics registry + trace rings:
+                                            // touchable from under any
+                                            // runtime lock; may only log
 inline constexpr int kLogSink = 800;        // log sink: a leaf, loggable from
                                             // under any other lock
 }  // namespace lock_rank

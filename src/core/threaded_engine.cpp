@@ -6,6 +6,8 @@
 #include "collective/threaded.h"
 #include "common/buffer_pool.h"
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/tracer.h"
 
 namespace aiacc::core {
 namespace {
@@ -34,21 +36,27 @@ ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config,
     : world_size_(world_size),
       config_(config),
       failure_(std::move(failure)),
+      metrics_dump_period_ms_(telemetry::MetricsDumpPeriodMs()),
       inproc_(world_size),
       transport_(&inproc_) {
   AIACC_CHECK(world_size >= 1);
   AIACC_CHECK(config_.num_streams >= 1);
   // One long-lived task per service loop: each rank runs an MPI process and
   // `num_streams` communication streams, plus a heartbeat when detection is
-  // on. The pool is sized for all of them at once (they block on each
-  // other across ranks, so none may wait for a free worker).
+  // on and a metrics dumper when periodic dumping is configured. The pool
+  // is sized for all of them at once (they block on each other across
+  // ranks, so none may wait for a free worker).
   const std::size_t service_tasks =
       static_cast<std::size_t>(world_size) *
           (1 + static_cast<std::size_t>(config_.num_streams)) +
       (failure_.detect_failures && world_size > 1
            ? static_cast<std::size_t>(world_size)
-           : 0);
+           : 0) +
+      (metrics_dump_period_ms_ > 0 ? 1 : 0);
   service_pool_ = std::make_unique<ThreadPool>(service_tasks);
+  if (metrics_dump_period_ms_ > 0) {
+    service_pool_->Submit([this] { MetricsDumpLoop(); });
+  }
   if (failure_.faults.has_value()) {
     faulty_ = std::make_unique<transport::FaultyTransport>(inproc_,
                                                            *failure_.faults);
@@ -62,6 +70,61 @@ ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config,
     state->queue = std::make_unique<BoundedQueue<int>>(4096);
     state->unit_queue = std::make_unique<BlockingQueue<AllReduceUnit>>();
     ranks_.push_back(std::move(state));
+  }
+}
+
+ThreadedAiaccEngine::Worker::Worker(ThreadedAiaccEngine* engine, int rank)
+    : engine_(engine), rank_(rank) {
+  telemetry::MetricsRegistry& m = engine_->metrics_;
+  sync_rounds_ =
+      &m.GetCounter(telemetry::RankScoped("engine.sync_rounds", rank));
+  units_reduced_ =
+      &m.GetCounter(telemetry::RankScoped("engine.units_reduced", rank));
+  bytes_reduced_ =
+      &m.GetCounter(telemetry::RankScoped("engine.bytes_reduced", rank));
+  iterations_ =
+      &m.GetCounter(telemetry::RankScoped("engine.iterations", rank));
+  // 1us .. ~0.5s exponential edges: unit latency spans queue wait + ring
+  // all-reduce + scatter.
+  unit_latency_ =
+      &m.GetHistogram(telemetry::RankScoped("engine.unit_latency_s", rank),
+                      telemetry::ExponentialBounds(1e-6, 20));
+}
+
+ThreadedAiaccEngine::RankStats ThreadedAiaccEngine::Worker::stats()
+    const noexcept {
+  RankStats s;
+  s.sync_rounds = sync_rounds_->Value();
+  s.units_reduced = units_reduced_->Value();
+  s.bytes_reduced = bytes_reduced_->Value();
+  s.iterations = iterations_->Value();
+  return s;
+}
+
+void ThreadedAiaccEngine::MetricsDumpLoop() {
+  SetThreadLogContext(-1, "metrics-dump");
+  const std::string dest = telemetry::GlobalEnvOptions().metrics_dump.empty()
+                               ? "stderr"
+                               : telemetry::GlobalEnvOptions().metrics_dump;
+  using Clock = std::chrono::steady_clock;
+  const auto period = std::chrono::milliseconds(metrics_dump_period_ms_);
+  auto next_dump = Clock::now() + period;
+  while (!shutdown_.load(std::memory_order_acquire) &&
+         !aborted_.load(std::memory_order_acquire)) {
+    // Sleep in short slices so engine teardown never waits a full period.
+    const auto now = Clock::now();
+    if (now < next_dump) {
+      std::this_thread::sleep_for(
+          std::min<Clock::duration>(next_dump - now,
+                                    std::chrono::milliseconds(100)));
+      continue;
+    }
+    const Status st = telemetry::DumpMetrics(metrics_.Snapshot(), dest);
+    if (!st.ok()) {
+      LOG_WARN << "periodic metrics dump failed: " << st.ToString();
+      return;
+    }
+    next_dump += period;
   }
 }
 
@@ -192,6 +255,7 @@ void ThreadedAiaccEngine::Worker::Push(const std::string& name) {
   RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
   auto id = state.registry.IdOf(name);
   AIACC_CHECK(id.ok());
+  AIACC_TRACE_INSTANT("engine", "grad-ready");
   state.queue->Push(*id);
 }
 
@@ -217,11 +281,12 @@ Status ThreadedAiaccEngine::Worker::WaitIteration() {
   }
   if (!state.iteration_done) return engine_->health();
   state.iteration_done = false;
-  ++stats_.iterations;
+  iterations_->Add();
   return Status::Ok();
 }
 
 void ThreadedAiaccEngine::MpiProcessLoop(int rank) {
+  SetThreadLogContext(rank, "mpi");
   // The sync bit-vector is reused across every iteration of this rank's
   // protocol — after the first round the engine's control plane allocates
   // nothing per iteration.
@@ -233,6 +298,7 @@ void ThreadedAiaccEngine::MpiProcessLoop(int rank) {
 }
 
 void ThreadedAiaccEngine::HeartbeatLoop(int rank) {
+  SetThreadLogContext(rank, "hb");
   using Clock = std::chrono::steady_clock;
   const auto interval = std::chrono::duration<double, std::milli>(
       failure_.heartbeat_interval_ms);
@@ -260,6 +326,7 @@ void ThreadedAiaccEngine::HeartbeatLoop(int rank) {
       transport_->Send(rank, peer, kHeartbeatTag, std::move(pulse));
     }
     ++beat;
+    AIACC_TRACE_INSTANT_V("engine.hb", "heartbeat");
     for (int peer = 0; peer < world_size_; ++peer) {
       if (peer == rank) continue;
       while (auto pulse = transport_->TryRecv(rank, peer, kHeartbeatTag)) {
@@ -356,8 +423,11 @@ void ThreadedAiaccEngine::RunIterationProtocol(
     }
     collective::Comm comm{transport_, rank, world_size_, kSyncTag,
                           failure_.collective_timeout_ms};
-    const Status st =
-        collective::RingAllReduce(comm, sync_vector, collective::ReduceOp::kMin);
+    const Status st = [&] {
+      AIACC_TRACE_SPAN("engine", "sync-round");
+      return collective::RingAllReduce(comm, sync_vector,
+                                       collective::ReduceOp::kMin);
+    }();
     if (!st.ok()) {
       HandleCollectiveFailure(rank, st);
       return;
@@ -366,7 +436,7 @@ void ThreadedAiaccEngine::RunIterationProtocol(
         aborted_.load(std::memory_order_acquire)) {
       return;
     }
-    ++worker.stats_.sync_rounds;
+    worker.sync_rounds_->Add();
 
     // Gradients agreed by everyone enter the packing stream (in id order,
     // so all ranks build identical units with identical unit ids).
@@ -423,11 +493,14 @@ void ThreadedAiaccEngine::RunIterationProtocol(
 }
 
 void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
-  (void)stream_index;
+  SetThreadLogContext(rank, "comm", stream_index);
   RankState& state = *ranks_[static_cast<std::size_t>(rank)];
   Worker& worker = *workers_[static_cast<std::size_t>(rank)];
   auto& buffer_pool = common::BufferPool::Global();
   while (auto unit = state.unit_queue->Pop()) {
+    const auto unit_begin = std::chrono::steady_clock::now();
+    AIACC_TRACE_SPAN_IDX("engine.unit", "unit",
+                         static_cast<int>(unit->unit_id));
     const std::size_t bytes = unit->TotalBytes();
     AIACC_CHECK(bytes % sizeof(float) == 0);
     // Pooled staging: across iterations the same few buffers cycle through
@@ -489,10 +562,14 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
         done += seg.length;
         if (done == state.registry.Get(seg.gradient_id).bytes) ++completed;
       }
-      ++worker.stats_.units_reduced;
-      worker.stats_.bytes_reduced += bytes;
+      worker.units_reduced_->Add();
+      worker.bytes_reduced_->Add(bytes);
     }
     buffer_pool.Release(std::move(staging));
+    worker.unit_latency_->Record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      unit_begin)
+            .count());
     if (completed > 0 &&
         state.gradients_remaining.fetch_sub(completed,
                                             std::memory_order_acq_rel) ==

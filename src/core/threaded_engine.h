@@ -45,6 +45,7 @@
 #include "core/config.h"
 #include "core/packing.h"
 #include "core/registry.h"
+#include "telemetry/metrics.h"
 #include "transport/faulty.h"
 #include "transport/inproc.h"
 
@@ -69,15 +70,17 @@ struct FailureConfig {
 
 class ThreadedAiaccEngine {
  public:
-  /// Statistics for one rank. Atomic because three different threads write
-  /// here concurrently — the MPI-process loop (sync_rounds), the comm-stream
-  /// workers (units_reduced, bytes_reduced), and the caller's worker thread
-  /// (iterations) — and stats() may be read at any time.
+  /// Point-in-time statistics for one rank. The live values are telemetry
+  /// counters in the engine's metrics registry (`engine.*@r<rank>`),
+  /// written concurrently by three different threads — the MPI-process loop
+  /// (sync_rounds), the comm-stream workers (units_reduced, bytes_reduced),
+  /// and the caller's worker thread (iterations); stats() snapshots them at
+  /// any time.
   struct RankStats {
-    std::atomic<std::uint64_t> sync_rounds{0};
-    std::atomic<std::uint64_t> units_reduced{0};
-    std::atomic<std::uint64_t> bytes_reduced{0};
-    std::atomic<std::uint64_t> iterations{0};
+    std::uint64_t sync_rounds = 0;
+    std::uint64_t units_reduced = 0;
+    std::uint64_t bytes_reduced = 0;
+    std::uint64_t iterations = 0;
   };
 
   ThreadedAiaccEngine(int world_size, CommConfig config,
@@ -119,22 +122,35 @@ class ThreadedAiaccEngine {
     [[nodiscard]] Status WaitIteration();
 
     [[nodiscard]] int rank() const noexcept { return rank_; }
-    [[nodiscard]] const RankStats& stats() const noexcept { return stats_; }
+    [[nodiscard]] RankStats stats() const noexcept;
 
    private:
     friend class ThreadedAiaccEngine;
-    Worker(ThreadedAiaccEngine* engine, int rank)
-        : engine_(engine), rank_(rank) {}
+    Worker(ThreadedAiaccEngine* engine, int rank);
 
     ThreadedAiaccEngine* engine_;
     int rank_;
-    RankStats stats_;
+    // Cached handles into the engine's registry (rank-scoped names);
+    // registration happens once here, every increment is a relaxed add.
+    telemetry::Counter* sync_rounds_;
+    telemetry::Counter* units_reduced_;
+    telemetry::Counter* bytes_reduced_;
+    telemetry::Counter* iterations_;
+    telemetry::Histogram* unit_latency_;  // seconds per reduced unit
   };
 
   [[nodiscard]] Worker& worker(int rank) {
     return *workers_[static_cast<std::size_t>(rank)];
   }
   [[nodiscard]] int world_size() const noexcept { return world_size_; }
+
+  /// This engine's metrics surface: per-rank `engine.*@r<n>` counters and
+  /// unit-latency histograms. Per-instance (not the process Global()) so
+  /// stats are exact per engine lifetime; Snapshot().Aggregate() merges the
+  /// rank scopes.
+  [[nodiscard]] telemetry::MetricsRegistry& metrics() noexcept {
+    return metrics_;
+  }
 
   /// Stop the communication threads (also done by the destructor).
   void Shutdown();
@@ -182,6 +198,10 @@ class ThreadedAiaccEngine {
 
   void MpiProcessLoop(int rank);
   void CommThreadLoop(int rank, int stream_index);
+  /// Service task dumping the engine registry every AIACC_METRICS_PERIOD_MS
+  /// (only started when the env var is set). Sleeps in short slices so
+  /// Shutdown is never delayed by a full period.
+  void MetricsDumpLoop();
   /// `sync_scratch` is the caller's reusable bit-vector buffer (one per MPI
   /// process loop) so steady-state iterations allocate nothing.
   void RunIterationProtocol(int rank, std::vector<float>& sync_scratch);
@@ -197,6 +217,9 @@ class ThreadedAiaccEngine {
   const int world_size_;
   const CommConfig config_;
   const FailureConfig failure_;
+  const int metrics_dump_period_ms_;  // 0 = no periodic dump task
+  // Declared before workers_: Worker constructors register their handles.
+  telemetry::MetricsRegistry metrics_;  // NOLOCK(internally synchronized)
   // All engine service loops (MPI processes, communication streams,
   // heartbeats) run as long-lived tasks on this pool instead of per-rank
   // raw threads. It is sized in the constructor for the exact task count —

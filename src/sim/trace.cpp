@@ -1,48 +1,17 @@
 #include "sim/trace.h"
 
-#include <algorithm>
-#include <cstdio>
-#include <map>
-#include <sstream>
-
 #include "common/logging.h"
 
 namespace aiacc::sim {
-namespace {
-
-/// Minimal JSON string escaping (quotes/backslashes/control chars).
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 void Tracer::AddSpan(std::string track, std::string name, double begin,
                      double end) {
   AIACC_CHECK(end >= begin);
-  spans_.push_back(Span{std::move(track), std::move(name), begin, end});
+  spans_.push_back(Span{std::move(track), std::move(name), begin, end, ""});
 }
 
 void Tracer::AddInstant(std::string track, std::string name, double time) {
-  instants_.push_back(Instant{std::move(track), std::move(name), time});
+  instants_.push_back(Instant{std::move(track), std::move(name), time, ""});
 }
 
 void Tracer::Clear() {
@@ -51,74 +20,15 @@ void Tracer::Clear() {
 }
 
 std::string Tracer::ToChromeJson() const {
-  // Stable track -> tid mapping in first-appearance order.
-  std::map<std::string, int> tids;
-  auto tid_of = [&](const std::string& track) {
-    auto [it, inserted] = tids.emplace(track, static_cast<int>(tids.size()));
-    return it->second;
-  };
-
-  std::ostringstream out;
-  out << "{\"traceEvents\":[";
-  bool first = true;
-  auto sep = [&] {
-    if (!first) out << ",";
-    first = false;
-  };
-  for (const Span& s : spans_) {
-    sep();
-    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid_of(s.track)
-        << ",\"name\":\"" << Escape(s.name) << "\",\"ts\":" << s.begin * 1e6
-        << ",\"dur\":" << (s.end - s.begin) * 1e6 << "}";
-  }
-  for (const Instant& i : instants_) {
-    sep();
-    out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid_of(i.track)
-        << ",\"s\":\"t\",\"name\":\"" << Escape(i.name)
-        << "\",\"ts\":" << i.time * 1e6 << "}";
-  }
-  // Track-name metadata so viewers show human-readable lanes.
-  for (const auto& [track, tid] : tids) {
-    sep();
-    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
-        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
-        << Escape(track) << "\"}}";
-  }
-  out << "]}";
-  return out.str();
+  return telemetry::ToChromeJson(spans_, instants_);
 }
 
 Status Tracer::WriteTo(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Unavailable("cannot open " + path);
-  const std::string json = ToChromeJson();
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const int rc = std::fclose(f);
-  if (written != json.size() || rc != 0) return DataLoss("short write");
-  return Status::Ok();
+  return telemetry::WriteChromeTrace(path, spans_, instants_);
 }
 
 double Tracer::BusyTime(const std::string& track) const {
-  // Merge overlapping spans on the track and sum their union.
-  std::vector<std::pair<double, double>> intervals;
-  for (const Span& s : spans_) {
-    if (s.track == track) intervals.emplace_back(s.begin, s.end);
-  }
-  std::sort(intervals.begin(), intervals.end());
-  double busy = 0.0;
-  double cur_begin = 0.0;
-  double cur_end = -1.0;
-  for (const auto& [b, e] : intervals) {
-    if (b > cur_end) {
-      if (cur_end > cur_begin) busy += cur_end - cur_begin;
-      cur_begin = b;
-      cur_end = e;
-    } else {
-      cur_end = std::max(cur_end, e);
-    }
-  }
-  if (cur_end > cur_begin) busy += cur_end - cur_begin;
-  return busy;
+  return telemetry::BusyTime(spans_, track);
 }
 
 }  // namespace aiacc::sim

@@ -3,29 +3,28 @@
 // the tracer renders them as Chrome trace-event JSON ("chrome://tracing" /
 // Perfetto), the way a production library exposes its overlap behaviour for
 // debugging. Pure data, no global state.
+//
+// The event model and JSON emitter are shared with the threaded runtime's
+// wall-clock tracer (telemetry/trace_events.h): both produce one schema, so
+// a simulated trace and a real-thread trace open identically in the viewer
+// and are checked by the same tools/trace_lint.py.
 #pragma once
 
-#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "telemetry/trace_events.h"
 
 namespace aiacc::sim {
 
 class Tracer {
  public:
-  struct Span {
-    std::string track;   // e.g. "compute", "sync", "stream 3"
-    std::string name;    // e.g. "backward", "unit 17 (8 MiB)"
-    double begin = 0.0;  // simulated seconds
-    double end = 0.0;
-  };
-  struct Instant {
-    std::string track;
-    std::string name;
-    double time = 0.0;
-  };
+  // In the simulator a "track" is a logical lane ("compute", "stream 3")
+  // and times are simulated seconds; the shared model adds an optional
+  // category which the sim engines leave empty.
+  using Span = telemetry::SpanEvent;
+  using Instant = telemetry::InstantEvent;
 
   void AddSpan(std::string track, std::string name, double begin, double end);
   void AddInstant(std::string track, std::string name, double time);

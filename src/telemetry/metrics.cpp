@@ -1,0 +1,284 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace aiacc::telemetry {
+namespace {
+
+/// Strip an `@scope` suffix: "engine.sync_rounds@r3" -> base name.
+std::string_view BaseName(std::string_view name) {
+  const auto at = name.rfind('@');
+  return at == std::string_view::npos ? name : name.substr(0, at);
+}
+
+std::string FormatCompact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double p) const {
+  if (count == 0) return 0.0;
+  const double target = (p / 100.0) * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t c = counts[b];
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= target) {
+      if (b >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double hi = bounds[b];
+      const double lo = b == 0 ? std::min(0.0, hi) : bounds[b - 1];
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(c);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += c;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    AIACC_CHECK(bounds_[i] > bounds_[i - 1]);
+  }
+}
+
+void Histogram::Record(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto b = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::Reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBounds(double first, int n, double factor) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(n));
+  double edge = first;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+std::string Scoped(std::string_view base, std::string_view scope) {
+  std::string out;
+  out.reserve(base.size() + scope.size() + 1);
+  out.append(base).append("@").append(scope);
+  return out;
+}
+
+std::string RankScoped(std::string_view base, int rank) {
+  return Scoped(base, "r" + std::to_string(rank));
+}
+
+std::uint64_t RegistrySnapshot::CounterValue(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name && m.kind == MetricSnapshot::Kind::kCounter) {
+      return m.counter;
+    }
+  }
+  return 0;
+}
+
+RegistrySnapshot RegistrySnapshot::Aggregate() const {
+  std::map<std::string, MetricSnapshot> merged;
+  for (const MetricSnapshot& m : metrics) {
+    const std::string base(BaseName(m.name));
+    auto [it, inserted] = merged.emplace(base, m);
+    if (inserted) {
+      it->second.name = base;
+      continue;
+    }
+    MetricSnapshot& acc = it->second;
+    if (acc.kind != m.kind) continue;  // name collision across kinds: keep first
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        acc.counter += m.counter;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        acc.gauge = std::max(acc.gauge, m.gauge);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        if (acc.histogram.bounds == m.histogram.bounds) {
+          for (std::size_t b = 0; b < acc.histogram.counts.size(); ++b) {
+            acc.histogram.counts[b] += m.histogram.counts[b];
+          }
+          acc.histogram.count += m.histogram.count;
+          acc.histogram.sum += m.histogram.sum;
+        }
+        break;
+    }
+  }
+  RegistrySnapshot out;
+  out.metrics.reserve(merged.size());
+  for (auto& [name, m] : merged) out.metrics.push_back(std::move(m));
+  return out;
+}
+
+std::string RegistrySnapshot::ToTable() const {
+  TablePrinter table({"metric", "type", "value", "p50", "p99"});
+  for (const MetricSnapshot& m : metrics) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        table.AddRow({m.name, "counter", std::to_string(m.counter), "", ""});
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        table.AddRow({m.name, "gauge", FormatCompact(m.gauge), "", ""});
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        table.AddRow({m.name, "histogram",
+                      std::to_string(m.histogram.count) + " x mean " +
+                          FormatCompact(m.histogram.Mean()),
+                      FormatCompact(m.histogram.Quantile(50.0)),
+                      FormatCompact(m.histogram.Quantile(99.0))});
+        break;
+    }
+  }
+  return table.ToString();
+}
+
+std::string RegistrySnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& m : metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << m.name << "\",";
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out << "\"type\":\"counter\",\"value\":" << m.counter;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out << "\"type\":\"gauge\",\"value\":" << FormatCompact(m.gauge);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out << "\"type\":\"histogram\",\"count\":" << m.histogram.count
+            << ",\"sum\":" << FormatCompact(m.histogram.sum)
+            << ",\"p50\":" << FormatCompact(m.histogram.Quantile(50.0))
+            << ",\"p99\":" << FormatCompact(m.histogram.Quantile(99.0))
+            << ",\"bounds\":[";
+        for (std::size_t i = 0; i < m.histogram.bounds.size(); ++i) {
+          if (i > 0) out << ",";
+          out << FormatCompact(m.histogram.bounds[i]);
+        }
+        out << "],\"buckets\":[";
+        for (std::size_t i = 0; i < m.histogram.counts.size(); ++i) {
+          if (i > 0) out << ",";
+          out << m.histogram.counts[i];
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  common::MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  common::MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  common::MutexLock lock(mu_);
+  Entry& e = entries_[name];
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+void MetricsRegistry::AttachCallback(const std::string& name,
+                                     std::function<std::uint64_t()> fn) {
+  common::MutexLock lock(mu_);
+  entries_[name].callback = std::move(fn);
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot out;
+  common::MutexLock lock(mu_);
+  for (const auto& [name, e] : entries_) {
+    if (e.counter != nullptr) {
+      MetricSnapshot m;
+      m.name = name;
+      m.kind = MetricSnapshot::Kind::kCounter;
+      m.counter = e.counter->Value();
+      out.metrics.push_back(std::move(m));
+    }
+    if (e.gauge != nullptr) {
+      MetricSnapshot m;
+      m.name = name;
+      m.kind = MetricSnapshot::Kind::kGauge;
+      m.gauge = e.gauge->Value();
+      out.metrics.push_back(std::move(m));
+    }
+    if (e.histogram != nullptr) {
+      MetricSnapshot m;
+      m.name = name;
+      m.kind = MetricSnapshot::Kind::kHistogram;
+      m.histogram = e.histogram->Snapshot();
+      out.metrics.push_back(std::move(m));
+    }
+    if (e.callback) {
+      MetricSnapshot m;
+      m.name = name;
+      m.kind = MetricSnapshot::Kind::kCounter;
+      m.counter = e.callback();
+      out.metrics.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  common::MutexLock lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter != nullptr) e.counter->Reset();
+    if (e.gauge != nullptr) e.gauge->Reset();
+    if (e.histogram != nullptr) e.histogram->Reset();
+  }
+}
+
+}  // namespace aiacc::telemetry

@@ -1,0 +1,186 @@
+// Process metrics for the threaded runtime: named counters, gauges, and
+// fixed-bucket histograms behind one registry, so every subsystem (pool,
+// transport, collectives, engine, autotuner) reports on a single surface.
+//
+// Hot-path contract: once a handle is obtained (registration takes the
+// registry mutex once), Add/Set/Record are lock-free — a relaxed atomic
+// fetch_add (counters, histogram buckets) or a CAS loop (gauges, histogram
+// sums). Instrumentation sites cache the handle; nothing on the record path
+// allocates or blocks.
+//
+// Naming scheme (DESIGN.md "Observability"): dot-separated
+// `<layer>.<metric>`, with an optional scope suffix `@<scope>` for
+// per-rank / per-arm splits (e.g. `engine.sync_rounds@r3`,
+// `autotune.decisions@grid`). Snapshot::Aggregate() merges entries that
+// differ only in scope.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace aiacc::telemetry {
+
+/// Monotonic event count. Lock-free; wait-free on every common platform.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t Value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written level (queue depth, best score, ...). Set is a store; Add
+/// is a CAS loop (atomic<double> has no fetch_add portably until C++20
+/// float atomics are everywhere).
+class Gauge {
+ public:
+  void Set(double x) noexcept { v_.store(x, std::memory_order_relaxed); }
+  void Add(double dx) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + dx,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double Value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void Reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Read-only view of a histogram at snapshot time. `counts[i]` is the
+/// number of samples <= bounds[i] (and > bounds[i-1]); counts.back() is the
+/// overflow bucket (> bounds.back()).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  [[nodiscard]] double Mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Approximate quantile (p in [0,100]) by linear interpolation inside the
+  /// bucket containing the target rank. The overflow bucket clamps to its
+  /// lower bound.
+  [[nodiscard]] double Quantile(double p) const;
+};
+
+/// Fixed-bucket histogram. Bucket bounds are immutable after registration,
+/// so Record is a read-only binary search plus two relaxed atomic updates.
+class Histogram {
+ public:
+  /// `bounds` are the inclusive upper edges of the finite buckets, strictly
+  /// increasing; one overflow bucket is added past the last edge.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double x) noexcept;
+  [[nodiscard]] HistogramSnapshot Snapshot() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  void Reset() noexcept;
+
+ private:
+  const std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential bucket edges for latencies: `first, first*2, ...` (n edges).
+[[nodiscard]] std::vector<double> ExponentialBounds(double first, int n,
+                                                    double factor = 2.0);
+
+/// `base` + "@" + scope, the registry's scoping convention.
+[[nodiscard]] std::string Scoped(std::string_view base, std::string_view scope);
+/// Per-rank convenience: `base@r<rank>`.
+[[nodiscard]] std::string RankScoped(std::string_view base, int rank);
+
+/// One registry entry at snapshot time.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t counter = 0;      // kCounter
+  double gauge = 0.0;             // kGauge
+  HistogramSnapshot histogram;    // kHistogram
+};
+
+/// Point-in-time view of a registry. Order is name-sorted.
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// Value of a counter by exact name (0 when absent) — bench/test helper.
+  [[nodiscard]] std::uint64_t CounterValue(std::string_view name) const;
+  /// Merge entries whose names differ only in the `@scope` suffix: counters
+  /// and histogram buckets sum, gauges keep the maximum.
+  [[nodiscard]] RegistrySnapshot Aggregate() const;
+  /// Fixed-width text table (AIACC_METRICS_DUMP=stderr).
+  [[nodiscard]] std::string ToTable() const;
+  /// {"metrics":[{"name":...,"type":...,...},...]} — validated by
+  /// tools/trace_lint.py.
+  [[nodiscard]] std::string ToJson() const;
+};
+
+/// Named metric registry. Registration is mutex-guarded and idempotent
+/// (same name returns the same handle; a histogram re-registered with
+/// different bounds keeps the original). Returned references stay valid for
+/// the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Expose an externally-owned value (e.g. BufferPool's internal stats) as
+  /// a counter in snapshots. `fn` runs under the registry mutex during
+  /// Snapshot(): it must not block or acquire locks ranked at or below
+  /// lock_rank::kTelemetry.
+  void AttachCallback(const std::string& name,
+                      std::function<std::uint64_t()> fn);
+
+  [[nodiscard]] RegistrySnapshot Snapshot() const;
+  /// Zero every owned counter/gauge/histogram (callbacks are external state
+  /// and are not touched).
+  void Reset();
+
+  /// The process-wide registry (env-configured dumps read this one). First
+  /// access also applies the AIACC_* telemetry env vars (telemetry.h).
+  static MetricsRegistry& Global();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<std::uint64_t()> callback;
+  };
+
+  mutable common::Mutex mu_{"metrics-registry",
+                            common::lock_rank::kTelemetry};
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
+};
+
+}  // namespace aiacc::telemetry

@@ -1,0 +1,55 @@
+// Process-level wiring for the telemetry layer: environment-variable
+// configuration, the global tracer/registry bootstrap, and dump helpers.
+//
+// Env knobs (read once, on first touch of either Global()):
+//   AIACC_TRACE=<file.json>     enable the global RuntimeTracer and write a
+//                               Chrome trace to <file.json> at process exit
+//   AIACC_TRACE_LEVEL=phase|verbose|0|1|2
+//                               tracing detail (default phase)
+//   AIACC_METRICS_DUMP=stderr|<file.json>
+//                               dump the global registry at exit: a text
+//                               table to stderr, or JSON to a file
+//   AIACC_METRICS_PERIOD_MS=<n> ask the engine's service thread to also
+//                               dump the registry every n ms (0 = exit only)
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/tracer.h"
+
+namespace aiacc::telemetry {
+
+struct EnvOptions {
+  std::string trace_path;                        // empty = tracing off
+  TraceLevel trace_level = TraceLevel::kPhase;
+  std::string metrics_dump;                      // "", "stderr", or a path
+  int metrics_period_ms = 0;                     // 0 = dump at exit only
+};
+
+/// Parse telemetry options from an env lookup function (tests inject their
+/// own; the nullary overload reads the real environment).
+EnvOptions ParseEnvOptions(
+    const std::function<const char*(const char*)>& getenv_fn);
+EnvOptions ParseEnvOptions();
+
+/// Apply the env options to the global tracer/registry exactly once per
+/// process: enable tracing, attach the BufferPool callback counters, and
+/// register the at-exit trace write / metrics dump. Idempotent and
+/// thread-safe; RuntimeTracer::Global() and MetricsRegistry::Global() call
+/// it on first use, so merely touching telemetry opts into the env knobs.
+void InitFromEnvOnce();
+
+/// The options InitFromEnvOnce applied (parsed once, then immutable).
+const EnvOptions& GlobalEnvOptions();
+
+/// Periodic dump interval for the engine's service thread (0 = disabled).
+int MetricsDumpPeriodMs();
+
+/// Dump a snapshot per the AIACC_METRICS_DUMP convention: "stderr" renders
+/// the text table to stderr, anything else is written as JSON to that path.
+Status DumpMetrics(const RegistrySnapshot& snapshot, const std::string& dest);
+
+}  // namespace aiacc::telemetry

@@ -1,0 +1,148 @@
+#include "telemetry/trace_events.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace aiacc::telemetry {
+namespace {
+
+/// Minimal JSON string escaping (quotes/backslashes/control chars).
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToChromeJson(const std::vector<SpanEvent>& spans,
+                         const std::vector<InstantEvent>& instants) {
+  // Stable track -> tid mapping in first-appearance order.
+  std::map<std::string, int> tids;
+  auto tid_of = [&](const std::string& track) {
+    auto [it, inserted] = tids.emplace(track, static_cast<int>(tids.size()));
+    return it->second;
+  };
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+  };
+  auto cat_field = [&](const std::string& cat) {
+    if (!cat.empty()) out << "\"cat\":\"" << Escape(cat) << "\",";
+  };
+  for (const SpanEvent& s : spans) {
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid_of(s.track) << ",";
+    cat_field(s.cat);
+    out << "\"name\":\"" << Escape(s.name) << "\",\"ts\":" << s.begin * 1e6
+        << ",\"dur\":" << (s.end - s.begin) * 1e6 << "}";
+  }
+  for (const InstantEvent& i : instants) {
+    sep();
+    out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid_of(i.track) << ",";
+    cat_field(i.cat);
+    out << "\"s\":\"t\",\"name\":\"" << Escape(i.name)
+        << "\",\"ts\":" << i.time * 1e6 << "}";
+  }
+  // Track-name metadata so viewers show human-readable lanes.
+  for (const auto& [track, tid] : tids) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+        << Escape(track) << "\"}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<SpanEvent>& spans,
+                        const std::vector<InstantEvent>& instants) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Unavailable("cannot open " + path);
+  const std::string json = ToChromeJson(spans, instants);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  if (written != json.size() || rc != 0) return DataLoss("short write");
+  return Status::Ok();
+}
+
+double BusyTime(const std::vector<SpanEvent>& spans, const std::string& key) {
+  // Merge overlapping spans that match the key and sum their union.
+  std::vector<std::pair<double, double>> intervals;
+  for (const SpanEvent& s : spans) {
+    if (s.track == key || s.cat == key) intervals.emplace_back(s.begin, s.end);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  double busy = 0.0;
+  double cur_begin = 0.0;
+  double cur_end = -1.0;
+  for (const auto& [b, e] : intervals) {
+    if (b > cur_end) {
+      if (cur_end > cur_begin) busy += cur_end - cur_begin;
+      cur_begin = b;
+      cur_end = e;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  if (cur_end > cur_begin) busy += cur_end - cur_begin;
+  return busy;
+}
+
+std::vector<TrackSummary> SummarizeSpans(const std::vector<SpanEvent>& spans) {
+  std::map<std::string, std::vector<double>> durations;
+  for (const SpanEvent& s : spans) {
+    durations[s.cat.empty() ? s.track : s.cat].push_back(s.end - s.begin);
+  }
+  std::vector<TrackSummary> rows;
+  rows.reserve(durations.size());
+  for (auto& [key, ds] : durations) {
+    TrackSummary row;
+    row.key = key;
+    row.count = ds.size();
+    row.busy_seconds = BusyTime(spans, key);
+    row.p50_seconds = PercentileInPlace(ds, 50.0);  // sorts ds once,
+    row.p99_seconds = PercentileInPlace(ds, 99.0);  // second call is a lookup
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string SummaryTable(const std::vector<TrackSummary>& rows) {
+  TablePrinter table({"track", "spans", "busy", "p50", "p99"});
+  for (const TrackSummary& r : rows) {
+    table.AddRow({r.key, std::to_string(r.count),
+                  FormatDouble(r.busy_seconds * 1e3, 3) + " ms",
+                  FormatDouble(r.p50_seconds * 1e6, 1) + " us",
+                  FormatDouble(r.p99_seconds * 1e6, 1) + " us"});
+  }
+  return table.ToString();
+}
+
+}  // namespace aiacc::telemetry

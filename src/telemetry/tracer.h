@@ -1,0 +1,214 @@
+// Wall-clock tracer for the threaded runtime. Produces the same Chrome
+// trace-event JSON as sim::Tracer (both render through
+// telemetry/trace_events.h), but records real threads in real time:
+//
+//   - One lane per recording thread (the lane name comes from the thread's
+//     log context — see SetThreadLogContext in common/logging.h), so the
+//     viewer shows comm/heartbeat/service threads exactly as they ran.
+//   - Per-thread ring storage: Record writes one fixed-size Event into a
+//     preallocated thread-local ring (relaxed atomic head bump, no lock, no
+//     allocation); old events are overwritten when the ring wraps and the
+//     overwrite count is reported.
+//   - Level gating: a disabled tracer costs one relaxed atomic load per
+//     span/instant site. kPhase covers coarse phases (collectives, sync
+//     rounds, channels); kVerbose adds per-step transport-level events.
+//
+// Collect/ToChromeJson/Clear are NOT synchronized against concurrent
+// Record: flush only after the recording threads have quiesced (joined, or
+// provably idle — a join gives the needed happens-before edge). The
+// engine's periodic dumper therefore dumps *metrics* live and leaves the
+// trace to be written once at shutdown/atexit.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "telemetry/trace_events.h"
+
+namespace aiacc::telemetry {
+
+enum class TraceLevel : int {
+  kOff = 0,
+  kPhase = 1,    // collective phases, sync rounds, channels, tuner steps
+  kVerbose = 2,  // + per-step transport send/recv/wake events
+};
+
+class RuntimeTracer {
+ public:
+  struct Options {
+    std::size_t ring_capacity = std::size_t{1} << 15;  // events per thread
+  };
+
+  RuntimeTracer() : RuntimeTracer(Options{}) {}
+  explicit RuntimeTracer(const Options& options);
+  RuntimeTracer(const RuntimeTracer&) = delete;
+  RuntimeTracer& operator=(const RuntimeTracer&) = delete;
+  ~RuntimeTracer();
+
+  /// Start recording at `level`; re-enabling does not reset the clock
+  /// origin, so spans from separate enabled windows stay ordered.
+  void Enable(TraceLevel level = TraceLevel::kPhase);
+  void Disable() { level_.store(0, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool enabled(TraceLevel level) const noexcept {
+    return level_.load(std::memory_order_relaxed) >= static_cast<int>(level);
+  }
+  [[nodiscard]] TraceLevel level() const noexcept {
+    return static_cast<TraceLevel>(level_.load(std::memory_order_relaxed));
+  }
+
+  /// Nanoseconds since this tracer's origin (steady clock).
+  [[nodiscard]] std::int64_t NowNs() const noexcept;
+
+  /// Record one closed span / one point event on the calling thread's lane.
+  /// `cat` and `name` must be string literals (the ring stores the
+  /// pointers); `index >= 0` is appended to the rendered name ("ring#2").
+  /// Callers gate on enabled() — TraceSpan and the AIACC_TRACE_* macros do.
+  void RecordSpan(const char* cat, const char* name, std::int64_t begin_ns,
+                  std::int64_t end_ns, int index = -1) noexcept;
+  void RecordInstant(const char* cat, const char* name,
+                     int index = -1) noexcept;
+
+  /// Drain every thread ring into portable events (seconds, lane = thread
+  /// label at first record). Quiesce first — see the header comment.
+  void Collect(std::vector<SpanEvent>* spans,
+               std::vector<InstantEvent>* instants) const;
+
+  [[nodiscard]] std::string ToChromeJson() const;
+  Status WriteTo(const std::string& path) const;
+  /// Busy-time union over collected spans matching a track or category.
+  [[nodiscard]] double BusyTime(const std::string& key) const;
+
+  /// Events overwritten because a thread ring wrapped (0 = trace complete).
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Forget all recorded events (ring heads reset; lanes stay registered).
+  void Clear();
+
+  /// Process-wide tracer; AIACC_TRACE/AIACC_TRACE_LEVEL configure it on
+  /// telemetry::InitFromEnv (telemetry.h).
+  static RuntimeTracer& Global();
+
+ private:
+  struct Event {
+    const char* cat;   // literal
+    const char* name;  // literal
+    std::int64_t begin_ns;
+    std::int64_t end_ns;  // == begin_ns for instants
+    std::int32_t index;   // -1 = none
+    bool instant;
+  };
+
+  struct ThreadRing {
+    explicit ThreadRing(std::string lane_label, std::size_t capacity)
+        : label(std::move(lane_label)), events(capacity) {}
+    const std::string label;
+    std::vector<Event> events;
+    /// Total events ever recorded; slot = head % capacity. Atomic so Clear
+    /// and dropped() tolerate concurrent bumps; event payloads themselves
+    /// are only safe to read after the owner quiesces.
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  /// The calling thread's ring, registering it on first use.
+  ThreadRing& LocalRing() noexcept;
+  void Push(const Event& e) noexcept;
+
+  const Options options_;
+  const std::uint64_t tracer_id_;  // distinguishes tracer instances in the
+                                   // thread-local ring cache
+  std::atomic<int> level_{0};
+  const std::chrono::steady_clock::time_point origin_;
+
+  mutable common::Mutex mu_{"trace-rings", common::lock_rank::kTelemetry};
+  std::vector<std::unique_ptr<ThreadRing>> rings_ GUARDED_BY(mu_);
+};
+
+/// RAII span: stamps begin on construction, records on destruction. Free
+/// when the tracer is below `level` (two relaxed loads, no clock read).
+class TraceSpan {
+ public:
+  TraceSpan(RuntimeTracer& tracer, TraceLevel level, const char* cat,
+            const char* name, int index = -1) noexcept
+      : tracer_(tracer.enabled(level) ? &tracer : nullptr),
+        cat_(cat),
+        name_(name),
+        index_(index),
+        begin_ns_(tracer_ != nullptr ? tracer_->NowNs() : 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->RecordSpan(cat_, name_, begin_ns_, tracer_->NowNs(), index_);
+    }
+  }
+
+ private:
+  RuntimeTracer* const tracer_;
+  const char* const cat_;
+  const char* const name_;
+  const int index_;
+  const std::int64_t begin_ns_;
+};
+
+}  // namespace aiacc::telemetry
+
+// Statement macros against the global tracer. Compile to nothing under
+// -DAIACC_TELEMETRY_DISABLED (CMake option AIACC_TELEMETRY=OFF).
+#define AIACC_TRACE_CONCAT_IMPL(a, b) a##b
+#define AIACC_TRACE_CONCAT(a, b) AIACC_TRACE_CONCAT_IMPL(a, b)
+
+#if defined(AIACC_TELEMETRY_DISABLED)
+
+#define AIACC_TRACE_SPAN(cat, name) ((void)0)
+#define AIACC_TRACE_SPAN_IDX(cat, name, idx) ((void)0)
+#define AIACC_TRACE_SPAN_V(cat, name) ((void)0)
+#define AIACC_TRACE_INSTANT(cat, name) ((void)0)
+#define AIACC_TRACE_INSTANT_V(cat, name) ((void)0)
+
+#else
+
+/// Phase-level span covering the rest of the enclosing scope.
+#define AIACC_TRACE_SPAN(cat, name)                                      \
+  ::aiacc::telemetry::TraceSpan AIACC_TRACE_CONCAT(aiacc_trace_span_,    \
+                                                   __COUNTER__)(         \
+      ::aiacc::telemetry::RuntimeTracer::Global(),                       \
+      ::aiacc::telemetry::TraceLevel::kPhase, cat, name)
+
+/// Phase-level span with a small integer qualifier (channel, ring, bucket).
+#define AIACC_TRACE_SPAN_IDX(cat, name, idx)                             \
+  ::aiacc::telemetry::TraceSpan AIACC_TRACE_CONCAT(aiacc_trace_span_,    \
+                                                   __COUNTER__)(         \
+      ::aiacc::telemetry::RuntimeTracer::Global(),                       \
+      ::aiacc::telemetry::TraceLevel::kPhase, cat, name, idx)
+
+/// Verbose-level span (per-step transport events).
+#define AIACC_TRACE_SPAN_V(cat, name)                                    \
+  ::aiacc::telemetry::TraceSpan AIACC_TRACE_CONCAT(aiacc_trace_span_,    \
+                                                   __COUNTER__)(         \
+      ::aiacc::telemetry::RuntimeTracer::Global(),                       \
+      ::aiacc::telemetry::TraceLevel::kVerbose, cat, name)
+
+#define AIACC_TRACE_INSTANT(cat, name)                                   \
+  do {                                                                   \
+    auto& aiacc_trace_tracer = ::aiacc::telemetry::RuntimeTracer::Global(); \
+    if (aiacc_trace_tracer.enabled(                                      \
+            ::aiacc::telemetry::TraceLevel::kPhase)) {                   \
+      aiacc_trace_tracer.RecordInstant(cat, name);                       \
+    }                                                                    \
+  } while (0)
+
+#define AIACC_TRACE_INSTANT_V(cat, name)                                 \
+  do {                                                                   \
+    auto& aiacc_trace_tracer = ::aiacc::telemetry::RuntimeTracer::Global(); \
+    if (aiacc_trace_tracer.enabled(                                      \
+            ::aiacc::telemetry::TraceLevel::kVerbose)) {                 \
+      aiacc_trace_tracer.RecordInstant(cat, name);                       \
+    }                                                                    \
+  } while (0)
+
+#endif  // AIACC_TELEMETRY_DISABLED

@@ -1,6 +1,7 @@
 #include "transport/inproc.h"
 
 #include "common/logging.h"
+#include "telemetry/tracer.h"
 
 namespace aiacc::transport {
 
@@ -27,7 +28,8 @@ void InProcTransport::Send(int src, int dst, int tag, Payload payload) {
     slot->fifo.push_back(std::move(payload));
   }
   total_messages_.fetch_add(1, std::memory_order_relaxed);
-  wake_counters_.notifies.fetch_add(1, std::memory_order_relaxed);
+  notifies_.fetch_add(1, std::memory_order_relaxed);
+  AIACC_TRACE_INSTANT_V("transport", "send");
   // Wake-targeted delivery: only the (src, tag) consumer is signalled. The
   // herd mode reproduces the old behaviour — every receiver blocked on this
   // mailbox wakes, rechecks its slot, and all but one go back to sleep.
@@ -55,6 +57,7 @@ Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
     if (!slot.fifo.empty()) {
       Payload payload = std::move(slot.fifo.front());
       slot.fifo.pop_front();
+      AIACC_TRACE_INSTANT_V("transport", "recv");
       return payload;
     }
     if (shutdown_.load(std::memory_order_acquire)) {
@@ -74,9 +77,10 @@ Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
     } else {
       cv.Wait(lock);
     }
-    wake_counters_.wakeups.fetch_add(1, std::memory_order_relaxed);
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
     if (slot.fifo.empty() && !shutdown_.load(std::memory_order_acquire)) {
-      wake_counters_.futile_wakeups.fetch_add(1, std::memory_order_relaxed);
+      futile_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      AIACC_TRACE_INSTANT_V("transport", "futile-wake");
     }
   }
 }
@@ -132,6 +136,14 @@ Status InProcTransport::Barrier() {
 
 std::uint64_t InProcTransport::TotalMessages() const {
   return total_messages_.load(std::memory_order_relaxed);
+}
+
+InProcTransport::WakeStats InProcTransport::wake_counters() const noexcept {
+  WakeStats s;
+  s.notifies = notifies_.load(std::memory_order_relaxed);
+  s.wakeups = wakeups_.load(std::memory_order_relaxed);
+  s.futile_wakeups = futile_wakeups_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace aiacc::transport

@@ -19,7 +19,6 @@
 #include <optional>
 #include <vector>
 
-#include "common/stats.h"
 #include "common/status.h"
 #include "common/sync.h"
 
@@ -113,13 +112,15 @@ class InProcTransport final : public Transport {
 
   [[nodiscard]] std::uint64_t TotalMessages() const override;
 
-  /// Signal/wakeup instrumentation for this transport instance (notifies,
-  /// wakeups, futile wakeups). A futile wakeup is a blocked receiver that
-  /// woke and found its slot still empty — the cost the per-slot CVs
-  /// eliminate.
-  [[nodiscard]] const HotPathCounters& wake_counters() const noexcept {
-    return wake_counters_;
-  }
+  /// Signal/wakeup instrumentation for this transport instance. A futile
+  /// wakeup is a blocked receiver that woke and found its slot still empty
+  /// — the cost the per-slot CVs eliminate.
+  struct WakeStats {
+    std::uint64_t notifies = 0;        // CV signals sent by senders
+    std::uint64_t wakeups = 0;         // blocked receivers woken
+    std::uint64_t futile_wakeups = 0;  // woke with nothing to take
+  };
+  [[nodiscard]] WakeStats wake_counters() const noexcept;
   [[nodiscard]] WakeMode wake_mode() const noexcept { return wake_mode_; }
 
  private:
@@ -147,7 +148,9 @@ class InProcTransport final : public Transport {
   const int world_size_;
   const WakeMode wake_mode_;
   std::vector<Mailbox> mailboxes_;   // NOLOCK(sized at construction, never resized)
-  HotPathCounters wake_counters_;    // NOLOCK(atomic counters)
+  std::atomic<std::uint64_t> notifies_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> futile_wakeups_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> total_messages_{0};
 

@@ -19,6 +19,7 @@
 #include "common/buffer_pool.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "telemetry/metrics.h"
 #include "transport/inproc.h"
 
 namespace aiacc {
@@ -237,18 +238,28 @@ TEST(ZeroAllocTest, PooledRingSteadyStatePerformsNoPayloadAllocations) {
 
   run_iteration();  // warm the pool (all misses land here)
   run_iteration();
-  GlobalHotPathCounters().Reset();
+  // Steady-state allocations = legacy-path allocs (registry counter, must
+  // not move: every rank passes a pool) + pool misses (every Acquire must
+  // hit a recycled buffer).
+  auto& legacy_allocs =
+      telemetry::MetricsRegistry::Global().GetCounter("hotpath.payload_allocs");
+  const std::uint64_t allocs0 = legacy_allocs.Value();
+  const auto pool0 = pool.stats();
   for (int i = 0; i < 3; ++i) run_iteration();
-  const auto counters = GlobalHotPathCounters().Read();
-  EXPECT_EQ(counters.payload_allocs, 0u)
+  EXPECT_EQ(legacy_allocs.Value() - allocs0, 0u)
+      << "pooled ranks must never take the legacy alloc+copy path";
+  const auto pool1 = pool.stats();
+  EXPECT_EQ(pool1.misses - pool0.misses, 0u)
       << "steady-state pooled ring must recycle every payload buffer";
-  EXPECT_GT(counters.pool_hits, 0u);
+  EXPECT_GT(pool1.hits - pool0.hits, 0u);
 }
 
 TEST(ZeroAllocTest, LegacyPathCountsOneAllocationPerSend) {
   const int world = 4;
   transport::InProcTransport tr(world);
-  GlobalHotPathCounters().Reset();
+  auto& legacy_allocs =
+      telemetry::MetricsRegistry::Global().GetCounter("hotpath.payload_allocs");
+  const std::uint64_t allocs0 = legacy_allocs.Value();
   std::vector<std::thread> threads;
   for (int r = 0; r < world; ++r) {
     threads.emplace_back([&, r] {
@@ -261,8 +272,7 @@ TEST(ZeroAllocTest, LegacyPathCountsOneAllocationPerSend) {
   for (auto& t : threads) t.join();
   // Ring all-reduce sends 2(n-1) messages per rank, each a fresh allocation
   // on the legacy path.
-  const auto counters = GlobalHotPathCounters().Read();
-  EXPECT_EQ(counters.payload_allocs,
+  EXPECT_EQ(legacy_allocs.Value() - allocs0,
             static_cast<std::uint64_t>(world) * 2u * (world - 1));
 }
 

@@ -240,11 +240,11 @@ TEST(WakeModeTest, TargetedSendWakesOnlyTheMatchingReceiver) {
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   tr.Send(0, 1, /*tag=*/1, {1.0f});
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_EQ(tr.wake_counters().Read().futile_wakeups, 0u);
+  EXPECT_EQ(tr.wake_counters().futile_wakeups, 0u);
   tr.Send(0, 1, /*tag=*/0, {0.0f});
   tr.Send(0, 1, /*tag=*/2, {2.0f});
   for (auto& t : receivers) t.join();
-  const auto counters = tr.wake_counters().Read();
+  const auto counters = tr.wake_counters();
   EXPECT_EQ(counters.notifies, 3u);
   EXPECT_EQ(counters.futile_wakeups, 0u);
 }
@@ -264,7 +264,7 @@ TEST(WakeModeTest, SharedHerdWakesEveryBlockedReceiver) {
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   // One delivery, notify_all on the shared CV: the two receivers blocked on
   // the other tags wake, find their slots empty, and go back to sleep.
-  EXPECT_GE(tr.wake_counters().Read().futile_wakeups, 2u);
+  EXPECT_GE(tr.wake_counters().futile_wakeups, 2u);
   tr.Send(0, 1, /*tag=*/0, {0.0f});
   tr.Send(0, 1, /*tag=*/2, {2.0f});
   for (auto& t : receivers) t.join();

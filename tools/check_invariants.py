@@ -22,6 +22,13 @@ without a compiler or libclang:
      member's line. Catches "added a field, forgot the lock" drift that
      GCC builds (no thread-safety analysis) would never see.
 
+  4. legacy-counter ban: the HotPathCounters struct was replaced by the
+     telemetry metrics registry (src/telemetry/metrics.h); any reappearance
+     of `HotPathCounters` / `GlobalHotPathCounters` in src/, tests/, or
+     bench/ is a regression to the pre-registry side-channel. The legacy
+     alloc count lives on as the registry counter `hotpath.payload_allocs`
+     (a string, which this token scan does not match).
+
 Exit code 0 = clean, 1 = violations (printed one per line as
 `file:line: message`).
 """
@@ -209,6 +216,23 @@ def check_tag_layout(errors: list[str]) -> None:
                     )
 
 
+# --- check 4: legacy hot-path counter ban ---------------------------------
+
+LEGACY_COUNTER = re.compile(r"\b(?:Global)?HotPathCounters\b")
+
+
+def check_legacy_counters(errors: list[str]) -> None:
+    for path in cpp_files("src", "tests", "bench"):
+        code = strip_comments(open(path, encoding="utf-8").read())
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if LEGACY_COUNTER.search(line):
+                errors.append(
+                    f"{relpath(path)}:{lineno}: HotPathCounters was replaced "
+                    f"by the telemetry metrics registry — use "
+                    f"MetricsRegistry handles (src/telemetry/metrics.h)"
+                )
+
+
 # --- check 3: guarded-member audit ----------------------------------------
 
 MEMBER_SKIP = re.compile(
@@ -318,6 +342,7 @@ def main() -> int:
     check_raw_primitives(errors)
     check_tag_layout(errors)
     check_guarded_members(errors)
+    check_legacy_counters(errors)
     if errors:
         for e in errors:
             print(e)
