@@ -11,12 +11,21 @@
 // all-reduce GB/s, steady-state payload allocations per iteration, and
 // futile wakeups per 1k messages. `--json` prints a machine-readable
 // summary; `--smoke` runs a small configuration and exits non-zero unless
-// the pooled steady state performed *zero* payload allocations (wired into
-// ctest). `--trace FILE` records a phase-level wall-clock trace of the
-// whole run (Chrome trace-event JSON, opens in Perfetto) and prints a
-// per-category summary table; `--metrics-json FILE` dumps the process
-// metrics registry after the run (`-` = stdout). Quote numbers from the
-// `release-bench` preset (-O3 -DNDEBUG).
+// the pooled steady state performed *zero* payload allocations AND the
+// depth-4 pipelined ring moves at least as many msgs/s as depth 1 on a
+// large-payload round (wired into ctest). `--pipeline-sweep` replaces the
+// standard phases with a Comm::pipeline_depth sweep over {1, 2, 4, 8} on
+// the pooled/targeted ring, reporting per-depth msgs/s, per-all-reduce
+// latency, and the latency speedup against depth 1 (the checked-in
+// BENCH_hotpath.json baseline comes from this mode under `release-bench`).
+// Read the two metrics together: a depth-d round intentionally moves d
+// times as many (d-times-smaller) messages for the same reduction, so
+// msgs/s scales with depth by construction — the latency column is the
+// honest overlap signal. `--trace FILE` records a phase-level wall-clock
+// trace of the whole run (Chrome trace-event JSON, opens in Perfetto) and
+// prints a per-category summary table; `--metrics-json FILE` dumps the
+// process metrics registry after the run (`-` = stdout). Quote numbers
+// from the `release-bench` preset (-O3 -DNDEBUG).
 #include <barrier>
 #include <chrono>
 #include <cstdio>
@@ -116,14 +125,15 @@ PhaseResult TimeRanks(aiacc::transport::InProcTransport& tr,
 }
 
 PhaseResult RunRing(aiacc::transport::WakeMode mode, BufferPool* pool,
-                    const BenchConfig& cfg) {
+                    const BenchConfig& cfg, int pipeline_depth = 1) {
   aiacc::transport::InProcTransport tr(cfg.world, mode);
   return TimeRanks(
       tr, pool, cfg.world, cfg.ring_warmup, cfg.ring_iters, [&](int r) {
         thread_local std::vector<float> data;
         data.assign(cfg.ring_elems, static_cast<float>(r + 1));
         aiacc::collective::Comm comm{&tr,  r, cfg.world, /*tag_base=*/1,
-                                     /*timeout_ms=*/0, pool};
+                                     /*timeout_ms=*/0, pool,
+                                     pipeline_depth};
         const aiacc::Status st = aiacc::collective::RingAllReduce(
             comm, data, aiacc::collective::ReduceOp::kSum);
         if (!st.ok()) {
@@ -132,6 +142,22 @@ PhaseResult RunRing(aiacc::transport::WakeMode mode, BufferPool* pool,
           std::exit(2);
         }
       });
+}
+
+struct DepthResult {
+  int depth = 1;
+  PhaseResult phase;
+};
+
+/// Pooled/targeted ring at every pipeline depth, identical workload.
+std::vector<DepthResult> RunPipelineSweep(BufferPool* pool,
+                                          const BenchConfig& cfg) {
+  std::vector<DepthResult> out;
+  for (int depth : {1, 2, 4, 8}) {
+    out.push_back({depth, RunRing(aiacc::transport::WakeMode::kTargeted,
+                                  pool, cfg, depth)});
+  }
+  return out;
 }
 
 PhaseResult RunMultiChannel(BufferPool* pool, const BenchConfig& cfg) {
@@ -173,6 +199,7 @@ int WriteText(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   bool json = false;
   bool smoke = false;
+  bool pipeline_sweep = false;
   std::string trace_path;
   std::string metrics_path;
   BenchConfig cfg;
@@ -181,6 +208,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--pipeline-sweep") == 0) {
+      pipeline_sweep = true;
     } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
       cfg.ring_iters = std::atoi(argv[++i]);
       cfg.mc_iters = cfg.ring_iters;
@@ -190,8 +219,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--json] [--smoke] [--iters N] [--trace FILE] "
-                   "[--metrics-json FILE|-]\n",
+                   "usage: %s [--json] [--smoke] [--pipeline-sweep] "
+                   "[--iters N] [--trace FILE] [--metrics-json FILE|-]\n",
                    argv[0]);
       return 1;
     }
@@ -212,61 +241,97 @@ int main(int argc, char** argv) {
   // Bench-local pool: the alloc counters then cover exactly this workload.
   BufferPool pool;
 
-  // Baseline = the pre-optimization hot path: shared-CV herd wakeups and a
-  // fresh heap allocation + copy per ring step.
-  const PhaseResult baseline =
-      RunRing(aiacc::transport::WakeMode::kSharedHerd, nullptr, cfg);
-  const PhaseResult pooled =
-      RunRing(aiacc::transport::WakeMode::kTargeted, &pool, cfg);
-
-  const PhaseResult mc = RunMultiChannel(&pool, cfg);
-  const double mc_gb_per_sec =
-      mc.seconds > 0
-          ? static_cast<double>(cfg.mc_iters) *
-                static_cast<double>(cfg.mc_elems) * sizeof(float) /
-                mc.seconds / 1e9
-          : 0.0;
-
-  const double speedup = baseline.MsgsPerSec() > 0
-                             ? pooled.MsgsPerSec() / baseline.MsgsPerSec()
-                             : 0.0;
-  const double allocs_per_iter =
-      static_cast<double>(pooled.payload_allocs) / cfg.ring_iters;
-
-  if (json) {
-    std::printf(
-        "{\"world\": %d, \"ring_elems\": %zu, \"ring_iters\": %d,\n"
-        " \"baseline_msgs_per_sec\": %.0f, \"pooled_msgs_per_sec\": %.0f,\n"
-        " \"speedup\": %.2f,\n"
-        " \"baseline_allocs_per_iter\": %.1f, \"pooled_allocs_per_iter\": "
-        "%.1f,\n"
-        " \"baseline_futile_wakeups_per_1k_msgs\": %.1f, "
-        "\"pooled_futile_wakeups_per_1k_msgs\": %.1f,\n"
-        " \"multichannel_gb_per_sec\": %.3f, "
-        "\"multichannel_workers\": %d}\n",
-        cfg.world, cfg.ring_elems, cfg.ring_iters, baseline.MsgsPerSec(),
-        pooled.MsgsPerSec(), speedup,
-        static_cast<double>(baseline.payload_allocs) / cfg.ring_iters,
-        allocs_per_iter, baseline.FutilePerKiloMsg(),
-        pooled.FutilePerKiloMsg(), mc_gb_per_sec,
-        aiacc::collective::MultiChannelWorkerCount());
+  std::vector<DepthResult> sweep;
+  PhaseResult baseline;
+  PhaseResult pooled;
+  if (pipeline_sweep) {
+    sweep = RunPipelineSweep(&pool, cfg);
+    const double lat1_us =
+        1e6 * sweep.front().phase.seconds / cfg.ring_iters;
+    if (json) {
+      std::printf("{\"world\": %d, \"ring_elems\": %zu, \"ring_iters\": %d,\n"
+                  " \"pipeline_sweep\": [\n",
+                  cfg.world, cfg.ring_elems, cfg.ring_iters);
+      for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const DepthResult& r = sweep[i];
+        const double lat_us = 1e6 * r.phase.seconds / cfg.ring_iters;
+        std::printf("  {\"depth\": %d, \"msgs_per_sec\": %.0f, "
+                    "\"unit_latency_us\": %.1f, "
+                    "\"latency_speedup_vs_depth1\": %.2f}%s\n",
+                    r.depth, r.phase.MsgsPerSec(), lat_us,
+                    lat_us > 0 ? lat1_us / lat_us : 0.0,
+                    i + 1 < sweep.size() ? "," : "");
+      }
+      std::printf(" ]}\n");
+    } else {
+      std::printf("pipeline-depth sweep: %d ranks, %zu floats, %d iters "
+                  "(pooled, targeted wakeups)\n",
+                  cfg.world, cfg.ring_elems, cfg.ring_iters);
+      for (const DepthResult& r : sweep) {
+        const double lat_us = 1e6 * r.phase.seconds / cfg.ring_iters;
+        std::printf("  depth %d: %12.0f msgs/s  %10.1f us/all-reduce  "
+                    "(%.2fx vs depth 1)\n",
+                    r.depth, r.phase.MsgsPerSec(), lat_us,
+                    lat_us > 0 ? lat1_us / lat_us : 0.0);
+      }
+    }
   } else {
-    std::printf("hot path bench: %d ranks, %zu floats, %d iters\n", cfg.world,
-                cfg.ring_elems, cfg.ring_iters);
-    std::printf("  ring all-reduce, baseline (herd CV, alloc+copy): %10.0f "
-                "msgs/s  (%.1f allocs/iter, %.1f futile wakes/1k msgs)\n",
-                baseline.MsgsPerSec(),
-                static_cast<double>(baseline.payload_allocs) / cfg.ring_iters,
-                baseline.FutilePerKiloMsg());
-    std::printf("  ring all-reduce, optimized (slot CV, pooled):     %10.0f "
-                "msgs/s  (%.1f allocs/iter, %.1f futile wakes/1k msgs)\n",
-                pooled.MsgsPerSec(), allocs_per_iter,
-                pooled.FutilePerKiloMsg());
-    std::printf("  speedup: %.2fx\n", speedup);
-    std::printf("  multi-channel all-reduce (%d channels): %.3f GB/s on %d "
-                "persistent workers\n",
-                cfg.mc_channels, mc_gb_per_sec,
-                aiacc::collective::MultiChannelWorkerCount());
+    // Baseline = the pre-optimization hot path: shared-CV herd wakeups and
+    // a fresh heap allocation + copy per ring step.
+    baseline = RunRing(aiacc::transport::WakeMode::kSharedHerd, nullptr, cfg);
+    pooled = RunRing(aiacc::transport::WakeMode::kTargeted, &pool, cfg);
+
+    const PhaseResult mc = RunMultiChannel(&pool, cfg);
+    const double mc_gb_per_sec =
+        mc.seconds > 0
+            ? static_cast<double>(cfg.mc_iters) *
+                  static_cast<double>(cfg.mc_elems) * sizeof(float) /
+                  mc.seconds / 1e9
+            : 0.0;
+
+    const double speedup = baseline.MsgsPerSec() > 0
+                               ? pooled.MsgsPerSec() / baseline.MsgsPerSec()
+                               : 0.0;
+    const double allocs_per_iter =
+        static_cast<double>(pooled.payload_allocs) / cfg.ring_iters;
+
+    if (json) {
+      std::printf(
+          "{\"world\": %d, \"ring_elems\": %zu, \"ring_iters\": %d,\n"
+          " \"baseline_msgs_per_sec\": %.0f, \"pooled_msgs_per_sec\": %.0f,\n"
+          " \"speedup\": %.2f,\n"
+          " \"baseline_allocs_per_iter\": %.1f, \"pooled_allocs_per_iter\": "
+          "%.1f,\n"
+          " \"baseline_futile_wakeups_per_1k_msgs\": %.1f, "
+          "\"pooled_futile_wakeups_per_1k_msgs\": %.1f,\n"
+          " \"multichannel_gb_per_sec\": %.3f, "
+          "\"multichannel_workers\": %d}\n",
+          cfg.world, cfg.ring_elems, cfg.ring_iters, baseline.MsgsPerSec(),
+          pooled.MsgsPerSec(), speedup,
+          static_cast<double>(baseline.payload_allocs) / cfg.ring_iters,
+          allocs_per_iter, baseline.FutilePerKiloMsg(),
+          pooled.FutilePerKiloMsg(), mc_gb_per_sec,
+          aiacc::collective::MultiChannelWorkerCount());
+    } else {
+      std::printf("hot path bench: %d ranks, %zu floats, %d iters\n",
+                  cfg.world, cfg.ring_elems, cfg.ring_iters);
+      std::printf("  ring all-reduce, baseline (herd CV, alloc+copy): %10.0f "
+                  "msgs/s  (%.1f allocs/iter, %.1f futile wakes/1k msgs)\n",
+                  baseline.MsgsPerSec(),
+                  static_cast<double>(baseline.payload_allocs) /
+                      cfg.ring_iters,
+                  baseline.FutilePerKiloMsg());
+      std::printf("  ring all-reduce, optimized (slot CV, pooled):     "
+                  "%10.0f msgs/s  (%.1f allocs/iter, %.1f futile wakes/1k "
+                  "msgs)\n",
+                  pooled.MsgsPerSec(), allocs_per_iter,
+                  pooled.FutilePerKiloMsg());
+      std::printf("  speedup: %.2fx\n", speedup);
+      std::printf("  multi-channel all-reduce (%d channels): %.3f GB/s on %d "
+                  "persistent workers\n",
+                  cfg.mc_channels, mc_gb_per_sec,
+                  aiacc::collective::MultiChannelWorkerCount());
+    }
   }
 
   if (!trace_path.empty()) {
@@ -295,12 +360,47 @@ int main(int argc, char** argv) {
     if (rc != 0) return rc;
   }
 
-  if (smoke && pooled.payload_allocs != 0) {
-    std::fprintf(stderr,
-                 "SMOKE FAILURE: pooled steady state performed %llu payload "
-                 "allocations (want 0)\n",
-                 static_cast<unsigned long long>(pooled.payload_allocs));
-    return 1;
+  if (smoke) {
+    if (!pipeline_sweep && pooled.payload_allocs != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAILURE: pooled steady state performed %llu payload "
+                   "allocations (want 0)\n",
+                   static_cast<unsigned long long>(pooled.payload_allocs));
+      return 1;
+    }
+    // Pipelining must never lose message throughput on a large payload:
+    // depth 4 moves 4x the messages for the same reduction, so even heavy
+    // per-slice overhead leaves msgs/s(depth 4) >= msgs/s(depth 1). A
+    // timing inversion therefore only means scheduling noise on a loaded
+    // machine — re-measure a couple of times before declaring failure.
+    BenchConfig big = cfg;
+    if (!pipeline_sweep) {
+      big.ring_elems = 1u << 16;  // large enough that slices stay SIMD-sized
+      big.ring_warmup = 1;
+      big.ring_iters = 3;
+    }
+    bool depth_ok = false;
+    PhaseResult d1;
+    PhaseResult d4;
+    for (int attempt = 0; attempt < 3 && !depth_ok; ++attempt) {
+      if (pipeline_sweep && attempt == 0) {
+        for (const DepthResult& r : sweep) {
+          if (r.depth == 1) d1 = r.phase;
+          if (r.depth == 4) d4 = r.phase;
+        }
+      } else {
+        d1 = RunRing(aiacc::transport::WakeMode::kTargeted, &pool, big, 1);
+        d4 = RunRing(aiacc::transport::WakeMode::kTargeted, &pool, big, 4);
+      }
+      depth_ok = d4.MsgsPerSec() >= d1.MsgsPerSec();
+    }
+    if (!depth_ok) {
+      std::fprintf(stderr,
+                   "SMOKE FAILURE: pipelined depth-4 ring moved %.0f msgs/s, "
+                   "below the depth-1 baseline's %.0f msgs/s\n",
+                   d4.MsgsPerSec(), d1.MsgsPerSec());
+      return 1;
+    }
   }
   return 0;
 }

@@ -57,9 +57,10 @@ core::CommConfig PbtSearcher::Perturb(const core::CommConfig& base,
         static_cast<std::int64_t>(idx) + dir, 0, n - 1);
     value = options[static_cast<std::size_t>(next)];
   };
-  switch (rng.UniformInt(0, 2)) {
+  switch (rng.UniformInt(0, 3)) {
     case 0: nudge(out.num_streams, space_.stream_options); break;
     case 1: nudge(out.granularity_bytes, space_.granularity_options); break;
+    case 2: nudge(out.pipeline_depth, space_.pipeline_depth_options); break;
     default:
       out.algorithm = out.algorithm == collective::Algorithm::kRing
                           ? collective::Algorithm::kHierarchical
@@ -117,8 +118,8 @@ BayesSearcher::BayesSearcher(core::CommConfigSpace space)
     : Searcher(std::move(space)) {}
 
 std::vector<double> BayesSearcher::Encode(const core::CommConfig& c) const {
-  // Normalize to [0,1]^3: log2(streams)/5, position of granularity on its
-  // log scale, algorithm as a binary coordinate.
+  // Normalize to [0,1]^4: log2(streams)/5, position of granularity on its
+  // log scale, algorithm as a binary coordinate, log2(pipeline depth)/3.
   const double s = std::log2(static_cast<double>(c.num_streams)) / 5.0;
   const double lo =
       std::log2(static_cast<double>(space_.granularity_options.front()));
@@ -128,7 +129,8 @@ std::vector<double> BayesSearcher::Encode(const core::CommConfig& c) const {
       (std::log2(static_cast<double>(c.granularity_bytes)) - lo) /
       std::max(1.0, hi - lo);
   const double a = c.algorithm == collective::Algorithm::kRing ? 0.0 : 1.0;
-  return {s, g, a};
+  const double p = std::log2(static_cast<double>(c.pipeline_depth)) / 3.0;
+  return {s, g, a, p};
 }
 
 namespace {
@@ -316,9 +318,10 @@ core::CommConfig AnnealingSearcher::Neighbour(const core::CommConfig& base,
         static_cast<std::int64_t>(idx) + dir, 0, n - 1);
     value = options[static_cast<std::size_t>(to)];
   };
-  switch (rng.UniformInt(0, 2)) {
+  switch (rng.UniformInt(0, 3)) {
     case 0: step(out.num_streams, space_.stream_options); break;
     case 1: step(out.granularity_bytes, space_.granularity_options); break;
+    case 2: step(out.pipeline_depth, space_.pipeline_depth_options); break;
     default:
       out.algorithm = out.algorithm == collective::Algorithm::kRing
                           ? collective::Algorithm::kHierarchical

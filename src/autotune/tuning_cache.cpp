@@ -89,7 +89,8 @@ std::optional<core::CommConfig> TuningCache::LookupSimilar(
 
 namespace {
 constexpr std::uint32_t kCacheMagic = 0xA1ACCCA5;
-constexpr std::uint32_t kCacheVersion = 1;
+// Version 2 added CommConfig::pipeline_depth to every entry.
+constexpr std::uint32_t kCacheVersion = 2;
 }  // namespace
 
 std::vector<std::uint8_t> TuningCache::Serialize() const {
@@ -111,6 +112,7 @@ std::vector<std::uint8_t> TuningCache::Serialize() const {
     w.WriteU64(e.config.granularity_bytes);
     w.WriteU8(static_cast<std::uint8_t>(e.config.algorithm));
     w.WriteU64(e.config.min_bucket_bytes);
+    w.WriteI64(e.config.pipeline_depth);
     w.WriteF64(e.score);
   }
   return std::move(w).Take();
@@ -163,10 +165,13 @@ Status TuningCache::Deserialize(const std::vector<std::uint8_t>& bytes) {
     if (!algo.ok()) return algo.status();
     auto bucket = r.ReadU64();
     if (!bucket.ok()) return bucket.status();
+    auto depth = r.ReadI64();
+    if (!depth.ok()) return depth.status();
     e.config.num_streams = static_cast<int>(*streams);
     e.config.granularity_bytes = static_cast<std::size_t>(*gran);
     e.config.algorithm = static_cast<collective::Algorithm>(*algo);
     e.config.min_bucket_bytes = static_cast<std::size_t>(*bucket);
+    e.config.pipeline_depth = static_cast<int>(*depth);
     auto score = r.ReadF64();
     if (!score.ok()) return score.status();
     e.score = *score;

@@ -11,6 +11,7 @@
 // traversal.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -26,7 +27,14 @@
 
 namespace aiacc::collective {
 
-enum class ReduceOp : std::uint8_t { kSum, kAvg, kMin, kMax };
+/// kBitAnd treats each float lane as an opaque 32-bit pattern and ANDs the
+/// bits — the reduction behind bit-packed sync rounds, where one float
+/// carries the readiness bits of 32 gradients and the all-reduce computes
+/// their intersection across ranks. It is safe to route arbitrary bit
+/// patterns (including NaN payloads) through the collectives: payloads are
+/// only moved/copied in transit, and Accumulate is the sole place values
+/// are touched.
+enum class ReduceOp : std::uint8_t { kSum, kAvg, kMin, kMax, kBitAnd };
 
 namespace detail {
 
@@ -72,6 +80,12 @@ inline void Accumulate(std::span<float> acc, std::span<const float> in,
     case ReduceOp::kMax:
       detail::VectorApply(a, b, n,
                           [](float x, float y) { return y > x ? y : x; });
+      break;
+    case ReduceOp::kBitAnd:
+      detail::VectorApply(a, b, n, [](float x, float y) {
+        return std::bit_cast<float>(std::bit_cast<std::uint32_t>(x) &
+                                    std::bit_cast<std::uint32_t>(y));
+      });
       break;
   }
 }

@@ -1,6 +1,7 @@
 #include "collective/threaded.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 
 #include "common/logging.h"
@@ -68,20 +69,170 @@ void ReleasePayload(common::BufferPool* pool, transport::Payload&& payload) {
   }
 }
 
+/// Gauge of slice messages currently in flight across every pipelined ring
+/// in the process (sender +1 on Send, receiver -1 on delivery). Cached like
+/// LegacyAllocCounter; only touched when the effective depth exceeds 1 so
+/// the depth-1 hot path pays no shared-cacheline traffic for it.
+telemetry::Gauge& InflightSlicesGauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::MetricsRegistry::Global().GetGauge("hotpath.inflight_slices");
+  return gauge;
+}
+
+/// The recycled send buffers of one pipelined ring: slot k carries slice
+/// k's payload between steps. Fixed-size so a collective call never heap-
+/// allocates for its bookkeeping (default-constructed Payloads own nothing).
+using SliceWindow = std::array<transport::Payload, kMaxPipelineDepth>;
+
+void ReleaseWindow(common::BufferPool* pool, SliceWindow& window) {
+  for (transport::Payload& p : window) ReleasePayload(pool, std::move(p));
+}
+
+/// Effective pipeline depth for a ring of `n` ranks over `len` elements.
+/// Every chunk holds at least len/n (floor) elements and slices split a
+/// chunk the same way chunks split the buffer, so capping the depth at
+/// len/n guarantees every slice of every chunk is non-empty. Computed from
+/// globally-agreed values only (all ranks derive the identical schedule);
+/// depth 1 — always the result for len < 2n — is exactly the unpipelined
+/// message order.
+int EffectivePipelineDepth(std::size_t len, int n, int requested) {
+  const std::size_t per_chunk = len / static_cast<std::size_t>(n);
+  const int cap = static_cast<int>(
+      std::min<std::size_t>(per_chunk, kMaxPipelineDepth));
+  return std::clamp(requested, 1, std::max(1, cap));
+}
+
+/// Slice k of d within a ring chunk (second-level ChunkBegin split).
+std::span<float> SliceOf(std::span<float> chunk, int d, int k) {
+  const std::size_t b = ChunkBegin(chunk.size(), d, k);
+  return chunk.subspan(b, ChunkBegin(chunk.size(), d, k + 1) - b);
+}
+
+/// Reduce-scatter phase of a ring, sliced `d` deep: step s sends
+/// chunk(start - s) and folds the received slices into chunk(start - s - 1).
+/// The prologue puts all d slices of chunk(start) in flight on the same tag
+/// channel; from then on the reduce of slice k overlaps the recv-wait of
+/// slice k+1, and each just-reduced slice goes straight back on the wire as
+/// the next step's send. Every rank emits sends in the identical global
+/// order (step-major, slice-minor), so per-(src,tag) FIFO matching is
+/// preserved at any depth, and slicing never changes which step an element
+/// reduces in — results are bit-identical to d = 1.
+///
+/// Buffer lifecycle in pooled mode: the payload received for slice k is
+/// refilled with the next step's slice k (its contents were already folded
+/// into `data`) and resent; the last step's payloads are parked in
+/// `carry[k]` for the all-gather prologue to reuse. Callers must ensure
+/// n > 1 and that d came from EffectivePipelineDepth (no empty slices).
+template <typename ChunkFn>
+Status PipelinedReduceScatterPhase(transport::Transport& tr, int me, int next,
+                                   int prev, int n, ChunkFn&& chunk, int start,
+                                   ReduceOp op, int tag,
+                                   std::int64_t timeout_ms,
+                                   common::BufferPool* pool, int d,
+                                   SliceWindow& carry) {
+  AIACC_TRACE_SPAN("comm.phase", "reduce-scatter");
+  const bool pipelined = d > 1;
+  std::span<float> first = chunk(start);
+  for (int k = 0; k < d; ++k) {
+    AIACC_TRACE_SPAN_V("comm.step", "send");
+    tr.Send(me, next, tag,
+            FillSendBuffer(pool, std::move(carry[static_cast<std::size_t>(k)]),
+                           SliceOf(first, d, k)));
+    carry[static_cast<std::size_t>(k)] = transport::Payload();
+    if (pipelined) InflightSlicesGauge().Add(1);
+  }
+  for (int s = 0; s < n - 1; ++s) {
+    std::span<float> target = chunk(start - s - 1);
+    for (int k = 0; k < d; ++k) {
+      Result<transport::Payload> received = [&] {
+        AIACC_TRACE_SPAN_V("comm.step", "recv-wait");
+        return TimedRecv(tr, timeout_ms, me, prev, tag);
+      }();
+      if (!received.ok()) return received.status();
+      if (pipelined) InflightSlicesGauge().Add(-1);
+      std::span<float> slice = SliceOf(target, d, k);
+      {
+        AIACC_TRACE_SPAN_V("comm.step", "reduce");
+        AIACC_RETURN_IF_ERROR(RecvReduce(slice, *received, op));
+      }
+      if (s + 1 < n - 1) {
+        AIACC_TRACE_SPAN_V("comm.step", "send");
+        tr.Send(me, next, tag,
+                FillSendBuffer(pool, std::move(*received), slice));
+        if (pipelined) InflightSlicesGauge().Add(1);
+      } else if (pool != nullptr) {
+        carry[static_cast<std::size_t>(k)] = std::move(*received);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+/// All-gather phase of a ring, sliced `d` deep: step s sends chunk(start - s)
+/// and fills chunk(start - s - 1) from the wire, forwarding each slice the
+/// moment it lands instead of waiting for the whole chunk. In pooled mode
+/// the prologue refills `carry` from `data` (the reduce-scatter results live
+/// in `data`, not in the parked buffers) and every later step forwards the
+/// received payload unmodified — its contents are exactly the slice the next
+/// step sends. Same send-order/bit-exactness guarantees as the reduce-
+/// scatter phase; callers must ensure n > 1 and d from
+/// EffectivePipelineDepth.
+template <typename ChunkFn>
+Status PipelinedAllGatherPhase(transport::Transport& tr, int me, int next,
+                               int prev, int n, ChunkFn&& chunk, int start,
+                               int tag, std::int64_t timeout_ms,
+                               common::BufferPool* pool, int d,
+                               SliceWindow& carry) {
+  AIACC_TRACE_SPAN("comm.phase", "all-gather");
+  const bool pipelined = d > 1;
+  std::span<float> first = chunk(start);
+  for (int k = 0; k < d; ++k) {
+    AIACC_TRACE_SPAN_V("comm.step", "send");
+    tr.Send(me, next, tag,
+            FillSendBuffer(pool, std::move(carry[static_cast<std::size_t>(k)]),
+                           SliceOf(first, d, k)));
+    carry[static_cast<std::size_t>(k)] = transport::Payload();
+    if (pipelined) InflightSlicesGauge().Add(1);
+  }
+  for (int s = 0; s < n - 1; ++s) {
+    std::span<float> target = chunk(start - s - 1);
+    for (int k = 0; k < d; ++k) {
+      Result<transport::Payload> received = [&] {
+        AIACC_TRACE_SPAN_V("comm.step", "recv-wait");
+        return TimedRecv(tr, timeout_ms, me, prev, tag);
+      }();
+      if (!received.ok()) return received.status();
+      if (pipelined) InflightSlicesGauge().Add(-1);
+      std::span<float> slice = SliceOf(target, d, k);
+      AIACC_RETURN_IF_ERROR(CheckSize(*received, slice.size()));
+      std::copy(received->begin(), received->end(), slice.begin());
+      if (s + 1 < n - 1) {
+        AIACC_TRACE_SPAN_V("comm.step", "send");
+        if (pool != nullptr) {
+          tr.Send(me, next, tag, std::move(*received));
+        } else {
+          tr.Send(me, next, tag, FillSendBuffer(pool, {}, slice));
+        }
+        if (pipelined) InflightSlicesGauge().Add(1);
+      } else if (pool != nullptr) {
+        carry[static_cast<std::size_t>(k)] = std::move(*received);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 /// Ring all-reduce over an arbitrary ordered set of global ranks.
 /// `op` must not be kAvg (callers finalize averaging themselves so that
-/// hierarchical composition divides exactly once).
-///
-/// Buffer lifecycle in pooled mode: each step's received payload becomes the
-/// next step's send buffer. In the reduce-scatter phase it is refilled (its
-/// contents were already folded into `data`); in the all-gather phase it is
-/// *forwarded unmodified* — the chunk received at step s is exactly the
-/// chunk sent at step s+1 — eliminating both the copy and the allocation.
+/// hierarchical composition divides exactly once). `pipeline_depth` slices
+/// each per-step chunk (see Comm::pipeline_depth); the reduce-scatter
+/// phase's parked buffers seed the all-gather prologue, so at any depth the
+/// steady state performs zero payload allocations in pooled mode.
 Status RingAllReduceOnRing(transport::Transport& tr,
                            const std::vector<int>& ring, int my_pos,
                            std::span<float> data, ReduceOp op, int tag,
-                           std::int64_t timeout_ms,
-                           common::BufferPool* pool) {
+                           std::int64_t timeout_ms, common::BufferPool* pool,
+                           int pipeline_depth) {
   AIACC_CHECK(op != ReduceOp::kAvg);
   const int n = static_cast<int>(ring.size());
   if (n <= 1) return Status::Ok();
@@ -97,62 +248,17 @@ Status RingAllReduceOnRing(transport::Transport& tr,
     return data.subspan(b, e - b);
   };
 
-  transport::Payload carry;  // recycled send buffer (pooled mode)
-  // Reduce-scatter: after step s, each rank has accumulated s+1 inputs into
-  // the chunk it just received (folded straight out of the mailbox buffer).
-  {
-    AIACC_TRACE_SPAN("comm.phase", "reduce-scatter");
-    for (int s = 0; s < n - 1; ++s) {
-      std::span<float> to_send = chunk(my_pos - s);
-      {
-        AIACC_TRACE_SPAN_V("comm.step", "send");
-        tr.Send(me, next, tag,
-                FillSendBuffer(pool, std::move(carry), to_send));
-      }
-      carry = transport::Payload();
-      Result<transport::Payload> received = [&] {
-        AIACC_TRACE_SPAN_V("comm.step", "recv-wait");
-        return TimedRecv(tr, timeout_ms, me, prev, tag);
-      }();
-      if (!received.ok()) return received.status();
-      {
-        AIACC_TRACE_SPAN_V("comm.step", "reduce");
-        AIACC_RETURN_IF_ERROR(
-            RecvReduce(chunk(my_pos - s - 1), *received, op));
-      }
-      if (pool != nullptr) carry = std::move(*received);
-    }
-  }
-  // All-gather: circulate the fully-reduced chunks. From step 1 on, the
-  // payload received on the previous step *is* this step's chunk, so it is
-  // forwarded as-is.
-  {
-    AIACC_TRACE_SPAN("comm.phase", "all-gather");
-    for (int s = 0; s < n - 1; ++s) {
-      std::span<float> to_send = chunk(my_pos - s + 1);
-      transport::Payload out;
-      if (pool != nullptr && s > 0) {
-        out = std::move(carry);
-      } else {
-        out = FillSendBuffer(pool, std::move(carry), to_send);
-      }
-      carry = transport::Payload();
-      {
-        AIACC_TRACE_SPAN_V("comm.step", "send");
-        tr.Send(me, next, tag, std::move(out));
-      }
-      Result<transport::Payload> received = [&] {
-        AIACC_TRACE_SPAN_V("comm.step", "recv-wait");
-        return TimedRecv(tr, timeout_ms, me, prev, tag);
-      }();
-      if (!received.ok()) return received.status();
-      std::span<float> target = chunk(my_pos - s);
-      AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
-      std::copy(received->begin(), received->end(), target.begin());
-      if (pool != nullptr) carry = std::move(*received);
-    }
-  }
-  ReleasePayload(pool, std::move(carry));
+  const int d = EffectivePipelineDepth(len, n, pipeline_depth);
+  SliceWindow carry;
+  AIACC_RETURN_IF_ERROR(PipelinedReduceScatterPhase(
+      tr, me, next, prev, n, chunk, my_pos, op, tag, timeout_ms, pool, d,
+      carry));
+  // Rank my_pos now owns reduced chunk(my_pos + 1): the all-gather starts
+  // there and circulates the fully-reduced chunks around the ring.
+  AIACC_RETURN_IF_ERROR(PipelinedAllGatherPhase(
+      tr, me, next, prev, n, chunk, my_pos + 1, tag, timeout_ms, pool, d,
+      carry));
+  ReleaseWindow(pool, carry);
   return Status::Ok();
 }
 
@@ -221,7 +327,8 @@ Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
   const ReduceOp inner = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
   AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, ring, comm.rank,
                                             data, inner, comm.tag_base,
-                                            comm.timeout_ms, comm.pool));
+                                            comm.timeout_ms, comm.pool,
+                                            comm.pipeline_depth));
   FinalizeAvg(data, comm.world_size, op);
   return Status::Ok();
 }
@@ -245,7 +352,8 @@ Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
   }
   AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, group, local,
                                             data, inner, comm.tag_base,
-                                            comm.timeout_ms, comm.pool));
+                                            comm.timeout_ms, comm.pool,
+                                            comm.pipeline_depth));
 
   // Phase 2: group leaders ring all-reduce across hosts.
   if (num_hosts > 1) {
@@ -257,7 +365,8 @@ Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
       AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, leaders,
                                                 host, data, inner,
                                                 comm.tag_base + 1,
-                                                comm.timeout_ms, comm.pool));
+                                                comm.timeout_ms, comm.pool,
+                                                comm.pipeline_depth));
     }
     // Phase 3: leaders broadcast the global result inside their group.
     AIACC_RETURN_IF_ERROR(BroadcastOnRing(*comm.transport, group, local,
@@ -287,23 +396,17 @@ Status ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
     const std::size_t b = ChunkBegin(len, n, cc);
     return data.subspan(b, ChunkBegin(len, n, cc + 1) - b);
   };
-  transport::Payload carry;
-  for (int s = 0; s < n - 1; ++s) {
-    std::span<float> to_send = chunk(me - s);
-    comm.transport->Send(me, next, comm.tag_base,
-                         FillSendBuffer(pool, std::move(carry), to_send));
-    carry = transport::Payload();
-    auto received =
-        TimedRecv(*comm.transport, comm.timeout_ms, me, prev, comm.tag_base);
-    if (!received.ok()) return received.status();
-    AIACC_RETURN_IF_ERROR(RecvReduce(chunk(me - s - 1), *received, inner));
-    if (pool != nullptr) carry = std::move(*received);
-  }
+  const int d = EffectivePipelineDepth(len, n, comm.pipeline_depth);
+  SliceWindow carry;
+  AIACC_RETURN_IF_ERROR(PipelinedReduceScatterPhase(
+      *comm.transport, me, next, prev, n, chunk, me, inner, comm.tag_base,
+      comm.timeout_ms, pool, d, carry));
   // Rank r now owns reduced chunk (r + 1) mod n; rotate ownership convention
   // so rank r owns chunk r: one extra pass of the owned chunk to `next`.
   std::span<float> owned = chunk(me + 1);
   comm.transport->Send(me, next, comm.tag_base + 1,
-                       FillSendBuffer(pool, std::move(carry), owned));
+                       FillSendBuffer(pool, std::move(carry[0]), owned));
+  carry[0] = transport::Payload();
   auto received = TimedRecv(*comm.transport, comm.timeout_ms, me, prev,
                             comm.tag_base + 1);
   if (!received.ok()) return received.status();
@@ -311,6 +414,7 @@ Status ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
   AIACC_RETURN_IF_ERROR(CheckSize(*received, mine.size()));
   std::copy(received->begin(), received->end(), mine.begin());
   ReleasePayload(pool, std::move(*received));
+  ReleaseWindow(pool, carry);
   FinalizeAvg(mine, n, op);
   return Status::Ok();
 }
@@ -329,26 +433,12 @@ Status AllGather(const Comm& comm, std::span<float> data) {
     const std::size_t b = ChunkBegin(len, n, cc);
     return data.subspan(b, ChunkBegin(len, n, cc + 1) - b);
   };
-  transport::Payload carry;
-  for (int s = 0; s < n - 1; ++s) {
-    std::span<float> to_send = chunk(me - s);
-    transport::Payload out;
-    if (pool != nullptr && s > 0) {
-      out = std::move(carry);  // received at step s-1 == chunk(me - s)
-    } else {
-      out = FillSendBuffer(pool, std::move(carry), to_send);
-    }
-    carry = transport::Payload();
-    comm.transport->Send(me, next, comm.tag_base, std::move(out));
-    auto received =
-        TimedRecv(*comm.transport, comm.timeout_ms, me, prev, comm.tag_base);
-    if (!received.ok()) return received.status();
-    std::span<float> target = chunk(me - s - 1);
-    AIACC_RETURN_IF_ERROR(CheckSize(*received, target.size()));
-    std::copy(received->begin(), received->end(), target.begin());
-    if (pool != nullptr) carry = std::move(*received);
-  }
-  ReleasePayload(pool, std::move(carry));
+  const int d = EffectivePipelineDepth(len, n, comm.pipeline_depth);
+  SliceWindow carry;
+  AIACC_RETURN_IF_ERROR(PipelinedAllGatherPhase(
+      *comm.transport, me, next, prev, n, chunk, me, comm.tag_base,
+      comm.timeout_ms, pool, d, carry));
+  ReleaseWindow(pool, carry);
   return Status::Ok();
 }
 
@@ -552,8 +642,15 @@ int MultiChannelWorkerCount() {
 Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
                              ReduceOp op, int num_channels) {
   AIACC_CHECK(num_channels >= 1);
-  if (num_channels == 1 || data.size() < static_cast<std::size_t>(
-                               num_channels * comm.world_size)) {
+  // Fall back to a single ring when the payload cannot feed every channel
+  // at least one element per ring chunk *per pipeline slice* — combined
+  // with the per-ring EffectivePipelineDepth clamp this makes degenerate
+  // empty slices impossible at any channel count.
+  const std::size_t depth = static_cast<std::size_t>(
+      std::clamp(comm.pipeline_depth, 1, kMaxPipelineDepth));
+  if (num_channels == 1 ||
+      data.size() < static_cast<std::size_t>(num_channels) *
+                        static_cast<std::size_t>(comm.world_size) * depth) {
     return RingAllReduce(comm, data, op);
   }
   // Channel 0 runs on the calling thread, so k channels consume k-1 pool
@@ -580,30 +677,28 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
     done.remaining = static_cast<int>(extra);
   }
   std::vector<Status> channel_status(static_cast<std::size_t>(num_channels));
-  for (int c = 1; c < num_channels; ++c) {
+  // One runner for every channel — the pool workers and the calling thread
+  // (which runs channel 0 inline) build the sub-Comm/slice identically.
+  // Safe to capture `comm`/`data` by reference/value: the invocation blocks
+  // on the completion latch before returning.
+  auto run_channel = [&comm, data, op, num_channels](int c) -> Status {
     const std::size_t b = ChunkBegin(data.size(), num_channels, c);
     const std::size_t e = ChunkBegin(data.size(), num_channels, c + 1);
     Comm sub = comm;
     // Each channel gets a disjoint tag namespace (collective/tags.h).
     sub.tag_base = ChannelTagBase(comm.tag_base, c);
+    AIACC_TRACE_SPAN_IDX("comm.channel", "channel", c);
+    return RingAllReduce(sub, data.subspan(b, e - b), op);
+  };
+  for (int c = 1; c < num_channels; ++c) {
     Status* slot = &channel_status[static_cast<std::size_t>(c)];
-    workers.pool.Submit([sub, slice = data.subspan(b, e - b), op, slot,
-                         &done, c] {
-      {
-        AIACC_TRACE_SPAN_IDX("comm.channel", "channel", c);
-        *slot = RingAllReduce(sub, slice, op);
-      }
+    workers.pool.Submit([run_channel, slot, &done, c] {
+      *slot = run_channel(c);
       common::MutexLock lock(done.mu);
       if (--done.remaining == 0) done.cv.NotifyAll();
     });
   }
-  {
-    const std::size_t e = ChunkBegin(data.size(), num_channels, 1);
-    Comm sub = comm;
-    sub.tag_base = ChannelTagBase(comm.tag_base, 0);
-    AIACC_TRACE_SPAN_IDX("comm.channel", "channel", 0);
-    channel_status[0] = RingAllReduce(sub, data.subspan(0, e), op);
-  }
+  channel_status[0] = run_channel(0);
   {
     common::MutexLock lock(done.mu);
     while (done.remaining != 0) done.cv.Wait(lock);

@@ -25,6 +25,11 @@
 
 namespace aiacc::collective {
 
+/// Upper bound on Comm::pipeline_depth. Keeps the per-ring slice window on
+/// the stack (no per-call allocation for the recycled-buffer carry array)
+/// and bounds the number of in-flight messages per tag channel.
+inline constexpr int kMaxPipelineDepth = 8;
+
 struct Comm {
   transport::Transport* transport = nullptr;
   int rank = 0;
@@ -39,6 +44,16 @@ struct Comm {
   /// tests can prove the pooled path bit-identical and benches can measure
   /// the allocation cost it removes.
   common::BufferPool* pool = &common::BufferPool::Global();
+  /// Ring pipeline depth: each per-step ring chunk is split into this many
+  /// slices kept concurrently in flight on the same tag channel, so the
+  /// reduce of slice k overlaps the recv-wait of slice k+1 (and all-gather
+  /// forwards slices as they land). Results are bit-identical at every
+  /// depth — slicing never changes which chunk an element reduces in, only
+  /// how much of a step is in flight at once. Values are clamped to
+  /// [1, kMaxPipelineDepth], and each ring further clamps its *effective*
+  /// depth to its chunk size so a slice is never empty; depth 1 is exactly
+  /// the unpipelined schedule.
+  int pipeline_depth = 1;
 };
 
 /// Classic chunked ring all-reduce: reduce-scatter then all-gather, 2(n-1)

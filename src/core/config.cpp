@@ -11,7 +11,8 @@ std::string CommConfig::ToString() const {
   out << "{streams=" << num_streams
       << ", granularity=" << (granularity_bytes >> 20) << "MiB"
       << ", algo=" << collective::ToString(algorithm)
-      << ", min_bucket=" << (min_bucket_bytes >> 10) << "KiB}";
+      << ", min_bucket=" << (min_bucket_bytes >> 10) << "KiB"
+      << ", depth=" << pipeline_depth << "}";
   return out.str();
 }
 
@@ -26,12 +27,15 @@ CommConfig CommConfigSpace::ConfigAt(std::size_t index) const {
   AIACC_CHECK(index < NumPoints());
   const std::size_t n_streams = stream_options.size();
   const std::size_t n_gran = granularity_options.size();
+  const std::size_t n_algo = algorithm_options.size();
   CommConfig cfg;
   cfg.num_streams = stream_options[index % n_streams];
   index /= n_streams;
   cfg.granularity_bytes = granularity_options[index % n_gran];
   index /= n_gran;
-  cfg.algorithm = algorithm_options[index];
+  cfg.algorithm = algorithm_options[index % n_algo];
+  index /= n_algo;
+  cfg.pipeline_depth = pipeline_depth_options[index];
   cfg.min_bucket_bytes = std::min<std::size_t>(cfg.granularity_bytes, 1u << 20);
   return cfg;
 }

@@ -24,6 +24,12 @@ struct CommConfig {
   /// Minimum locally-buffered bytes before a synchronization round is
   /// triggered (the "minimum communication granularity" of §V-A).
   std::size_t min_bucket_bytes = 1u << 20;
+  /// Ring-slice pipeline depth (collective::Comm::pipeline_depth): how many
+  /// slices of each ring step stay concurrently in flight per channel, so
+  /// the receive-side reduce overlaps the next slice's transport wait.
+  /// Bit-identical at every depth; the default pipelines the engine's unit
+  /// rings without changing any numerics.
+  int pipeline_depth = 4;
 
   [[nodiscard]] std::string ToString() const;
 
@@ -37,10 +43,11 @@ struct CommConfigSpace {
       1u << 20, 2u << 20, 4u << 20, 8u << 20, 16u << 20, 32u << 20, 64u << 20};
   std::vector<collective::Algorithm> algorithm_options = {
       collective::Algorithm::kRing, collective::Algorithm::kHierarchical};
+  std::vector<int> pipeline_depth_options = {1, 2, 4, 8};
 
   [[nodiscard]] std::size_t NumPoints() const noexcept {
     return stream_options.size() * granularity_options.size() *
-           algorithm_options.size();
+           algorithm_options.size() * pipeline_depth_options.size();
   }
   /// Enumerate every configuration (grid order).
   [[nodiscard]] std::vector<CommConfig> AllConfigs() const;

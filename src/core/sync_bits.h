@@ -1,0 +1,51 @@
+// Bit-packed encoding of the gradient-readiness vector exchanged by the
+// decentralized synchronization rounds (threaded_engine.cpp's
+// RunIterationProtocol).
+//
+// The original protocol shipped one float per registered gradient (1.0 =
+// ready, 0.0 = not) and intersected them with a kMin all-reduce — 4 bytes
+// of sync traffic per gradient per round. This encoding packs 32 readiness
+// bits into each float lane (bit i of word i/32, little-endian within the
+// word) and intersects with ReduceOp::kBitAnd, shrinking every round's
+// payload 32x while computing the identical set: for 0/1 bits, min == and.
+// The lanes are opaque bit patterns, never arithmetic floats — kBitAnd is
+// the only op that may touch them (collective/ops.h explains why transit
+// is bit-safe).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/bitvector.h"
+
+namespace aiacc::core {
+
+/// Number of float words needed to carry `n_bits` readiness bits.
+constexpr std::size_t SyncWordCount(std::size_t n_bits) {
+  return (n_bits + 31) / 32;
+}
+
+/// Pack `ready` (the per-rank readiness bit-vector) into `words`, which
+/// must hold SyncWordCount(ready.size()) floats. Trailing bits of the last
+/// word are set: they are identity elements under AND, so they never veto.
+inline void PackSyncBits(const BitVector& ready, std::span<float> words) {
+  const std::size_t n = ready.size();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint32_t bits = ~std::uint32_t{0};
+    const std::size_t base = w * 32;
+    for (std::size_t b = 0; b < 32 && base + b < n; ++b) {
+      if (!ready.Test(base + b)) bits &= ~(std::uint32_t{1} << b);
+    }
+    words[w] = std::bit_cast<float>(bits);
+  }
+}
+
+/// Bit i of the packed (and typically already all-reduced) word vector.
+inline bool SyncBitSet(std::span<const float> words, std::size_t i) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(words[i / 32]);
+  return (bits >> (i % 32)) & 1u;
+}
+
+}  // namespace aiacc::core

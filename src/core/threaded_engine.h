@@ -133,6 +133,7 @@ class ThreadedAiaccEngine {
     // Cached handles into the engine's registry (rank-scoped names);
     // registration happens once here, every increment is a relaxed add.
     telemetry::Counter* sync_rounds_;
+    telemetry::Counter* sync_payload_floats_;  // bit-packed words per round
     telemetry::Counter* units_reduced_;
     telemetry::Counter* bytes_reduced_;
     telemetry::Counter* iterations_;

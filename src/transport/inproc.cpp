@@ -21,6 +21,7 @@ void InProcTransport::Send(int src, int dst, int tag, Payload payload) {
   AIACC_CHECK(src >= 0 && src < world_size_);
   AIACC_CHECK(dst >= 0 && dst < world_size_);
   Mailbox& box = mailboxes_[static_cast<std::size_t>(dst)];
+  const std::uint64_t bytes = payload.size() * sizeof(float);
   Slot* slot;
   {
     common::MutexLock lock(box.mu);
@@ -28,6 +29,7 @@ void InProcTransport::Send(int src, int dst, int tag, Payload payload) {
     slot->fifo.push_back(std::move(payload));
   }
   total_messages_.fetch_add(1, std::memory_order_relaxed);
+  total_payload_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   notifies_.fetch_add(1, std::memory_order_relaxed);
   AIACC_TRACE_INSTANT_V("transport", "send");
   // Wake-targeted delivery: only the (src, tag) consumer is signalled. The
@@ -57,6 +59,7 @@ Result<Payload> InProcTransport::RecvFor(int rank, int src, int tag,
     if (!slot.fifo.empty()) {
       Payload payload = std::move(slot.fifo.front());
       slot.fifo.pop_front();
+      receives_.fetch_add(1, std::memory_order_relaxed);
       AIACC_TRACE_INSTANT_V("transport", "recv");
       return payload;
     }
@@ -93,6 +96,10 @@ std::optional<Payload> InProcTransport::TryRecv(int rank, int src, int tag) {
   if (it == box.slots.end() || it->second.fifo.empty()) return std::nullopt;
   Payload payload = std::move(it->second.fifo.front());
   it->second.fifo.pop_front();
+  // Same delivery bookkeeping as the blocking path: TryRecv draining a
+  // message is a receive, and traces/wake-stat ratios must see it.
+  receives_.fetch_add(1, std::memory_order_relaxed);
+  AIACC_TRACE_INSTANT_V("transport", "recv");
   return payload;
 }
 
@@ -143,7 +150,12 @@ InProcTransport::WakeStats InProcTransport::wake_counters() const noexcept {
   s.notifies = notifies_.load(std::memory_order_relaxed);
   s.wakeups = wakeups_.load(std::memory_order_relaxed);
   s.futile_wakeups = futile_wakeups_.load(std::memory_order_relaxed);
+  s.receives = receives_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::uint64_t InProcTransport::TotalPayloadBytes() const noexcept {
+  return total_payload_bytes_.load(std::memory_order_relaxed);
 }
 
 }  // namespace aiacc::transport

@@ -114,14 +114,24 @@ class InProcTransport final : public Transport {
 
   /// Signal/wakeup instrumentation for this transport instance. A futile
   /// wakeup is a blocked receiver that woke and found its slot still empty
-  /// — the cost the per-slot CVs eliminate.
+  /// — the cost the per-slot CVs eliminate. `receives` counts every message
+  /// actually delivered to a consumer, on the blocking (Recv/RecvFor) and
+  /// non-blocking (TryRecv) paths alike, so wake-stat ratios stay honest on
+  /// heartbeat/Gather-heavy workloads that drain mailboxes with TryRecv.
   struct WakeStats {
     std::uint64_t notifies = 0;        // CV signals sent by senders
     std::uint64_t wakeups = 0;         // blocked receivers woken
     std::uint64_t futile_wakeups = 0;  // woke with nothing to take
+    std::uint64_t receives = 0;        // messages delivered to consumers
   };
   [[nodiscard]] WakeStats wake_counters() const noexcept;
   [[nodiscard]] WakeMode wake_mode() const noexcept { return wake_mode_; }
+
+  /// Total float payload bytes accepted by Send so far (all ranks). The
+  /// concrete-transport companion to TotalMessages: tests assert traffic
+  /// *volume* shapes with it (e.g. bit-packed sync rounds shrink per-round
+  /// bytes 32x versus the 0/1-float encoding).
+  [[nodiscard]] std::uint64_t TotalPayloadBytes() const noexcept;
 
  private:
   /// One (src, tag) channel: FIFO of payloads plus that channel's private
@@ -151,8 +161,10 @@ class InProcTransport final : public Transport {
   std::atomic<std::uint64_t> notifies_{0};
   std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<std::uint64_t> futile_wakeups_{0};
+  std::atomic<std::uint64_t> receives_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> total_messages_{0};
+  std::atomic<std::uint64_t> total_payload_bytes_{0};
 
   common::Mutex barrier_mu_{"inproc-barrier", common::lock_rank::kMailbox};
   common::CondVar barrier_cv_;

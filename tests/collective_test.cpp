@@ -9,6 +9,7 @@
 // simulated rings.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include "common/buffer_pool.h"
 #include "common/rng.h"
 #include "common/sync.h"
+#include "core/sync_bits.h"
 #include "transport/faulty.h"
 
 namespace aiacc::collective {
@@ -858,6 +860,234 @@ TEST(PooledChaosTest, BitIdenticalUnderLosslessFaultSchedule) {
         << "fault schedule did not fire; chaos coverage is vacuous";
     EXPECT_EQ(stats.dropped, 0u);
   }
+}
+
+// -------------------------------------------------- pipelined ring slices --
+// Depth-d slicing changes only the message framing: every rank still reduces
+// the same elements in the same order, so any depth must be bitwise
+// identical to the depth-1 baseline (exact equality, no tolerance). Lengths
+// are chosen so MultiChannelAllReduce's depth-aware small-payload fallback
+// decides the same way at every depth — 7 falls back everywhere, 257/1023
+// never do (the largest threshold here is 4 channels x 8 ranks x depth 8 =
+// 256 floats) — otherwise the two runs would legitimately decompose (and
+// round) differently.
+
+std::vector<std::vector<float>> RunPipelined(int world, std::size_t len,
+                                             ReduceOp op, int depth,
+                                             int channels,
+                                             common::BufferPool* pool,
+                                             std::uint64_t seed) {
+  transport::InProcTransport tr(world);
+  auto data = MakeRankData(world, len, seed);
+  RunAllRanks(world, [&](int rank) {
+    Comm comm{&tr,  rank, world, /*tag_base=*/0, /*timeout_ms=*/0,
+              pool, depth};
+    EXPECT_TRUE(MultiChannelAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                                      op, channels)
+                    .ok());
+  });
+  return data;
+}
+
+class PipelinedBitExactP
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, std::size_t, ReduceOp>> {};
+
+TEST_P(PipelinedBitExactP, AnyDepthMatchesDepthOneBitwise) {
+  const auto [depth, channels, world, len, op] = GetParam();
+  const std::uint64_t seed = 77000 + static_cast<std::uint64_t>(depth) * 1009 +
+                             static_cast<std::uint64_t>(channels) * 131 +
+                             static_cast<std::uint64_t>(world) * 17 + len * 7 +
+                             static_cast<std::uint64_t>(op);
+  // Baseline: depth 1 on the legacy (pool-less) path; pipelined: depth d on
+  // the pooled path — one comparison covers both axes at once.
+  const auto base =
+      RunPipelined(world, len, op, /*depth=*/1, channels, nullptr, seed);
+  common::BufferPool pool;
+  const auto piped = RunPipelined(world, len, op, depth, channels, &pool, seed);
+  ExpectBitIdentical(base, piped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelinedBitExactP,
+    ::testing::Combine(::testing::Values(2, 4, 8),        // pipeline depth
+                       ::testing::Values(1, 4),           // channels
+                       ::testing::Values(1, 2, 3, 5, 8),  // world
+                       ::testing::Values(std::size_t{7}, std::size_t{257},
+                                         std::size_t{1023}),
+                       ::testing::Values(ReduceOp::kSum, ReduceOp::kAvg,
+                                         ReduceOp::kMin, ReduceOp::kMax)));
+
+TEST(PipelinedBitExactTest, HierarchicalMatchesDepthOneBitwise) {
+  // Slicing threads through both nested rings (intra-host + leaders).
+  const int hosts = 2;
+  const int gpus = 2;
+  const int world = hosts * gpus;
+  const std::size_t len = 128;
+  auto run = [&](int depth, common::BufferPool* pool) {
+    transport::InProcTransport tr(world);
+    auto data = MakeRankData(world, len, 5150);
+    RunAllRanks(world, [&](int rank) {
+      Comm comm{&tr,  rank, world, /*tag_base=*/0, /*timeout_ms=*/0,
+                pool, depth};
+      EXPECT_TRUE(HierarchicalAllReduce(comm, gpus,
+                                        data[static_cast<std::size_t>(rank)],
+                                        ReduceOp::kSum)
+                      .ok());
+    });
+    return data;
+  };
+  common::BufferPool pool;
+  ExpectBitIdentical(run(1, nullptr), run(4, &pool));
+}
+
+TEST(PipelinedChaosTest, BitIdenticalUnderLosslessFaultSchedule) {
+  // Duplication, reordering and delay across a depth-4 pipelined run: the
+  // strict per-(src,tag) FIFO framing must keep the in-flight slice window
+  // coherent, matching a clean depth-1 legacy run bit for bit.
+  const int world = 4;
+  const std::size_t len = 257;
+  for (const ReduceOp op : {ReduceOp::kSum, ReduceOp::kAvg, ReduceOp::kMin,
+                            ReduceOp::kMax}) {
+    const std::uint64_t seed = 86000 + static_cast<std::uint64_t>(op);
+    transport::InProcTransport clean_tr(world);
+    const auto clean =
+        RunPipeline(clean_tr, world, len, op, /*pool=*/nullptr, seed);
+
+    transport::InProcTransport inner(world);
+    transport::FaultSpec spec;
+    spec.seed = 4242 + static_cast<std::uint64_t>(op);
+    spec.all_links.dup_prob = 0.15;
+    spec.all_links.reorder_prob = 0.15;
+    spec.all_links.delay_prob = 0.25;
+    spec.all_links.max_delay_ms = 2.0;
+    transport::FaultyTransport chaotic(inner, spec);
+    common::BufferPool pool;
+    auto data = MakeRankData(world, len, seed);
+    RunAllRanks(world, [&](int rank) {
+      Comm comm{&chaotic, rank,  world, /*tag_base=*/0, /*timeout_ms=*/0,
+                &pool,    /*pipeline_depth=*/4};
+      EXPECT_TRUE(
+          RingAllReduce(comm, data[static_cast<std::size_t>(rank)], op).ok());
+    });
+
+    ExpectBitIdentical(clean, data);
+    const transport::FaultStats stats = chaotic.stats();
+    EXPECT_GT(stats.duplicated + stats.reordered + stats.delayed, 0u)
+        << "fault schedule did not fire; chaos coverage is vacuous";
+    EXPECT_EQ(stats.dropped, 0u);
+  }
+}
+
+TEST(ThreadedCollectiveTest, PipelinedRingMessageCount) {
+  // Depth-d slicing multiplies each rank's 2(n-1) chunk sends into
+  // 2(n-1)*d_eff slice sends, where d_eff clamps to the per-step chunk size.
+  const int world = 4;
+  {
+    transport::InProcTransport tr(world);
+    auto data = MakeRankData(world, 64, 21);  // chunks of 16: depth 4 fits
+    RunAllRanks(world, [&](int rank) {
+      Comm comm{&tr,     rank, world, /*tag_base=*/0, /*timeout_ms=*/0,
+                nullptr, /*pipeline_depth=*/4};
+      RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                    ReduceOp::kSum);
+    });
+    EXPECT_EQ(tr.TotalMessages(),
+              static_cast<std::uint64_t>(world) * 2 * (world - 1) * 4);
+  }
+  {
+    transport::InProcTransport tr(world);
+    auto data = MakeRankData(world, 6, 22);  // 1-float chunks: d_eff = 1
+    RunAllRanks(world, [&](int rank) {
+      Comm comm{&tr,     rank, world, /*tag_base=*/0, /*timeout_ms=*/0,
+                nullptr, /*pipeline_depth=*/8};
+      RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                    ReduceOp::kSum);
+    });
+    EXPECT_EQ(tr.TotalMessages(),
+              static_cast<std::uint64_t>(world) * 2 * (world - 1));
+  }
+}
+
+// ------------------------------------------------ bit-packed sync rounds --
+
+TEST(ReduceOpTest, BitAndIsExactBitwiseIntersection) {
+  // Arbitrary 32-bit lane patterns — quiet/signalling NaNs, denormals, -0,
+  // all-ones — must AND exactly: no lane may be canonicalized on the way
+  // through Accumulate.
+  const std::uint32_t pa[] = {0xFFFFFFFFu, 0x7FC00001u, 0x7F800001u,
+                              0x00000001u, 0x80000000u, 0xDEADBEEFu,
+                              0x00000000u, 0x3F800000u, 0x00400000u,
+                              0xFFFFFFFFu, 0x12345678u};
+  const std::uint32_t pb[] = {0x12345678u, 0xFFC00003u, 0xFF800001u,
+                              0x00000003u, 0xFFFFFFFFu, 0xBEEFDEADu,
+                              0xFFFFFFFFu, 0x3F800000u, 0x00C00000u,
+                              0x7FFFFFFFu, 0x87654321u};
+  const std::size_t n = std::size(pa);  // > 8: vector body plus scalar tail
+  std::vector<float> a(n);
+  std::vector<float> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = std::bit_cast<float>(pa[i]);
+    b[i] = std::bit_cast<float>(pb[i]);
+  }
+  Accumulate(a, b, ReduceOp::kBitAnd);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(a[i]), pa[i] & pb[i])
+        << "lane " << i;
+  }
+}
+
+TEST(ThreadedCollectiveTest, PackedSyncBitsMatchLegacyMinEncoding) {
+  // The bit-packed sync round (kBitAnd over 32-bit lanes) must compute the
+  // exact readiness intersection the legacy one-float-per-gradient kMin
+  // encoding did, while moving 1/32 the payload bytes per round.
+  const int world = 4;
+  const std::size_t n_bits = 2048;  // divisible by 32: exact 32x shrink
+  Rng rng(97531);
+  std::vector<BitVector> ready(static_cast<std::size_t>(world),
+                               BitVector(n_bits));
+  std::vector<std::vector<float>> legacy(
+      static_cast<std::size_t>(world), std::vector<float>(n_bits));
+  for (int r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < n_bits; ++i) {
+      const bool bit = rng.Uniform(0.0, 1.0) < 0.8;
+      ready[static_cast<std::size_t>(r)].Assign(i, bit);
+      legacy[static_cast<std::size_t>(r)][i] = bit ? 1.0f : 0.0f;
+    }
+  }
+
+  transport::InProcTransport legacy_tr(world);
+  RunAllRanks(world, [&](int rank) {
+    Comm comm{&legacy_tr, rank, world, 0};
+    EXPECT_TRUE(RingAllReduce(comm, legacy[static_cast<std::size_t>(rank)],
+                              ReduceOp::kMin)
+                    .ok());
+  });
+
+  const std::size_t words = core::SyncWordCount(n_bits);
+  ASSERT_EQ(words, n_bits / 32);
+  std::vector<std::vector<float>> packed(
+      static_cast<std::size_t>(world), std::vector<float>(words));
+  transport::InProcTransport packed_tr(world);
+  RunAllRanks(world, [&](int rank) {
+    const auto r = static_cast<std::size_t>(rank);
+    core::PackSyncBits(ready[r], packed[r]);
+    Comm comm{&packed_tr, rank, world, 0};
+    EXPECT_TRUE(RingAllReduce(comm, packed[r], ReduceOp::kBitAnd).ok());
+  });
+
+  for (int r = 0; r < world; ++r) {
+    for (std::size_t i = 0; i < n_bits; ++i) {
+      ASSERT_EQ(core::SyncBitSet(packed[static_cast<std::size_t>(r)], i),
+                legacy[static_cast<std::size_t>(r)][i] == 1.0f)
+          << "rank " << r << " bit " << i;
+    }
+  }
+  // Same message count, 1/32 the floats per message: exactly 32x fewer
+  // payload bytes over the wire.
+  EXPECT_EQ(legacy_tr.TotalMessages(), packed_tr.TotalMessages());
+  EXPECT_EQ(legacy_tr.TotalPayloadBytes(),
+            32 * packed_tr.TotalPayloadBytes());
 }
 
 // ------------------------------------------- gather: completion-order drain

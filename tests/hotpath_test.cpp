@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -150,6 +151,9 @@ float ScalarReduce(float a, float b, ReduceOp op) {
       return std::min(a, b);
     case ReduceOp::kMax:
       return std::max(a, b);
+    case ReduceOp::kBitAnd:
+      return std::bit_cast<float>(std::bit_cast<std::uint32_t>(a) &
+                                  std::bit_cast<std::uint32_t>(b));
   }
   return 0.0f;
 }
@@ -189,7 +193,8 @@ TEST_P(AccumulateP, MatchesScalarReferenceOnUnalignedOddSpans) {
 
 INSTANTIATE_TEST_SUITE_P(AllOps, AccumulateP,
                          ::testing::Values(ReduceOp::kSum, ReduceOp::kAvg,
-                                           ReduceOp::kMin, ReduceOp::kMax));
+                                           ReduceOp::kMin, ReduceOp::kMax,
+                                           ReduceOp::kBitAnd));
 
 TEST(AccumulateTest, EmptySpansAreANoOp) {
   collective::Accumulate({}, {}, ReduceOp::kSum);  // must not crash
@@ -254,6 +259,43 @@ TEST(ZeroAllocTest, PooledRingSteadyStatePerformsNoPayloadAllocations) {
   EXPECT_GT(pool1.hits - pool0.hits, 0u);
 }
 
+TEST(ZeroAllocTest, PipelinedRingSteadyStateAlsoAllocatesNothing) {
+  // Depth > 1 keeps several slices in flight per step; the slice carry
+  // window must still recycle every received payload into the next send —
+  // zero steady-state allocations survives the pipelining.
+  const int world = 4;
+  const std::size_t len = 4096;
+  transport::InProcTransport tr(world);
+  BufferPool pool;
+
+  auto run_iteration = [&] {
+    std::vector<std::thread> threads;
+    for (int r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<float> data(len, static_cast<float>(r));
+        Comm comm{&tr,   r, world, /*tag_base=*/1, /*timeout_ms=*/0,
+                  &pool, /*pipeline_depth=*/4};
+        ASSERT_TRUE(collective::RingAllReduce(comm, data, ReduceOp::kSum).ok());
+      });
+    }
+    for (auto& t : threads) t.join();
+  };
+
+  run_iteration();  // warm the pool (all misses land here)
+  run_iteration();
+  auto& legacy_allocs =
+      telemetry::MetricsRegistry::Global().GetCounter("hotpath.payload_allocs");
+  const std::uint64_t allocs0 = legacy_allocs.Value();
+  const auto pool0 = pool.stats();
+  for (int i = 0; i < 3; ++i) run_iteration();
+  EXPECT_EQ(legacy_allocs.Value() - allocs0, 0u)
+      << "pipelined pooled ranks must never take the legacy alloc+copy path";
+  const auto pool1 = pool.stats();
+  EXPECT_EQ(pool1.misses - pool0.misses, 0u)
+      << "steady-state pipelined ring must recycle every slice buffer";
+  EXPECT_GT(pool1.hits - pool0.hits, 0u);
+}
+
 TEST(ZeroAllocTest, LegacyPathCountsOneAllocationPerSend) {
   const int world = 4;
   transport::InProcTransport tr(world);
@@ -306,6 +348,36 @@ TEST(MultiChannelWorkersTest, RepeatedCallsReuseWorkersInsteadOfSpawning) {
   // The pool never grows for a workload already at its peak concurrency —
   // repeated invocations reuse the same workers, no per-call spawning.
   EXPECT_EQ(collective::MultiChannelWorkerCount(), workers_after_first);
+}
+
+TEST(PipelinedStressTest, ChannelsTimesDepthInFlightUnderRepetition) {
+  // num_channels x pipeline_depth slice payloads in flight per rank, many
+  // iterations back to back — the tsan preset runs this to shake races in
+  // the in-flight window bookkeeping and the gauge updates.
+  const int world = 4;
+  const int channels = 2;
+  const std::size_t len = 2048;
+  transport::InProcTransport tr(world);
+  BufferPool pool;
+  const std::vector<float> expected(
+      len, static_cast<float>(world * (world + 1) / 2));
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<std::thread> threads;
+    for (int r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        std::vector<float> data(len, static_cast<float>(r + 1));
+        Comm comm{&tr,   r, world, /*tag_base=*/1, /*timeout_ms=*/0,
+                  &pool, /*pipeline_depth=*/4};
+        ASSERT_TRUE(collective::MultiChannelAllReduce(comm, data,
+                                                      ReduceOp::kSum, channels)
+                        .ok());
+        ASSERT_EQ(std::memcmp(data.data(), expected.data(),
+                              len * sizeof(float)),
+                  0);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
 }
 
 // --------------------------------------------------- tag namespace layout --

@@ -6,6 +6,7 @@
 
 #include <thread>
 
+#include "core/sync_bits.h"
 #include "core/threaded_engine.h"
 #include "dnn/mlp.h"
 
@@ -149,6 +150,8 @@ TEST(ThreadedEngineTest, StatsReflectProtocolActivity) {
     });
   }
   for (auto& t : threads) t.join();
+  const std::size_t n_grads =
+      dnn::Mlp({kIn, 12, kOut}, 42).GradientTensors().size();
   for (int r = 0; r < 2; ++r) {
     const auto& stats = engine.worker(r).stats();
     EXPECT_EQ(stats.iterations, static_cast<std::uint64_t>(steps));
@@ -156,6 +159,13 @@ TEST(ThreadedEngineTest, StatsReflectProtocolActivity) {
     // 4 tensors, 128-byte units: multiple units per iteration.
     EXPECT_GE(stats.units_reduced, static_cast<std::uint64_t>(steps) * 2);
     EXPECT_GT(stats.bytes_reduced, 0u);
+    // Bit-packed sync rounds: every round ships exactly SyncWordCount(n)
+    // floats (32 readiness bits per float), not one float per gradient.
+    EXPECT_EQ(engine.metrics()
+                  .GetCounter(
+                      telemetry::RankScoped("engine.sync_payload_floats", r))
+                  .Value(),
+              stats.sync_rounds * SyncWordCount(n_grads));
   }
 }
 

@@ -187,6 +187,25 @@ TEST(InProcTransportTest, MessageCounter) {
   EXPECT_EQ(tr.TotalMessages(), 2u);
 }
 
+TEST(InProcTransportTest, ReceiveAndByteCountersCoverBothRecvPaths) {
+  InProcTransport tr(2);
+  tr.Send(0, 1, 0, {1.0f, 2.0f, 3.0f});
+  tr.Send(0, 1, 0, {4.0f});
+  EXPECT_EQ(tr.TotalPayloadBytes(), 4 * sizeof(float));
+  EXPECT_EQ(tr.wake_counters().receives, 0u);
+  // TryRecv must account for a delivery exactly like the blocking path (it
+  // used to skip the counters entirely).
+  ASSERT_TRUE(tr.TryRecv(1, 0, 0).has_value());
+  EXPECT_EQ(tr.wake_counters().receives, 1u);
+  ASSERT_TRUE(tr.Recv(1, 0, 0).ok());
+  EXPECT_EQ(tr.wake_counters().receives, 2u);
+  // An empty-handed TryRecv is not a delivery.
+  EXPECT_FALSE(tr.TryRecv(1, 0, 0).has_value());
+  EXPECT_EQ(tr.wake_counters().receives, 2u);
+  // Bytes are counted on the send side; receiving does not change them.
+  EXPECT_EQ(tr.TotalPayloadBytes(), 4 * sizeof(float));
+}
+
 TEST(InProcTransportTest, ConcurrentStress) {
   // Two rank pairs exchange on independent channels concurrently; all
   // payload sums must survive.
