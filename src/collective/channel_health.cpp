@@ -1,0 +1,205 @@
+#include "collective/channel_health.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "collective/tags.h"
+#include "common/logging.h"
+#include "telemetry/metrics.h"
+
+namespace aiacc::collective {
+namespace {
+
+telemetry::Counter& QuarantineCounter() {
+  static telemetry::Counter* c = &telemetry::MetricsRegistry::Global()
+                                      .GetCounter("channel.quarantines");
+  return *c;
+}
+telemetry::Counter& ReadmissionCounter() {
+  static telemetry::Counter* c = &telemetry::MetricsRegistry::Global()
+                                      .GetCounter("channel.readmissions");
+  return *c;
+}
+telemetry::Counter& RetryCounter() {
+  static telemetry::Counter* c =
+      &telemetry::MetricsRegistry::Global().GetCounter("channel.retries");
+  return *c;
+}
+telemetry::Gauge& ActiveGauge() {
+  static telemetry::Gauge* g =
+      &telemetry::MetricsRegistry::Global().GetGauge("channel.active");
+  return *g;
+}
+
+}  // namespace
+
+ChannelHealthTracker::ChannelHealthTracker(Options options)
+    : options_(options) {
+  AIACC_CHECK(options_.world_size >= 1);
+  AIACC_CHECK(options_.quarantine_threshold > 0.0);
+  AIACC_CHECK(options_.success_decay >= 0.0 && options_.success_decay < 1.0);
+  AIACC_CHECK(options_.initial_cooldown >= 1);
+  AIACC_CHECK(options_.max_cooldown >= options_.initial_cooldown);
+  AIACC_CHECK(options_.probation_successes >= 1);
+  common::MutexLock lock(mu_);
+  next_invocation_.assign(static_cast<std::size_t>(options_.world_size), 0);
+}
+
+void ChannelHealthTracker::EnsureChannelsLocked(int num_channels) {
+  if (channels_.size() < static_cast<std::size_t>(num_channels)) {
+    channels_.resize(static_cast<std::size_t>(num_channels));
+  }
+}
+
+std::vector<int> ChannelHealthTracker::ComputePlanLocked(int num_channels) {
+  std::vector<int> plan;
+  plan.reserve(static_cast<std::size_t>(num_channels));
+  for (int c = 0; c < num_channels; ++c) {
+    if (channels_[static_cast<std::size_t>(c)].state !=
+        ChannelState::kQuarantined) {
+      plan.push_back(c);
+    }
+  }
+  // Channel 0 never quarantines (ApplyOutcomeLocked), so the plan is never
+  // empty — but keep the invariant explicit.
+  AIACC_CHECK(!plan.empty() && plan.front() == 0);
+  ActiveGauge().Set(static_cast<double>(plan.size()));
+  return plan;
+}
+
+std::vector<int> ChannelHealthTracker::PlanFor(
+    int rank, int num_channels, std::uint64_t* invocation_out,
+    std::vector<int>* tag_bases_out) {
+  AIACC_CHECK(rank >= 0 && rank < options_.world_size);
+  AIACC_CHECK(num_channels >= 1 && num_channels <= kMaxTrackedChannels);
+  common::MutexLock lock(mu_);
+  EnsureChannelsLocked(num_channels);
+  const std::uint64_t inv = next_invocation_[static_cast<std::size_t>(rank)]++;
+  Invocation& rec = invocations_[inv];
+  if (rec.plan.empty()) {
+    // First arriver computes the plan; the invocation rendezvous guarantees
+    // every rank reads the same health state here (no rank starts
+    // invocation i+1 before all ranks finished i).
+    rec.plan = ComputePlanLocked(num_channels);
+    rec.plan_tag_bases.reserve(rec.plan.size());
+    for (const int c : rec.plan) {
+      const int epoch = channels_[static_cast<std::size_t>(c)].tag_epoch;
+      rec.plan_tag_bases.push_back(epoch == 0 ? -1
+                                              : ChannelEpochTagBase(c, epoch));
+    }
+  }
+  ++rec.planned;
+  if (invocation_out != nullptr) *invocation_out = inv;
+  if (tag_bases_out != nullptr) *tag_bases_out = rec.plan_tag_bases;
+  return rec.plan;
+}
+
+void ChannelHealthTracker::ApplyOutcomeLocked(const Invocation& inv) {
+  for (std::size_t p = 0; p < inv.plan.size(); ++p) {
+    const int c = inv.plan[p];
+    Channel& ch = channels_[static_cast<std::size_t>(c)];
+    if (inv.failed[p] != 0) {
+      ch.score += 1.0;
+      // The aborted ring stranded half-ring messages on the channel's
+      // current tags; relocate its home so no later ring can reduce over
+      // them (the in-call retry already runs on its own fresh namespace).
+      ++ch.tag_epoch;
+      const bool trip = ch.state == ChannelState::kProbation ||
+                        ch.score >= options_.quarantine_threshold;
+      // Channel 0 carries the calling thread's ring and anchors the plan;
+      // it degrades through retries, never through quarantine.
+      if (trip && c != 0) {
+        ch.state = ChannelState::kQuarantined;
+        ch.cooldown_base =
+            ch.cooldown_base == 0
+                ? options_.initial_cooldown
+                : std::min(ch.cooldown_base * 2, options_.max_cooldown);
+        ch.cooldown_remaining = ch.cooldown_base;
+        ch.probation_left = 0;
+        QuarantineCounter().Add();
+        LOG_INFO << "channel " << c << " quarantined (score " << ch.score
+                 << ", cooldown " << ch.cooldown_remaining << ")";
+      }
+    } else {
+      ch.score *= options_.success_decay;
+      if (ch.state == ChannelState::kProbation && --ch.probation_left <= 0) {
+        ch.state = ChannelState::kHealthy;
+        ch.score = 0.0;
+        ReadmissionCounter().Add();
+        LOG_INFO << "channel " << c << " re-admitted after clean probation";
+      }
+    }
+  }
+  // Quarantine clocks tick once per agreed invocation.
+  for (Channel& ch : channels_) {
+    if (ch.state == ChannelState::kQuarantined &&
+        --ch.cooldown_remaining <= 0) {
+      ch.state = ChannelState::kProbation;
+      ch.probation_left = options_.probation_successes;
+      ch.score = 0.0;
+    }
+  }
+}
+
+Result<std::vector<ChannelHealthTracker::RetrySlot>>
+ChannelHealthTracker::ReportAndAgree(std::uint64_t invocation, int rank,
+                                     const std::vector<char>& ok) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.agree_timeout_ms);
+  common::MutexLock lock(mu_);
+  auto it = invocations_.find(invocation);
+  AIACC_CHECK(it != invocations_.end());
+  Invocation& rec = it->second;
+  AIACC_CHECK(ok.size() == rec.plan.size());
+  if (rec.failed.empty()) rec.failed.assign(rec.plan.size(), 0);
+  for (std::size_t p = 0; p < ok.size(); ++p) {
+    if (ok[p] == 0) rec.failed[p] = 1;
+  }
+  if (++rec.reported == options_.world_size) {
+    // Last reporter: agree the retry set, assign fresh tag namespaces, and
+    // apply the aggregate to the health state exactly once.
+    for (std::size_t p = 0; p < rec.plan.size(); ++p) {
+      if (rec.failed[p] != 0) {
+        rec.retries.push_back(
+            {rec.plan[p], RetryRingTagBase(next_retry_id_++)});
+        RetryCounter().Add();
+      }
+    }
+    ApplyOutcomeLocked(rec);
+    rec.resolved = true;
+    cv_.NotifyAll();
+  }
+  while (!rec.resolved) {
+    if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout &&
+        !rec.resolved) {
+      return DeadlineExceeded("channel health agreement: rank " +
+                              std::to_string(rank) + " waited " +
+                              std::to_string(options_.agree_timeout_ms) +
+                              "ms for " +
+                              std::to_string(options_.world_size -
+                                             rec.reported) +
+                              " unreported rank(s)");
+    }
+  }
+  std::vector<RetrySlot> retries = rec.retries;
+  if (++rec.delivered == options_.world_size) invocations_.erase(it);
+  return retries;
+}
+
+std::vector<ChannelHealthTracker::ChannelView> ChannelHealthTracker::states()
+    const {
+  common::MutexLock lock(mu_);
+  std::vector<ChannelView> out;
+  out.reserve(channels_.size());
+  for (const Channel& ch : channels_) {
+    out.push_back({ch.state, ch.score,
+                   ch.state == ChannelState::kQuarantined
+                       ? ch.cooldown_remaining
+                       : 0,
+                   ch.tag_epoch});
+  }
+  return out;
+}
+
+}  // namespace aiacc::collective

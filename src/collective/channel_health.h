@@ -1,0 +1,148 @@
+// Channel health tracking for MultiChannelAllReduce — tier 2 of the fault
+// story (tier 1 is in-band retransmission, transport/reliable.h; tier 3 is
+// checkpoint recovery, trainer/recovery.h). One tracker is shared by every
+// rank of a multi-channel communicator (in-process, like the transport) and
+// plays two roles:
+//
+//   1. *Agreement.* Channel membership must be identical on every rank —
+//      ranks running rings over different channel sets deadlock. PlanFor
+//      hands every rank the same active-channel list for the same
+//      invocation (first arriver computes it from current health state;
+//      the rendezvous in ReportAndAgree guarantees no rank can reach
+//      invocation i+1 before every rank finished i, so the state the plan
+//      reads is identical no matter who arrives first). ReportAndAgree
+//      then rendezvouses the per-rank outcomes and returns the globally
+//      failed channels (failed anywhere = failed everywhere) plus a fresh
+//      never-reused retry tag namespace per failed channel.
+//
+//   2. *Hysteresis.* Per-channel fault scores decay on success and jump on
+//      failure; a score crossing the quarantine threshold removes the
+//      channel from subsequent plans (its chunk range rebalances onto the
+//      survivors). After a cooldown the channel is re-admitted on
+//      probation: a clean probation restores it fully, another failure
+//      re-quarantines it with a doubled (capped) cooldown.
+//
+// Channel 0 is never quarantined: a plan must keep at least one channel,
+// and the calling thread always runs one ring inline.
+//
+// Telemetry (process registry): `channel.quarantines`,
+// `channel.readmissions`, `channel.retries`, gauge `channel.active`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace aiacc::collective {
+
+class ChannelHealthTracker {
+ public:
+  struct Options {
+    int world_size = 1;
+    /// Score at/above which a healthy channel is quarantined. Failures add
+    /// 1.0; the default means two near-consecutive failures quarantine.
+    double quarantine_threshold = 1.5;
+    /// Multiplicative score decay per successful invocation.
+    double success_decay = 0.5;
+    /// Invocations a quarantined channel sits out before probation
+    /// (doubles per re-quarantine, capped at max_cooldown).
+    int initial_cooldown = 4;
+    int max_cooldown = 64;
+    /// Consecutive clean invocations on probation before full re-admission.
+    int probation_successes = 2;
+    /// ReportAndAgree gives up waiting for stragglers after this long (a
+    /// rank that aborted mid-collective would otherwise wedge the rest).
+    std::int64_t agree_timeout_ms = 30000;
+  };
+
+  enum class ChannelState { kHealthy, kProbation, kQuarantined };
+
+  struct ChannelView {
+    ChannelState state = ChannelState::kHealthy;
+    double score = 0.0;
+    int cooldown_remaining = 0;  // quarantined only
+    int tag_epoch = 0;           // agreed failure count = home namespace
+  };
+
+  /// A channel the current invocation must retry, with the agreed fresh
+  /// tag namespace for its recovery ring.
+  struct RetrySlot {
+    int channel = 0;
+    int tag_base = 0;
+  };
+
+  explicit ChannelHealthTracker(Options options);
+  ChannelHealthTracker(const ChannelHealthTracker&) = delete;
+  ChannelHealthTracker& operator=(const ChannelHealthTracker&) = delete;
+
+  /// The agreed active channel list (sorted, non-empty, always contains 0)
+  /// for this rank's next invocation; `*invocation_out` identifies the
+  /// invocation for ReportAndAgree. Every rank calls once per collective
+  /// with the same num_channels. When `tag_bases_out` is non-null it is
+  /// filled parallel to the plan: -1 for a channel still on its epoch-0
+  /// home (caller derives ChannelTagBase from its own namespace), else the
+  /// channel's agreed relocated home ChannelEpochTagBase(channel, epoch).
+  /// A failed ring strands half-ring wire state on its tags, so every
+  /// agreed failure permanently moves the channel to a fresh epoch home —
+  /// quarantine, probation and re-admission all run on clean tags.
+  std::vector<int> PlanFor(int rank, int num_channels,
+                           std::uint64_t* invocation_out,
+                           std::vector<int>* tag_bases_out = nullptr);
+
+  /// Report this rank's per-channel outcomes (indexed like the plan) and
+  /// block until every rank reported; returns the agreed retry set (a
+  /// channel failed on any rank, with its fresh retry namespace), or
+  /// kDeadlineExceeded when a rank never showed up. The last reporter
+  /// applies the aggregate to the health state exactly once.
+  Result<std::vector<RetrySlot>> ReportAndAgree(std::uint64_t invocation,
+                                                int rank,
+                                                const std::vector<char>& ok);
+
+  /// Current per-channel states (for tests/telemetry; sized to the largest
+  /// num_channels seen).
+  [[nodiscard]] std::vector<ChannelView> states() const;
+
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  struct Channel {
+    ChannelState state = ChannelState::kHealthy;
+    double score = 0.0;
+    int cooldown_remaining = 0;
+    int cooldown_base = 0;  // next quarantine's cooldown (doubles, capped)
+    int probation_left = 0;
+    int tag_epoch = 0;      // bumped on every agreed failure
+  };
+  /// One invocation's rendezvous: the plan (computed by the first arriver)
+  /// and the aggregated outcomes (applied by the last reporter).
+  struct Invocation {
+    std::vector<int> plan;
+    std::vector<int> plan_tag_bases;  // parallel to plan; -1 = epoch-0 home
+    int planned = 0;     // ranks that fetched the plan
+    int reported = 0;    // ranks that reported outcomes
+    int delivered = 0;   // ranks that collected the agreed result
+    bool resolved = false;
+    std::vector<char> failed;          // indexed like plan
+    std::vector<RetrySlot> retries;    // agreed result
+  };
+
+  void EnsureChannelsLocked(int num_channels) REQUIRES(mu_);
+  std::vector<int> ComputePlanLocked(int num_channels) REQUIRES(mu_);
+  /// Apply one invocation's aggregate outcome to the health state.
+  void ApplyOutcomeLocked(const Invocation& inv) REQUIRES(mu_);
+
+  const Options options_;
+
+  mutable common::Mutex mu_{"channel-health",
+                            common::lock_rank::kChannelHealth};
+  common::CondVar cv_;
+  std::vector<Channel> channels_ GUARDED_BY(mu_);
+  std::vector<std::uint64_t> next_invocation_ GUARDED_BY(mu_);  // per rank
+  std::map<std::uint64_t, Invocation> invocations_ GUARDED_BY(mu_);
+  std::uint64_t next_retry_id_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace aiacc::collective

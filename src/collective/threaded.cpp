@@ -4,6 +4,8 @@
 #include <array>
 #include <chrono>
 
+#include "collective/channel_health.h"
+
 #include "common/logging.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
@@ -710,6 +712,133 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
   for (const Status& st : channel_status) {
     if (!st.ok()) return st;
   }
+  return Status::Ok();
+}
+
+Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
+                             ReduceOp op, int num_channels,
+                             ChannelHealthTracker* health) {
+  if (health == nullptr) {
+    return MultiChannelAllReduce(comm, data, op, num_channels);
+  }
+  AIACC_CHECK(num_channels >= 1);
+  AIACC_CHECK(health->options().world_size == comm.world_size);
+  // Same small-payload fallback condition as the plain overload — it only
+  // depends on values identical across ranks, so either every rank takes
+  // it (and skips the tracker round entirely) or none does.
+  const std::size_t depth = static_cast<std::size_t>(
+      std::clamp(comm.pipeline_depth, 1, kMaxPipelineDepth));
+  if (num_channels == 1 ||
+      data.size() < static_cast<std::size_t>(num_channels) *
+                        static_cast<std::size_t>(comm.world_size) * depth) {
+    return RingAllReduce(comm, data, op);
+  }
+
+  std::uint64_t inv = 0;
+  std::vector<int> plan_tags;
+  const std::vector<int> plan =
+      health->PlanFor(comm.rank, num_channels, &inv, &plan_tags);
+  const int m = static_cast<int>(plan.size());
+
+  // Snapshot the input: a failed channel leaves its chunk range partially
+  // reduced, and the in-call retry ring must start from the original local
+  // contribution on *every* rank (a channel can fail on one rank after
+  // completing on another).
+  std::vector<float> snapshot = comm.pool != nullptr
+                                    ? comm.pool->Acquire(data.size())
+                                    : std::vector<float>(data.size());
+  std::copy(data.begin(), data.end(), snapshot.begin());
+  const auto release_snapshot = [&] {
+    if (comm.pool != nullptr) comm.pool->Release(std::move(snapshot));
+  };
+
+  ChannelWorkers& workers = GlobalChannelWorkers();
+  const std::size_t extra = static_cast<std::size_t>(m - 1);
+  {
+    common::MutexLock lock(workers.mu);
+    workers.reserved += extra;
+    workers.pool.EnsureWorkers(workers.reserved);
+  }
+  struct Completion {
+    common::Mutex mu{"mc-completion"};
+    common::CondVar cv;
+    int remaining GUARDED_BY(mu) = 0;
+  } done;
+  {
+    common::MutexLock lock(done.mu);
+    done.remaining = static_cast<int>(extra);
+  }
+  std::vector<Status> channel_status(static_cast<std::size_t>(m));
+  // Plan position j owns chunk j of m (the rebalancing: fewer active
+  // channels = wider chunks) and runs on the *channel's* agreed home
+  // namespace — its epoch-0 tags inside the caller's namespace until its
+  // first failure, a fresh agreed epoch home afterwards (a failed ring
+  // strands stale messages on the old tags forever).
+  auto run_channel = [&comm, data, op, m, &plan, &plan_tags](int j) -> Status {
+    const std::size_t b = ChunkBegin(data.size(), m, j);
+    const std::size_t e = ChunkBegin(data.size(), m, j + 1);
+    Comm sub = comm;
+    const int agreed = plan_tags[static_cast<std::size_t>(j)];
+    sub.tag_base =
+        agreed >= 0
+            ? agreed
+            : ChannelTagBase(comm.tag_base, plan[static_cast<std::size_t>(j)]);
+    AIACC_TRACE_SPAN_IDX("comm.channel", "channel",
+                         plan[static_cast<std::size_t>(j)]);
+    return RingAllReduce(sub, data.subspan(b, e - b), op);
+  };
+  for (int j = 1; j < m; ++j) {
+    Status* slot = &channel_status[static_cast<std::size_t>(j)];
+    workers.pool.Submit([run_channel, slot, &done, j] {
+      *slot = run_channel(j);
+      common::MutexLock lock(done.mu);
+      if (--done.remaining == 0) done.cv.NotifyAll();
+    });
+  }
+  channel_status[0] = run_channel(0);
+  {
+    common::MutexLock lock(done.mu);
+    while (done.remaining != 0) done.cv.Wait(lock);
+  }
+  {
+    common::MutexLock lock(workers.mu);
+    workers.reserved -= extra;
+  }
+
+  // Every rank reports — even on shutdown — or its peers block out their
+  // full agreement timeout waiting for this invocation.
+  std::vector<char> ok(static_cast<std::size_t>(m), 1);
+  for (int j = 0; j < m; ++j) {
+    if (!channel_status[static_cast<std::size_t>(j)].ok()) {
+      ok[static_cast<std::size_t>(j)] = 0;
+    }
+  }
+  Result<std::vector<ChannelHealthTracker::RetrySlot>> agreed =
+      health->ReportAndAgree(inv, comm.rank, ok);
+  if (!agreed.ok()) {
+    release_snapshot();
+    return agreed.status();
+  }
+  for (const ChannelHealthTracker::RetrySlot& slot : *agreed) {
+    const auto j = static_cast<std::size_t>(
+        std::find(plan.begin(), plan.end(), slot.channel) - plan.begin());
+    AIACC_CHECK(j < plan.size());
+    const std::size_t b = ChunkBegin(data.size(), m, static_cast<int>(j));
+    const std::size_t e = ChunkBegin(data.size(), m, static_cast<int>(j) + 1);
+    std::copy(snapshot.begin() + static_cast<std::ptrdiff_t>(b),
+              snapshot.begin() + static_cast<std::ptrdiff_t>(e),
+              data.begin() + static_cast<std::ptrdiff_t>(b));
+    Comm sub = comm;
+    sub.tag_base = slot.tag_base;
+    sub.pipeline_depth = 1;  // degraded retry: minimal in-flight state
+    AIACC_TRACE_SPAN_IDX("comm.channel", "retry", slot.channel);
+    const Status retried = RingAllReduce(sub, data.subspan(b, e - b), op);
+    if (!retried.ok()) {
+      release_snapshot();
+      return retried;
+    }
+  }
+  release_snapshot();
   return Status::Ok();
 }
 

@@ -118,6 +118,25 @@ Status AllToAll(const Comm& comm, std::span<const float> send,
 Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
                              ReduceOp op, int num_channels);
 
+class ChannelHealthTracker;
+
+/// Health-tracked variant (tier 2 of the fault story — see
+/// collective/channel_health.h): the active channel set comes from the
+/// tracker's agreed plan (quarantined channels are excluded and their chunk
+/// ranges rebalance onto the survivors), per-channel outcomes feed the
+/// tracker's hysteresis scoring, and a channel that failed on any rank this
+/// invocation is retried in-call — every rank restores the failed chunk
+/// range from a pre-call snapshot and re-runs it as a single degraded
+/// (depth-1) ring on a fresh, never-reused retry tag namespace, so a stale
+/// half-ring message from the failed attempt can never be mistaken for
+/// retry traffic. All ranks must share `health` (like the transport) and
+/// call with the same num_channels; one tracker serves one logical sequence
+/// of collectives (concurrent collectives need separate trackers).
+/// `health == nullptr` is exactly the plain overload.
+Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
+                             ReduceOp op, int num_channels,
+                             ChannelHealthTracker* health);
+
 /// Current size of the persistent multi-channel worker pool (0 until the
 /// first multi-channel call). Exposed so tests can assert that repeated
 /// invocations reuse workers instead of spawning threads per call.

@@ -144,6 +144,10 @@ class Result {
   const T* operator->() const { return &value(); }
   T& operator*() & { return value(); }
   const T& operator*() const& { return value(); }
+  // Without the rvalue overload, `*std::move(result)` binds const& and
+  // silently copies — for pooled payload buffers that both allocates and
+  // strands the original's class-sized capacity.
+  T&& operator*() && { return std::move(*this).value(); }
 
  private:
   std::variant<T, Status> data_;

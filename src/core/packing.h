@@ -28,6 +28,12 @@ struct UnitSegment {
 struct AllReduceUnit {
   std::uint64_t unit_id = 0;
   std::vector<UnitSegment> segments;
+  /// Ring pipeline depth every rank must use for this unit's all-reduce
+  /// (0 = the engine's configured default). Stamped by the sync protocol
+  /// from the *agreed* degradation level — ranks running one unit's ring at
+  /// different depths would exchange mismatched slice counts and abort, so
+  /// a per-rank controller value must never be used here directly.
+  int pipeline_depth = 0;
 
   [[nodiscard]] std::size_t TotalBytes() const noexcept {
     std::size_t n = 0;

@@ -1,6 +1,7 @@
 #include "core/threaded_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 
 #include "collective/threaded.h"
@@ -18,8 +19,25 @@ namespace {
 // gets its own channel derived from its (rank-agreed) unit id.
 using collective::kHeartbeatTag;
 using collective::kSyncTag;
-using collective::kUnitTagBase;
-using collective::kUnitTagStride;
+using collective::kUnitRetryEpochs;
+using collective::UnitEpochTagBase;
+
+// Degradation-level agreement rides the sync round's bitwise-AND all-reduce
+// as one extra payload word: a rank's local level proposal is encoded as a
+// unary mask — all-ones with the `level` low bits cleared — so ANDing the
+// masks across ranks clears every bit any rank cleared, and the result is
+// exactly the mask of the *maximum* proposed level. Every rank decodes the
+// same agreed level at the same round, which is what makes it safe to stamp
+// into that round's units as a cross-rank pipeline depth. (kBitAnd routes
+// arbitrary 32-bit patterns — including the all-ones NaN — bit-exactly.)
+float LevelMask(int level) {
+  return std::bit_cast<float>(~std::uint32_t{0} << level);
+}
+
+int LevelFromMask(float lane) {
+  const auto mask = std::bit_cast<std::uint32_t>(lane);
+  return mask == 0 ? 31 : std::countr_zero(mask);
+}
 
 std::string RankList(const std::vector<int>& ranks) {
   std::string out;
@@ -39,9 +57,14 @@ ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config,
       failure_(std::move(failure)),
       metrics_dump_period_ms_(telemetry::MetricsDumpPeriodMs()),
       inproc_(world_size),
-      transport_(&inproc_) {
+      transport_(&inproc_),
+      degradation_(failure_.degradation) {
   AIACC_CHECK(world_size >= 1);
   AIACC_CHECK(config_.num_streams >= 1);
+  unit_retries_ = &metrics_.GetCounter("engine.unit_retries");
+  degradation_.BindTelemetry(&metrics_.GetGauge("engine.degradation_level"),
+                             &metrics_.GetCounter("engine.degradations"),
+                             &metrics_.GetCounter("engine.restorations"));
   // One long-lived task per service loop: each rank runs an MPI process and
   // `num_streams` communication streams, plus a heartbeat when detection is
   // on and a metrics dumper when periodic dumping is configured. The pool
@@ -58,10 +81,23 @@ ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config,
   if (metrics_dump_period_ms_ > 0) {
     service_pool_->Submit([this] { MetricsDumpLoop(); });
   }
+  // Transport stack (bottom to top): inproc -> faulty -> reliable. When the
+  // reliable layer is on, the fault spec is forced to raw delivery — the
+  // reliable layer owns framing/reassembly, and faults must hit its wire
+  // frames (so a flipped bit lands in a CRC-protected frame, not in the
+  // strict-mode reassembly metadata underneath it).
   if (failure_.faults.has_value()) {
-    faulty_ = std::make_unique<transport::FaultyTransport>(inproc_,
-                                                           *failure_.faults);
+    transport::FaultSpec spec = *failure_.faults;
+    if (failure_.reliable_transport) {
+      spec.delivery = transport::FaultDelivery::kRaw;
+    }
+    faulty_ = std::make_unique<transport::FaultyTransport>(inproc_, spec);
     transport_ = faulty_.get();
+  }
+  if (failure_.reliable_transport) {
+    reliable_ = std::make_unique<transport::ReliableTransport>(
+        *transport_, failure_.reliable_options);
+    transport_ = reliable_.get();
   }
   workers_.reserve(static_cast<std::size_t>(world_size));
   ranks_.reserve(static_cast<std::size_t>(world_size));
@@ -158,6 +194,15 @@ Status ThreadedAiaccEngine::health() const {
 std::vector<int> ThreadedAiaccEngine::SuspectedRanks() const {
   common::MutexLock lock(abort_mu_);
   return suspected_;
+}
+
+std::uint64_t ThreadedAiaccEngine::FaultPressure() const {
+  std::uint64_t pressure = unit_retries_->Value();
+  if (reliable_ != nullptr) {
+    const transport::ReliableStats s = reliable_->stats();
+    pressure += s.retransmits + s.crc_failures + s.delivery_failures;
+  }
+  return pressure;
 }
 
 void ThreadedAiaccEngine::Abort(Status status, std::vector<int> suspected) {
@@ -404,9 +449,15 @@ void ThreadedAiaccEngine::RunIterationProtocol(
 
   // Bit-packed sync payload: 32 readiness bits per float word (sync_bits.h)
   // instead of one 0/1 float per gradient — a 32x cut in per-round traffic.
+  // Under degrade_before_abort one extra word carries the degradation-level
+  // proposal (see LevelMask above); the same AND-all-reduce that agrees the
+  // ready set then also agrees the max level across ranks, for free.
+  const bool degrade = failure_.degrade_before_abort;
   const std::size_t sync_words = SyncWordCount(static_cast<std::size_t>(n));
-  sync_scratch.resize(sync_words);
-  std::span<float> sync_vector(sync_scratch);
+  const std::size_t payload_words = sync_words + (degrade ? 1 : 0);
+  sync_scratch.resize(payload_words);
+  std::span<float> sync_vector(sync_scratch.data(), sync_words);
+  int agreed_level = 0;
   while (agreed_total < n) {
     // Drain whatever else has been produced.
     while (!flush_seen) {
@@ -426,11 +477,14 @@ void ThreadedAiaccEngine::RunIterationProtocol(
     // count after each round is identical everywhere, and the loop
     // condition depends only on it.
     PackSyncBits(local_ready, sync_vector);
+    if (degrade) {
+      sync_scratch[sync_words] = LevelMask(degradation_.level());
+    }
     collective::Comm comm{transport_, rank, world_size_, kSyncTag,
                           failure_.collective_timeout_ms};
     const Status st = [&] {
       AIACC_TRACE_SPAN("engine", "sync-round");
-      return collective::RingAllReduce(comm, sync_vector,
+      return collective::RingAllReduce(comm, std::span<float>(sync_scratch),
                                        collective::ReduceOp::kBitAnd);
     }();
     if (!st.ok()) {
@@ -441,8 +495,12 @@ void ThreadedAiaccEngine::RunIterationProtocol(
         aborted_.load(std::memory_order_acquire)) {
       return;
     }
+    if (degrade) {
+      agreed_level = std::min(LevelFromMask(sync_scratch[sync_words]),
+                              failure_.degradation.max_level);
+    }
     worker.sync_rounds_->Add();
-    worker.sync_payload_floats_->Add(sync_words);
+    worker.sync_payload_floats_->Add(payload_words);
 
     // Gradients agreed by everyone enter the packing stream (in id order,
     // so all ranks build identical units with identical unit ids).
@@ -456,7 +514,15 @@ void ThreadedAiaccEngine::RunIterationProtocol(
     }
     if (agreed_total == n) packer.Flush();
     while (packer.HasReadyUnit()) {
-      state.unit_queue->Push(packer.PopReadyUnit());
+      AllReduceUnit unit = packer.PopReadyUnit();
+      if (degrade) {
+        // Stamp the *agreed* depth (never the local controller value —
+        // ranks disagreeing on a unit's depth would exchange mismatched
+        // slice counts and abort, defeating graceful degradation).
+        unit.pipeline_depth = DegradationController::DepthAt(
+            config_.pipeline_depth, agreed_level);
+      }
+      state.unit_queue->Push(std::move(unit));
     }
     // If nothing new was agreed and production continues, take one blocking
     // message so the loop does not spin on empty rounds.
@@ -503,7 +569,24 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
   RankState& state = *ranks_[static_cast<std::size_t>(rank)];
   Worker& worker = *workers_[static_cast<std::size_t>(rank)];
   auto& buffer_pool = common::BufferPool::Global();
-  while (auto unit = state.unit_queue->Pop()) {
+  const bool degrade = failure_.degrade_before_abort;
+  for (;;) {
+    // Stream gating: under degradation, high-index streams park instead of
+    // claiming units (fewer concurrent rings = less fault surface). Purely
+    // local — streams pull from a shared queue, so ranks may disagree on
+    // stream counts freely. Stream 0 never parks: progress is guaranteed
+    // even at max degradation, and a parked stream's units are simply
+    // served by the active ones.
+    while (degrade && stream_index > 0 &&
+           stream_index >= degradation_.EffectiveStreams(config_.num_streams)) {
+      if (shutdown_.load(std::memory_order_acquire) ||
+          aborted_.load(std::memory_order_acquire)) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto unit = state.unit_queue->Pop();
+    if (!unit.has_value()) return;
     const auto unit_begin = std::chrono::steady_clock::now();
     AIACC_TRACE_SPAN_IDX("engine.unit", "unit",
                          static_cast<int>(unit->unit_id));
@@ -513,33 +596,86 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
     // gather -> all-reduce -> scatter, so steady state allocates nothing.
     std::vector<float> staging = buffer_pool.Acquire(bytes / sizeof(float));
 
-    // Gather the unit's slice of each gradient into the staging buffer.
-    {
-      std::vector<std::span<const std::byte>> views;
-      views.reserve(state.tensors.size());
-      for (auto t : state.tensors) {
-        views.push_back(std::as_bytes(t));
-      }
-      GatherUnit(*unit, views,
-                 std::as_writable_bytes(std::span<float>(staging)));
-    }
-
-    // One concurrent all-reduce per unit, on the unit's own tag channel —
-    // this thread is one "communication stream" of Algorithm 1.
-    collective::Comm comm{transport_, rank, world_size_,
-                          kUnitTagBase +
-                              static_cast<int>(unit->unit_id) * kUnitTagStride,
-                          failure_.collective_timeout_ms};
-    comm.pipeline_depth = config_.pipeline_depth;
+    // Attempt loop (tier 2.5): a failed all-reduce is retried in-band on a
+    // fresh tag epoch at depth 1 instead of aborting outright. Collective
+    // failures are symmetric (every rank of the wedged ring times out), so
+    // per-rank epoch counters advance in lockstep and all ranks meet again
+    // on the same retry namespace; the old epoch's tags are never reused,
+    // so stale half-ring messages from the failed attempt are inert.
+    const int max_attempts =
+        degrade ? 1 + std::max(0, failure_.max_unit_retries) : 1;
     Status st;
-    if (config_.algorithm == collective::Algorithm::kHierarchical &&
-        world_size_ % 2 == 0 && world_size_ > 2) {
-      st = collective::HierarchicalAllReduce(comm, /*gpus_per_host=*/2,
-                                             staging,
-                                             collective::ReduceOp::kAvg);
-    } else {
-      st = collective::RingAllReduce(comm, staging,
-                                     collective::ReduceOp::kAvg);
+    for (int attempt = 0;; ++attempt) {
+      // (Re-)gather the unit's slice of each gradient into staging. The
+      // tensors are untouched until a successful scatter, so every attempt
+      // restarts from pristine inputs.
+      {
+        std::vector<std::span<const std::byte>> views;
+        views.reserve(state.tensors.size());
+        for (auto t : state.tensors) {
+          views.push_back(std::as_bytes(t));
+        }
+        GatherUnit(*unit, views,
+                   std::as_writable_bytes(std::span<float>(staging)));
+      }
+
+      int epoch = 0;
+      if (degrade) {
+        common::MutexLock lock(state.mu);
+        epoch = state.unit_tag_epoch[unit->unit_id];
+      }
+      // One concurrent all-reduce per unit, on the unit's own (epoch-fresh)
+      // tag channel — this thread is one "communication stream" of
+      // Algorithm 1.
+      collective::Comm comm{transport_, rank, world_size_,
+                            UnitEpochTagBase(unit->unit_id, epoch),
+                            failure_.collective_timeout_ms};
+      // Attempt 0 runs at the depth agreed by the sync protocol (stamped on
+      // the unit; 0 = engine default). Retries always run unpipelined —
+      // the retry decision is per-rank-symmetric but not *agreed*, so depth
+      // 1 is the only value every rank can assume without coordination.
+      if (attempt == 0) {
+        comm.pipeline_depth = unit->pipeline_depth > 0 ? unit->pipeline_depth
+                                                       : config_.pipeline_depth;
+      } else {
+        comm.pipeline_depth = 1;
+      }
+      if (attempt == 0 &&
+          config_.algorithm == collective::Algorithm::kHierarchical &&
+          world_size_ % 2 == 0 && world_size_ > 2) {
+        st = collective::HierarchicalAllReduce(comm, /*gpus_per_host=*/2,
+                                               staging,
+                                               collective::ReduceOp::kAvg);
+      } else {
+        st = collective::RingAllReduce(comm, staging,
+                                       collective::ReduceOp::kAvg);
+      }
+      if (st.ok()) {
+        if (degrade) degradation_.RecordSuccess();
+        break;
+      }
+      if (!degrade || shutdown_.load(std::memory_order_acquire) ||
+          aborted_.load(std::memory_order_acquire) ||
+          st.code() == StatusCode::kUnavailable) {
+        break;  // teardown/abort — retrying a dead transport is pointless
+      }
+      degradation_.RecordFailure();
+      if (attempt + 1 >= max_attempts) break;
+      bool epochs_left = true;
+      {
+        common::MutexLock lock(state.mu);
+        int& e = state.unit_tag_epoch[unit->unit_id];
+        if (e + 1 >= kUnitRetryEpochs) {
+          epochs_left = false;  // retry namespace exhausted -> tier 3
+        } else {
+          ++e;
+        }
+      }
+      if (!epochs_left) break;
+      unit_retries_->Add();
+      AIACC_TRACE_INSTANT_V("engine.unit", "unit-retry");
+      LOG_INFO << "rank " << rank << " retrying unit " << unit->unit_id
+               << " (attempt " << attempt + 1 << "): " << st.ToString();
     }
     if (!st.ok()) {
       buffer_pool.Release(std::move(staging));

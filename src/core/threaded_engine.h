@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -43,11 +44,13 @@
 #include "common/queues.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
+#include "core/degradation.h"
 #include "core/packing.h"
 #include "core/registry.h"
 #include "telemetry/metrics.h"
 #include "transport/faulty.h"
 #include "transport/inproc.h"
+#include "transport/reliable.h"
 
 namespace aiacc::core {
 
@@ -66,6 +69,25 @@ struct FailureConfig {
   std::int64_t collective_timeout_ms = 0;
   /// When set, all engine traffic runs through a seeded FaultyTransport.
   std::optional<transport::FaultSpec> faults;
+
+  /// Tier 1 of the fault story: stack a ReliableTransport over the faulty
+  /// layer so dropped/duplicated/reordered/corrupted messages are repaired
+  /// in-band (retransmit + dedup + CRC) instead of surfacing as collective
+  /// deadline failures. When enabled together with `faults`, the fault spec
+  /// is forced to FaultDelivery::kRaw — the reliable layer owns framing.
+  bool reliable_transport = false;
+  transport::ReliableOptions reliable_options;
+
+  /// Tier 2.5: on a failed unit all-reduce, retry the unit in-band (on a
+  /// fresh tag epoch, at degraded depth) and shrink effective pipeline
+  /// depth / stream count under sustained fault pressure, instead of
+  /// aborting straight to checkpoint recovery. Symmetric by construction:
+  /// a unit collective that fails on one rank fails on all (same ring),
+  /// so every rank retries in lockstep.
+  bool degrade_before_abort = false;
+  /// Retries per unit collective before giving up and aborting (tier 3).
+  int max_unit_retries = 2;
+  DegradationController::Options degradation;
 };
 
 class ThreadedAiaccEngine {
@@ -172,6 +194,23 @@ class ThreadedAiaccEngine {
     return faulty_.get();
   }
 
+  /// The reliable layer when FailureConfig::reliable_transport is set
+  /// (tests read its retransmit/CRC stats); nullptr otherwise.
+  [[nodiscard]] transport::ReliableTransport* reliable_layer() noexcept {
+    return reliable_.get();
+  }
+
+  /// Current agreed-upon degradation level (0 = full configuration).
+  [[nodiscard]] int degradation_level() const noexcept {
+    return degradation_.level();
+  }
+
+  /// Monotonic fault-pressure signal for autotuning: total in-band repair
+  /// work (unit retries + transport retransmits/CRC failures) this engine
+  /// has performed. A config whose score only held up thanks to nonzero
+  /// pressure delta is penalized by the tuner (autotune/autotuner.h).
+  [[nodiscard]] std::uint64_t FaultPressure() const;
+
  private:
   struct RankState {
     // Registration (worker thread only, until finalized; immutable once the
@@ -193,6 +232,14 @@ class ThreadedAiaccEngine {
     // Units completed this iteration (MPI process aggregates).
     std::atomic<int> gradients_remaining{0};
     std::vector<std::size_t> reduced_bytes GUARDED_BY(mu);
+
+    // Tag-epoch per unit id (tier 2.5 retries): bumped on every failed
+    // attempt so a retry never reuses a tag channel that may still hold
+    // stale half-ring messages from the failed attempt. Persistent across
+    // iterations for the same reason (unit ids recur each iteration).
+    // Failures are symmetric across ranks, so per-rank maps stay in
+    // lockstep without coordination.
+    std::map<std::uint64_t, int> unit_tag_epoch GUARDED_BY(mu);
   };
 
   static constexpr int kFlush = -1;
@@ -230,7 +277,10 @@ class ThreadedAiaccEngine {
   std::unique_ptr<ThreadPool> service_pool_;  // NOLOCK(set in ctor, reset only by the one Shutdown winner)
   transport::InProcTransport inproc_;         // NOLOCK(internally synchronized)
   std::unique_ptr<transport::FaultyTransport> faulty_;  // NOLOCK(set in ctor only)
-  transport::Transport* transport_;  // NOLOCK(set in ctor; faulty_ when faults are configured)
+  std::unique_ptr<transport::ReliableTransport> reliable_;  // NOLOCK(set in ctor only)
+  transport::Transport* transport_;  // NOLOCK(set in ctor; topmost decorator of the inproc -> faulty -> reliable stack)
+  DegradationController degradation_;  // NOLOCK(internally synchronized)
+  telemetry::Counter* unit_retries_;   // NOLOCK(set in ctor only)
   std::vector<std::unique_ptr<Worker>> workers_;  // NOLOCK(sized in ctor, never resized)
   std::vector<std::unique_ptr<RankState>> ranks_; // NOLOCK(sized in ctor, never resized)
   std::atomic<bool> shutdown_{false};

@@ -1,0 +1,297 @@
+#include "transport/fault_schedule.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace aiacc::transport {
+namespace {
+
+// --- writer ----------------------------------------------------------------
+
+/// Doubles print round-trippably (%.17g) but small probabilities stay
+/// readable ("0.01" not "0.01000000000000000021").
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // %.12g keeps every probability/delay used in practice exact; values that
+  // need more digits round-trip through the %.17g fallback.
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+void AppendLinkFaults(std::ostringstream& out, const LinkFaults& f,
+                      const std::string& indent) {
+  out << "{\n"
+      << indent << "  \"drop_prob\": " << Num(f.drop_prob) << ",\n"
+      << indent << "  \"dup_prob\": " << Num(f.dup_prob) << ",\n"
+      << indent << "  \"reorder_prob\": " << Num(f.reorder_prob) << ",\n"
+      << indent << "  \"corrupt_prob\": " << Num(f.corrupt_prob) << ",\n"
+      << indent << "  \"delay_prob\": " << Num(f.delay_prob) << ",\n"
+      << indent << "  \"max_delay_ms\": " << Num(f.max_delay_ms) << "\n"
+      << indent << "}";
+}
+
+// --- parser ----------------------------------------------------------------
+
+/// Minimal recursive-descent JSON reader over the subset the writer emits:
+/// objects, arrays, numbers, strings (no escapes needed for this schema),
+/// and the two schema enums. Position-tracked for error messages.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  Status Fail(const std::string& msg) const {
+    return InvalidArgument("fault schedule: " + msg + " at offset " +
+                           std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  Result<std::string> ParseString() {
+    SkipWs();
+    if (!Consume('"')) return Fail("expected string");
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') return Fail("escapes not supported");
+      out.push_back(text_[pos_++]);
+    }
+    if (!Consume('"')) return Fail("unterminated string");
+    return out;
+  }
+
+  Result<double> ParseNumber() {
+    SkipWs();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return Fail("expected number");
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  /// Iterate an object's key/value pairs: on_key parses the value.
+  Status ParseObject(
+      const std::function<Status(const std::string& key)>& on_key) {
+    if (!Consume('{')) return Fail("expected '{'");
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Fail("expected ':'");
+      AIACC_RETURN_IF_ERROR(on_key(*key));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(const std::function<Status()>& on_element) {
+    if (!Consume('[')) return Fail("expected '['");
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      AIACC_RETURN_IF_ERROR(on_element());
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Status ParseLinkFaults(Reader& r, LinkFaults* out) {
+  return r.ParseObject([&](const std::string& key) -> Status {
+    Result<double> v = r.ParseNumber();
+    if (!v.ok()) return v.status();
+    if (key == "drop_prob") out->drop_prob = *v;
+    else if (key == "dup_prob") out->dup_prob = *v;
+    else if (key == "reorder_prob") out->reorder_prob = *v;
+    else if (key == "corrupt_prob") out->corrupt_prob = *v;
+    else if (key == "delay_prob") out->delay_prob = *v;
+    else if (key == "max_delay_ms") out->max_delay_ms = *v;
+    else return r.Fail("unknown link-fault key '" + key + "'");
+    return Status::Ok();
+  });
+}
+
+Result<int> ParseInt(Reader& r) {
+  Result<double> v = r.ParseNumber();
+  if (!v.ok()) return v.status();
+  const int i = static_cast<int>(*v);
+  if (static_cast<double>(i) != *v) return r.Fail("expected integer");
+  return i;
+}
+
+}  // namespace
+
+std::string FaultScheduleToJson(const FaultSpec& spec) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"seed\": " << spec.seed << ",\n";
+  out << "  \"delivery\": \""
+      << (spec.delivery == FaultDelivery::kRaw ? "raw" : "strict")
+      << "\",\n";
+  out << "  \"all_links\": ";
+  AppendLinkFaults(out, spec.all_links, "  ");
+  out << ",\n  \"per_link\": [";
+  bool first = true;
+  for (const auto& [link, faults] : spec.per_link) {
+    out << (first ? "\n" : ",\n") << "    {\"src\": " << link.first
+        << ", \"dst\": " << link.second << ", \"faults\": ";
+    AppendLinkFaults(out, faults, "    ");
+    out << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << ",\n  \"per_tag\": [";
+  first = true;
+  for (const TagFaults& w : spec.per_tag) {
+    out << (first ? "\n" : ",\n") << "    {\"tag_lo\": " << w.tag_lo
+        << ", \"tag_hi\": " << w.tag_hi << ", \"faults\": ";
+    AppendLinkFaults(out, w.faults, "    ");
+    out << "}";
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << ",\n";
+  out << "  \"crash_rank\": " << spec.crash_rank << ",\n";
+  out << "  \"crash_after_sends\": " << spec.crash_after_sends << ",\n";
+  out << "  \"straggler_rank\": " << spec.straggler_rank << ",\n";
+  out << "  \"straggler_delay_ms\": " << Num(spec.straggler_delay_ms) << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+Result<FaultSpec> FaultScheduleFromJson(const std::string& json) {
+  Reader r(json);
+  FaultSpec spec;
+  const Status st = r.ParseObject([&](const std::string& key) -> Status {
+    if (key == "seed") {
+      Result<double> v = r.ParseNumber();
+      if (!v.ok()) return v.status();
+      spec.seed = static_cast<std::uint64_t>(*v);
+      return Status::Ok();
+    }
+    if (key == "delivery") {
+      Result<std::string> v = r.ParseString();
+      if (!v.ok()) return v.status();
+      if (*v == "raw") spec.delivery = FaultDelivery::kRaw;
+      else if (*v == "strict") spec.delivery = FaultDelivery::kStrict;
+      else return r.Fail("unknown delivery mode '" + *v + "'");
+      return Status::Ok();
+    }
+    if (key == "all_links") return ParseLinkFaults(r, &spec.all_links);
+    if (key == "per_link") {
+      return r.ParseArray([&]() -> Status {
+        int src = -1;
+        int dst = -1;
+        LinkFaults faults;
+        AIACC_RETURN_IF_ERROR(
+            r.ParseObject([&](const std::string& k) -> Status {
+              if (k == "src" || k == "dst") {
+                Result<int> v = ParseInt(r);
+                if (!v.ok()) return v.status();
+                (k == "src" ? src : dst) = *v;
+                return Status::Ok();
+              }
+              if (k == "faults") return ParseLinkFaults(r, &faults);
+              return r.Fail("unknown per_link key '" + k + "'");
+            }));
+        spec.per_link[{src, dst}] = faults;
+        return Status::Ok();
+      });
+    }
+    if (key == "per_tag") {
+      return r.ParseArray([&]() -> Status {
+        TagFaults w;
+        AIACC_RETURN_IF_ERROR(
+            r.ParseObject([&](const std::string& k) -> Status {
+              if (k == "tag_lo" || k == "tag_hi") {
+                Result<int> v = ParseInt(r);
+                if (!v.ok()) return v.status();
+                (k == "tag_lo" ? w.tag_lo : w.tag_hi) = *v;
+                return Status::Ok();
+              }
+              if (k == "faults") return ParseLinkFaults(r, &w.faults);
+              return r.Fail("unknown per_tag key '" + k + "'");
+            }));
+        spec.per_tag.push_back(w);
+        return Status::Ok();
+      });
+    }
+    if (key == "crash_rank" || key == "straggler_rank") {
+      Result<int> v = ParseInt(r);
+      if (!v.ok()) return v.status();
+      (key == "crash_rank" ? spec.crash_rank : spec.straggler_rank) = *v;
+      return Status::Ok();
+    }
+    if (key == "crash_after_sends") {
+      Result<double> v = r.ParseNumber();
+      if (!v.ok()) return v.status();
+      spec.crash_after_sends = static_cast<std::uint64_t>(*v);
+      return Status::Ok();
+    }
+    if (key == "straggler_delay_ms") {
+      Result<double> v = r.ParseNumber();
+      if (!v.ok()) return v.status();
+      spec.straggler_delay_ms = *v;
+      return Status::Ok();
+    }
+    return r.Fail("unknown key '" + key + "'");
+  });
+  if (!st.ok()) return st;
+  if (!r.AtEnd()) return r.Fail("trailing content");
+  return spec;
+}
+
+Status WriteFaultSchedule(const std::string& path, const FaultSpec& spec) {
+  std::ofstream out(path);
+  if (!out) return Internal("cannot open fault schedule file: " + path);
+  out << FaultScheduleToJson(spec);
+  out.close();
+  if (!out) return Internal("failed writing fault schedule: " + path);
+  LOG_INFO << "fault schedule serialized to " << path
+                  << " (replay: bench_elastic_recovery --fault-schedule "
+                  << path << ")";
+  return Status::Ok();
+}
+
+Result<FaultSpec> LoadFaultSchedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return InvalidArgument("cannot read fault schedule file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FaultScheduleFromJson(buf.str());
+}
+
+}  // namespace aiacc::transport

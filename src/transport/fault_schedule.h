@@ -1,0 +1,35 @@
+// JSON (de)serialization for FaultSpec — the replay path of the chaos
+// layer. A failing chaos test serializes the exact seeded schedule it ran
+// (WriteFaultSchedule); the file is uploaded as a CI artifact and can be
+// replayed locally with `bench_elastic_recovery --fault-schedule <file>` or
+// by pointing any FaultyTransport at LoadFaultSchedule's result. Faults are
+// a pure function of (seed, message coordinates), so spec + seed IS the
+// schedule — replaying the spec replays every drop/dup/reorder/corrupt
+// decision bit-for-bit.
+//
+// The format is plain JSON, hand-rolled both ways (the repo takes no
+// third-party dependencies). The parser accepts exactly what the writer
+// emits plus insignificant whitespace and any key order.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "transport/faulty.h"
+
+namespace aiacc::transport {
+
+/// The spec as a JSON document (stable key order, 2-space indent).
+[[nodiscard]] std::string FaultScheduleToJson(const FaultSpec& spec);
+
+/// Parse a document produced by FaultScheduleToJson (unknown keys are
+/// errors — a typo'd field silently defaulting would un-reproduce the
+/// schedule it claims to replay).
+[[nodiscard]] Result<FaultSpec> FaultScheduleFromJson(const std::string& json);
+
+/// Write/read a schedule file. WriteFaultSchedule logs the path on success
+/// so a failing test's output tells the reader what to replay.
+Status WriteFaultSchedule(const std::string& path, const FaultSpec& spec);
+[[nodiscard]] Result<FaultSpec> LoadFaultSchedule(const std::string& path);
+
+}  // namespace aiacc::transport

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "common/logging.h"
+#include "telemetry/tracer.h"
 
 namespace aiacc::transport {
 namespace {
@@ -27,13 +29,24 @@ constexpr std::uint64_t kMaxSeq = 1ULL << 24;
 FaultyTransport::FaultyTransport(Transport& inner, FaultSpec spec)
     : inner_(inner),
       spec_(std::move(spec)),
+      raw_(spec_.delivery == FaultDelivery::kRaw),
       crashed_(static_cast<std::size_t>(inner.world_size()), 0),
       sends_by_rank_(static_cast<std::size_t>(inner.world_size()), 0) {
   AIACC_CHECK(spec_.crash_rank < inner.world_size());
   AIACC_CHECK(spec_.straggler_rank < inner.world_size());
+  for (const TagFaults& w : spec_.per_tag) {
+    AIACC_CHECK(w.tag_lo <= w.tag_hi);
+  }
 }
 
-const LinkFaults& FaultyTransport::FaultsFor(int src, int dst) const {
+const LinkFaults& FaultyTransport::FaultsFor(int src, int dst,
+                                             int tag) const {
+  for (const TagFaults& w : dynamic_per_tag_) {
+    if (tag >= w.tag_lo && tag <= w.tag_hi) return w.faults;
+  }
+  for (const TagFaults& w : spec_.per_tag) {
+    if (tag >= w.tag_lo && tag <= w.tag_hi) return w.faults;
+  }
   auto it = spec_.per_link.find({src, dst});
   return it != spec_.per_link.end() ? it->second : spec_.all_links;
 }
@@ -56,9 +69,36 @@ Payload FaultyTransport::Frame(std::uint64_t seq, const Payload& data) {
   return framed;
 }
 
+void FaultyTransport::CorruptLane(Payload& payload, std::size_t first_lane,
+                                  Rng& rng) {
+  if (payload.size() <= first_lane) return;
+  const auto lane = static_cast<std::size_t>(rng.UniformInt(
+      static_cast<std::int64_t>(first_lane),
+      static_cast<std::int64_t>(payload.size()) - 1));
+  const auto bit = static_cast<std::uint32_t>(rng.UniformInt(0, 31));
+  std::uint32_t word;
+  std::memcpy(&word, &payload[lane], sizeof(word));
+  word ^= (1u << bit);
+  std::memcpy(&payload[lane], &word, sizeof(word));
+}
+
+void FaultyTransport::RecordDelivery() {
+  {
+    common::MutexLock lock(mu_);
+    ++stats_.delivered;
+  }
+  AIACC_TRACE_INSTANT_V("transport", "recv");
+}
+
+void FaultyTransport::SetDynamicTagFaults(std::vector<TagFaults> windows) {
+  for (const TagFaults& w : windows) AIACC_CHECK(w.tag_lo <= w.tag_hi);
+  common::MutexLock lock(mu_);
+  dynamic_per_tag_ = std::move(windows);
+}
+
 void FaultyTransport::Send(int src, int dst, int tag, Payload payload) {
   double sleep_ms = 0.0;
-  std::vector<Payload> out;  // framed messages, in delivery order
+  std::vector<Payload> out;  // wire messages, in delivery order
   {
     common::MutexLock lock(mu_);
     const std::uint64_t sent =
@@ -74,7 +114,7 @@ void FaultyTransport::Send(int src, int dst, int tag, Payload payload) {
 
     SendChannel& ch = send_channels_[{src, dst, tag}];
     const std::uint64_t seq = ch.next_seq++;
-    const LinkFaults& f = FaultsFor(src, dst);
+    const LinkFaults& f = FaultsFor(src, dst, tag);
     Rng rng = DecisionRng(src, dst, tag, seq);
 
     if (src == spec_.straggler_rank && spec_.straggler_delay_ms > 0.0) {
@@ -91,16 +131,24 @@ void FaultyTransport::Send(int src, int dst, int tag, Payload payload) {
       // times out rather than silently reducing over a short stream.
       ++stats_.dropped;
     } else {
-      Payload framed = Frame(seq, payload);
+      Payload wire = raw_ ? std::move(payload) : Frame(seq, payload);
+      if (f.corrupt_prob > 0.0 && rng.Chance(f.corrupt_prob)) {
+        // Strict mode never corrupts the seq header (lane 0): its contract
+        // is exact-stream-or-timeout, and a flipped seq would alias another
+        // message instead of corrupting this one's bytes. Raw mode corrupts
+        // any lane — the reliable layer's CRC covers its whole frame.
+        CorruptLane(wire, raw_ ? 0 : 1, rng);
+        ++stats_.corrupted;
+      }
       if (f.reorder_prob > 0.0 && rng.Chance(f.reorder_prob) && !ch.held) {
-        ch.held = std::move(framed);  // delivered after the next send
+        ch.held = std::move(wire);  // delivered after the next send
         ++stats_.reordered;
       } else {
         if (f.dup_prob > 0.0 && rng.Chance(f.dup_prob)) {
-          out.push_back(framed);  // a copy — the duplicate
+          out.push_back(wire);  // a copy — the duplicate
           ++stats_.duplicated;
         }
-        out.push_back(std::move(framed));
+        out.push_back(std::move(wire));
         if (ch.held) {
           out.push_back(std::move(*ch.held));
           ch.held.reset();
@@ -112,7 +160,7 @@ void FaultyTransport::Send(int src, int dst, int tag, Payload payload) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         sleep_ms));
   }
-  for (Payload& framed : out) inner_.Send(src, dst, tag, std::move(framed));
+  for (Payload& wire : out) inner_.Send(src, dst, tag, std::move(wire));
 }
 
 std::optional<Payload> FaultyTransport::TakeExpectedLocked(RecvChannel& ch) {
@@ -130,6 +178,14 @@ Result<Payload> FaultyTransport::Recv(int rank, int src, int tag) {
 
 Result<Payload> FaultyTransport::RecvFor(int rank, int src, int tag,
                                          std::chrono::milliseconds timeout) {
+  if (raw_) {
+    // Raw mode: what the wire delivers is what the caller gets. Same
+    // delivery telemetry as the strict path — a message is a message no
+    // matter which semantics handed it over.
+    Result<Payload> raw = inner_.RecvFor(rank, src, tag, timeout);
+    if (raw.ok()) RecordDelivery();
+    return raw;
+  }
   const bool bounded = timeout > kNoTimeout;
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   // Poll quantum: the receiver periodically rechecks the sender's reorder
@@ -140,7 +196,11 @@ Result<Payload> FaultyTransport::RecvFor(int rank, int src, int tag,
     {
       common::MutexLock lock(mu_);
       RecvChannel& ch = recv_channels_[{rank, src, tag}];
-      if (auto payload = TakeExpectedLocked(ch)) return *std::move(payload);
+      if (auto payload = TakeExpectedLocked(ch)) {
+        lock.Unlock();
+        RecordDelivery();
+        return *std::move(payload);
+      }
       // The exact message we need may be sitting in the sender-side reorder
       // hold with no follow-up send coming to flush it — claim it directly.
       auto sit = send_channels_.find({src, rank, tag});
@@ -149,6 +209,8 @@ Result<Payload> FaultyTransport::RecvFor(int rank, int src, int tag,
         Payload body(sit->second.held->begin() + 1, sit->second.held->end());
         sit->second.held.reset();
         ++ch.expected;
+        lock.Unlock();
+        RecordDelivery();
         return body;
       }
     }
@@ -175,18 +237,28 @@ Result<Payload> FaultyTransport::RecvFor(int rank, int src, int tag,
 
     const auto seq = static_cast<std::uint64_t>((*raw)[0]);
     Payload body(raw->begin() + 1, raw->end());
-    common::MutexLock lock(mu_);
-    RecvChannel& ch = recv_channels_[{rank, src, tag}];
-    if (seq == ch.expected) {
-      ++ch.expected;
-      return body;
+    {
+      common::MutexLock lock(mu_);
+      RecvChannel& ch = recv_channels_[{rank, src, tag}];
+      if (seq == ch.expected) {
+        ++ch.expected;
+        lock.Unlock();
+        RecordDelivery();
+        return body;
+      }
+      if (seq > ch.expected) ch.stash[seq] = std::move(body);
+      // seq < expected: a duplicate of something already delivered —
+      // discard.
     }
-    if (seq > ch.expected) ch.stash[seq] = std::move(body);
-    // seq < expected: a duplicate of something already delivered — discard.
   }
 }
 
 std::optional<Payload> FaultyTransport::TryRecv(int rank, int src, int tag) {
+  if (raw_) {
+    auto raw = inner_.TryRecv(rank, src, tag);
+    if (raw) RecordDelivery();
+    return raw;
+  }
   // Drain every raw arrival into the stash first...
   while (auto raw = inner_.TryRecv(rank, src, tag)) {
     if (raw->empty()) continue;
@@ -199,13 +271,17 @@ std::optional<Payload> FaultyTransport::TryRecv(int rank, int src, int tag) {
   // ...then deliver the oldest one, skipping gaps (datagram semantics: a
   // heartbeat reader cares that *something recent* arrived, not that every
   // beat did).
-  common::MutexLock lock(mu_);
-  RecvChannel& ch = recv_channels_[{rank, src, tag}];
-  if (ch.stash.empty()) return std::nullopt;
-  auto it = ch.stash.begin();
-  Payload payload = std::move(it->second);
-  ch.expected = it->first + 1;
-  ch.stash.erase(it);
+  std::optional<Payload> payload;
+  {
+    common::MutexLock lock(mu_);
+    RecvChannel& ch = recv_channels_[{rank, src, tag}];
+    if (ch.stash.empty()) return std::nullopt;
+    auto it = ch.stash.begin();
+    payload = std::move(it->second);
+    ch.expected = it->first + 1;
+    ch.stash.erase(it);
+  }
+  RecordDelivery();
   return payload;
 }
 

@@ -29,6 +29,12 @@ without a compiler or libclang:
      alloc count lives on as the registry counter `hotpath.payload_allocs`
      (a string, which this token scan does not match).
 
+  5. transport raw-alloc ban: `new` / `malloc` / `calloc` / `realloc` may
+     not appear in src/transport/. Every payload buffer there must come
+     from common::BufferPool so the reliability layer stays allocation-free
+     in steady state (the zero-alloc chaos assertions depend on it).
+     Deliberate exceptions carry a `NOALLOC(reason)` comment on the line.
+
 Exit code 0 = clean, 1 = violations (printed one per line as
 `file:line: message`).
 """
@@ -233,6 +239,31 @@ def check_legacy_counters(errors: list[str]) -> None:
                 )
 
 
+# --- check 5: transport raw-alloc ban --------------------------------------
+
+RAW_ALLOC = re.compile(r"\bnew\b|\b(?:malloc|calloc|realloc)\s*\(")
+
+
+def check_transport_allocs(errors: list[str]) -> None:
+    for path in cpp_files(os.path.join("src", "transport")):
+        raw = open(path, encoding="utf-8").read()
+        raw_lines = raw.splitlines()
+        code = strip_comments(raw)
+        for lineno, line in enumerate(code.splitlines(), 1):
+            m = RAW_ALLOC.search(line)
+            if not m:
+                continue
+            raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            if re.search(r"NOALLOC\([^)]+\)", raw_line):
+                continue
+            errors.append(
+                f"{relpath(path)}:{lineno}: raw '{m.group(0).rstrip('(').strip()}' "
+                f"in src/transport/ — payload buffers must come from "
+                f"common::BufferPool (steady-state zero-alloc invariant); "
+                f"mark deliberate exceptions with NOLOCK-style NOALLOC(reason)"
+            )
+
+
 # --- check 3: guarded-member audit ----------------------------------------
 
 MEMBER_SKIP = re.compile(
@@ -343,6 +374,7 @@ def main() -> int:
     check_tag_layout(errors)
     check_guarded_members(errors)
     check_legacy_counters(errors)
+    check_transport_allocs(errors)
     if errors:
         for e in errors:
             print(e)
