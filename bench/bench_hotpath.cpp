@@ -60,6 +60,7 @@ struct BenchConfig {
 struct PhaseResult {
   double seconds = 0.0;
   std::uint64_t messages = 0;
+  std::uint64_t wire_bytes = 0;
   std::uint64_t payload_allocs = 0;
   std::uint64_t wakeups = 0;
   std::uint64_t futile_wakeups = 0;
@@ -107,6 +108,7 @@ PhaseResult TimeRanks(aiacc::transport::InProcTransport& tr,
   gate.arrive_and_wait();
   const std::uint64_t allocs0 = PayloadAllocs(pool);
   const std::uint64_t msgs0 = tr.TotalMessages();
+  const std::uint64_t wire0 = tr.TotalPayloadBytes();
   const auto wake0 = tr.wake_counters();
   const auto t0 = std::chrono::steady_clock::now();
   gate.arrive_and_wait();
@@ -117,6 +119,7 @@ PhaseResult TimeRanks(aiacc::transport::InProcTransport& tr,
   PhaseResult result;
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   result.messages = tr.TotalMessages() - msgs0;
+  result.wire_bytes = tr.TotalPayloadBytes() - wire0;
   result.payload_allocs = PayloadAllocs(pool) - allocs0;
   const auto wake1 = tr.wake_counters();
   result.wakeups = wake1.wakeups - wake0.wakeups;
@@ -257,9 +260,11 @@ int main(int argc, char** argv) {
         const double lat_us = 1e6 * r.phase.seconds / cfg.ring_iters;
         std::printf("  {\"depth\": %d, \"msgs_per_sec\": %.0f, "
                     "\"unit_latency_us\": %.1f, "
-                    "\"latency_speedup_vs_depth1\": %.2f}%s\n",
+                    "\"latency_speedup_vs_depth1\": %.2f, "
+                    "\"wire_bytes\": %llu}%s\n",
                     r.depth, r.phase.MsgsPerSec(), lat_us,
                     lat_us > 0 ? lat1_us / lat_us : 0.0,
+                    static_cast<unsigned long long>(r.phase.wire_bytes),
                     i + 1 < sweep.size() ? "," : "");
       }
       std::printf(" ]}\n");
@@ -304,13 +309,16 @@ int main(int argc, char** argv) {
           "%.1f,\n"
           " \"baseline_futile_wakeups_per_1k_msgs\": %.1f, "
           "\"pooled_futile_wakeups_per_1k_msgs\": %.1f,\n"
+          " \"baseline_wire_bytes\": %llu, \"pooled_wire_bytes\": %llu,\n"
           " \"multichannel_gb_per_sec\": %.3f, "
           "\"multichannel_workers\": %d}\n",
           cfg.world, cfg.ring_elems, cfg.ring_iters, baseline.MsgsPerSec(),
           pooled.MsgsPerSec(), speedup,
           static_cast<double>(baseline.payload_allocs) / cfg.ring_iters,
           allocs_per_iter, baseline.FutilePerKiloMsg(),
-          pooled.FutilePerKiloMsg(), mc_gb_per_sec,
+          pooled.FutilePerKiloMsg(),
+          static_cast<unsigned long long>(baseline.wire_bytes),
+          static_cast<unsigned long long>(pooled.wire_bytes), mc_gb_per_sec,
           aiacc::collective::MultiChannelWorkerCount());
     } else {
       std::printf("hot path bench: %d ranks, %zu floats, %d iters\n",
@@ -327,6 +335,10 @@ int main(int argc, char** argv) {
                   pooled.MsgsPerSec(), allocs_per_iter,
                   pooled.FutilePerKiloMsg());
       std::printf("  speedup: %.2fx\n", speedup);
+      std::printf("  wire bytes (measured window): baseline %llu, pooled "
+                  "%llu\n",
+                  static_cast<unsigned long long>(baseline.wire_bytes),
+                  static_cast<unsigned long long>(pooled.wire_bytes));
       std::printf("  multi-channel all-reduce (%d channels): %.3f GB/s on %d "
                   "persistent workers\n",
                   cfg.mc_channels, mc_gb_per_sec,

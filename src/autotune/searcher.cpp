@@ -57,10 +57,11 @@ core::CommConfig PbtSearcher::Perturb(const core::CommConfig& base,
         static_cast<std::int64_t>(idx) + dir, 0, n - 1);
     value = options[static_cast<std::size_t>(next)];
   };
-  switch (rng.UniformInt(0, 3)) {
+  switch (rng.UniformInt(0, 4)) {
     case 0: nudge(out.num_streams, space_.stream_options); break;
     case 1: nudge(out.granularity_bytes, space_.granularity_options); break;
     case 2: nudge(out.pipeline_depth, space_.pipeline_depth_options); break;
+    case 3: nudge(out.codec, space_.codec_options); break;
     default:
       out.algorithm = out.algorithm == collective::Algorithm::kRing
                           ? collective::Algorithm::kHierarchical
@@ -118,8 +119,10 @@ BayesSearcher::BayesSearcher(core::CommConfigSpace space)
     : Searcher(std::move(space)) {}
 
 std::vector<double> BayesSearcher::Encode(const core::CommConfig& c) const {
-  // Normalize to [0,1]^4: log2(streams)/5, position of granularity on its
-  // log scale, algorithm as a binary coordinate, log2(pipeline depth)/3.
+  // Normalize to [0,1]^5: log2(streams)/5, position of granularity on its
+  // log scale, algorithm as a binary coordinate, log2(pipeline depth)/3,
+  // and the codec's position in the option list (ordinal — neighbours in
+  // the list are the most similar wire formats).
   const double s = std::log2(static_cast<double>(c.num_streams)) / 5.0;
   const double lo =
       std::log2(static_cast<double>(space_.granularity_options.front()));
@@ -130,7 +133,15 @@ std::vector<double> BayesSearcher::Encode(const core::CommConfig& c) const {
       std::max(1.0, hi - lo);
   const double a = c.algorithm == collective::Algorithm::kRing ? 0.0 : 1.0;
   const double p = std::log2(static_cast<double>(c.pipeline_depth)) / 3.0;
-  return {s, g, a, p};
+  double codec_pos = 0.0;
+  for (std::size_t i = 0; i < space_.codec_options.size(); ++i) {
+    if (space_.codec_options[i] == c.codec) {
+      codec_pos = static_cast<double>(i) /
+                  std::max<double>(1.0, space_.codec_options.size() - 1.0);
+      break;
+    }
+  }
+  return {s, g, a, p, codec_pos};
 }
 
 namespace {
@@ -318,10 +329,11 @@ core::CommConfig AnnealingSearcher::Neighbour(const core::CommConfig& base,
         static_cast<std::int64_t>(idx) + dir, 0, n - 1);
     value = options[static_cast<std::size_t>(to)];
   };
-  switch (rng.UniformInt(0, 3)) {
+  switch (rng.UniformInt(0, 4)) {
     case 0: step(out.num_streams, space_.stream_options); break;
     case 1: step(out.granularity_bytes, space_.granularity_options); break;
     case 2: step(out.pipeline_depth, space_.pipeline_depth_options); break;
+    case 3: step(out.codec, space_.codec_options); break;
     default:
       out.algorithm = out.algorithm == collective::Algorithm::kRing
                           ? collective::Algorithm::kHierarchical

@@ -90,7 +90,9 @@ std::optional<core::CommConfig> TuningCache::LookupSimilar(
 namespace {
 constexpr std::uint32_t kCacheMagic = 0xA1ACCCA5;
 // Version 2 added CommConfig::pipeline_depth to every entry.
-constexpr std::uint32_t kCacheVersion = 2;
+// Version 3 added the wire codec (kind + top-k ratio) and the per-tensor
+// codec override list.
+constexpr std::uint32_t kCacheVersion = 3;
 }  // namespace
 
 std::vector<std::uint8_t> TuningCache::Serialize() const {
@@ -113,6 +115,14 @@ std::vector<std::uint8_t> TuningCache::Serialize() const {
     w.WriteU8(static_cast<std::uint8_t>(e.config.algorithm));
     w.WriteU64(e.config.min_bucket_bytes);
     w.WriteI64(e.config.pipeline_depth);
+    w.WriteU8(static_cast<std::uint8_t>(e.config.codec.kind));
+    w.WriteF64(static_cast<double>(e.config.codec.topk_ratio));
+    w.WriteU64(e.config.codec_overrides.size());
+    for (const auto& [tensor, spec] : e.config.codec_overrides) {
+      w.WriteString(tensor);
+      w.WriteU8(static_cast<std::uint8_t>(spec.kind));
+      w.WriteF64(static_cast<double>(spec.topk_ratio));
+    }
     w.WriteF64(e.score);
   }
   return std::move(w).Take();
@@ -172,6 +182,26 @@ Status TuningCache::Deserialize(const std::vector<std::uint8_t>& bytes) {
     e.config.algorithm = static_cast<collective::Algorithm>(*algo);
     e.config.min_bucket_bytes = static_cast<std::size_t>(*bucket);
     e.config.pipeline_depth = static_cast<int>(*depth);
+    auto codec_kind = r.ReadU8();
+    if (!codec_kind.ok()) return codec_kind.status();
+    auto codec_ratio = r.ReadF64();
+    if (!codec_ratio.ok()) return codec_ratio.status();
+    e.config.codec.kind = static_cast<compress::CodecKind>(*codec_kind);
+    e.config.codec.topk_ratio = static_cast<float>(*codec_ratio);
+    auto n_overrides = r.ReadU64();
+    if (!n_overrides.ok()) return n_overrides.status();
+    for (std::uint64_t o = 0; o < *n_overrides; ++o) {
+      auto tensor = r.ReadString();
+      if (!tensor.ok()) return tensor.status();
+      auto okind = r.ReadU8();
+      if (!okind.ok()) return okind.status();
+      auto oratio = r.ReadF64();
+      if (!oratio.ok()) return oratio.status();
+      e.config.codec_overrides.emplace_back(
+          std::move(*tensor),
+          compress::CodecSpec{static_cast<compress::CodecKind>(*okind),
+                              static_cast<float>(*oratio)});
+    }
     auto score = r.ReadF64();
     if (!score.ok()) return score.status();
     e.score = *score;

@@ -15,6 +15,8 @@
 namespace aiacc::collective {
 namespace {
 
+using compress::CodecKind;
+
 /// Registry counter for legacy-path (unpooled) payload allocations. Cached
 /// so the hot path pays one static-init guard check, not a registry lookup.
 telemetry::Counter& LegacyAllocCounter() {
@@ -71,6 +73,30 @@ void ReleasePayload(common::BufferPool* pool, transport::Payload&& payload) {
   }
 }
 
+/// Cast-encode `src` into a send buffer of CastWireFloats(src.size()) wire
+/// words — the codec twin of FillSendBuffer, with the same reuse-then-pool
+/// buffer discipline (legacy mode heap-allocates and counts it).
+transport::Payload FillSendEncoded(common::BufferPool* pool,
+                                   transport::Payload reuse,
+                                   std::span<const float> src,
+                                   CodecKind wire) {
+  const std::size_t wn = compress::CastWireFloats(src.size());
+  if (pool == nullptr) {
+    LegacyAllocCounter().Add();
+    transport::Payload out(wn);
+    compress::CastEncode(wire, src, out);
+    return out;
+  }
+  if (reuse.capacity() >= wn) {
+    reuse.resize(wn);
+  } else {
+    if (reuse.capacity() > 0) pool->Release(std::move(reuse));
+    reuse = pool->Acquire(wn);
+  }
+  compress::CastEncode(wire, src, reuse);
+  return reuse;
+}
+
 /// Gauge of slice messages currently in flight across every pipelined ring
 /// in the process (sender +1 on Send, receiver -1 on delivery). Cached like
 /// LegacyAllocCounter; only touched when the effective depth exceeds 1 so
@@ -125,21 +151,32 @@ std::span<float> SliceOf(std::span<float> chunk, int d, int k) {
 /// into `data`) and resent; the last step's payloads are parked in
 /// `carry[k]` for the all-gather prologue to reuse. Callers must ensure
 /// n > 1 and that d came from EffectivePipelineDepth (no empty slices).
+///
+/// With a cast codec (`wire` != kNone) every hop ships packed 16-bit lanes:
+/// the received slice decodes into `scratch` (caller-provided, at least one
+/// chunk long), folds into `data`, and the just-reduced slice re-encodes
+/// into the received payload before going back on the wire — so the encode
+/// of slice k overlaps the recv-wait of slice k+1 exactly like the
+/// uncompressed pipeline, at half the bytes per hop.
 template <typename ChunkFn>
 Status PipelinedReduceScatterPhase(transport::Transport& tr, int me, int next,
                                    int prev, int n, ChunkFn&& chunk, int start,
                                    ReduceOp op, int tag,
                                    std::int64_t timeout_ms,
                                    common::BufferPool* pool, int d,
-                                   SliceWindow& carry) {
+                                   SliceWindow& carry, CodecKind wire,
+                                   std::span<float> scratch) {
   AIACC_TRACE_SPAN("comm.phase", "reduce-scatter");
   const bool pipelined = d > 1;
+  const bool encoded = wire != CodecKind::kNone;
   std::span<float> first = chunk(start);
   for (int k = 0; k < d; ++k) {
     AIACC_TRACE_SPAN_V("comm.step", "send");
+    std::span<float> slice = SliceOf(first, d, k);
+    auto reuse = std::move(carry[static_cast<std::size_t>(k)]);
     tr.Send(me, next, tag,
-            FillSendBuffer(pool, std::move(carry[static_cast<std::size_t>(k)]),
-                           SliceOf(first, d, k)));
+            encoded ? FillSendEncoded(pool, std::move(reuse), slice, wire)
+                    : FillSendBuffer(pool, std::move(reuse), slice));
     carry[static_cast<std::size_t>(k)] = transport::Payload();
     if (pipelined) InflightSlicesGauge().Add(1);
   }
@@ -153,14 +190,23 @@ Status PipelinedReduceScatterPhase(transport::Transport& tr, int me, int next,
       if (!received.ok()) return received.status();
       if (pipelined) InflightSlicesGauge().Add(-1);
       std::span<float> slice = SliceOf(target, d, k);
-      {
+      if (encoded) {
+        AIACC_TRACE_SPAN_V("comm.step", "reduce");
+        AIACC_RETURN_IF_ERROR(
+            CheckSize(*received, compress::CastWireFloats(slice.size())));
+        std::span<float> decoded = scratch.first(slice.size());
+        compress::CastDecode(wire, *received, decoded, slice.size());
+        Accumulate(slice, decoded, op);
+      } else {
         AIACC_TRACE_SPAN_V("comm.step", "reduce");
         AIACC_RETURN_IF_ERROR(RecvReduce(slice, *received, op));
       }
       if (s + 1 < n - 1) {
         AIACC_TRACE_SPAN_V("comm.step", "send");
         tr.Send(me, next, tag,
-                FillSendBuffer(pool, std::move(*received), slice));
+                encoded
+                    ? FillSendEncoded(pool, std::move(*received), slice, wire)
+                    : FillSendBuffer(pool, std::move(*received), slice));
         if (pipelined) InflightSlicesGauge().Add(1);
       } else if (pool != nullptr) {
         carry[static_cast<std::size_t>(k)] = std::move(*received);
@@ -179,20 +225,35 @@ Status PipelinedReduceScatterPhase(transport::Transport& tr, int me, int next,
 /// step sends. Same send-order/bit-exactness guarantees as the reduce-
 /// scatter phase; callers must ensure n > 1 and d from
 /// EffectivePipelineDepth.
+/// With a cast codec the prologue encodes each owned slice and immediately
+/// decodes the encoding *back into the slice* (owner self-roundtrip): the
+/// chunk owner would otherwise keep its unquantized values while every
+/// other rank holds the decoded wire form, and replicas would diverge
+/// bitwise. Received slices decode in place and the payload is forwarded
+/// unmodified — its contents are already the encoded slice the next hop
+/// expects.
 template <typename ChunkFn>
 Status PipelinedAllGatherPhase(transport::Transport& tr, int me, int next,
                                int prev, int n, ChunkFn&& chunk, int start,
                                int tag, std::int64_t timeout_ms,
                                common::BufferPool* pool, int d,
-                               SliceWindow& carry) {
+                               SliceWindow& carry, CodecKind wire) {
   AIACC_TRACE_SPAN("comm.phase", "all-gather");
   const bool pipelined = d > 1;
+  const bool encoded = wire != CodecKind::kNone;
   std::span<float> first = chunk(start);
   for (int k = 0; k < d; ++k) {
     AIACC_TRACE_SPAN_V("comm.step", "send");
-    tr.Send(me, next, tag,
-            FillSendBuffer(pool, std::move(carry[static_cast<std::size_t>(k)]),
-                           SliceOf(first, d, k)));
+    std::span<float> slice = SliceOf(first, d, k);
+    auto reuse = std::move(carry[static_cast<std::size_t>(k)]);
+    if (encoded) {
+      transport::Payload out =
+          FillSendEncoded(pool, std::move(reuse), slice, wire);
+      compress::CastDecode(wire, out, slice, slice.size());
+      tr.Send(me, next, tag, std::move(out));
+    } else {
+      tr.Send(me, next, tag, FillSendBuffer(pool, std::move(reuse), slice));
+    }
     carry[static_cast<std::size_t>(k)] = transport::Payload();
     if (pipelined) InflightSlicesGauge().Add(1);
   }
@@ -206,14 +267,24 @@ Status PipelinedAllGatherPhase(transport::Transport& tr, int me, int next,
       if (!received.ok()) return received.status();
       if (pipelined) InflightSlicesGauge().Add(-1);
       std::span<float> slice = SliceOf(target, d, k);
-      AIACC_RETURN_IF_ERROR(CheckSize(*received, slice.size()));
-      std::copy(received->begin(), received->end(), slice.begin());
+      if (encoded) {
+        AIACC_RETURN_IF_ERROR(
+            CheckSize(*received, compress::CastWireFloats(slice.size())));
+        compress::CastDecode(wire, *received, slice, slice.size());
+      } else {
+        AIACC_RETURN_IF_ERROR(CheckSize(*received, slice.size()));
+        std::copy(received->begin(), received->end(), slice.begin());
+      }
       if (s + 1 < n - 1) {
         AIACC_TRACE_SPAN_V("comm.step", "send");
         if (pool != nullptr) {
           tr.Send(me, next, tag, std::move(*received));
         } else {
-          tr.Send(me, next, tag, FillSendBuffer(pool, {}, slice));
+          // Legacy mode forwards a verbatim copy of the wire words — the
+          // payload already holds exactly what the next hop expects.
+          tr.Send(me, next, tag,
+                  FillSendBuffer(pool, {},
+                                 std::span<const float>(*received)));
         }
         if (pipelined) InflightSlicesGauge().Add(1);
       } else if (pool != nullptr) {
@@ -234,8 +305,9 @@ Status RingAllReduceOnRing(transport::Transport& tr,
                            const std::vector<int>& ring, int my_pos,
                            std::span<float> data, ReduceOp op, int tag,
                            std::int64_t timeout_ms, common::BufferPool* pool,
-                           int pipeline_depth) {
+                           int pipeline_depth, CodecKind wire) {
   AIACC_CHECK(op != ReduceOp::kAvg);
+  AIACC_CHECK(wire == CodecKind::kNone || compress::IsCast(wire));
   const int n = static_cast<int>(ring.size());
   if (n <= 1) return Status::Ok();
   const int me = ring[static_cast<std::size_t>(my_pos)];
@@ -251,25 +323,48 @@ Status RingAllReduceOnRing(transport::Transport& tr,
   };
 
   const int d = EffectivePipelineDepth(len, n, pipeline_depth);
+  // Decode scratch for the cast codec: one chunk is the largest unit any
+  // slice decode needs, acquired once per collective (pooled mode stays
+  // allocation-free in steady state).
+  common::BufferPool::Buffer scratch_buf;
+  std::vector<float> legacy_scratch;
+  std::span<float> scratch{};
+  if (wire != CodecKind::kNone) {
+    const std::size_t max_chunk = (len + static_cast<std::size_t>(n) - 1) /
+                                  static_cast<std::size_t>(n);
+    if (pool != nullptr) {
+      scratch_buf = pool->Acquire(max_chunk);
+      scratch = scratch_buf;
+    } else {
+      legacy_scratch.resize(max_chunk);
+      scratch = legacy_scratch;
+    }
+  }
   SliceWindow carry;
-  AIACC_RETURN_IF_ERROR(PipelinedReduceScatterPhase(
-      tr, me, next, prev, n, chunk, my_pos, op, tag, timeout_ms, pool, d,
-      carry));
+  Status status = PipelinedReduceScatterPhase(tr, me, next, prev, n, chunk,
+                                              my_pos, op, tag, timeout_ms,
+                                              pool, d, carry, wire, scratch);
   // Rank my_pos now owns reduced chunk(my_pos + 1): the all-gather starts
   // there and circulates the fully-reduced chunks around the ring.
-  AIACC_RETURN_IF_ERROR(PipelinedAllGatherPhase(
-      tr, me, next, prev, n, chunk, my_pos + 1, tag, timeout_ms, pool, d,
-      carry));
+  if (status.ok()) {
+    status = PipelinedAllGatherPhase(tr, me, next, prev, n, chunk, my_pos + 1,
+                                     tag, timeout_ms, pool, d, carry, wire);
+  }
   ReleaseWindow(pool, carry);
-  return Status::Ok();
+  if (pool != nullptr && scratch_buf.capacity() > 0) {
+    pool->Release(std::move(scratch_buf));
+  }
+  return status;
 }
 
 Status BroadcastOnRing(transport::Transport& tr, const std::vector<int>& ring,
                        int my_pos, int root_pos, std::span<float> data,
                        int tag, std::int64_t timeout_ms,
-                       common::BufferPool* pool) {
+                       common::BufferPool* pool,
+                       CodecKind wire = CodecKind::kNone) {
   const int n = static_cast<int>(ring.size());
   if (n <= 1) return Status::Ok();
+  const bool encoded = wire != CodecKind::kNone;
   const int me = ring[static_cast<std::size_t>(my_pos)];
   const int next = ring[static_cast<std::size_t>((my_pos + 1) % n)];
   const int prev = ring[static_cast<std::size_t>((my_pos + n - 1) % n)];
@@ -278,19 +373,37 @@ Status BroadcastOnRing(transport::Transport& tr, const std::vector<int>& ring,
   if (!is_root) {
     auto received = TimedRecv(tr, timeout_ms, me, prev, tag);
     if (!received.ok()) return received.status();
-    AIACC_RETURN_IF_ERROR(CheckSize(*received, data.size()));
-    std::copy(received->begin(), received->end(), data.begin());
+    if (encoded) {
+      AIACC_RETURN_IF_ERROR(
+          CheckSize(*received, compress::CastWireFloats(data.size())));
+      compress::CastDecode(wire, *received, data, data.size());
+    } else {
+      AIACC_RETURN_IF_ERROR(CheckSize(*received, data.size()));
+      std::copy(received->begin(), received->end(), data.begin());
+    }
     if (next_is_root) {
       ReleasePayload(pool, std::move(*received));  // end of the pipeline
     } else if (pool != nullptr) {
-      // Forward the received payload unmodified (its contents == data).
+      // Forward the received payload unmodified (its contents are exactly
+      // what the next hop expects, encoded or raw).
       tr.Send(me, next, tag, std::move(*received));
     } else {
-      tr.Send(me, next, tag, transport::Payload(data.begin(), data.end()));
+      tr.Send(me, next, tag,
+              FillSendBuffer(pool, {}, std::span<const float>(*received)));
     }
     return Status::Ok();
   }
-  if (!next_is_root) {
+  if (encoded) {
+    // Root self-roundtrip: the broadcast result on every rank must be the
+    // decoded wire form, including on the root itself.
+    transport::Payload out = FillSendEncoded(pool, {}, data, wire);
+    compress::CastDecode(wire, out, data, data.size());
+    if (!next_is_root) {
+      tr.Send(me, next, tag, std::move(out));
+    } else {
+      ReleasePayload(pool, std::move(out));
+    }
+  } else if (!next_is_root) {
     tr.Send(me, next, tag, FillSendBuffer(pool, {}, data));
   }
   return Status::Ok();
@@ -323,6 +436,12 @@ std::size_t ChunkBegin(std::size_t len, int n_chunks, int chunk) {
 
 Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
   AIACC_CHECK(comm.transport != nullptr);
+  // The bit-packed sync rounds are exact agreements — a lossy codec on that
+  // traffic would corrupt the protocol, so the combination is forbidden.
+  AIACC_CHECK(comm.codec.kind == CodecKind::kNone || op != ReduceOp::kBitAnd);
+  if (compress::IsSparse(comm.codec.kind)) {
+    return CompressedAllReduce(comm, data, op, {});
+  }
   AIACC_TRACE_SPAN("comm", "ring-all-reduce");
   std::vector<int> ring(static_cast<std::size_t>(comm.world_size));
   for (int r = 0; r < comm.world_size; ++r) ring[static_cast<std::size_t>(r)] = r;
@@ -330,14 +449,115 @@ Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op) {
   AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, ring, comm.rank,
                                             data, inner, comm.tag_base,
                                             comm.timeout_ms, comm.pool,
-                                            comm.pipeline_depth));
+                                            comm.pipeline_depth,
+                                            comm.codec.kind));
   FinalizeAvg(data, comm.world_size, op);
+  return Status::Ok();
+}
+
+Status CompressedAllReduce(const Comm& comm, std::span<float> data,
+                           ReduceOp op, std::span<float> residual) {
+  AIACC_CHECK(comm.transport != nullptr);
+  AIACC_CHECK(compress::IsSparse(comm.codec.kind));
+  AIACC_CHECK(op == ReduceOp::kSum || op == ReduceOp::kAvg);
+  AIACC_CHECK(residual.empty() || residual.size() == data.size());
+  AIACC_TRACE_SPAN("comm", "compressed-all-reduce");
+  const int n = comm.world_size;
+  const std::size_t len = data.size();
+  common::BufferPool* pool = comm.pool;
+  common::BufferPool& scratch_pool =
+      pool != nullptr ? *pool : common::BufferPool::Global();
+  const bool has_ef = !residual.empty();
+
+  auto acquire = [&](std::size_t sz) -> transport::Payload {
+    if (pool != nullptr) return pool->Acquire(sz);
+    LegacyAllocCounter().Add();
+    return transport::Payload(sz);
+  };
+
+  // 1. Error-feedback compensation: fold the residual the codec dropped on
+  //    previous steps into this step's gradient before encoding.
+  if (has_ef) {
+    for (std::size_t i = 0; i < len; ++i) data[i] += residual[i];
+  }
+
+  // 2. Encode the compensated gradient once (per collective, not per hop).
+  transport::Payload own = acquire(compress::MaxWireFloats(comm.codec, len));
+  own.resize(compress::SparseEncode(comm.codec, data, own, scratch_pool));
+  compress::RecordWireFootprint(len, own.size());
+
+  // 3. residual = compensated - decode(own record), computed locally so EF
+  //    costs no wire traffic. Updated before the ring so a deterministic
+  //    abort mid-collective leaves residuals consistent with what was sent
+  //    (callers that retry re-gather residuals from their persistent copy).
+  if (has_ef) {
+    transport::Payload decoded = acquire(len);
+    std::fill(decoded.begin(), decoded.end(), 0.0f);
+    const Status self = compress::SparseDecodeAccumulate(comm.codec, own,
+                                                         decoded);
+    AIACC_CHECK(self.ok());
+    for (std::size_t i = 0; i < len; ++i) residual[i] = data[i] - decoded[i];
+    ReleasePayload(pool, std::move(decoded));
+  }
+
+  // 4. Ring all-gather of the n variable-length compressed records: step s
+  //    forwards the record received on step s-1, so every rank ends holding
+  //    all n records. Each rank sends n-1 compressed payloads instead of
+  //    2(n-1) raw chunks — the whole wire saving lives here.
+  std::vector<transport::Payload> records(static_cast<std::size_t>(n));
+  const int me = comm.rank;
+  const int next = (me + 1) % n;
+  const int prev = (me + n - 1) % n;
+  auto release_all = [&](transport::Payload&& own_record) {
+    ReleasePayload(pool, std::move(own_record));
+    for (transport::Payload& r : records) ReleasePayload(pool, std::move(r));
+  };
+  if (n > 1) {
+    transport::Payload cursor =
+        FillSendBuffer(pool, {}, std::span<const float>(own));
+    for (int s = 0; s < n - 1; ++s) {
+      AIACC_TRACE_SPAN_V("comm.step", "record-hop");
+      comm.transport->Send(me, next, comm.tag_base, std::move(cursor));
+      auto received = TimedRecv(*comm.transport, comm.timeout_ms, me, prev,
+                                comm.tag_base);
+      if (!received.ok()) {
+        release_all(std::move(own));
+        return received.status();
+      }
+      const int src = (me - s - 1 + n) % n;
+      if (s + 1 < n - 1) {
+        cursor = FillSendBuffer(pool, {}, std::span<const float>(*received));
+      }
+      records[static_cast<std::size_t>(src)] = std::move(*received);
+    }
+  }
+  records[static_cast<std::size_t>(me)] = std::move(own);
+
+  // 5. Decode-accumulate in rank order 0..n-1 — the identical float-add
+  //    order on every rank, so replicas are bit-identical even though each
+  //    rank received the records in a different ring order.
+  std::fill(data.begin(), data.end(), 0.0f);
+  Status status = Status::Ok();
+  for (int r = 0; r < n && status.ok(); ++r) {
+    status = compress::SparseDecodeAccumulate(
+        comm.codec, records[static_cast<std::size_t>(r)], data);
+  }
+  for (transport::Payload& r : records) ReleasePayload(pool, std::move(r));
+  if (!status.ok()) return status;
+  FinalizeAvg(data, n, op);
   return Status::Ok();
 }
 
 Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
                              std::span<float> data, ReduceOp op) {
   AIACC_CHECK(comm.transport != nullptr);
+  AIACC_CHECK(comm.codec.kind == CodecKind::kNone || op != ReduceOp::kBitAnd);
+  if (compress::IsSparse(comm.codec.kind)) {
+    // Sparse records do not compose with the intra/inter-host ring split
+    // (partial sums of decoded records would re-encode lossily per tier);
+    // one flat compressed all-reduce ships fewer bytes anyway.
+    return CompressedAllReduce(comm, data, op, {});
+  }
   AIACC_TRACE_SPAN("comm", "hierarchical-all-reduce");
   AIACC_CHECK(gpus_per_host >= 1);
   AIACC_CHECK(comm.world_size % gpus_per_host == 0);
@@ -355,7 +575,8 @@ Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
   AIACC_RETURN_IF_ERROR(RingAllReduceOnRing(*comm.transport, group, local,
                                             data, inner, comm.tag_base,
                                             comm.timeout_ms, comm.pool,
-                                            comm.pipeline_depth));
+                                            comm.pipeline_depth,
+                                            comm.codec.kind));
 
   // Phase 2: group leaders ring all-reduce across hosts.
   if (num_hosts > 1) {
@@ -368,13 +589,15 @@ Status HierarchicalAllReduce(const Comm& comm, int gpus_per_host,
                                                 host, data, inner,
                                                 comm.tag_base + 1,
                                                 comm.timeout_ms, comm.pool,
-                                                comm.pipeline_depth));
+                                                comm.pipeline_depth,
+                                                comm.codec.kind));
     }
     // Phase 3: leaders broadcast the global result inside their group.
     AIACC_RETURN_IF_ERROR(BroadcastOnRing(*comm.transport, group, local,
                                           /*root_pos=*/0, data,
                                           comm.tag_base + 2,
-                                          comm.timeout_ms, comm.pool));
+                                          comm.timeout_ms, comm.pool,
+                                          comm.codec.kind));
   }
   FinalizeAvg(data, comm.world_size, op);
   return Status::Ok();
@@ -402,7 +625,7 @@ Status ReduceScatter(const Comm& comm, std::span<float> data, ReduceOp op) {
   SliceWindow carry;
   AIACC_RETURN_IF_ERROR(PipelinedReduceScatterPhase(
       *comm.transport, me, next, prev, n, chunk, me, inner, comm.tag_base,
-      comm.timeout_ms, pool, d, carry));
+      comm.timeout_ms, pool, d, carry, CodecKind::kNone, {}));
   // Rank r now owns reduced chunk (r + 1) mod n; rotate ownership convention
   // so rank r owns chunk r: one extra pass of the owned chunk to `next`.
   std::span<float> owned = chunk(me + 1);
@@ -439,7 +662,7 @@ Status AllGather(const Comm& comm, std::span<float> data) {
   SliceWindow carry;
   AIACC_RETURN_IF_ERROR(PipelinedAllGatherPhase(
       *comm.transport, me, next, prev, n, chunk, me, comm.tag_base,
-      comm.timeout_ms, pool, d, carry));
+      comm.timeout_ms, pool, d, carry, CodecKind::kNone));
   ReleaseWindow(pool, carry);
   return Status::Ok();
 }

@@ -21,6 +21,7 @@
 #include "collective/tags.h"
 #include "common/buffer_pool.h"
 #include "common/status.h"
+#include "compress/codec.h"
 #include "transport/inproc.h"
 
 namespace aiacc::collective {
@@ -54,12 +55,37 @@ struct Comm {
   /// depth to its chunk size so a slice is never empty; depth 1 is exactly
   /// the unpipelined schedule.
   int pipeline_depth = 1;
+  /// Wire codec for the all-reduce family (src/compress/codec.h). Cast
+  /// codecs (fp16/bf16) fuse into the sliced ring phases — every hop ships
+  /// packed 16-bit lanes, the receiver decodes into pooled scratch, reduces,
+  /// and re-encodes, so the encode of slice k overlaps the recv of slice
+  /// k+1 exactly like the uncompressed pipeline. Sparse codecs (1-bit,
+  /// top-k) reroute RingAllReduce/HierarchicalAllReduce through
+  /// CompressedAllReduce. kNone (the default) is the raw-fp32 wire.
+  /// Constraints: a codec must never carry ReduceOp::kBitAnd traffic (the
+  /// bit-packed sync rounds are exact agreements), and standalone
+  /// ReduceScatter/AllGather/point-to-point ops always ship raw fp32.
+  compress::CodecSpec codec{};
 };
 
 /// Classic chunked ring all-reduce: reduce-scatter then all-gather, 2(n-1)
 /// point-to-point steps per rank. In-place on `data`; every rank must pass
 /// equally-sized buffers. Blocking; call from all ranks concurrently.
 Status RingAllReduce(const Comm& comm, std::span<float> data, ReduceOp op);
+
+/// Sparse-codec all-reduce (comm.codec must be kOneBit or kTopK; op kSum or
+/// kAvg): every rank encodes its gradient once, the n variable-length
+/// compressed records circulate around the ring (an all-gather of records),
+/// and every rank decode-accumulates them in rank order 0..n-1 — the same
+/// float-add order everywhere, so replicas are bit-identical. `residual` is
+/// the per-tensor error-feedback accumulator (same length as `data`, or
+/// empty to disable EF): the previous step's quantization error is folded
+/// into `data` before encoding and the new error
+/// (compensated - decode(own record)) is written back — locally, with no
+/// extra wire traffic. Wire cost per rank: n-1 sends of ~MaxWireFloats
+/// instead of 2(n-1) chunk payloads, a >10x byte cut at 1% top-k density.
+Status CompressedAllReduce(const Comm& comm, std::span<float> data,
+                           ReduceOp op, std::span<float> residual);
 
 /// Hierarchical all-reduce: ring within each host group of `gpus_per_host`
 /// consecutive ranks, ring across group leaders, broadcast within groups

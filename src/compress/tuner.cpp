@@ -1,0 +1,108 @@
+#include "compress/tuner.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aiacc::compress {
+
+PerTensorCodecTuner::PerTensorCodecTuner() : PerTensorCodecTuner(Options{}) {}
+
+PerTensorCodecTuner::PerTensorCodecTuner(Options options)
+    : options_(std::move(options)) {
+  if (options_.candidates.empty()) {
+    options_.candidates = {
+        CodecSpec{CodecKind::kNone},
+        CodecSpec{CodecKind::kFp16},
+        CodecSpec{CodecKind::kOneBit},
+        CodecSpec{CodecKind::kTopK, 0.01f},
+    };
+  }
+}
+
+std::size_t PerTensorCodecTuner::RegisterTensor(const std::string& name) {
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    if (arms_[i].name == name) return i;
+  }
+  TensorState state;
+  state.name = name;
+  state.arms.resize(options_.candidates.size());
+  arms_.push_back(std::move(state));
+  return arms_.size() - 1;
+}
+
+CodecSpec PerTensorCodecTuner::Choose(std::size_t id) {
+  AIACC_CHECK(id < arms_.size());
+  TensorState& state = arms_[id];
+  // Play every arm once before trusting any mean.
+  for (std::size_t a = 0; a < state.arms.size(); ++a) {
+    if (state.arms[a].plays == 0) {
+      state.last_choice = a;
+      return options_.candidates[a];
+    }
+  }
+  const double log_total =
+      std::log(static_cast<double>(state.total_plays) + 1.0);
+  std::size_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t a = 0; a < state.arms.size(); ++a) {
+    const Arm& arm = state.arms[a];
+    const double mean =
+        arm.total_reward / static_cast<double>(arm.plays);
+    const double bonus = options_.explore *
+                         std::sqrt(log_total / static_cast<double>(arm.plays));
+    const double score = mean + bonus;
+    if (score > best_score) {
+      best_score = score;
+      best = a;
+    }
+  }
+  state.last_choice = best;
+  return options_.candidates[best];
+}
+
+void PerTensorCodecTuner::Observe(std::size_t id, std::size_t wire_floats,
+                                  std::size_t raw_floats,
+                                  double relative_error) {
+  AIACC_CHECK(id < arms_.size());
+  TensorState& state = arms_[id];
+  const double saved =
+      raw_floats == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(wire_floats) /
+                      static_cast<double>(raw_floats);
+  const double reward = saved - options_.error_weight * relative_error;
+  Arm& arm = state.arms[state.last_choice];
+  ++arm.plays;
+  arm.total_reward += reward;
+  ++state.total_plays;
+}
+
+CodecSpec PerTensorCodecTuner::Best(std::size_t id) const {
+  AIACC_CHECK(id < arms_.size());
+  const TensorState& state = arms_[id];
+  std::size_t best = 0;
+  double best_mean = -1e300;
+  for (std::size_t a = 0; a < state.arms.size(); ++a) {
+    const Arm& arm = state.arms[a];
+    if (arm.plays == 0) continue;
+    const double mean = arm.total_reward / static_cast<double>(arm.plays);
+    if (mean > best_mean) {
+      best_mean = mean;
+      best = a;
+    }
+  }
+  return options_.candidates[best];
+}
+
+const std::string& PerTensorCodecTuner::NameOf(std::size_t id) const {
+  AIACC_CHECK(id < arms_.size());
+  return arms_[id].name;
+}
+
+std::uint64_t PerTensorCodecTuner::Plays(std::size_t id) const {
+  AIACC_CHECK(id < arms_.size());
+  return arms_[id].total_plays;
+}
+
+}  // namespace aiacc::compress

@@ -1,80 +1,20 @@
 #include "core/compression.h"
 
-#include <bit>
-#include <cstring>
-
 #include "common/logging.h"
+#include "compress/scalar.h"
+
+// The scalar binary16 conversion lives in compress/scalar.cpp now — the
+// codec layer and this legacy Perseus wire path must quantize identically,
+// so there is exactly one implementation and core forwards to it.
 
 namespace aiacc::core {
 
 std::uint16_t FloatToHalf(float value) noexcept {
-  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
-  const std::uint32_t sign = (bits >> 16) & 0x8000u;
-  const std::uint32_t exponent = (bits >> 23) & 0xFFu;
-  std::uint32_t mantissa = bits & 0x7FFFFFu;
-
-  if (exponent == 0xFF) {
-    // Inf / NaN: preserve NaN-ness with a quiet-bit payload.
-    return static_cast<std::uint16_t>(
-        sign | 0x7C00u | (mantissa != 0 ? 0x200u : 0u));
-  }
-  // Re-bias 127 -> 15.
-  const int new_exp = static_cast<int>(exponent) - 127 + 15;
-  if (new_exp >= 0x1F) {
-    return static_cast<std::uint16_t>(sign | 0x7C00u);  // overflow -> inf
-  }
-  if (new_exp <= 0) {
-    // Subnormal half (or underflow to zero). Shift the mantissa (with the
-    // implicit leading 1) right and round to nearest even.
-    if (new_exp < -10) return static_cast<std::uint16_t>(sign);  // -> +-0
-    mantissa |= 0x800000u;  // make the leading 1 explicit
-    const int shift = 14 - new_exp;  // 14..24
-    std::uint32_t half_mant = mantissa >> shift;
-    const std::uint32_t remainder = mantissa & ((1u << shift) - 1u);
-    const std::uint32_t halfway = 1u << (shift - 1);
-    if (remainder > halfway ||
-        (remainder == halfway && (half_mant & 1u) != 0)) {
-      ++half_mant;  // round to nearest even; may promote to normal (correct)
-    }
-    return static_cast<std::uint16_t>(sign | half_mant);
-  }
-  // Normal half: round mantissa 23 -> 10 bits, nearest even.
-  std::uint32_t half = sign | (static_cast<std::uint32_t>(new_exp) << 10) |
-                       (mantissa >> 13);
-  const std::uint32_t round_bit = mantissa & 0x1000u;
-  const std::uint32_t sticky = mantissa & 0x0FFFu;
-  if (round_bit && (sticky || (half & 1u))) {
-    ++half;  // may carry into the exponent; that is correct (e.g. inf)
-  }
-  return static_cast<std::uint16_t>(half);
+  return compress::FloatToHalf(value);
 }
 
 float HalfToFloat(std::uint16_t half) noexcept {
-  const std::uint32_t sign = (static_cast<std::uint32_t>(half) & 0x8000u)
-                             << 16;
-  const std::uint32_t exponent = (half >> 10) & 0x1Fu;
-  std::uint32_t mantissa = half & 0x3FFu;
-
-  std::uint32_t bits;
-  if (exponent == 0) {
-    if (mantissa == 0) {
-      bits = sign;  // +-0
-    } else {
-      // Subnormal half -> normalized float.
-      int e = -1;
-      std::uint32_t m = mantissa;
-      do {
-        ++e;
-        m <<= 1;
-      } while ((m & 0x400u) == 0);
-      bits = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
-    }
-  } else if (exponent == 0x1F) {
-    bits = sign | 0x7F800000u | (mantissa << 13);  // inf / NaN
-  } else {
-    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
-  }
-  return std::bit_cast<float>(bits);
+  return compress::HalfToFloat(half);
 }
 
 std::vector<std::uint16_t> CompressToHalf(std::span<const float> values) {

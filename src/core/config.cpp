@@ -6,13 +6,25 @@
 
 namespace aiacc::core {
 
+compress::CodecSpec CommConfig::CodecFor(const std::string& name) const {
+  for (const auto& [tensor, spec] : codec_overrides) {
+    if (tensor == name) return spec;
+  }
+  return codec;
+}
+
 std::string CommConfig::ToString() const {
   std::ostringstream out;
   out << "{streams=" << num_streams
       << ", granularity=" << (granularity_bytes >> 20) << "MiB"
       << ", algo=" << collective::ToString(algorithm)
       << ", min_bucket=" << (min_bucket_bytes >> 10) << "KiB"
-      << ", depth=" << pipeline_depth << "}";
+      << ", depth=" << pipeline_depth
+      << ", codec=" << compress::ToString(codec);
+  if (!codec_overrides.empty()) {
+    out << ", overrides=" << codec_overrides.size();
+  }
+  out << "}";
   return out.str();
 }
 
@@ -35,7 +47,10 @@ CommConfig CommConfigSpace::ConfigAt(std::size_t index) const {
   index /= n_gran;
   cfg.algorithm = algorithm_options[index % n_algo];
   index /= n_algo;
-  cfg.pipeline_depth = pipeline_depth_options[index];
+  const std::size_t n_depth = pipeline_depth_options.size();
+  cfg.pipeline_depth = pipeline_depth_options[index % n_depth];
+  index /= n_depth;
+  cfg.codec = codec_options[index];
   cfg.min_bucket_bytes = std::min<std::size_t>(cfg.granularity_bytes, 1u << 20);
   return cfg;
 }

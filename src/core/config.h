@@ -6,9 +6,11 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "collective/simulated.h"
+#include "compress/codec.h"
 
 namespace aiacc::core {
 
@@ -30,6 +32,20 @@ struct CommConfig {
   /// Bit-identical at every depth; the default pipelines the engine's unit
   /// rings without changing any numerics.
   int pipeline_depth = 4;
+  /// Default wire codec for gradient collectives (compress/codec.h): the
+  /// global config dimension the grid/PBT/Bayes searchers explore. kNone
+  /// keeps the raw-fp32 wire.
+  compress::CodecSpec codec{};
+  /// Per-tensor codec overrides by gradient name, the output of the
+  /// per-tensor bandit (compress/tuner.h): a sparse embedding gradient can
+  /// run top-k while dense layers run fp16. Applied by name on every rank —
+  /// gradient registration order is deterministic, so all ranks resolve the
+  /// same codec for the same tensor. Kept sorted-insertion-free (small
+  /// linear list; models have few distinct override targets).
+  std::vector<std::pair<std::string, compress::CodecSpec>> codec_overrides;
+
+  /// Codec for gradient `name`: its override when present, else `codec`.
+  [[nodiscard]] compress::CodecSpec CodecFor(const std::string& name) const;
 
   [[nodiscard]] std::string ToString() const;
 
@@ -44,10 +60,19 @@ struct CommConfigSpace {
   std::vector<collective::Algorithm> algorithm_options = {
       collective::Algorithm::kRing, collective::Algorithm::kHierarchical};
   std::vector<int> pipeline_depth_options = {1, 2, 4, 8};
+  /// Wire codecs the global searchers explore. The codec axis is last in
+  /// the mixed-radix flat index, so indices below the codec-free space size
+  /// map to exactly the configurations they did before this axis existed.
+  std::vector<compress::CodecSpec> codec_options = {
+      compress::CodecSpec{compress::CodecKind::kNone},
+      compress::CodecSpec{compress::CodecKind::kFp16},
+      compress::CodecSpec{compress::CodecKind::kOneBit},
+      compress::CodecSpec{compress::CodecKind::kTopK, 0.01f}};
 
   [[nodiscard]] std::size_t NumPoints() const noexcept {
     return stream_options.size() * granularity_options.size() *
-           algorithm_options.size() * pipeline_depth_options.size();
+           algorithm_options.size() * pipeline_depth_options.size() *
+           codec_options.size();
   }
   /// Enumerate every configuration (grid order).
   [[nodiscard]] std::vector<CommConfig> AllConfigs() const;

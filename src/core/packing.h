@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "compress/codec.h"
 #include "core/registry.h"
 
 namespace aiacc::core {
@@ -34,6 +35,12 @@ struct AllReduceUnit {
   /// different depths would exchange mismatched slice counts and abort, so
   /// a per-rank controller value must never be used here directly.
   int pipeline_depth = 0;
+  /// Wire codec every rank must use for this unit's collective. Like
+  /// pipeline_depth it is derived from agreed state only (the shared config
+  /// resolved per gradient name in registration order), so all ranks stamp
+  /// the same codec on the same unit. Gradients with different codecs never
+  /// share a unit — the packer closes the open unit on a codec change.
+  compress::CodecSpec codec{};
 
   [[nodiscard]] std::size_t TotalBytes() const noexcept {
     std::size_t n = 0;
@@ -82,8 +89,12 @@ class StreamingPacker {
     AIACC_CHECK(alignment_ > 0);
   }
 
-  /// Append a ready gradient (in agreement order).
-  void Add(int gradient_id, std::size_t bytes);
+  /// Append a ready gradient (in agreement order). `codec` is the wire
+  /// codec this gradient's collective must use; a gradient whose codec
+  /// differs from the open unit's closes that unit first, so one unit is
+  /// always encoded uniformly.
+  void Add(int gradient_id, std::size_t bytes,
+           compress::CodecSpec codec = compress::CodecSpec{});
 
   /// Close the current partial unit (if any) so it becomes ready.
   void Flush();

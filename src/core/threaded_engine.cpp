@@ -264,10 +264,17 @@ void ThreadedAiaccEngine::Worker::Finalize() {
   // Tensor lookup by registry id (name-sorted order, identical on every
   // rank — the paper's sorted registration).
   state.tensors.resize(static_cast<std::size_t>(state.registry.size()));
+  state.codecs.resize(static_cast<std::size_t>(state.registry.size()));
+  state.residuals.resize(static_cast<std::size_t>(state.registry.size()));
   for (const auto& [name, span] : state.pending_reg) {
     auto id = state.registry.IdOf(name);
     AIACC_CHECK(id.ok());
     state.tensors[static_cast<std::size_t>(*id)] = span;
+    const compress::CodecSpec spec = engine_->config_.CodecFor(name);
+    state.codecs[static_cast<std::size_t>(*id)] = spec;
+    if (compress::UsesErrorFeedback(spec.kind)) {
+      state.residuals[static_cast<std::size_t>(*id)].assign(span.size(), 0.0f);
+    }
   }
   {
     common::MutexLock lock(state.mu);
@@ -508,7 +515,8 @@ void ThreadedAiaccEngine::RunIterationProtocol(
       if (SyncBitSet(sync_vector, static_cast<std::size_t>(i)) &&
           local_ready.Test(static_cast<std::size_t>(i))) {
         local_ready.Clear(static_cast<std::size_t>(i));
-        packer.Add(i, state.registry.Get(i).bytes);
+        packer.Add(i, state.registry.Get(i).bytes,
+                   state.codecs[static_cast<std::size_t>(i)]);
         ++agreed_total;
       }
     }
@@ -595,6 +603,16 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
     // Pooled staging: across iterations the same few buffers cycle through
     // gather -> all-reduce -> scatter, so steady state allocates nothing.
     std::vector<float> staging = buffer_pool.Acquire(bytes / sizeof(float));
+    // Sparse codecs carry an error-feedback residual alongside the data.
+    // It is staged exactly like the tensors: gathered fresh per attempt
+    // (CompressedAllReduce mutates its residual span before the ring runs,
+    // so a failed attempt must restart from the persistent copy) and
+    // scattered back only after success.
+    const bool sparse_unit = compress::IsSparse(unit->codec.kind);
+    std::vector<float> residual_staging;
+    if (sparse_unit) {
+      residual_staging = buffer_pool.Acquire(bytes / sizeof(float));
+    }
 
     // Attempt loop (tier 2.5): a failed all-reduce is retried in-band on a
     // fresh tag epoch at depth 1 instead of aborting outright. Collective
@@ -618,6 +636,15 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
         GatherUnit(*unit, views,
                    std::as_writable_bytes(std::span<float>(staging)));
       }
+      if (sparse_unit) {
+        std::vector<std::span<const std::byte>> views;
+        views.reserve(state.residuals.size());
+        for (auto& r : state.residuals) {
+          views.push_back(std::as_bytes(std::span<const float>(r)));
+        }
+        GatherUnit(*unit, views,
+                   std::as_writable_bytes(std::span<float>(residual_staging)));
+      }
 
       int epoch = 0;
       if (degrade) {
@@ -640,9 +667,18 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
       } else {
         comm.pipeline_depth = 1;
       }
-      if (attempt == 0 &&
-          config_.algorithm == collective::Algorithm::kHierarchical &&
-          world_size_ % 2 == 0 && world_size_ > 2) {
+      // The unit's agreed wire codec (stamped by the packer from the shared
+      // config; identical on every rank, like pipeline_depth).
+      comm.codec = unit->codec;
+      if (sparse_unit) {
+        // Sparse codecs need the error-feedback residual and use one
+        // record-all-gather regardless of algorithm/depth.
+        st = collective::CompressedAllReduce(
+            comm, staging, collective::ReduceOp::kAvg,
+            std::span<float>(residual_staging));
+      } else if (attempt == 0 &&
+                 config_.algorithm == collective::Algorithm::kHierarchical &&
+                 world_size_ % 2 == 0 && world_size_ > 2) {
         st = collective::HierarchicalAllReduce(comm, /*gpus_per_host=*/2,
                                                staging,
                                                collective::ReduceOp::kAvg);
@@ -679,12 +715,14 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
     }
     if (!st.ok()) {
       buffer_pool.Release(std::move(staging));
+      if (sparse_unit) buffer_pool.Release(std::move(residual_staging));
       HandleCollectiveFailure(rank, st);
       return;
     }
     if (shutdown_.load(std::memory_order_acquire) ||
         aborted_.load(std::memory_order_acquire)) {
       buffer_pool.Release(std::move(staging));
+      if (sparse_unit) buffer_pool.Release(std::move(residual_staging));
       return;
     }
 
@@ -699,6 +737,19 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
       }
       ScatterUnit(*unit, std::as_bytes(std::span<const float>(staging)),
                   views);
+      if (sparse_unit) {
+        // Commit the updated error-feedback residual only now that the
+        // collective succeeded (a retried attempt must not see a residual
+        // that was already consumed by a failed ring).
+        std::vector<std::span<std::byte>> rviews;
+        rviews.reserve(state.residuals.size());
+        for (auto& r : state.residuals) {
+          rviews.push_back(std::as_writable_bytes(std::span<float>(r)));
+        }
+        ScatterUnit(*unit,
+                    std::as_bytes(std::span<const float>(residual_staging)),
+                    rviews);
+      }
       for (const UnitSegment& seg : unit->segments) {
         auto& done =
             state.reduced_bytes[static_cast<std::size_t>(seg.gradient_id)];
@@ -709,6 +760,7 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
       worker.bytes_reduced_->Add(bytes);
     }
     buffer_pool.Release(std::move(staging));
+    if (sparse_unit) buffer_pool.Release(std::move(residual_staging));
     worker.unit_latency_->Record(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       unit_begin)

@@ -1,0 +1,820 @@
+// Gradient-compression codec tests: exhaustive fp16/bf16 scalar roundtrips
+// (NaN/Inf/denormal-safe), cast wire packing at odd lengths, 1-bit and
+// top-k wire-format units including malformed-record rejection, the
+// error-feedback residual property, a ring bit-exactness matrix over
+// codec x op x world x odd lengths x pipeline depth x channels, the
+// chaos/reliable-transport composition, steady-state allocation checks,
+// codec-aware unit packing, the CommConfig codec axis + tuning-cache v3
+// round-trip, the per-tensor codec bandit, and end-to-end MLP training
+// parity through the threaded engine under every codec family.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "autotune/tuning_cache.h"
+#include "collective/threaded.h"
+#include "common/buffer_pool.h"
+#include "common/rng.h"
+#include "compress/codec.h"
+#include "compress/scalar.h"
+#include "compress/tuner.h"
+#include "core/config.h"
+#include "core/packing.h"
+#include "core/threaded_engine.h"
+#include "dnn/mlp.h"
+#include "dnn/zoo.h"
+#include "transport/faulty.h"
+#include "transport/inproc.h"
+#include "transport/reliable.h"
+
+namespace aiacc {
+namespace {
+
+using compress::CodecKind;
+using compress::CodecSpec;
+
+bool IsNanHalf(std::uint16_t h) {
+  return (h & 0x7C00u) == 0x7C00u && (h & 0x03FFu) != 0;
+}
+bool IsNanBf16(std::uint16_t b) {
+  return (b & 0x7F80u) == 0x7F80u && (b & 0x007Fu) != 0;
+}
+
+// ------------------------------------------------------- scalar casts ----
+
+// half -> float -> half is the identity for every non-NaN pattern
+// (float32 represents every half exactly); NaN patterns must stay NaN with
+// the sign preserved (the payload may be canonicalized).
+TEST(ScalarCastTest, Fp16ExhaustiveRoundtrip) {
+  for (std::uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    const auto half = static_cast<std::uint16_t>(h);
+    const float f = compress::HalfToFloat(half);
+    const std::uint16_t back = compress::FloatToHalf(f);
+    if (IsNanHalf(half)) {
+      EXPECT_TRUE(std::isnan(f)) << "half 0x" << std::hex << h;
+      EXPECT_TRUE(IsNanHalf(back)) << "half 0x" << std::hex << h;
+      EXPECT_EQ(back & 0x8000u, half & 0x8000u) << "half 0x" << std::hex << h;
+    } else {
+      EXPECT_EQ(back, half) << "half 0x" << std::hex << h;
+    }
+  }
+}
+
+TEST(ScalarCastTest, Bf16ExhaustiveRoundtrip) {
+  for (std::uint32_t b = 0; b <= 0xFFFFu; ++b) {
+    const auto bf = static_cast<std::uint16_t>(b);
+    const float f = compress::Bf16ToFloat(bf);
+    const std::uint16_t back = compress::FloatToBf16(f);
+    if (IsNanBf16(bf)) {
+      EXPECT_TRUE(std::isnan(f)) << "bf16 0x" << std::hex << b;
+      EXPECT_TRUE(IsNanBf16(back)) << "bf16 0x" << std::hex << b;
+      EXPECT_EQ(back & 0x8000u, bf & 0x8000u) << "bf16 0x" << std::hex << b;
+    } else {
+      EXPECT_EQ(back, bf) << "bf16 0x" << std::hex << b;
+    }
+  }
+}
+
+TEST(ScalarCastTest, Fp16DirectedValues) {
+  // Signed zero survives.
+  EXPECT_EQ(compress::FloatToHalf(0.0f), 0x0000u);
+  EXPECT_EQ(compress::FloatToHalf(-0.0f), 0x8000u);
+  // Infinities survive; overflow saturates to infinity.
+  EXPECT_EQ(compress::FloatToHalf(INFINITY), 0x7C00u);
+  EXPECT_EQ(compress::FloatToHalf(-INFINITY), 0xFC00u);
+  EXPECT_EQ(compress::FloatToHalf(65536.0f), 0x7C00u);
+  EXPECT_EQ(compress::FloatToHalf(1e30f), 0x7C00u);
+  // Largest finite half.
+  EXPECT_EQ(compress::FloatToHalf(65504.0f), 0x7BFFu);
+  // Subnormal halves roundtrip through float exactly (exhaustive test
+  // covers them all; spot-check the smallest).
+  EXPECT_EQ(compress::FloatToHalf(compress::HalfToFloat(0x0001u)), 0x0001u);
+  // NaN stays NaN (payload may change, never becomes a number).
+  EXPECT_TRUE(IsNanHalf(compress::FloatToHalf(std::nanf(""))));
+}
+
+TEST(ScalarCastTest, Bf16RoundsToNearestEven) {
+  // upper even, round bit set, sticky clear -> ties to even (down).
+  EXPECT_EQ(compress::FloatToBf16(std::bit_cast<float>(0x3F808000u)),
+            0x3F80u);
+  // upper odd, round bit set, sticky clear -> ties to even (up).
+  EXPECT_EQ(compress::FloatToBf16(std::bit_cast<float>(0x3F818000u)),
+            0x3F82u);
+  // round bit set, sticky set -> always up.
+  EXPECT_EQ(compress::FloatToBf16(std::bit_cast<float>(0x3F808001u)),
+            0x3F81u);
+  // round bit clear -> truncate.
+  EXPECT_EQ(compress::FloatToBf16(std::bit_cast<float>(0x3F807FFFu)),
+            0x3F80u);
+  // Signed zero and infinities.
+  EXPECT_EQ(compress::FloatToBf16(-0.0f), 0x8000u);
+  EXPECT_EQ(compress::FloatToBf16(INFINITY), 0x7F80u);
+  EXPECT_TRUE(IsNanBf16(compress::FloatToBf16(std::nanf(""))));
+}
+
+// ---------------------------------------------------- cast wire format ----
+
+TEST(CastWireTest, RoundtripAtOddLengths) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                              std::size_t{7}, std::size_t{8},
+                              std::size_t{1023}}) {
+    std::vector<float> src(n);
+    Rng rng(static_cast<std::uint64_t>(n));
+    for (float& x : src) x = static_cast<float>(rng.Uniform(-4.0, 4.0));
+    for (const CodecKind kind : {CodecKind::kFp16, CodecKind::kBf16}) {
+      std::vector<float> wire(compress::CastWireFloats(n), -1.0f);
+      std::vector<float> out(n, -99.0f);
+      compress::CastEncode(kind, src, wire);
+      compress::CastDecode(kind, wire, out, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const float want =
+            kind == CodecKind::kFp16
+                ? compress::HalfToFloat(compress::FloatToHalf(src[i]))
+                : compress::Bf16ToFloat(compress::FloatToBf16(src[i]));
+        EXPECT_EQ(out[i], want) << "kind=" << static_cast<int>(kind)
+                                << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- sparse wire formats ----
+
+TEST(SparseWireTest, OneBitEncodeDecode) {
+  common::BufferPool pool;
+  const std::vector<float> src = {2.0f, -1.0f, 0.0f, 4.0f, -3.0f};
+  const CodecSpec spec{CodecKind::kOneBit};
+  std::vector<float> wire(compress::MaxWireFloats(spec, src.size()));
+  const std::size_t wn = compress::SparseEncode(spec, src, wire, pool);
+  // Header (2) + one mask word for 5 elements.
+  ASSERT_EQ(wn, 3u);
+  const float pos_mean = wire[0];  // mean of {2, 4}
+  const float neg_mean = wire[1];  // mean of {-1, 0, -3}
+  EXPECT_FLOAT_EQ(pos_mean, 3.0f);
+  EXPECT_FLOAT_EQ(neg_mean, -4.0f / 3.0f);
+  std::vector<float> out(src.size(), 0.0f);
+  ASSERT_TRUE(compress::SparseDecodeAccumulate(
+                  spec, std::span<const float>(wire.data(), wn), out)
+                  .ok());
+  EXPECT_FLOAT_EQ(out[0], pos_mean);
+  EXPECT_FLOAT_EQ(out[1], neg_mean);
+  EXPECT_FLOAT_EQ(out[2], neg_mean);
+  EXPECT_FLOAT_EQ(out[3], pos_mean);
+  EXPECT_FLOAT_EQ(out[4], neg_mean);
+  // Truncated record is rejected without touching dst.
+  EXPECT_FALSE(compress::SparseDecodeAccumulate(
+                   spec, std::span<const float>(wire.data(), wn - 1), out)
+                   .ok());
+}
+
+TEST(SparseWireTest, TopKEncodeDecode) {
+  common::BufferPool pool;
+  std::vector<float> src(100, 0.0f);
+  src[7] = 5.0f;
+  src[42] = -9.0f;
+  src[99] = 3.0f;
+  const CodecSpec spec{CodecKind::kTopK, 0.03f};  // k = 3
+  std::vector<float> wire(compress::MaxWireFloats(spec, src.size()));
+  const std::size_t wn = compress::SparseEncode(spec, src, wire, pool);
+  ASSERT_EQ(wn, 1u + 2u * 3u);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(wire[0]), 3u);
+  // (index, value) pairs in ascending index order.
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(wire[1]), 7u);
+  EXPECT_FLOAT_EQ(wire[2], 5.0f);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(wire[3]), 42u);
+  EXPECT_FLOAT_EQ(wire[4], -9.0f);
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(wire[5]), 99u);
+  EXPECT_FLOAT_EQ(wire[6], 3.0f);
+  std::vector<float> out(src.size(), 0.0f);
+  ASSERT_TRUE(compress::SparseDecodeAccumulate(
+                  spec, std::span<const float>(wire.data(), wn), out)
+                  .ok());
+  EXPECT_EQ(out, src);
+}
+
+TEST(SparseWireTest, TopKTiesResolveByIndexOrder) {
+  common::BufferPool pool;
+  std::vector<float> src(10, 1.0f);  // every magnitude ties
+  const CodecSpec spec{CodecKind::kTopK, 0.3f};  // k = 3
+  std::vector<float> wire(compress::MaxWireFloats(spec, src.size()));
+  const std::size_t wn = compress::SparseEncode(spec, src, wire, pool);
+  ASSERT_EQ(wn, 7u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(wire[1 + 2 * i]),
+              static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(SparseWireTest, TopKRejectsMalformedRecords) {
+  common::BufferPool pool;
+  std::vector<float> src(16, 1.0f);
+  const CodecSpec spec{CodecKind::kTopK, 0.25f};  // k = 4
+  std::vector<float> wire(compress::MaxWireFloats(spec, src.size()));
+  const std::size_t wn = compress::SparseEncode(spec, src, wire, pool);
+  std::vector<float> out(src.size(), 0.0f);
+
+  // Length does not match the header's k.
+  EXPECT_FALSE(compress::SparseDecodeAccumulate(
+                   spec, std::span<const float>(wire.data(), wn - 2), out)
+                   .ok());
+  // Out-of-range index.
+  std::vector<float> bad(wire.begin(), wire.begin() + static_cast<long>(wn));
+  bad[1] = std::bit_cast<float>(std::uint32_t{999});
+  EXPECT_FALSE(
+      compress::SparseDecodeAccumulate(spec, bad, out).ok());
+  // Non-ascending (duplicate) index.
+  bad.assign(wire.begin(), wire.begin() + static_cast<long>(wn));
+  bad[3] = bad[1];
+  EXPECT_FALSE(
+      compress::SparseDecodeAccumulate(spec, bad, out).ok());
+  // k larger than the destination.
+  std::vector<float> tiny(2, 0.0f);
+  EXPECT_FALSE(compress::SparseDecodeAccumulate(
+                   spec, std::span<const float>(wire.data(), wn), tiny)
+                   .ok());
+  // Empty record.
+  EXPECT_FALSE(compress::SparseDecodeAccumulate(
+                   spec, std::span<const float>(), out)
+                   .ok());
+}
+
+TEST(SparseWireTest, TopKCountClamps) {
+  EXPECT_EQ(compress::TopKCount(0, 0.01f), 0u);
+  EXPECT_EQ(compress::TopKCount(10, 0.0f), 1u);   // floor at 1
+  EXPECT_EQ(compress::TopKCount(10, 1.0f), 10u);  // ceiling at n
+  EXPECT_EQ(compress::TopKCount(1000, 0.01f), 10u);
+}
+
+// ------------------------------------------------------ error feedback ----
+
+// With error feedback, the running average of the decoded (transmitted)
+// gradients converges to the true gradient even though every single step is
+// heavily quantized — the residual re-injects exactly what was dropped.
+TEST(ErrorFeedbackTest, RunningAverageConvergesToTrueGradient) {
+  for (const CodecSpec spec :
+       {CodecSpec{CodecKind::kOneBit}, CodecSpec{CodecKind::kTopK, 0.05f}}) {
+    common::BufferPool pool;
+    const std::size_t n = 512;
+    std::vector<float> g(n);
+    Rng rng(7);
+    for (float& x : g) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    double g_norm = 0.0;
+    for (float x : g) g_norm += static_cast<double>(x) * x;
+    g_norm = std::sqrt(g_norm);
+
+    std::vector<float> residual(n, 0.0f);
+    std::vector<float> compensated(n);
+    std::vector<double> sum_decoded(n, 0.0);
+    std::vector<float> wire(compress::MaxWireFloats(spec, n));
+    auto avg_error_after = [&](int steps, int start) {
+      for (int t = start; t < steps; ++t) {
+        for (std::size_t i = 0; i < n; ++i) {
+          compensated[i] = g[i] + residual[i];
+        }
+        const std::size_t wn =
+            compress::SparseEncode(spec, compensated, wire, pool);
+        std::vector<float> decoded(n, 0.0f);
+        EXPECT_TRUE(compress::SparseDecodeAccumulate(
+                        spec, std::span<const float>(wire.data(), wn),
+                        decoded)
+                        .ok());
+        for (std::size_t i = 0; i < n; ++i) {
+          residual[i] = compensated[i] - decoded[i];
+          sum_decoded[i] += static_cast<double>(decoded[i]);
+        }
+      }
+      double err = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d =
+            sum_decoded[i] / steps - static_cast<double>(g[i]);
+        err += d * d;
+      }
+      return std::sqrt(err) / g_norm;
+    };
+    auto residual_norm = [&] {
+      double r2 = 0.0;
+      for (float r : residual) r2 += static_cast<double>(r) * r;
+      return std::sqrt(r2);
+    };
+    const double early = avg_error_after(5, 0);
+    const double late = avg_error_after(100, 5);
+    // The residual keeps what every step dropped, so the time-averaged
+    // transmitted gradient closes in on the truth.
+    EXPECT_LT(late, early * 0.5) << compress::ToString(spec);
+    // And the residual saturates rather than growing without bound: after
+    // it reaches steady state (top-k revisits every coordinate once per
+    // ~n/k steps), another 100 steps barely move its norm.
+    const double r_mid = residual_norm();
+    avg_error_after(200, 100);
+    EXPECT_LT(residual_norm(), 1.25 * r_mid + 1e-3 * g_norm)
+        << compress::ToString(spec);
+  }
+}
+
+// --------------------------------------------------- ring bit-exactness ----
+
+/// All-reduce `data[r]` on every rank over a fresh transport; returns
+/// per-rank results.
+std::vector<std::vector<float>> RunRing(const CodecSpec& spec, int world,
+                                        std::vector<std::vector<float>> data,
+                                        collective::ReduceOp op, int depth,
+                                        int channels = 1) {
+  transport::InProcTransport tr(world);
+  common::BufferPool pool;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<float>> residuals(
+      static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      auto& vec = data[static_cast<std::size_t>(r)];
+      collective::Comm comm{&tr, r, world, /*tag_base=*/1,
+                            /*timeout_ms=*/20000, &pool, depth};
+      comm.codec = spec;
+      Status st;
+      if (compress::IsSparse(spec.kind) && channels == 1) {
+        auto& res = residuals[static_cast<std::size_t>(r)];
+        res.assign(vec.size(), 0.0f);
+        st = collective::CompressedAllReduce(comm, vec, op,
+                                             std::span<float>(res));
+      } else if (channels > 1) {
+        st = collective::MultiChannelAllReduce(comm, vec, op, channels);
+      } else {
+        st = collective::RingAllReduce(comm, vec, op);
+      }
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    });
+  }
+  for (auto& t : threads) t.join();
+  return data;
+}
+
+std::vector<std::vector<float>> MakeRankData(int world, std::size_t len,
+                                             std::uint64_t seed) {
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(world));
+  Rng rng(seed);
+  for (auto& v : data) {
+    v.resize(len);
+    for (float& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+  return data;
+}
+
+// Every codec, odd lengths, several worlds and depths: all replicas must be
+// bit-identical, and the cast codecs must stay near the exact average.
+TEST(RingCodecMatrixTest, ReplicasBitIdenticalAndCastAccurate) {
+  const std::vector<CodecSpec> codecs = {
+      CodecSpec{CodecKind::kFp16}, CodecSpec{CodecKind::kBf16},
+      CodecSpec{CodecKind::kOneBit}, CodecSpec{CodecKind::kTopK, 0.1f}};
+  for (const CodecSpec& spec : codecs) {
+    for (const int world : {2, 3, 4}) {
+      for (const std::size_t len :
+           {std::size_t{1}, std::size_t{5}, std::size_t{63},
+            std::size_t{130}}) {
+        for (const int depth : {1, 4}) {
+          const auto inputs = MakeRankData(
+              world, len,
+              1000 + static_cast<std::uint64_t>(world) * 10 + len);
+          const auto out = RunRing(spec, world, inputs,
+                                   collective::ReduceOp::kAvg, depth);
+          for (int r = 1; r < world; ++r) {
+            ASSERT_EQ(out[static_cast<std::size_t>(r)], out[0])
+                << compress::ToString(spec) << " world=" << world
+                << " len=" << len << " depth=" << depth << " rank=" << r;
+          }
+          if (compress::IsCast(spec.kind)) {
+            const float tol =
+                spec.kind == CodecKind::kFp16 ? 0.01f : 0.08f;
+            for (std::size_t i = 0; i < len; ++i) {
+              double exact = 0.0;
+              for (int r = 0; r < world; ++r) {
+                exact += static_cast<double>(
+                    inputs[static_cast<std::size_t>(r)][i]);
+              }
+              exact /= world;
+              EXPECT_NEAR(out[0][i], static_cast<float>(exact), tol)
+                  << compress::ToString(spec) << " world=" << world
+                  << " len=" << len << " depth=" << depth << " i=" << i;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// kSum must also hold (the engine retries use it via FinalizeAvg skipping).
+TEST(RingCodecMatrixTest, SumOpBitIdentical) {
+  const auto inputs = MakeRankData(3, 130, 99);
+  for (const CodecSpec spec :
+       {CodecSpec{CodecKind::kFp16}, CodecSpec{CodecKind::kTopK, 0.1f}}) {
+    const auto out =
+        RunRing(spec, 3, inputs, collective::ReduceOp::kSum, 2);
+    EXPECT_EQ(out[1], out[0]) << compress::ToString(spec);
+    EXPECT_EQ(out[2], out[0]) << compress::ToString(spec);
+  }
+}
+
+// Top-k with a shared sparse support (<= k per rank's union) is lossless:
+// the all-reduce equals the exact average to fp32 rounding.
+TEST(RingCodecMatrixTest, TopKLosslessOnSharedSparseSupport) {
+  const int world = 4;
+  const std::size_t len = 1000;
+  std::vector<std::vector<float>> inputs(world);
+  Rng rng(5);
+  for (int r = 0; r < world; ++r) {
+    inputs[static_cast<std::size_t>(r)].assign(len, 0.0f);
+  }
+  for (std::size_t i = 0; i < len; i += 125) {  // 8 hot rows, k = 10
+    for (int r = 0; r < world; ++r) {
+      inputs[static_cast<std::size_t>(r)][i] =
+          static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+  }
+  const auto out = RunRing(CodecSpec{CodecKind::kTopK, 0.01f}, world, inputs,
+                           collective::ReduceOp::kAvg, 1);
+  for (std::size_t i = 0; i < len; ++i) {
+    double exact = 0.0;
+    for (int r = 0; r < world; ++r) {
+      exact += static_cast<double>(inputs[static_cast<std::size_t>(r)][i]);
+    }
+    EXPECT_NEAR(out[0][i], static_cast<float>(exact / world), 1e-6f) << i;
+  }
+}
+
+// Codecs compose with the multi-channel splitter: every channel's sub-ring
+// inherits the codec, replicas stay bit-identical.
+TEST(RingCodecMatrixTest, MultiChannelComposition) {
+  for (const CodecSpec spec :
+       {CodecSpec{CodecKind::kFp16}, CodecSpec{CodecKind::kTopK, 0.1f}}) {
+    const auto inputs = MakeRankData(3, 4096, 21);
+    const auto out = RunRing(spec, 3, inputs, collective::ReduceOp::kAvg,
+                             /*depth=*/2, /*channels=*/2);
+    EXPECT_EQ(out[1], out[0]) << compress::ToString(spec);
+    EXPECT_EQ(out[2], out[0]) << compress::ToString(spec);
+  }
+}
+
+// Codec wire formats survive the reliable layer over drop/dup/reorder/
+// corrupt chaos: the result is bit-identical to a clean-transport run.
+TEST(RingCodecMatrixTest, ChaosReliableComposition) {
+  const int world = 3;
+  const std::size_t len = 1024;
+  for (const CodecSpec spec :
+       {CodecSpec{CodecKind::kFp16}, CodecSpec{CodecKind::kTopK, 0.05f}}) {
+    auto run = [&](transport::Transport& tr) {
+      auto data = MakeRankData(world, len, 321);
+      common::BufferPool pool;
+      std::vector<std::thread> threads;
+      for (int r = 0; r < world; ++r) {
+        threads.emplace_back([&, r] {
+          auto& vec = data[static_cast<std::size_t>(r)];
+          collective::Comm comm{&tr, r, world, /*tag_base=*/1,
+                                /*timeout_ms=*/20000, &pool, 2};
+          comm.codec = spec;
+          std::vector<float> res;
+          Status st;
+          if (compress::IsSparse(spec.kind)) {
+            res.assign(len, 0.0f);
+            st = collective::CompressedAllReduce(
+                comm, vec, collective::ReduceOp::kAvg,
+                std::span<float>(res));
+          } else {
+            st = collective::RingAllReduce(comm, vec,
+                                           collective::ReduceOp::kAvg);
+          }
+          EXPECT_TRUE(st.ok()) << st.ToString();
+        });
+      }
+      for (auto& t : threads) t.join();
+      return data;
+    };
+
+    transport::InProcTransport clean(world);
+    const auto ref = run(clean);
+
+    transport::FaultSpec fault;
+    fault.seed = 4242;
+    fault.delivery = transport::FaultDelivery::kRaw;
+    fault.all_links.drop_prob = 0.03;
+    fault.all_links.dup_prob = 0.03;
+    fault.all_links.reorder_prob = 0.03;
+    fault.all_links.corrupt_prob = 0.01;
+    transport::InProcTransport inner(world);
+    transport::FaultyTransport faulty(inner, fault);
+    transport::ReliableTransport rel(faulty);
+    const auto chaotic = run(rel);
+
+    for (int r = 0; r < world; ++r) {
+      ASSERT_EQ(chaotic[static_cast<std::size_t>(r)],
+                ref[static_cast<std::size_t>(r)])
+          << compress::ToString(spec) << " rank=" << r;
+    }
+  }
+}
+
+// After one warmup round, compressed collectives run entirely out of the
+// buffer pool: no payload allocations, no pool misses.
+TEST(RingCodecMatrixTest, ZeroSteadyStateAllocations) {
+  for (const CodecSpec spec :
+       {CodecSpec{CodecKind::kFp16}, CodecSpec{CodecKind::kTopK, 0.1f}}) {
+    const int world = 2;
+    const std::size_t len = 1000;
+    transport::InProcTransport tr(world);
+    common::BufferPool pool;
+    auto round = [&] {
+      auto data = MakeRankData(world, len, 77);
+      std::vector<std::thread> threads;
+      for (int r = 0; r < world; ++r) {
+        threads.emplace_back([&, r] {
+          collective::Comm comm{&tr, r, world, /*tag_base=*/1,
+                                /*timeout_ms=*/20000, &pool, 2};
+          comm.codec = spec;
+          auto& vec = data[static_cast<std::size_t>(r)];
+          std::vector<float> res;
+          Status st;
+          if (compress::IsSparse(spec.kind)) {
+            res.assign(len, 0.0f);
+            st = collective::CompressedAllReduce(
+                comm, vec, collective::ReduceOp::kAvg,
+                std::span<float>(res));
+          } else {
+            st = collective::RingAllReduce(comm, vec,
+                                           collective::ReduceOp::kAvg);
+          }
+          EXPECT_TRUE(st.ok()) << st.ToString();
+        });
+      }
+      for (auto& t : threads) t.join();
+    };
+    round();  // warmup populates the pool's size classes
+    const std::uint64_t misses0 = pool.stats().misses;
+    for (int i = 0; i < 4; ++i) round();
+    EXPECT_EQ(pool.stats().misses, misses0) << compress::ToString(spec);
+  }
+}
+
+// ------------------------------------------------- codec-aware packing ----
+
+TEST(PackingCodecTest, CodecChangeClosesUnit) {
+  core::StreamingPacker packer(/*granularity_bytes=*/1024);
+  packer.Add(0, 100, CodecSpec{CodecKind::kFp16});
+  packer.Add(1, 100, CodecSpec{CodecKind::kTopK, 0.01f});
+  packer.Flush();
+  ASSERT_EQ(packer.ReadyUnits(), 2u);
+  const auto a = packer.PopReadyUnit();
+  const auto b = packer.PopReadyUnit();
+  EXPECT_EQ(a.codec, (CodecSpec{CodecKind::kFp16}));
+  EXPECT_EQ(b.codec, (CodecSpec{CodecKind::kTopK, 0.01f}));
+}
+
+TEST(PackingCodecTest, SameCodecStillMerges) {
+  core::StreamingPacker packer(1024);
+  packer.Add(0, 100, CodecSpec{CodecKind::kFp16});
+  packer.Add(1, 100, CodecSpec{CodecKind::kFp16});
+  packer.Flush();
+  ASSERT_EQ(packer.ReadyUnits(), 1u);
+  EXPECT_EQ(packer.PopReadyUnit().segments.size(), 2u);
+}
+
+TEST(PackingCodecTest, SplitGradientStampsEveryUnit) {
+  core::StreamingPacker packer(1024);
+  packer.Add(0, 3000, CodecSpec{CodecKind::kOneBit});
+  packer.Flush();
+  ASSERT_EQ(packer.ReadyUnits(), 3u);
+  while (packer.HasReadyUnit()) {
+    EXPECT_EQ(packer.PopReadyUnit().codec, (CodecSpec{CodecKind::kOneBit}));
+  }
+}
+
+// ------------------------------------------- config axis + cache v3 ----
+
+TEST(ConfigCodecTest, CodecAxisIsLastInFlatIndex) {
+  core::CommConfigSpace space;
+  const std::size_t base = space.stream_options.size() *
+                           space.granularity_options.size() *
+                           space.algorithm_options.size() *
+                           space.pipeline_depth_options.size();
+  EXPECT_EQ(space.NumPoints(), base * space.codec_options.size());
+  // Indices below the codec-free space size keep their old meaning
+  // (codec = kNone), so persisted flat indices stay valid.
+  for (const std::size_t i : {std::size_t{0}, base / 2, base - 1}) {
+    EXPECT_EQ(space.ConfigAt(i).codec.kind, CodecKind::kNone) << i;
+  }
+  EXPECT_EQ(space.ConfigAt(base).codec.kind,
+            space.codec_options[1].kind);
+}
+
+TEST(ConfigCodecTest, CodecForResolvesOverrides) {
+  core::CommConfig cfg;
+  cfg.codec = CodecSpec{CodecKind::kFp16};
+  cfg.codec_overrides.emplace_back("embedding",
+                                   CodecSpec{CodecKind::kTopK, 0.02f});
+  EXPECT_EQ(cfg.CodecFor("embedding"), (CodecSpec{CodecKind::kTopK, 0.02f}));
+  EXPECT_EQ(cfg.CodecFor("conv1"), (CodecSpec{CodecKind::kFp16}));
+  EXPECT_NE(cfg.ToString().find("codec=fp16"), std::string::npos);
+}
+
+TEST(ConfigCodecTest, TuningCacheV3RoundTripsCodec) {
+  autotune::TuningCache cache;
+  net::Topology topo{4, 8, net::TransportKind::kTcp};
+  core::CommConfig cfg;
+  cfg.num_streams = 12;
+  cfg.codec = CodecSpec{CodecKind::kTopK, 0.02f};
+  cfg.codec_overrides.emplace_back("dense", CodecSpec{CodecKind::kFp16});
+  cfg.codec_overrides.emplace_back("emb",
+                                   CodecSpec{CodecKind::kTopK, 0.05f});
+  cache.Store(dnn::MakeResNet50(), topo, cfg, 42.0);
+
+  autotune::TuningCache restored;
+  ASSERT_TRUE(restored.Deserialize(cache.Serialize()).ok());
+  auto hit = restored.LookupSimilar(dnn::MakeResNet50(), topo);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, cfg);
+}
+
+// ------------------------------------------------- per-tensor bandit ----
+
+TEST(CodecTunerTest, SeparatesDenseFromSparse) {
+  compress::PerTensorCodecTuner tuner;
+  const std::size_t dense = tuner.RegisterTensor("conv1");
+  const std::size_t sparse = tuner.RegisterTensor("embedding");
+  EXPECT_EQ(tuner.RegisterTensor("conv1"), dense);  // idempotent
+  EXPECT_EQ(tuner.NumTensors(), 2u);
+
+  common::BufferPool pool;
+  const std::size_t n = 4096;
+  std::vector<float> dense_g(n);
+  std::vector<float> sparse_g(n, 0.0f);
+  Rng rng(13);
+  for (float& x : dense_g) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (std::size_t i = 0; i < n; i += 128) {  // 0.8% hot
+    sparse_g[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  }
+
+  auto observe = [&](std::size_t id, std::span<const float> g) {
+    const CodecSpec pick = tuner.Choose(id);
+    std::size_t wire = g.size();
+    double err = 0.0;
+    if (pick.kind != CodecKind::kNone) {
+      std::vector<float> w(compress::MaxWireFloats(pick, g.size()));
+      std::vector<float> d(g.size(), 0.0f);
+      if (compress::IsCast(pick.kind)) {
+        wire = compress::CastWireFloats(g.size());
+        compress::CastEncode(pick.kind, g, w);
+        compress::CastDecode(pick.kind, w, d, g.size());
+      } else {
+        wire = compress::SparseEncode(pick, g, w, pool);
+        ASSERT_TRUE(compress::SparseDecodeAccumulate(
+                        pick, std::span<const float>(w.data(), wire), d)
+                        .ok());
+      }
+      double e2 = 0.0;
+      double r2 = 0.0;
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const double diff =
+            static_cast<double>(d[i]) - static_cast<double>(g[i]);
+        e2 += diff * diff;
+        r2 += static_cast<double>(g[i]) * static_cast<double>(g[i]);
+      }
+      err = r2 > 0 ? std::sqrt(e2 / r2) : 0.0;
+    }
+    tuner.Observe(id, wire, g.size(), err);
+  };
+  const int rounds = 40;
+  for (int t = 0; t < rounds; ++t) {
+    observe(dense, dense_g);
+    observe(sparse, sparse_g);
+  }
+  EXPECT_EQ(tuner.Plays(dense), static_cast<std::uint64_t>(rounds));
+  EXPECT_EQ(tuner.Best(dense).kind, CodecKind::kFp16);
+  EXPECT_EQ(tuner.Best(sparse).kind, CodecKind::kTopK);
+  EXPECT_EQ(tuner.NameOf(sparse), "embedding");
+}
+
+// ------------------------------------------ engine end-to-end parity ----
+
+constexpr int kIn = 6;
+constexpr int kOut = 2;
+
+dnn::Mlp TrainSequential(const dnn::SyntheticDataset& ds, int steps,
+                         float lr) {
+  dnn::Mlp model({kIn, 12, kOut}, 42);
+  for (int s = 0; s < steps; ++s) {
+    model.Forward(ds.inputs, ds.num_samples);
+    model.Backward(ds.inputs, ds.targets, ds.num_samples);
+    model.SgdStep(lr);
+  }
+  return model;
+}
+
+std::vector<std::unique_ptr<dnn::Mlp>> TrainDistributed(
+    const dnn::SyntheticDataset& ds, int world, int steps, float lr,
+    core::CommConfig config) {
+  core::ThreadedAiaccEngine engine(world, config);
+  const int shard = ds.num_samples / world;
+  std::vector<std::unique_ptr<dnn::Mlp>> replicas(
+      static_cast<std::size_t>(world));
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      auto& worker = engine.worker(r);
+      auto model =
+          std::make_unique<dnn::Mlp>(std::vector<int>{kIn, 12, kOut}, 42);
+      auto grads = model->GradientTensors();
+      for (std::size_t t = 0; t < grads.size(); ++t) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "grad%03zu", t);
+        ASSERT_TRUE(worker.Register(name, grads[t]).ok());
+      }
+      worker.Finalize();
+      std::vector<float> x(ds.inputs.begin() + r * shard * kIn,
+                           ds.inputs.begin() + (r + 1) * shard * kIn);
+      std::vector<float> y(ds.targets.begin() + r * shard * kOut,
+                           ds.targets.begin() + (r + 1) * shard * kOut);
+      for (int s = 0; s < steps; ++s) {
+        model->Forward(x, shard);
+        model->Backward(x, y, shard);
+        worker.PushAll();
+        ASSERT_TRUE(worker.WaitIteration().ok());
+        model->SgdStep(lr);
+      }
+      replicas[static_cast<std::size_t>(r)] = std::move(model);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return replicas;
+}
+
+float LossOf(const dnn::Mlp& model, const dnn::SyntheticDataset& ds) {
+  // Forward is const-incorrect for caching reasons; evaluate on a copy.
+  dnn::Mlp copy = model;
+  return dnn::Mlp::MseLoss(copy.Forward(ds.inputs, ds.num_samples),
+                           ds.targets);
+}
+
+// fp16 wire: replicas stay bit-identical to each other, land near the fp32
+// reference, and training matches the reference loss closely.
+TEST(EngineCodecTest, Fp16ConvergenceParity) {
+  const auto ds = dnn::MakeSyntheticDataset(32, kIn, kOut, 7);
+  const dnn::Mlp reference = TrainSequential(ds, 8, 0.2f);
+  core::CommConfig config;
+  config.num_streams = 2;
+  config.granularity_bytes = 256;
+  config.codec = CodecSpec{CodecKind::kFp16};
+  const auto replicas = TrainDistributed(ds, 4, 8, 0.2f, config);
+  for (std::size_t r = 1; r < replicas.size(); ++r) {
+    EXPECT_TRUE(replicas[r]->ParametersEqual(*replicas[0], 0.0f))
+        << "rank " << r << " diverged";
+  }
+  EXPECT_TRUE(replicas[0]->ParametersEqual(reference, 0.05f));
+  const float ref_loss = LossOf(reference, ds);
+  const float got_loss = LossOf(*replicas[0], ds);
+  EXPECT_NEAR(got_loss, ref_loss, std::max(0.02f, 0.25f * ref_loss));
+}
+
+// Sparse codecs with error feedback: replicas stay bit-identical and the
+// loss still goes down substantially (EF makes quantized SGD converge).
+TEST(EngineCodecTest, SparseCodecsConvergeWithErrorFeedback) {
+  const auto ds = dnn::MakeSyntheticDataset(32, kIn, kOut, 7);
+  const float initial_loss =
+      LossOf(dnn::Mlp({kIn, 12, kOut}, 42), ds);
+  for (const CodecSpec spec :
+       {CodecSpec{CodecKind::kOneBit}, CodecSpec{CodecKind::kTopK, 0.25f}}) {
+    core::CommConfig config;
+    config.num_streams = 2;
+    config.granularity_bytes = 256;
+    config.codec = spec;
+    const auto replicas = TrainDistributed(ds, 4, 30, 0.1f, config);
+    for (std::size_t r = 1; r < replicas.size(); ++r) {
+      EXPECT_TRUE(replicas[r]->ParametersEqual(*replicas[0], 0.0f))
+          << compress::ToString(spec) << " rank " << r << " diverged";
+    }
+    const float final_loss = LossOf(*replicas[0], ds);
+    EXPECT_LT(final_loss, 0.5f * initial_loss) << compress::ToString(spec);
+  }
+}
+
+// Per-tensor overrides route different units through different codecs in
+// the same iteration; determinism across ranks must survive the mix.
+TEST(EngineCodecTest, PerTensorOverridesStayDeterministic) {
+  const auto ds = dnn::MakeSyntheticDataset(24, kIn, kOut, 11);
+  core::CommConfig config;
+  config.num_streams = 2;
+  config.granularity_bytes = 128;
+  config.codec_overrides.emplace_back("grad000",
+                                      CodecSpec{CodecKind::kFp16});
+  config.codec_overrides.emplace_back("grad001",
+                                      CodecSpec{CodecKind::kTopK, 0.5f});
+  const auto replicas = TrainDistributed(ds, 4, 6, 0.1f, config);
+  for (std::size_t r = 1; r < replicas.size(); ++r) {
+    EXPECT_TRUE(replicas[r]->ParametersEqual(*replicas[0], 0.0f))
+        << "rank " << r << " diverged";
+  }
+}
+
+}  // namespace
+}  // namespace aiacc

@@ -29,10 +29,11 @@ without a compiler or libclang:
      alloc count lives on as the registry counter `hotpath.payload_allocs`
      (a string, which this token scan does not match).
 
-  5. transport raw-alloc ban: `new` / `malloc` / `calloc` / `realloc` may
-     not appear in src/transport/. Every payload buffer there must come
-     from common::BufferPool so the reliability layer stays allocation-free
-     in steady state (the zero-alloc chaos assertions depend on it).
+  5. hot-path raw-alloc ban: `new` / `malloc` / `calloc` / `realloc` may
+     not appear in src/transport/ or src/compress/. Every payload and codec
+     scratch buffer there must come from common::BufferPool so the
+     reliability layer and the compression codecs stay allocation-free in
+     steady state (the zero-alloc chaos and codec assertions depend on it).
      Deliberate exceptions carry a `NOALLOC(reason)` comment on the line.
 
 Exit code 0 = clean, 1 = violations (printed one per line as
@@ -244,24 +245,38 @@ def check_legacy_counters(errors: list[str]) -> None:
 RAW_ALLOC = re.compile(r"\bnew\b|\b(?:malloc|calloc|realloc)\s*\(")
 
 
+# Directories on the steady-state hot path: every payload / scratch buffer
+# must come from common::BufferPool. src/compress/ joined the list when the
+# codec layer landed — encode/decode scratch is acquired per collective.
+RAW_ALLOC_DIRS = (
+    os.path.join("src", "transport"),
+    os.path.join("src", "compress"),
+)
+
+
 def check_transport_allocs(errors: list[str]) -> None:
-    for path in cpp_files(os.path.join("src", "transport")):
-        raw = open(path, encoding="utf-8").read()
-        raw_lines = raw.splitlines()
-        code = strip_comments(raw)
-        for lineno, line in enumerate(code.splitlines(), 1):
-            m = RAW_ALLOC.search(line)
-            if not m:
-                continue
-            raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
-            if re.search(r"NOALLOC\([^)]+\)", raw_line):
-                continue
-            errors.append(
-                f"{relpath(path)}:{lineno}: raw '{m.group(0).rstrip('(').strip()}' "
-                f"in src/transport/ — payload buffers must come from "
-                f"common::BufferPool (steady-state zero-alloc invariant); "
-                f"mark deliberate exceptions with NOLOCK-style NOALLOC(reason)"
-            )
+    for alloc_dir in RAW_ALLOC_DIRS:
+        for path in cpp_files(alloc_dir):
+            raw = open(path, encoding="utf-8").read()
+            raw_lines = raw.splitlines()
+            code = strip_comments(raw)
+            for lineno, line in enumerate(code.splitlines(), 1):
+                m = RAW_ALLOC.search(line)
+                if not m:
+                    continue
+                raw_line = (
+                    raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+                )
+                if re.search(r"NOALLOC\([^)]+\)", raw_line):
+                    continue
+                errors.append(
+                    f"{relpath(path)}:{lineno}: raw "
+                    f"'{m.group(0).rstrip('(').strip()}' "
+                    f"in {alloc_dir}/ — payload buffers must come from "
+                    f"common::BufferPool (steady-state zero-alloc invariant); "
+                    f"mark deliberate exceptions with NOLOCK-style "
+                    f"NOALLOC(reason)"
+                )
 
 
 # --- check 3: guarded-member audit ----------------------------------------
