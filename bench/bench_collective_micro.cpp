@@ -5,6 +5,9 @@
 //   * packing planner throughput.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "collective/simulated.h"
 #include "collective/threaded.h"
 #include "common/rng.h"
@@ -29,8 +32,14 @@ void BM_ThreadedRingAllReduce(benchmark::State& state) {
     for (int r = 0; r < world; ++r) {
       threads.emplace_back([&, r] {
         collective::Comm comm{&tr, r, world, 0};
-        collective::RingAllReduce(comm, data[static_cast<std::size_t>(r)],
-                                  collective::ReduceOp::kSum);
+        Status st =
+            collective::RingAllReduce(comm, data[static_cast<std::size_t>(r)],
+                                      collective::ReduceOp::kSum);
+        if (!st.ok()) {
+          std::fprintf(stderr, "ring all-reduce failed: %s\n",
+                       st.ToString().c_str());
+          std::exit(2);
+        }
       });
     }
     for (auto& t : threads) t.join();
@@ -58,10 +67,14 @@ void BM_ThreadedMultiChannel(benchmark::State& state) {
     for (int r = 0; r < world; ++r) {
       threads.emplace_back([&, r] {
         collective::Comm comm{&tr, r, world, 0};
-        collective::MultiChannelAllReduce(comm,
-                                          data[static_cast<std::size_t>(r)],
-                                          collective::ReduceOp::kAvg,
-                                          channels);
+        Status st = collective::MultiChannelAllReduce(
+            comm, data[static_cast<std::size_t>(r)],
+            collective::ReduceOp::kAvg, channels);
+        if (!st.ok()) {
+          std::fprintf(stderr, "multi-channel all-reduce failed: %s\n",
+                       st.ToString().c_str());
+          std::exit(2);
+        }
       });
     }
     for (auto& t : threads) t.join();

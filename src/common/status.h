@@ -37,7 +37,7 @@ std::string_view StatusCodeName(StatusCode code) noexcept;
 /// A cheap, value-semantic error carrier. An engaged message is only
 /// allocated on the error path; the OK status is trivially copyable in
 /// practice (empty string).
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() noexcept : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -104,7 +104,7 @@ inline Status DeadlineExceeded(std::string msg) {
 /// Result<T>: either a value or a non-OK Status. Modeled on std::expected
 /// (not yet available in our toolchain's libstdc++ for all uses we need).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): mirror std::expected ergonomics.
   Result(T value) : data_(std::move(value)) {}

@@ -1,0 +1,34 @@
+// Known-bad fixture for the blocking-under-lock check.
+#include "support.h"
+
+namespace fixtures {
+
+common::Status RecvUnderLock(transport::Transport& tr, common::Mutex* mu) {
+  common::MutexLock lock(mu);
+  auto r = tr.Recv(0, 1, 2);  // BAD: blocking Recv while `lock` is held
+  if (!r.ok()) {
+    return r.status();
+  }
+  return common::Status::Ok();
+}
+
+void WaitWithUnrelatedGuard(common::Mutex* a, common::Mutex* b,
+                            common::CondVar& cv) {
+  common::MutexLock lock_a(a);
+  common::MutexLock lock_b(b);
+  cv.Wait(lock_b);  // BAD: sleeps while the unrelated lock_a stays held
+}
+
+void Helper(transport::Transport& tr) {
+  common::Status st = tr.Barrier();
+  if (!st.ok()) {
+    return;
+  }
+}
+
+void HelperUnderLock(transport::Transport& tr, common::Mutex* mu) {
+  common::MutexLock lock(mu);
+  Helper(tr);  // BAD: Helper reaches a blocking Barrier under `lock`
+}
+
+}  // namespace fixtures

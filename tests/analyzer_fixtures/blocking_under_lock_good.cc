@@ -1,0 +1,47 @@
+// Known-good fixture for the blocking-under-lock check: guard scopes end
+// before the transport call, early Unlock(), waiting on the guard the
+// CondVar was given, and lambdas as separate lock scopes.
+#include "support.h"
+
+namespace fixtures {
+
+common::Status RecvAfterScope(transport::Transport& tr, common::Mutex* mu,
+                              int* counter) {
+  {
+    common::MutexLock lock(mu);
+    ++*counter;
+  }
+  auto r = tr.Recv(0, 1, 2);  // guard already dead
+  if (!r.ok()) {
+    return r.status();
+  }
+  return common::Status::Ok();
+}
+
+common::Status UnlockThenSend(transport::Transport& tr, common::Mutex* mu,
+                              transport::Payload p) {
+  common::MutexLock lock(mu);
+  lock.Unlock();
+  common::Status st = tr.Send(0, 1, 2, std::move(p));
+  return st;
+}
+
+void WaitOnOwnGuard(common::Mutex* mu, common::CondVar& cv) {
+  common::MutexLock lock(mu);
+  cv.Wait(lock);  // waiting on the guard it was handed: fine
+}
+
+void LambdaIsItsOwnScope(transport::Transport& tr, common::Mutex* mu) {
+  common::MutexLock lock(mu);
+  // The lambda body runs later, without this guard: not a finding here.
+  auto deferred = [&tr] {
+    common::Status st = tr.Barrier();
+    if (!st.ok()) {
+      return;
+    }
+  };
+  lock.Unlock();
+  deferred();
+}
+
+}  // namespace fixtures

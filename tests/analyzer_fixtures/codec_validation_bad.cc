@@ -1,0 +1,20 @@
+// Known-bad fixture for the codec-record-validation check (the check
+// keys on "codec" in the filename / src/compress paths).
+#include "support.h"
+
+namespace fixtures {
+
+void UseBeforeCheck(const std::vector<float>& wire, std::vector<float>& dst) {
+  common::Status st = compress::SparseDecodeAccumulate(0, wire, dst);
+  dst[0] += 1.0f;  // BAD: payload touched before st is inspected
+  if (!st.ok()) {
+    return;
+  }
+}
+
+void DroppedValidation(const std::vector<float>& wire,
+                       std::vector<float>& dst) {
+  compress::SparseDecodeAccumulate(0, wire, dst);  // BAD: Status dropped
+}
+
+}  // namespace fixtures

@@ -1,0 +1,32 @@
+// Known-good fixture for the codec-record-validation check: the
+// validation Status gates every touch of the decoded payload, including
+// the repo's decode-in-loop-condition idiom.
+#include "support.h"
+
+namespace fixtures {
+
+common::Status CheckThenUse(const std::vector<float>& wire,
+                            std::vector<float>& dst) {
+  common::Status st = compress::SparseDecodeAccumulate(0, wire, dst);
+  if (!st.ok()) {
+    return st;
+  }
+  dst[0] += 1.0f;
+  return common::Status::Ok();
+}
+
+common::Status ReturnDirectly(const std::vector<float>& wire,
+                              std::vector<float>& dst) {
+  return compress::SparseDecodeAccumulate(0, wire, dst);
+}
+
+common::Status LoopConditionChecks(const std::vector<float>& wire,
+                                   std::vector<float>& dst) {
+  common::Status st;
+  for (int i = 0; i < 4 && st.ok(); ++i) {
+    st = compress::SparseDecodeAccumulate(0, wire, dst);
+  }
+  return st;
+}
+
+}  // namespace fixtures

@@ -1,0 +1,21 @@
+// Known-bad fixture for the dropped-status check.
+#include "support.h"
+
+common::Status DoWork();
+
+namespace fixtures {
+
+void BareDiscards(transport::Transport& tr, transport::Payload p) {
+  DoWork();                        // BAD: Status discarded
+  tr.Send(0, 1, 2, std::move(p));  // BAD: Status discarded
+}
+
+void OverwrittenBeforeInspection() {
+  common::Status st = DoWork();
+  st = DoWork();  // BAD: previous Status never inspected
+  if (!st.ok()) {
+    return;
+  }
+}
+
+}  // namespace fixtures

@@ -1,0 +1,27 @@
+// Known-good fixture for the dropped-status check: every Status/Result is
+// inspected, explicitly void-discarded, or returned.
+#include "support.h"
+
+common::Status DoWork();
+
+namespace fixtures {
+
+common::Status AllInspected(transport::Transport& tr, transport::Payload p) {
+  common::Status st = tr.Send(0, 1, 2, std::move(p));
+  if (!st.ok()) {
+    return st;
+  }
+  (void)DoWork();  // explicit discard is visible intent
+  st = DoWork();   // fine: previous value was inspected above
+  return st;
+}
+
+common::Status ResultFlow(transport::Transport& tr) {
+  auto r = tr.Recv(0, 1, 2);
+  if (!r.ok()) {
+    return r.status();
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace fixtures

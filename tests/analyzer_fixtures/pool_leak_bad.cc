@@ -1,0 +1,25 @@
+// Known-bad fixture for the pool-leak check.
+#include "support.h"
+
+namespace fixtures {
+
+void DefiniteLeak(common::BufferPool* pool) {
+  common::Buffer buf = pool->Acquire(64);
+  buf[0] = 1.0f;
+}  // BAD: buf held on every path out of its scope
+
+void LeakOnEarlyReturn(common::BufferPool* pool, bool flag) {
+  common::Buffer buf = pool->Acquire(64);
+  if (flag) {
+    return;  // BAD: early return while buf is still held
+  }
+  pool->Release(std::move(buf));
+}
+
+void DoubleRelease(common::BufferPool* pool) {
+  common::Buffer buf = pool->Acquire(8);
+  pool->Release(std::move(buf));
+  pool->Release(std::move(buf));  // BAD: moved-from buffer released again
+}
+
+}  // namespace fixtures

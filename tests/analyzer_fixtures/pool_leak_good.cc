@@ -1,0 +1,39 @@
+// Known-good fixture for the pool-leak check — mirrors the repo's real
+// buffer disciplines (threaded.cpp): reuse-then-pool with move-out via
+// return, conditional acquire paired with conditional release (the
+// 3-state lattice must treat this as MAYBE, not a leak), and release
+// through a bound helper lambda.
+#include "support.h"
+
+namespace fixtures {
+
+common::Buffer MoveOutViaReturn(common::BufferPool* pool, std::size_t n) {
+  common::Buffer reuse = pool->Acquire(n);
+  reuse[0] = 0.0f;
+  return reuse;  // ownership transferred to the caller
+}
+
+void ConditionalAcquireRelease(common::BufferPool* pool, bool big) {
+  common::Buffer scratch;
+  if (big) {
+    scratch = pool->Acquire(4096);
+  }
+  if (big) {
+    pool->Release(std::move(scratch));
+  }
+}
+
+void MoveIntoCall(common::BufferPool* pool) {
+  common::Buffer buf = pool->Acquire(16);
+  pool->Release(std::move(buf));
+  buf = pool->Acquire(32);  // re-acquire into the moved-from local is fine
+  pool->Release(std::move(buf));
+}
+
+void ReleaseViaLambda(common::BufferPool* pool) {
+  common::Buffer buf = pool->Acquire(16);
+  auto release_all = [&] { pool->Release(std::move(buf)); };
+  release_all();
+}
+
+}  // namespace fixtures

@@ -1,0 +1,16 @@
+// Fixture for inline suppression: the same dropped-Status shapes as the
+// bad fixture, silenced with ANALYZER-OK annotations (same line and
+// line-above placements both must work).
+#include "support.h"
+
+common::Status DoWork();
+
+namespace fixtures {
+
+void SuppressedSameLine(transport::Transport& tr, transport::Payload p) {
+  DoWork();  // ANALYZER-OK(dropped-status: fire-and-forget warmup probe)
+  // ANALYZER-OK(dropped-status: send result intentionally ignored here)
+  tr.Send(0, 1, 2, std::move(p));
+}
+
+}  // namespace fixtures

@@ -1,0 +1,20 @@
+// Known-bad fixture for the tag-collision check: constant-foldable
+// `tag_base + expr` offsets that spill past kTagsPerCollective (= 3 in
+// src/collective/tags.h) into the next channel's namespace.
+#include "support.h"
+
+namespace fixtures {
+
+common::Status OffsetTooLarge(transport::Transport& tr, int tag_base,
+                              transport::Payload p) {
+  common::Status st = tr.Send(0, 1, tag_base + 3, std::move(p));  // BAD
+  return st;
+}
+
+common::Status FoldedOffsetTooLarge(transport::Transport& tr, int tag_base,
+                                    transport::Payload p) {
+  common::Status st = tr.Send(0, 1, tag_base + 2 * 2, std::move(p));  // BAD
+  return st;
+}
+
+}  // namespace fixtures

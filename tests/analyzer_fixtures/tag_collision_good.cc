@@ -1,0 +1,25 @@
+// Known-good fixture for the tag-collision check: offsets stay inside
+// one collective's block, and runtime-dependent offsets are out of scope
+// for symbolic evaluation.
+#include "support.h"
+
+namespace fixtures {
+
+common::Status OffsetsInRange(transport::Transport& tr, int tag_base,
+                              transport::Payload a, transport::Payload b) {
+  common::Status st = tr.Send(0, 1, tag_base + 1, std::move(a));
+  if (!st.ok()) {
+    return st;
+  }
+  st = tr.Send(0, 1, tag_base + (2 - 1) + 1, std::move(b));
+  return st;
+}
+
+common::Status RuntimeOffset(transport::Transport& tr, int tag_base,
+                             int step, transport::Payload p) {
+  // `step` is not a constant: the symbolic evaluator must skip, not flag.
+  common::Status st = tr.Send(0, 1, tag_base + step, std::move(p));
+  return st;
+}
+
+}  // namespace fixtures

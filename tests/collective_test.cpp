@@ -70,7 +70,9 @@ TEST_P(RingAllReduceP, MatchesSequentialSum) {
   const auto expected = ExpectedSum(data);
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    RingAllReduce(comm, data[static_cast<std::size_t>(rank)], ReduceOp::kSum);
+    EXPECT_TRUE(
+        RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                      ReduceOp::kSum).ok());
   });
   for (int r = 0; r < world; ++r) {
     for (std::size_t i = 0; i < len; ++i) {
@@ -100,8 +102,9 @@ TEST_P(HierarchicalAllReduceP, MatchesSequentialAvg) {
   for (float& x : expected) x /= static_cast<float>(world);
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    HierarchicalAllReduce(comm, gpus, data[static_cast<std::size_t>(rank)],
-                          ReduceOp::kAvg);
+    EXPECT_TRUE(
+        HierarchicalAllReduce(comm, gpus, data[static_cast<std::size_t>(rank)],
+                              ReduceOp::kAvg).ok());
   });
   for (int r = 0; r < world; ++r) {
     for (std::size_t i = 0; i < len; ++i) {
@@ -134,13 +137,16 @@ TEST(ThreadedCollectiveTest, MinAndMaxOps) {
   }
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    RingAllReduce(comm, data[static_cast<std::size_t>(rank)], ReduceOp::kMin);
+    EXPECT_TRUE(
+        RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                      ReduceOp::kMin).ok());
   });
   transport::InProcTransport tr2(world);
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr2, rank, world, 0};
-    RingAllReduce(comm, data_max[static_cast<std::size_t>(rank)],
-                  ReduceOp::kMax);
+    EXPECT_TRUE(
+        RingAllReduce(comm, data_max[static_cast<std::size_t>(rank)],
+                      ReduceOp::kMax).ok());
   });
   for (int r = 0; r < world; ++r) {
     EXPECT_EQ(data[static_cast<std::size_t>(r)], expected_min);
@@ -157,7 +163,9 @@ TEST(ThreadedCollectiveTest, BitVectorMinSyncSemantics) {
       {1, 1, 0, 1, 0}, {1, 0, 1, 1, 0}, {1, 1, 1, 1, 0}};
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    RingAllReduce(comm, ready[static_cast<std::size_t>(rank)], ReduceOp::kMin);
+    EXPECT_TRUE(
+        RingAllReduce(comm, ready[static_cast<std::size_t>(rank)],
+                      ReduceOp::kMin).ok());
   });
   const std::vector<float> expected = {1, 0, 0, 1, 0};
   for (int r = 0; r < world; ++r) {
@@ -173,7 +181,9 @@ TEST(ThreadedCollectiveTest, ReduceScatterOwnsReducedChunk) {
   const auto expected = ExpectedSum(data);
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    ReduceScatter(comm, data[static_cast<std::size_t>(rank)], ReduceOp::kSum);
+    EXPECT_TRUE(
+        ReduceScatter(comm, data[static_cast<std::size_t>(rank)],
+                      ReduceOp::kSum).ok());
   });
   for (int r = 0; r < world; ++r) {
     const std::size_t b = ChunkBegin(len, world, r);
@@ -192,9 +202,11 @@ TEST(ThreadedCollectiveTest, ReduceScatterThenAllGatherEqualsAllReduce) {
   const auto expected = ExpectedSum(data);
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    ReduceScatter(comm, data[static_cast<std::size_t>(rank)], ReduceOp::kSum);
+    EXPECT_TRUE(
+        ReduceScatter(comm, data[static_cast<std::size_t>(rank)],
+                      ReduceOp::kSum).ok());
     Comm comm2{&tr, rank, world, 100};
-    AllGather(comm2, data[static_cast<std::size_t>(rank)]);
+    EXPECT_TRUE(AllGather(comm2, data[static_cast<std::size_t>(rank)]).ok());
   });
   for (int r = 0; r < world; ++r) {
     for (std::size_t i = 0; i < len; ++i) {
@@ -212,7 +224,8 @@ TEST(ThreadedCollectiveTest, BroadcastFromEveryRoot) {
     const auto want = data[static_cast<std::size_t>(root)];
     RunAllRanks(world, [&](int rank) {
       Comm comm{&tr, rank, world, 0};
-      Broadcast(comm, root, data[static_cast<std::size_t>(rank)]);
+      EXPECT_TRUE(
+          Broadcast(comm, root, data[static_cast<std::size_t>(rank)]).ok());
     });
     for (int r = 0; r < world; ++r) {
       EXPECT_EQ(data[static_cast<std::size_t>(r)], want) << "root " << root;
@@ -232,8 +245,9 @@ TEST_P(MultiChannelP, MatchesSingleChannel) {
   for (float& x : expected) x /= world;
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    MultiChannelAllReduce(comm, data[static_cast<std::size_t>(rank)],
-                          ReduceOp::kAvg, channels);
+    EXPECT_TRUE(
+        MultiChannelAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                              ReduceOp::kAvg, channels).ok());
   });
   for (int r = 0; r < world; ++r) {
     for (std::size_t i = 0; i < len; ++i) {
@@ -252,7 +266,9 @@ TEST(ThreadedCollectiveTest, RingMessageCount) {
   auto data = MakeRankData(world, 64, 3);
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    RingAllReduce(comm, data[static_cast<std::size_t>(rank)], ReduceOp::kSum);
+    EXPECT_TRUE(
+        RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                      ReduceOp::kSum).ok());
   });
   EXPECT_EQ(tr.TotalMessages(),
             static_cast<std::uint64_t>(world) * 2 * (world - 1));
@@ -268,8 +284,9 @@ TEST(ThreadedCollectiveTest, ReduceToRootOnly) {
     const auto expected = ExpectedSum(data);
     RunAllRanks(world, [&](int rank) {
       Comm comm{&tr, rank, world, 0};
-      Reduce(comm, root, data[static_cast<std::size_t>(rank)],
-             ReduceOp::kSum);
+      EXPECT_TRUE(
+          Reduce(comm, root, data[static_cast<std::size_t>(rank)],
+                 ReduceOp::kSum).ok());
     });
     for (int r = 0; r < world; ++r) {
       if (r == root) {
@@ -294,9 +311,11 @@ TEST(ThreadedCollectiveTest, GatherCollectsRankMajor) {
   std::vector<float> gathered(world * len);
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    Gather(comm, /*root=*/1,
-           data[static_cast<std::size_t>(rank)],
-           rank == 1 ? std::span<float>(gathered) : std::span<float>());
+    EXPECT_TRUE(
+        Gather(comm, /*root=*/1,
+               data[static_cast<std::size_t>(rank)],
+               rank == 1 ? std::span<float>(gathered) : std::span<float>())
+            .ok());
   });
   for (int r = 0; r < world; ++r) {
     for (std::size_t i = 0; i < len; ++i) {
@@ -317,10 +336,12 @@ TEST(ThreadedCollectiveTest, ScatterDistributesRankMajor) {
   std::vector<std::vector<float>> chunks(world, std::vector<float>(len));
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    Scatter(comm, /*root=*/0,
-            rank == 0 ? std::span<const float>(source)
-                      : std::span<const float>(),
-            chunks[static_cast<std::size_t>(rank)]);
+    EXPECT_TRUE(
+        Scatter(comm, /*root=*/0,
+                rank == 0 ? std::span<const float>(source)
+                          : std::span<const float>(),
+                chunks[static_cast<std::size_t>(rank)])
+            .ok());
   });
   for (int r = 0; r < world; ++r) {
     for (std::size_t i = 0; i < len; ++i) {
@@ -341,13 +362,17 @@ TEST(ThreadedCollectiveTest, ScatterThenGatherRoundTrips) {
   RunAllRanks(world, [&](int rank) {
     std::vector<float> chunk(len);
     Comm comm{&tr, rank, world, 0};
-    Scatter(comm, 0,
-            rank == 0 ? std::span<const float>(source)
-                      : std::span<const float>(),
-            chunk);
+    EXPECT_TRUE(
+        Scatter(comm, 0,
+                rank == 0 ? std::span<const float>(source)
+                          : std::span<const float>(),
+                chunk)
+            .ok());
     Comm comm2{&tr, rank, world, 8};
-    Gather(comm2, 0, chunk,
-           rank == 0 ? std::span<float>(back) : std::span<float>());
+    EXPECT_TRUE(
+        Gather(comm2, 0, chunk,
+               rank == 0 ? std::span<float>(back) : std::span<float>())
+            .ok());
   });
   EXPECT_EQ(back, source);
 }
@@ -370,8 +395,9 @@ TEST(ThreadedCollectiveTest, AllToAllTransposesBlocks) {
   }
   RunAllRanks(world, [&](int rank) {
     Comm comm{&tr, rank, world, 0};
-    AllToAll(comm, send[static_cast<std::size_t>(rank)],
-             recv[static_cast<std::size_t>(rank)]);
+    EXPECT_TRUE(
+        AllToAll(comm, send[static_cast<std::size_t>(rank)],
+                 recv[static_cast<std::size_t>(rank)]).ok());
   });
   // recv[d][s*block + i] must equal send[s][d*block + i].
   for (int d = 0; d < world; ++d) {
@@ -989,8 +1015,9 @@ TEST(ThreadedCollectiveTest, PipelinedRingMessageCount) {
     RunAllRanks(world, [&](int rank) {
       Comm comm{&tr,     rank, world, /*tag_base=*/0, /*timeout_ms=*/0,
                 nullptr, /*pipeline_depth=*/4};
-      RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
-                    ReduceOp::kSum);
+      EXPECT_TRUE(
+          RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                        ReduceOp::kSum).ok());
     });
     EXPECT_EQ(tr.TotalMessages(),
               static_cast<std::uint64_t>(world) * 2 * (world - 1) * 4);
@@ -1001,8 +1028,9 @@ TEST(ThreadedCollectiveTest, PipelinedRingMessageCount) {
     RunAllRanks(world, [&](int rank) {
       Comm comm{&tr,     rank, world, /*tag_base=*/0, /*timeout_ms=*/0,
                 nullptr, /*pipeline_depth=*/8};
-      RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
-                    ReduceOp::kSum);
+      EXPECT_TRUE(
+          RingAllReduce(comm, data[static_cast<std::size_t>(rank)],
+                        ReduceOp::kSum).ok());
     });
     EXPECT_EQ(tr.TotalMessages(),
               static_cast<std::uint64_t>(world) * 2 * (world - 1));

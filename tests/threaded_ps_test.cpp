@@ -69,8 +69,10 @@ TEST(ThreadedPsTest, MatchesRingAllReduce) {
   for (int w = 0; w < workers; ++w) {
     ring_threads.emplace_back([&, w] {
       collective::Comm comm{&tr, w, workers, 0};
-      collective::RingAllReduce(comm, ring_data[static_cast<std::size_t>(w)],
-                                collective::ReduceOp::kAvg);
+      EXPECT_TRUE(collective::RingAllReduce(
+                      comm, ring_data[static_cast<std::size_t>(w)],
+                      collective::ReduceOp::kAvg)
+                      .ok());
     });
   }
   for (auto& t : ring_threads) t.join();

@@ -1,0 +1,339 @@
+"""libclang frontend: lowers real clang ASTs (Python clang.cindex over the
+CMake-exported compile_commands.json) to the analyzer IR.
+
+This is the full-fidelity frontend CI runs (the `analyzer` job installs
+libclang). It must stay import-safe on machines without libclang:
+`available()` is the only sanctioned probe, and analyze.py SKIPs cleanly
+when it returns False. Findings must agree with frontend_lite on the
+fixture corpus — tests/analyzer_test.py asserts this whenever libclang is
+present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shlex
+
+from ir import (BLOCK, BREAK, CONTINUE, DECL, EXPR, IF, LOOP, RETURN, SWITCH,
+                Call, FileIR, FunctionIR, ProjectIR, Stmt)
+
+_cindex = None
+
+
+def _load_cindex():
+    global _cindex
+    if _cindex is not None:
+        return _cindex
+    import clang.cindex as cindex  # noqa: PLC0415
+
+    if not cindex.Config.loaded:
+        # Let an explicit override win; otherwise probe the usual SONAMEs.
+        override = os.environ.get("AIACC_LIBCLANG")
+        candidates = [override] if override else [
+            None,  # default search
+            "libclang.so", "libclang-14.so.1", "libclang.so.1",
+            "/usr/lib/llvm-14/lib/libclang.so.1",
+            "/usr/lib/llvm-15/lib/libclang.so.1",
+            "/usr/lib/llvm-16/lib/libclang.so.1",
+        ]
+        for cand in candidates:
+            try:
+                if cand:
+                    cindex.Config.set_library_file(cand)
+                cindex.Index.create()
+                break
+            except Exception:
+                cindex.Config.loaded = False
+                continue
+    _cindex = cindex
+    return cindex
+
+
+def available() -> bool:
+    if os.environ.get("AIACC_ANALYZER_FORCE_NO_LIBCLANG"):
+        return False
+    try:
+        cindex = _load_cindex()
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+# --------------------------------------------------------------------------
+
+
+def _join(tokens) -> str:
+    s = " ".join(tokens)
+    s = re.sub(r"\s*(::|->|[.,;()\[\]])\s*", r"\1", s)
+    s = re.sub(r"\s*([<>])\s*", r"\1", s)
+    return s
+
+
+def _tokens(cursor) -> str:
+    try:
+        return _join(t.spelling for t in cursor.get_tokens())
+    except Exception:
+        return ""
+
+
+def _compile_args(repo: str, build_dir: str) -> dict[str, list[str]]:
+    """file(abs) -> compiler args from compile_commands.json."""
+    ccpath = os.path.join(repo, build_dir, "compile_commands.json")
+    args_by_file: dict[str, list[str]] = {}
+    try:
+        with open(ccpath, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, ValueError):
+        return args_by_file
+    for entry in db:
+        fpath = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry.get("command", ""))
+        # Strip compiler, source file, -c/-o pairs.
+        out: list[str] = []
+        skip = False
+        for a in argv[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-c", fpath, entry["file"]):
+                continue
+            if a == "-o":
+                skip = True
+                continue
+            out.append(a)
+        args_by_file[fpath] = out
+    return args_by_file
+
+
+def _default_args(repo: str) -> list[str]:
+    return ["-std=c++17", "-x", "c++", f"-I{repo}/src", f"-I{repo}",
+            f"-I{repo}/tests"]
+
+
+_STATUS_TYPE = re.compile(r"\bStatus\b|\bResult<")
+
+
+class _Lowerer:
+    def __init__(self, cindex, rel: str):
+        self.ck = cindex.CursorKind
+        self.rel = rel
+
+    # -- calls --------------------------------------------------------------
+
+    def _collect_calls(self, cursor, calls: list[Call],
+                       lambdas: list[FunctionIR]) -> None:
+        ck = self.ck
+        if cursor.kind == ck.LAMBDA_EXPR:
+            lambdas.append(self.lower_lambda(cursor, bound_to=""))
+            return
+        if cursor.kind in (ck.CALL_EXPR,):
+            call = self._lower_call(cursor)
+            if call is not None:
+                calls.append(call)
+        for child in cursor.get_children():
+            self._collect_calls(child, calls, lambdas)
+
+    def _lower_call(self, cursor):
+        name = cursor.spelling or ""
+        if not name:
+            return None
+        recv = ""
+        children = list(cursor.get_children())
+        if children:
+            callee = children[0]
+            if callee.kind == self.ck.MEMBER_REF_EXPR:
+                base = list(callee.get_children())
+                if base:
+                    recv = _tokens(base[0])
+        args = [_tokens(c) for c in children[1:]]
+        rtype = ""
+        try:
+            rtype = cursor.type.spelling or ""
+        except Exception:
+            pass
+        return Call(name=name, recv=recv, args=args,
+                    line=cursor.location.line,
+                    returns_status=bool(_STATUS_TYPE.search(rtype)))
+
+    def _stmt_calls(self, cursor) -> tuple[list[Call], list[FunctionIR]]:
+        calls: list[Call] = []
+        lambdas: list[FunctionIR] = []
+        self._collect_calls(cursor, calls, lambdas)
+        return calls, lambdas
+
+    # -- statements ---------------------------------------------------------
+
+    def lower_block(self, cursor) -> Stmt:
+        children = [self.lower_stmt(c) for c in cursor.get_children()]
+        return Stmt(kind=BLOCK, line=cursor.location.line,
+                    children=[c for c in children if c is not None])
+
+    def _as_block(self, cursor) -> Stmt:
+        if cursor.kind == self.ck.COMPOUND_STMT:
+            return self.lower_block(cursor)
+        st = self.lower_stmt(cursor)
+        return Stmt(kind=BLOCK, line=cursor.location.line,
+                    children=[st] if st is not None else [])
+
+    def lower_stmt(self, cursor):
+        ck = self.ck
+        kind = cursor.kind
+        line = cursor.location.line
+        if kind == ck.COMPOUND_STMT:
+            return self.lower_block(cursor)
+        if kind == ck.IF_STMT:
+            kids = list(cursor.get_children())
+            st = Stmt(kind=IF, line=line)
+            if kids:
+                st.cond = _tokens(kids[0])
+                st.calls, st.lambdas = self._stmt_calls(kids[0])
+            if len(kids) > 1:
+                st.children.append(self._as_block(kids[1]))
+            if len(kids) > 2:
+                st.children.append(self._as_block(kids[2]))
+            return st
+        if kind in (ck.FOR_STMT, ck.WHILE_STMT, ck.DO_STMT,
+                    ck.CXX_FOR_RANGE_STMT):
+            kids = list(cursor.get_children())
+            st = Stmt(kind=LOOP, line=line)
+            if kids:
+                body = kids[0] if kind == ck.DO_STMT else kids[-1]
+                head = [k for k in kids if k is not body]
+                st.cond = " ".join(filter(None, (_tokens(k) for k in head)))
+                for k in head:
+                    c, l = self._stmt_calls(k)
+                    st.calls.extend(c)
+                    st.lambdas.extend(l)
+                st.children.append(self._as_block(body))
+            return st
+        if kind == ck.SWITCH_STMT:
+            kids = list(cursor.get_children())
+            st = Stmt(kind=SWITCH, line=line)
+            if kids:
+                st.cond = _tokens(kids[0])
+                st.calls, st.lambdas = self._stmt_calls(kids[0])
+                st.children.append(self._as_block(kids[-1]))
+            return st
+        if kind in (ck.CASE_STMT, ck.DEFAULT_STMT, ck.LABEL_STMT):
+            kids = list(cursor.get_children())
+            return self.lower_stmt(kids[-1]) if kids else None
+        if kind == ck.RETURN_STMT:
+            calls, lambdas = self._stmt_calls(cursor)
+            return Stmt(kind=RETURN, line=line, text=_tokens(cursor),
+                        calls=calls, lambdas=lambdas)
+        if kind == ck.BREAK_STMT:
+            return Stmt(kind=BREAK, line=line)
+        if kind == ck.CONTINUE_STMT:
+            return Stmt(kind=CONTINUE, line=line)
+        if kind == ck.DECL_STMT:
+            kids = [k for k in cursor.get_children()
+                    if k.kind == ck.VAR_DECL]
+            calls, lambdas = self._stmt_calls(cursor)
+            st = Stmt(kind=DECL, line=line, text=_tokens(cursor),
+                      calls=calls, lambdas=lambdas)
+            if kids:
+                var = kids[0]
+                st.decl_name = var.spelling
+                try:
+                    st.decl_type = var.type.spelling
+                except Exception:
+                    st.decl_type = ""
+                init = list(var.get_children())
+                if init:
+                    st.init = _tokens(init[-1])
+                for lam in st.lambdas:
+                    if not lam.bound_to:
+                        lam.bound_to = var.spelling
+            return st
+        if kind in (ck.NULL_STMT,):
+            return None
+        # Everything else: an expression statement (or a statement kind we
+        # don't model — its calls still matter).
+        calls, lambdas = self._stmt_calls(cursor)
+        return Stmt(kind=EXPR, line=line, text=_tokens(cursor),
+                    calls=calls, lambdas=lambdas)
+
+    # -- functions ----------------------------------------------------------
+
+    def lower_lambda(self, cursor, bound_to: str) -> FunctionIR:
+        body = None
+        for c in cursor.get_children():
+            if c.kind == self.ck.COMPOUND_STMT:
+                body = c
+        block = self.lower_block(body) if body is not None else Stmt(
+            kind=BLOCK, line=cursor.location.line)
+        return FunctionIR(name="<lambda>", qual_name="<lambda>",
+                          file=self.rel, line=cursor.location.line,
+                          body=block, is_lambda=True, bound_to=bound_to)
+
+    def lower_function(self, cursor) -> FunctionIR | None:
+        body = None
+        for c in cursor.get_children():
+            if c.kind == self.ck.COMPOUND_STMT:
+                body = c
+        if body is None:
+            return None
+        qual = cursor.spelling
+        parent = cursor.semantic_parent
+        try:
+            if parent is not None and parent.kind in (
+                    self.ck.CLASS_DECL, self.ck.STRUCT_DECL,
+                    self.ck.CLASS_TEMPLATE):
+                qual = f"{parent.spelling}::{qual}"
+        except Exception:
+            pass
+        rtype = ""
+        try:
+            rtype = cursor.result_type.spelling
+        except Exception:
+            pass
+        return FunctionIR(name=cursor.spelling, qual_name=qual,
+                          file=self.rel, line=cursor.location.line,
+                          body=self.lower_block(body), return_type=rtype)
+
+
+def load_project(repo: str, files: list[str], build_dir: str) -> ProjectIR:
+    cindex = _load_cindex()
+    ck = cindex.CursorKind
+    index = cindex.Index.create()
+    args_by_file = _compile_args(repo, build_dir)
+    fallback = _default_args(repo)
+    fn_kinds = (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE, ck.CONVERSION_FUNCTION)
+
+    project = ProjectIR(frontend="clang")
+    for rel in files:
+        abspath = os.path.normpath(os.path.join(repo, rel))
+        args = args_by_file.get(abspath, fallback)
+        fir = FileIR(path=rel)
+        try:
+            tu = index.parse(abspath, args=args)
+        except Exception as err:  # unparsable: surface, don't crash the run
+            raise RuntimeError(f"libclang failed to parse {rel}: {err}")
+        lower = _Lowerer(cindex, rel)
+
+        def visit(cursor):
+            for child in cursor.get_children():
+                loc = child.location
+                if loc.file is None or os.path.normpath(
+                        loc.file.name) != abspath:
+                    continue
+                if child.kind in fn_kinds and child.is_definition():
+                    fn = lower.lower_function(child)
+                    if fn is not None:
+                        fir.functions.append(fn)
+                elif child.kind in (ck.NAMESPACE, ck.CLASS_DECL,
+                                    ck.STRUCT_DECL, ck.CLASS_TEMPLATE,
+                                    ck.UNEXPOSED_DECL, ck.LINKAGE_SPEC):
+                    visit(child)
+
+        visit(tu.cursor)
+        project.files.append(fir)
+    return project

@@ -11,10 +11,10 @@ without a compiler or libclang:
      the lock-order detector and Clang thread-safety analysis see every
      lock in the process.
 
-  2. tag-layout cross-check: re-derives the channel-spacing relations from
-     the literal constants in src/collective/tags.h (independently of the
-     static_asserts there) and flags literal `tag_base + N` offsets in
-     src/ that would collide with a neighbouring collective's channel.
+  2. (moved) the tag-layout cross-check now lives in
+     tools/aiacc_analyzer as the `tag-collision` check, which evaluates
+     arbitrary constant `tag_base + expr` arithmetic instead of only
+     literal offsets.
 
   3. guarded-member audit: any class/struct in src/ that owns a
      common::Mutex member must annotate its mutable data members with
@@ -72,6 +72,23 @@ def strip_comments(text: str) -> str:
         c = text[i]
         nxt = text[i + 1] if i + 1 < n else ""
         if state == "code":
+            if c == "R" and nxt == '"' and not (
+                    i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_")):
+                # Raw string literal R"delim( ... )delim": no escapes, may
+                # contain quotes and //-lookalikes; blank the body but
+                # keep line structure.
+                m = re.match(r'R"([^()\\ \t\n]{0,16})\(', text[i:])
+                if m:
+                    close = ")" + m.group(1) + '"'
+                    end = text.find(close, i + m.end())
+                    if end < 0:
+                        end = n - len(close)
+                    out.append('R"')
+                    for ch in text[i + 2:end + len(close) - 1]:
+                        out.append(ch if ch == "\n" else " ")
+                    out.append('"')
+                    i = end + len(close)
+                    continue
             if c == "/" and nxt == "/":
                 state = "line"
                 out.append("  ")
@@ -151,76 +168,9 @@ def check_raw_primitives(errors: list[str]) -> None:
                     )
 
 
-# --- check 2: tag-layout cross-check --------------------------------------
-
-def parse_tag_constants() -> dict[str, int]:
-    path = os.path.join(REPO, "src", "collective", "tags.h")
-    text = strip_comments(open(path, encoding="utf-8").read())
-    consts = {}
-    for m in re.finditer(
-        r"constexpr\s+int\s+(k\w+)\s*=\s*(\d+)\s*;", text
-    ):
-        consts[m.group(1)] = int(m.group(2))
-    return consts
-
-
-def check_tag_layout(errors: list[str]) -> None:
-    tags_rel = os.path.join("src", "collective", "tags.h")
-    c = parse_tag_constants()
-    required = (
-        "kHeartbeatTag",
-        "kSyncTag",
-        "kTagsPerCollective",
-        "kChannelTagStride",
-        "kUnitTagBase",
-        "kUnitTagStride",
-    )
-    missing = [name for name in required if name not in c]
-    if missing:
-        errors.append(
-            f"{tags_rel}:1: could not parse constants: {', '.join(missing)}"
-        )
-        return
-
-    def expect(cond: bool, msg: str) -> None:
-        if not cond:
-            errors.append(f"{tags_rel}:1: tag layout violated: {msg}")
-
-    expect(
-        c["kChannelTagStride"] > c["kTagsPerCollective"],
-        "kChannelTagStride must exceed kTagsPerCollective or per-channel "
-        "collectives share tags",
-    )
-    expect(
-        c["kUnitTagStride"] > c["kTagsPerCollective"],
-        "kUnitTagStride must exceed kTagsPerCollective or unit collectives "
-        "share tags",
-    )
-    expect(
-        c["kSyncTag"] > c["kHeartbeatTag"],
-        "sync rounds must not reuse the heartbeat tag",
-    )
-    expect(
-        c["kUnitTagBase"] > c["kSyncTag"] + c["kTagsPerCollective"],
-        "unit channels must start above the sync collective's tag block",
-    )
-
-    # Literal `<something>tag_base + N` offsets must stay inside one
-    # collective's block: N >= kTagsPerCollective would alias the next
-    # channel's tags.
-    limit = c["kTagsPerCollective"]
-    pattern = re.compile(r"\btag_base\s*\+\s*(\d+)\b")
-    for path in cpp_files("src"):
-        code = strip_comments(open(path, encoding="utf-8").read())
-        for lineno, line in enumerate(code.splitlines(), 1):
-            for m in pattern.finditer(line):
-                offset = int(m.group(1))
-                if offset >= limit:
-                    errors.append(
-                        f"{relpath(path)}:{lineno}: literal tag offset "
-                        f"tag_base + {offset} >= kTagsPerCollective "
-                        f"({limit}) — collides with the next channel"
-                    )
+# Check 2 (tag-layout cross-check) moved to tools/aiacc_analyzer — the
+# `tag-collision` check there folds arbitrary constant expressions over
+# the tags.h environment instead of only literal `tag_base + N` offsets.
 
 
 # --- check 4: legacy hot-path counter ban ---------------------------------
@@ -386,7 +336,6 @@ def check_guarded_members(errors: list[str]) -> None:
 def main() -> int:
     errors: list[str] = []
     check_raw_primitives(errors)
-    check_tag_layout(errors)
     check_guarded_members(errors)
     check_legacy_counters(errors)
     check_transport_allocs(errors)
