@@ -26,6 +26,7 @@
 // prints a per-category summary table; `--metrics-json FILE` dumps the
 // process metrics registry after the run (`-` = stdout). Quote numbers
 // from the `release-bench` preset (-O3 -DNDEBUG).
+#include <atomic>
 #include <barrier>
 #include <chrono>
 #include <cstdio>
@@ -37,6 +38,9 @@
 
 #include "collective/threaded.h"
 #include "common/buffer_pool.h"
+#include "common/logging.h"
+#include "core/threaded_engine.h"
+#include "telemetry/merge.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 #include "transport/inproc.h"
@@ -182,6 +186,159 @@ PhaseResult RunMultiChannel(BufferPool* pool, const BenchConfig& cfg) {
       });
 }
 
+/// Multi-rank observability smoke (`--trace-dir DIR`): run a 4-rank,
+/// 2-stream traced engine phase with message stamping forced on and a
+/// known synthetic clock skew per rank, then write per-rank traces
+/// (`trace.r<k>.json`, each shifted by its rank's skew so the files look
+/// like they came from machines with disagreeing clocks) plus the aligned
+/// `trace.merged.json` recovered by telemetry::MergeTraces from the
+/// cross-rank flow edges alone. Exits non-zero when no flow edges were
+/// captured or the merged timeline still has a causality violation beyond
+/// the estimator's tolerance — this is what the `observability` ctest and
+/// CI lane consume (tools/trace_analyze.py + tools/trace_lint.py read the
+/// files afterwards).
+int RunTraceSmoke(const std::string& dir) {
+  using aiacc::telemetry::ChromeTraceDoc;
+  using aiacc::telemetry::TraceLevel;
+  constexpr int kWorld = 4;
+  constexpr int kIters = 6;
+  constexpr std::size_t kElems = 4096;
+  constexpr std::size_t kTensors = 4;
+  // Synthetic per-rank clock offsets (seconds): what MergeTraces must
+  // recover. Millisecond-scale, both signs, rank 0 pinned at zero.
+  const std::vector<double> skew_s = {0.0, 1.5e-3, -0.8e-3, 2.2e-3};
+
+  auto& tracer = RuntimeTracer::Global();
+  tracer.Clear();
+  tracer.Enable(TraceLevel::kPhase);
+
+  aiacc::core::CommConfig config;
+  config.num_streams = 2;           // >= 2 comm channels per rank
+  config.granularity_bytes = 8192;  // several units per iteration
+  config.pipeline_depth = 2;
+  aiacc::core::FailureConfig failure;
+  failure.trace_messages = 1;  // stamp even if the tracer flips off early
+  failure.trace_rank_skew_ns.resize(kWorld);
+  for (int r = 0; r < kWorld; ++r) {
+    failure.trace_rank_skew_ns[static_cast<std::size_t>(r)] =
+        static_cast<std::int64_t>(skew_s[static_cast<std::size_t>(r)] * 1e9);
+  }
+
+  std::atomic<bool> failed{false};
+  {
+    aiacc::core::ThreadedAiaccEngine engine(kWorld, config, failure);
+    std::vector<std::thread> threads;
+    threads.reserve(kWorld);
+    for (int r = 0; r < kWorld; ++r) {
+      threads.emplace_back([&, r] {
+        aiacc::SetThreadLogContext(r, "worker");
+        auto& worker = engine.worker(r);
+        std::vector<std::vector<float>> tensors(
+            kTensors, std::vector<float>(kElems, static_cast<float>(r + 1)));
+        for (std::size_t t = 0; t < kTensors; ++t) {
+          char name[32];
+          std::snprintf(name, sizeof(name), "grad%03zu", t);
+          if (!worker.Register(name, tensors[t]).ok()) {
+            failed.store(true);
+            return;
+          }
+        }
+        worker.Finalize();
+        for (int it = 0; it < kIters; ++it) {
+          aiacc::telemetry::TraceSpan iteration(
+              tracer, TraceLevel::kPhase, "engine.iteration", "iteration",
+              it);
+          {
+            // "Backward pass": real writes, so compute time is not zero.
+            aiacc::telemetry::TraceSpan compute(tracer, TraceLevel::kPhase,
+                                                "compute", "compute", it);
+            for (auto& tensor : tensors) {
+              for (std::size_t i = 0; i < tensor.size(); ++i) {
+                tensor[i] = static_cast<float>(r + 1) +
+                            static_cast<float>(i % 7) * 0.125f;
+              }
+            }
+          }
+          worker.PushAll();
+          if (!worker.WaitIteration().ok()) {
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    engine.Shutdown();
+  }
+  tracer.Disable();
+  if (failed.load()) {
+    std::fprintf(stderr, "trace smoke: engine iteration failed\n");
+    return 1;
+  }
+
+  ChromeTraceDoc doc;
+  tracer.Collect(&doc);
+  auto by_rank = aiacc::telemetry::SplitByRankLabel(doc);
+  std::vector<aiacc::telemetry::RankTrace> traces;
+  traces.reserve(kWorld);
+  for (int r = 0; r < kWorld; ++r) {
+    ChromeTraceDoc rank_doc = std::move(by_rank[r]);
+    // Skew this rank's clock: the per-rank files really disagree, and the
+    // merge has real offsets to recover.
+    aiacc::telemetry::ShiftTimes(rank_doc,
+                                 skew_s[static_cast<std::size_t>(r)]);
+    const std::string path =
+        dir + "/trace.r" + std::to_string(r) + ".json";
+    const aiacc::Status st =
+        aiacc::telemetry::WriteChromeTrace(path, rank_doc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace smoke: %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    traces.push_back({r, std::move(rank_doc)});
+  }
+  const aiacc::telemetry::MergeReport report =
+      aiacc::telemetry::MergeTraces(traces);
+  const std::string merged_path = dir + "/trace.merged.json";
+  const aiacc::Status st =
+      aiacc::telemetry::WriteChromeTrace(merged_path, report.merged);
+  if (!st.ok()) {
+    std::fprintf(stderr, "trace smoke: %s: %s\n", merged_path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("trace smoke: %d ranks, %d iters -> %s\n", kWorld, kIters,
+              dir.c_str());
+  std::printf("  flow edges matched: %zu  (unmatched halves: %zu)\n",
+              report.flow_edges, report.unmatched_flows);
+  for (int r = 0; r < kWorld; ++r) {
+    std::printf("  rank %d: injected skew %+8.3f ms, recovered offset "
+                "%+8.3f ms\n",
+                r, 1e3 * skew_s[static_cast<std::size_t>(r)],
+                1e3 * report.offset_seconds[static_cast<std::size_t>(r)]);
+  }
+  std::printf("  max causality violation after correction: %.1f us\n",
+              1e6 * report.max_causality_violation);
+
+  if (report.flow_edges == 0) {
+    std::fprintf(stderr,
+                 "TRACE SMOKE FAILURE: no cross-rank flow edges captured\n");
+    return 1;
+  }
+  // The injected skews are milliseconds; the estimator should leave at
+  // most in-process scheduling noise. 1ms of residual means it failed.
+  if (report.max_causality_violation > 1e-3) {
+    std::fprintf(stderr,
+                 "TRACE SMOKE FAILURE: %.1f us causality violation after "
+                 "skew correction\n",
+                 1e6 * report.max_causality_violation);
+    return 1;
+  }
+  return 0;
+}
+
 int WriteText(const std::string& path, const std::string& text) {
   if (path == "-") {
     std::fputs(text.c_str(), stdout);
@@ -204,6 +361,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool pipeline_sweep = false;
   std::string trace_path;
+  std::string trace_dir;
   std::string metrics_path;
   BenchConfig cfg;
   for (int i = 1; i < argc; ++i) {
@@ -218,15 +376,24 @@ int main(int argc, char** argv) {
       cfg.mc_iters = cfg.ring_iters;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-dir") == 0 && i + 1 < argc) {
+      trace_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json] [--smoke] [--pipeline-sweep] "
-                   "[--iters N] [--trace FILE] [--metrics-json FILE|-]\n",
+                   "[--iters N] [--trace FILE] [--trace-dir DIR] "
+                   "[--metrics-json FILE|-]\n",
                    argv[0]);
       return 1;
     }
+  }
+  if (!trace_dir.empty()) {
+    // Standalone mode: the multi-rank causal-trace smoke replaces the
+    // standard phases (DIR must exist; files land as trace.r<k>.json and
+    // trace.merged.json).
+    return RunTraceSmoke(trace_dir);
   }
   if (smoke) {
     cfg.world = 4;

@@ -5,6 +5,7 @@
 
 #include "collective/tags.h"
 #include "common/logging.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 
 namespace aiacc::collective {
@@ -117,6 +118,10 @@ void ChannelHealthTracker::ApplyOutcomeLocked(const Invocation& inv) {
         ch.cooldown_remaining = ch.cooldown_base;
         ch.probation_left = 0;
         QuarantineCounter().Add();
+        telemetry::FlightRecorder::Global().Record(
+            telemetry::FlightSeverity::kError, "collective.channel",
+            "quarantine", /*rank=*/-1, /*channel=*/c, /*tag=*/-1,
+            /*detail0=*/ch.cooldown_remaining, /*detail1=*/ch.tag_epoch);
         LOG_INFO << "channel " << c << " quarantined (score " << ch.score
                  << ", cooldown " << ch.cooldown_remaining << ")";
       }
@@ -126,18 +131,28 @@ void ChannelHealthTracker::ApplyOutcomeLocked(const Invocation& inv) {
         ch.state = ChannelState::kHealthy;
         ch.score = 0.0;
         ReadmissionCounter().Add();
+        telemetry::FlightRecorder::Global().Record(
+            telemetry::FlightSeverity::kInfo, "collective.channel",
+            "readmit", /*rank=*/-1, /*channel=*/c, /*tag=*/-1,
+            /*detail0=*/0, /*detail1=*/ch.tag_epoch);
         LOG_INFO << "channel " << c << " re-admitted after clean probation";
       }
     }
   }
   // Quarantine clocks tick once per agreed invocation.
+  int channel_index = 0;
   for (Channel& ch : channels_) {
     if (ch.state == ChannelState::kQuarantined &&
         --ch.cooldown_remaining <= 0) {
       ch.state = ChannelState::kProbation;
       ch.probation_left = options_.probation_successes;
       ch.score = 0.0;
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightSeverity::kInfo, "collective.channel", "probation",
+          /*rank=*/-1, /*channel=*/channel_index, /*tag=*/-1,
+          /*detail0=*/options_.probation_successes, /*detail1=*/ch.tag_epoch);
     }
+    ++channel_index;
   }
 }
 

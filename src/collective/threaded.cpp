@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/sync.h"
 #include "common/thread_pool.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 
@@ -1054,9 +1055,19 @@ Status MultiChannelAllReduce(const Comm& comm, std::span<float> data,
     Comm sub = comm;
     sub.tag_base = slot.tag_base;
     sub.pipeline_depth = 1;  // degraded retry: minimal in-flight state
+    telemetry::FlightRecorder::Global().Record(
+        telemetry::FlightSeverity::kWarn, "collective.channel", "retry",
+        comm.rank, slot.channel, slot.tag_base);
     AIACC_TRACE_SPAN_IDX("comm.channel", "retry", slot.channel);
     const Status retried = RingAllReduce(sub, data.subspan(b, e - b), op);
     if (!retried.ok()) {
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightSeverity::kError, "collective.channel",
+          "retry-failed", comm.rank, slot.channel, slot.tag_base,
+          /*detail0=*/static_cast<std::int64_t>(retried.code()));
+      // Best effort: the dump itself logs on failure.
+      (void)telemetry::FlightRecorder::Global().DumpToEnvDir(
+          "channel-failure");
       release_snapshot();
       return retried;
     }

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 
 namespace aiacc::core {
@@ -55,6 +56,9 @@ class DegradationController {
       if (level_gauge_ != nullptr) {
         level_gauge_->Set(static_cast<double>(cur + 1));
       }
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightSeverity::kWarn, "engine.degradation", "degrade",
+          /*rank=*/-1, /*channel=*/-1, /*tag=*/-1, /*detail0=*/cur + 1);
     }
   }
 
@@ -72,6 +76,9 @@ class DegradationController {
       if (level_gauge_ != nullptr) {
         level_gauge_->Set(static_cast<double>(cur - 1));
       }
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightSeverity::kInfo, "engine.degradation", "restore",
+          /*rank=*/-1, /*channel=*/-1, /*tag=*/-1, /*detail0=*/cur - 1);
     }
   }
 

@@ -8,6 +8,7 @@
 #include "common/buffer_pool.h"
 #include "common/logging.h"
 #include "core/sync_bits.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/tracer.h"
 
@@ -98,6 +99,23 @@ ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config,
     reliable_ = std::make_unique<transport::ReliableTransport>(
         *transport_, failure_.reliable_options);
     transport_ = reliable_.get();
+  }
+  // Observability tier rides on top of everything: the stamp trailer is
+  // appended last on send and stripped first on receive, so the reliable
+  // layer's CRC covers it and the layers below never see trailer lanes.
+  // trace_messages: -1 auto (stamp iff the tracer records flow-level
+  // events right now), 0 off, 1 forced on.
+  const bool stamp_messages =
+      failure_.trace_messages > 0 ||
+      (failure_.trace_messages < 0 &&
+       telemetry::RuntimeTracer::Global().enabled(
+           telemetry::TraceLevel::kPhase));
+  if (stamp_messages) {
+    transport::TracingOptions topts;
+    topts.rank_skew_ns = failure_.trace_rank_skew_ns;
+    tracing_ =
+        std::make_unique<transport::TracingTransport>(*transport_, topts);
+    transport_ = tracing_.get();
   }
   workers_.reserve(static_cast<std::size_t>(world_size));
   ranks_.reserve(static_cast<std::size_t>(world_size));
@@ -207,6 +225,13 @@ std::uint64_t ThreadedAiaccEngine::FaultPressure() const {
 
 void ThreadedAiaccEngine::Abort(Status status, std::vector<int> suspected) {
   AIACC_CHECK(!status.ok());
+  telemetry::FlightRecorder& flight = telemetry::FlightRecorder::Global();
+  for (int r : suspected) {
+    flight.Record(telemetry::FlightSeverity::kError, "engine", "suspect", r);
+  }
+  flight.Record(telemetry::FlightSeverity::kFatal, "engine", "abort",
+                /*rank=*/-1, /*channel=*/-1, /*tag=*/-1,
+                /*detail0=*/static_cast<std::int64_t>(status.code()));
   {
     common::MutexLock lock(abort_mu_);
     for (int r : suspected) {
@@ -217,6 +242,7 @@ void ThreadedAiaccEngine::Abort(Status status, std::vector<int> suspected) {
       abort_status_ = std::move(status);  // first failure wins
     }
   }
+  (void)flight.DumpToEnvDir("abort");  // best effort: logs on failure
   // Wake every blocked party: queue sleepers, collective receivers, and the
   // workers parked in WaitIteration. The engine is dead from here on —
   // recovery means rebuilding a fresh one over the survivors.
@@ -234,6 +260,10 @@ void ThreadedAiaccEngine::Abort(Status status, std::vector<int> suspected) {
 void ThreadedAiaccEngine::HandleCollectiveFailure(int rank,
                                                   const Status& status) {
   if (shutdown_.load(std::memory_order_acquire)) return;  // normal teardown
+  telemetry::FlightRecorder::Global().Record(
+      telemetry::FlightSeverity::kError, "engine", "collective-failed", rank,
+      /*channel=*/-1, /*tag=*/-1,
+      /*detail0=*/static_cast<std::int64_t>(status.code()));
   Abort(Status(status.code(), "rank " + std::to_string(rank) +
                                   " collective failed: " + status.message()),
         {});
@@ -623,6 +653,7 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
     const int max_attempts =
         degrade ? 1 + std::max(0, failure_.max_unit_retries) : 1;
     Status st;
+    int epoch = 0;  // outlives the loop: names the failing tag on abort
     for (int attempt = 0;; ++attempt) {
       // (Re-)gather the unit's slice of each gradient into staging. The
       // tensors are untouched until a successful scatter, so every attempt
@@ -646,7 +677,7 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
                    std::as_writable_bytes(std::span<float>(residual_staging)));
       }
 
-      int epoch = 0;
+      epoch = 0;
       if (degrade) {
         common::MutexLock lock(state.mu);
         epoch = state.unit_tag_epoch[unit->unit_id];
@@ -709,6 +740,10 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
       }
       if (!epochs_left) break;
       unit_retries_->Add();
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightSeverity::kWarn, "engine", "unit-retry", rank,
+          /*channel=*/-1, UnitEpochTagBase(unit->unit_id, epoch),
+          /*detail0=*/unit->unit_id, /*detail1=*/epoch);
       AIACC_TRACE_INSTANT_V("engine.unit", "unit-retry");
       LOG_INFO << "rank " << rank << " retrying unit " << unit->unit_id
                << " (attempt " << attempt + 1 << "): " << st.ToString();
@@ -716,6 +751,10 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
     if (!st.ok()) {
       buffer_pool.Release(std::move(staging));
       if (sparse_unit) buffer_pool.Release(std::move(residual_staging));
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightSeverity::kError, "engine", "unit-failed", rank,
+          /*channel=*/-1, UnitEpochTagBase(unit->unit_id, epoch),
+          /*detail0=*/unit->unit_id, /*detail1=*/epoch);
       HandleCollectiveFailure(rank, st);
       return;
     }

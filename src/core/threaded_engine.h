@@ -51,6 +51,7 @@
 #include "transport/faulty.h"
 #include "transport/inproc.h"
 #include "transport/reliable.h"
+#include "transport/tracing.h"
 
 namespace aiacc::core {
 
@@ -88,6 +89,18 @@ struct FailureConfig {
   /// Retries per unit collective before giving up and aborting (tier 3).
   int max_unit_retries = 2;
   DegradationController::Options degradation;
+
+  /// Observability tier: stack a TracingTransport on top of the stack so
+  /// every frame carries a causal trace context (origin, message id, HLC)
+  /// and recv spans bind to their originating sends via Chrome flow events.
+  /// Tri-state: -1 = auto (stamp iff the global tracer is enabled at engine
+  /// construction — the common case: tracing on means causal edges wanted),
+  /// 0 = never stamp (no tracing layer), 1 = always stamp (even with the
+  /// tracer off; tests use this to exercise the wire format alone).
+  int trace_messages = -1;
+  /// Synthetic per-rank clock skew fed to the tracing layer's HLCs (ns);
+  /// test/bench-only — models per-machine clock disagreement in-process.
+  std::vector<std::int64_t> trace_rank_skew_ns;
 };
 
 class ThreadedAiaccEngine {
@@ -200,6 +213,12 @@ class ThreadedAiaccEngine {
     return reliable_.get();
   }
 
+  /// The tracing layer when message tracing is active (tests read its
+  /// stamp/strip stats and HLC values); nullptr otherwise.
+  [[nodiscard]] transport::TracingTransport* tracing_layer() noexcept {
+    return tracing_.get();
+  }
+
   /// Current agreed-upon degradation level (0 = full configuration).
   [[nodiscard]] int degradation_level() const noexcept {
     return degradation_.level();
@@ -288,7 +307,8 @@ class ThreadedAiaccEngine {
   transport::InProcTransport inproc_;         // NOLOCK(internally synchronized)
   std::unique_ptr<transport::FaultyTransport> faulty_;  // NOLOCK(set in ctor only)
   std::unique_ptr<transport::ReliableTransport> reliable_;  // NOLOCK(set in ctor only)
-  transport::Transport* transport_;  // NOLOCK(set in ctor; topmost decorator of the inproc -> faulty -> reliable stack)
+  std::unique_ptr<transport::TracingTransport> tracing_;  // NOLOCK(set in ctor only)
+  transport::Transport* transport_;  // NOLOCK(set in ctor; topmost decorator of the inproc -> faulty -> reliable -> tracing stack)
   DegradationController degradation_;  // NOLOCK(internally synchronized)
   telemetry::Counter* unit_retries_;   // NOLOCK(set in ctor only)
   std::vector<std::unique_ptr<Worker>> workers_;  // NOLOCK(sized in ctor, never resized)

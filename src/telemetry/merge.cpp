@@ -1,0 +1,195 @@
+#include "telemetry/merge.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "common/logging.h"
+
+namespace aiacc::telemetry {
+namespace {
+
+/// Rank from a "r<k>/..." lane label, nullopt otherwise.
+std::optional<int> LaneRank(const std::string& track) {
+  if (track.size() < 3 || track[0] != 'r') return std::nullopt;
+  std::size_t i = 1;
+  while (i < track.size() && std::isdigit(static_cast<unsigned char>(track[i]))) {
+    ++i;
+  }
+  if (i == 1 || i >= track.size() || track[i] != '/') return std::nullopt;
+  return std::stoi(track.substr(1, i - 1));
+}
+
+std::string RankedTrack(int rank, const std::string& track) {
+  const std::optional<int> tagged = LaneRank(track);
+  if (tagged.has_value() && *tagged == rank) return track;
+  return "r" + std::to_string(rank) + "/" + track;
+}
+
+struct FlowHalf {
+  std::size_t trace_index;  // into the input vector
+  double time;
+};
+
+}  // namespace
+
+std::map<int, ChromeTraceDoc> SplitByRankLabel(const ChromeTraceDoc& doc) {
+  std::map<int, ChromeTraceDoc> out;
+  auto rank_of = [](const std::string& track) {
+    return LaneRank(track).value_or(-1);
+  };
+  for (const SpanEvent& s : doc.spans) out[rank_of(s.track)].spans.push_back(s);
+  for (const InstantEvent& i : doc.instants) {
+    out[rank_of(i.track)].instants.push_back(i);
+  }
+  for (const FlowEvent& f : doc.flows) out[rank_of(f.track)].flows.push_back(f);
+  for (const auto& [track, count] : doc.dropped_by_track) {
+    out[rank_of(track)].dropped_by_track[track] += count;
+  }
+  return out;
+}
+
+void ShiftTimes(ChromeTraceDoc& doc, double seconds) {
+  for (SpanEvent& s : doc.spans) {
+    s.begin += seconds;
+    s.end += seconds;
+  }
+  for (InstantEvent& i : doc.instants) i.time += seconds;
+  for (FlowEvent& f : doc.flows) f.time += seconds;
+}
+
+MergeReport MergeTraces(const std::vector<RankTrace>& traces) {
+  MergeReport report;
+  const std::size_t n = traces.size();
+  report.offset_seconds.assign(n, 0.0);
+  if (n == 0) return report;
+
+  // Pair flow halves by id: one start (the send) and its ends (a recv per
+  // consumer; normally exactly one).
+  std::map<std::uint64_t, FlowHalf> starts;
+  std::map<std::uint64_t, std::vector<FlowHalf>> ends;
+  for (std::size_t t = 0; t < n; ++t) {
+    for (const FlowEvent& f : traces[t].doc.flows) {
+      if (f.start) {
+        starts.emplace(f.id, FlowHalf{t, f.time});
+      } else {
+        ends[f.id].push_back(FlowHalf{t, f.time});
+      }
+    }
+  }
+
+  // Per ordered trace pair: minimum observed (recv − send) difference.
+  struct Edge {
+    std::size_t a, b;
+    double min_delta;
+  };
+  std::map<std::pair<std::size_t, std::size_t>, double> min_delta;
+  for (const auto& [id, start] : starts) {
+    auto it = ends.find(id);
+    if (it == ends.end()) {
+      ++report.unmatched_flows;
+      continue;
+    }
+    for (const FlowHalf& end : it->second) {
+      ++report.flow_edges;
+      if (end.trace_index == start.trace_index) continue;  // same clock
+      const auto key = std::make_pair(start.trace_index, end.trace_index);
+      const double delta = end.time - start.time;
+      auto [slot, inserted] = min_delta.emplace(key, delta);
+      if (!inserted) slot->second = std::min(slot->second, delta);
+    }
+  }
+  for (const auto& [id, halves] : ends) {
+    if (starts.find(id) == starts.end()) {
+      report.unmatched_flows += halves.size();
+    }
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(min_delta.size());
+  for (const auto& [key, delta] : min_delta) {
+    edges.push_back(Edge{key.first, key.second, delta});
+  }
+
+  // Least squares for offsets o (o_0 pinned) and one shared min delay d:
+  // minimize sum over pairs of (min_delta_ab − (o_b − o_a) − d)^2 by
+  // Gauss-Seidel sweeps. The system is tiny (ranks x pairs), convergence
+  // is geometric; 200 sweeps is far past fixed-point at double precision.
+  std::vector<double>& o = report.offset_seconds;
+  double d = 0.0;
+  if (!edges.empty()) {
+    d = std::numeric_limits<double>::infinity();
+    for (const Edge& e : edges) d = std::min(d, e.min_delta);
+    for (int sweep = 0; sweep < 200; ++sweep) {
+      double d_sum = 0.0;
+      for (const Edge& e : edges) d_sum += e.min_delta - (o[e.b] - o[e.a]);
+      d = d_sum / static_cast<double>(edges.size());
+      for (std::size_t r = 1; r < n; ++r) {
+        double sum = 0.0;
+        int count = 0;
+        for (const Edge& e : edges) {
+          if (e.b == r) {
+            sum += o[e.a] + e.min_delta - d;
+            ++count;
+          } else if (e.a == r) {
+            sum += o[e.b] - e.min_delta + d;
+            ++count;
+          }
+        }
+        if (count > 0) o[r] = sum / count;
+      }
+    }
+    // Physical delays are non-negative; a negative estimate only happens
+    // when every pair's minimum is dominated by noise, and clamping keeps
+    // the corrected edges from being pushed backwards systematically.
+    if (d < 0.0) d = 0.0;
+  }
+
+  // Assemble the merged timeline: rename lanes, re-home under per-rank
+  // pids, subtract offsets.
+  for (std::size_t t = 0; t < n; ++t) {
+    const int rank = traces[t].rank;
+    const int pid = rank + 1;
+    const double off = o[t];
+    report.merged.process_names[pid] = "rank " + std::to_string(rank);
+    auto add_track = [&](const std::string& track) {
+      std::string named = RankedTrack(rank, track);
+      report.merged.track_pids[named] = pid;
+      return named;
+    };
+    for (const SpanEvent& s : traces[t].doc.spans) {
+      report.merged.spans.push_back(
+          SpanEvent{add_track(s.track), s.name, s.begin - off, s.end - off,
+                    s.cat});
+    }
+    for (const InstantEvent& i : traces[t].doc.instants) {
+      report.merged.instants.push_back(
+          InstantEvent{add_track(i.track), i.name, i.time - off, i.cat});
+    }
+    for (const FlowEvent& f : traces[t].doc.flows) {
+      report.merged.flows.push_back(FlowEvent{add_track(f.track), f.name,
+                                              f.time - off, f.cat, f.id,
+                                              f.start});
+    }
+    for (const auto& [track, count] : traces[t].doc.dropped_by_track) {
+      report.merged.dropped_by_track[RankedTrack(rank, track)] += count;
+    }
+  }
+
+  // Worst remaining causal violation over the corrected edges.
+  for (const auto& [id, start] : starts) {
+    auto it = ends.find(id);
+    if (it == ends.end()) continue;
+    const double send = start.time - o[start.trace_index];
+    for (const FlowHalf& end : it->second) {
+      const double recv = end.time - o[end.trace_index];
+      report.max_causality_violation =
+          std::max(report.max_causality_violation, send - recv);
+    }
+  }
+  return report;
+}
+
+}  // namespace aiacc::telemetry

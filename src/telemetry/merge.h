@@ -1,0 +1,72 @@
+// Multi-rank trace alignment: merge N per-rank Chrome trace documents —
+// each timestamped by its own rank's clock — into one timeline whose
+// cross-rank flow edges are causally consistent (DESIGN.md §7).
+//
+// Clock-skew model. Every flow edge a→b observes
+//
+//     t_recv(b) − t_send(a) = delay + offset(b) − offset(a)
+//
+// where `delay` is the real one-way latency and `offset(r)` is rank r's
+// clock offset. Per ordered rank pair the minimum observed difference
+// estimates delay_min + offset(b) − offset(a); MergeTraces then solves for
+// the offsets (rank 0 pinned to 0) and one shared minimum delay by least
+// squares over those per-pair minima. Crucially this needs *no* round
+// trips: a one-directional ring (rank r only ever sends to r+1) still
+// yields a solvable system, because the per-pair minima around the cycle
+// share the one delay unknown — NTP-style pairwise estimation would be
+// underdetermined here.
+//
+// The corrected timeline subtracts each rank's offset from all its events.
+// Residual per-edge violations (recv before send after correction) are
+// bounded by how asymmetric the links' true minimum delays are; the report
+// carries the worst one so callers and tools/trace_lint.py can assert it
+// stays within tolerance instead of trusting the merge blindly.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "telemetry/trace_events.h"
+
+namespace aiacc::telemetry {
+
+/// One rank's trace, timestamped by that rank's own clock.
+struct RankTrace {
+  int rank = 0;
+  ChromeTraceDoc doc;
+};
+
+struct MergeReport {
+  /// The aligned timeline: every lane renamed to "r<rank>/<lane>" (when
+  /// not already rank-prefixed), homed under pid rank+1 with a
+  /// "rank <rank>" process_name, all times offset-corrected.
+  ChromeTraceDoc merged;
+  /// Estimated clock offset per input trace (seconds, same order as the
+  /// input; subtracted from that rank's events). offset[rank 0's index]=0.
+  std::vector<double> offset_seconds;
+  /// Matched cross-rank flow edges (start/end pairs) used for estimation.
+  std::size_t flow_edges = 0;
+  /// Flow starts without an end + ends without a start (dangling halves —
+  /// ring overwrites or in-flight messages at collection time).
+  std::size_t unmatched_flows = 0;
+  /// Worst causal violation after correction: max over edges of
+  /// t_send − t_recv, seconds. <= 0 means every edge is monotone; small
+  /// positive values bound the links' min-delay asymmetry.
+  double max_causality_violation = 0.0;
+};
+
+/// Merge per-rank traces into one aligned timeline. Input ranks must be
+/// distinct; lanes keep their names when already "r<k>/"-prefixed.
+MergeReport MergeTraces(const std::vector<RankTrace>& traces);
+
+/// Split one document into per-rank documents by the "r<k>/" lane-label
+/// prefix that SetThreadLogContext gives every engine/bench thread. Lanes
+/// without a rank prefix land under key -1 (caller decides their fate).
+std::map<int, ChromeTraceDoc> SplitByRankLabel(const ChromeTraceDoc& doc);
+
+/// Shift every event time in `doc` by `seconds` (test/bench helper: apply
+/// a synthetic per-rank clock offset before merging, so the estimator has
+/// real skew to recover inside one process).
+void ShiftTimes(ChromeTraceDoc& doc, double seconds);
+
+}  // namespace aiacc::telemetry

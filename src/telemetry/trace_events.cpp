@@ -36,13 +36,18 @@ std::string Escape(const std::string& s) {
 
 }  // namespace
 
-std::string ToChromeJson(const std::vector<SpanEvent>& spans,
-                         const std::vector<InstantEvent>& instants) {
-  // Stable track -> tid mapping in first-appearance order.
+std::string ToChromeJson(const ChromeTraceDoc& doc) {
+  // Stable track -> tid mapping in first-appearance order. Tids are unique
+  // across the whole document (not per pid) so a lane keeps its tid even if
+  // a merge re-homes it under another process.
   std::map<std::string, int> tids;
   auto tid_of = [&](const std::string& track) {
     auto [it, inserted] = tids.emplace(track, static_cast<int>(tids.size()));
     return it->second;
+  };
+  auto pid_of = [&](const std::string& track) {
+    auto it = doc.track_pids.find(track);
+    return it == doc.track_pids.end() ? 1 : it->second;
   };
 
   std::ostringstream out;
@@ -55,41 +60,90 @@ std::string ToChromeJson(const std::vector<SpanEvent>& spans,
   auto cat_field = [&](const std::string& cat) {
     if (!cat.empty()) out << "\"cat\":\"" << Escape(cat) << "\",";
   };
-  for (const SpanEvent& s : spans) {
+  for (const SpanEvent& s : doc.spans) {
     sep();
-    out << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid_of(s.track) << ",";
+    out << "{\"ph\":\"X\",\"pid\":" << pid_of(s.track)
+        << ",\"tid\":" << tid_of(s.track) << ",";
     cat_field(s.cat);
     out << "\"name\":\"" << Escape(s.name) << "\",\"ts\":" << s.begin * 1e6
         << ",\"dur\":" << (s.end - s.begin) * 1e6 << "}";
   }
-  for (const InstantEvent& i : instants) {
+  for (const InstantEvent& i : doc.instants) {
     sep();
-    out << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << tid_of(i.track) << ",";
+    out << "{\"ph\":\"i\",\"pid\":" << pid_of(i.track)
+        << ",\"tid\":" << tid_of(i.track) << ",";
     cat_field(i.cat);
     out << "\"s\":\"t\",\"name\":\"" << Escape(i.name)
         << "\",\"ts\":" << i.time * 1e6 << "}";
   }
-  // Track-name metadata so viewers show human-readable lanes.
+  // Flow edges: the start binds to the slice enclosing it ("s"), each end
+  // binds to its enclosing slice with bp:"e" (Chrome's "bind to enclosing"
+  // mode, required for f events whose slice began before the flow did).
+  for (const FlowEvent& f : doc.flows) {
+    sep();
+    out << "{\"ph\":\"" << (f.start ? 's' : 'f') << "\",";
+    if (!f.start) out << "\"bp\":\"e\",";
+    out << "\"pid\":" << pid_of(f.track) << ",\"tid\":" << tid_of(f.track)
+        << ",";
+    cat_field(f.cat);
+    out << "\"name\":\"" << Escape(f.name) << "\",\"id\":\"0x" << std::hex
+        << f.id << std::dec << "\",\"ts\":" << f.time * 1e6 << "}";
+  }
+  // Track-name metadata so viewers show human-readable lanes. Lanes that
+  // only appear in the drop accounting still get a tid (and so a name).
+  for (const auto& [track, count] : doc.dropped_by_track) tid_of(track);
   for (const auto& [track, tid] : tids) {
     sep();
-    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+    out << "{\"ph\":\"M\",\"pid\":" << pid_of(track) << ",\"tid\":" << tid
         << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
         << Escape(track) << "\"}}";
   }
-  out << "]}";
+  for (const auto& [pid, name] : doc.process_names) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+        << Escape(name) << "\"}}";
+  }
+  // Per-lane ring-overwrite counts (satellite: truncated traces must be
+  // detectable from the JSON alone).
+  std::uint64_t dropped_total = 0;
+  for (const auto& [track, count] : doc.dropped_by_track) {
+    dropped_total += count;
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << pid_of(track)
+        << ",\"tid\":" << tid_of(track)
+        << ",\"name\":\"trace_dropped_events\",\"args\":{\"count\":" << count
+        << "}}";
+  }
+  out << "],\"otherData\":{\"dropped_events\":" << dropped_total << "}}";
   return out.str();
+}
+
+std::string ToChromeJson(const std::vector<SpanEvent>& spans,
+                         const std::vector<InstantEvent>& instants) {
+  ChromeTraceDoc doc;
+  doc.spans = spans;
+  doc.instants = instants;
+  return ToChromeJson(doc);
+}
+
+Status WriteChromeTrace(const std::string& path, const ChromeTraceDoc& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Unavailable("cannot open " + path);
+  const std::string json = ToChromeJson(doc);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  if (written != json.size() || rc != 0) return DataLoss("short write");
+  return Status::Ok();
 }
 
 Status WriteChromeTrace(const std::string& path,
                         const std::vector<SpanEvent>& spans,
                         const std::vector<InstantEvent>& instants) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Unavailable("cannot open " + path);
-  const std::string json = ToChromeJson(spans, instants);
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const int rc = std::fclose(f);
-  if (written != json.size() || rc != 0) return DataLoss("short write");
-  return Status::Ok();
+  ChromeTraceDoc doc;
+  doc.spans = spans;
+  doc.instants = instants;
+  return WriteChromeTrace(path, doc);
 }
 
 double BusyTime(const std::vector<SpanEvent>& spans, const std::string& key) {

@@ -7,6 +7,8 @@
 // chrome://tracing / Perfetto and passes tools/trace_lint.py.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,16 +35,48 @@ struct InstantEvent {
   std::string cat;
 };
 
+/// One end of a cross-lane causal edge (Chrome flow event). A flow `id`
+/// names the edge: the producing side emits `start == true` (ph "s",
+/// usually a transport send), every consuming side emits `start == false`
+/// (ph "f", the matching recv). Viewers draw an arrow from the slice
+/// enclosing the start to the slice enclosing the end, which is how a recv
+/// span on rank 3 points back at the send span on rank 2 that fed it.
+struct FlowEvent {
+  std::string track;
+  std::string name;
+  double time = 0.0;
+  std::string cat;
+  std::uint64_t id = 0;
+  bool start = true;
+};
+
+/// A renderable trace: events plus the lane/process bookkeeping the Chrome
+/// format needs once traces from several ranks share one file. Tracks
+/// absent from `track_pids` render under pid 1 (the single-process case);
+/// `dropped_by_track` carries per-lane ring-overwrite counts so a
+/// truncated trace is detectable from the JSON alone (emitted as
+/// "trace_dropped_events" metadata records plus an otherData total).
+struct ChromeTraceDoc {
+  std::vector<SpanEvent> spans;
+  std::vector<InstantEvent> instants;
+  std::vector<FlowEvent> flows;
+  std::map<std::string, int> track_pids;       // track -> pid (absent = 1)
+  std::map<int, std::string> process_names;    // pid -> process_name label
+  std::map<std::string, std::uint64_t> dropped_by_track;
+};
+
 /// Chrome trace-event format: {"traceEvents":[{"ph":"X",...},...]}.
 /// Tracks become thread ids (tid) in first-appearance order, seconds become
 /// microseconds, and a thread_name metadata record labels every lane.
 [[nodiscard]] std::string ToChromeJson(const std::vector<SpanEvent>& spans,
                                        const std::vector<InstantEvent>& instants);
+[[nodiscard]] std::string ToChromeJson(const ChromeTraceDoc& doc);
 
 /// Write the rendered JSON to `path`.
 Status WriteChromeTrace(const std::string& path,
                         const std::vector<SpanEvent>& spans,
                         const std::vector<InstantEvent>& instants);
+Status WriteChromeTrace(const std::string& path, const ChromeTraceDoc& doc);
 
 /// Union of busy time over the spans whose track OR category equals `key`
 /// (overlapping spans are merged, not double-counted). The overlap

@@ -4,11 +4,20 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "telemetry/metrics.h"
 
 namespace aiacc::telemetry {
 namespace {
 
 std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+/// Metric scope for a lane label ('/' is not legal in a metric scope, so
+/// "r3/comm1" becomes "r3.comm1").
+std::string DroppedCounterName(const std::string& label) {
+  std::string scope = label;
+  std::replace(scope.begin(), scope.end(), '/', '.');
+  return "telemetry.trace.dropped_events@" + scope;
+}
 
 /// Per-thread ring cache. One hot slot (the tracer this thread recorded to
 /// last) plus a spill list, so a thread alternating between tracers (tests
@@ -71,58 +80,99 @@ RuntimeTracer::ThreadRing& RuntimeTracer::LocalRing() noexcept {
 void RuntimeTracer::Push(const Event& e) noexcept {
   ThreadRing& ring = LocalRing();
   const std::uint64_t seq = ring.head.fetch_add(1, std::memory_order_relaxed);
+  if (seq >= ring.events.size()) {
+    // Overwriting: make the truncation observable (satellite of the causal
+    // tracing work — silent wraps made merged traces lie about coverage).
+    if (ring.dropped_counter == nullptr) {
+      ring.dropped_counter =
+          &MetricsRegistry::Global().GetCounter(DroppedCounterName(ring.label));
+    }
+    ring.dropped_counter->Add();
+  }
   ring.events[seq % ring.events.size()] = e;
 }
 
 void RuntimeTracer::RecordSpan(const char* cat, const char* name,
                                std::int64_t begin_ns, std::int64_t end_ns,
                                int index) noexcept {
-  Push(Event{cat, name, begin_ns, end_ns, index, /*instant=*/false});
+  Push(Event{cat, name, begin_ns, end_ns, index, kSpan, 0});
 }
 
 void RuntimeTracer::RecordInstant(const char* cat, const char* name,
                                   int index) noexcept {
   const std::int64_t now = NowNs();
-  Push(Event{cat, name, now, now, index, /*instant=*/true});
+  Push(Event{cat, name, now, now, index, kInstant, 0});
+}
+
+void RuntimeTracer::RecordFlow(const char* cat, const char* name,
+                               std::uint64_t flow_id, bool start) noexcept {
+  const std::int64_t now = NowNs();
+  Push(Event{cat, name, now, now, -1, start ? kFlowStart : kFlowEnd,
+             flow_id});
 }
 
 void RuntimeTracer::Collect(std::vector<SpanEvent>* spans,
                             std::vector<InstantEvent>* instants) const {
+  CollectImpl(spans, instants, nullptr, nullptr);
+}
+
+void RuntimeTracer::Collect(ChromeTraceDoc* doc) const {
+  CollectImpl(&doc->spans, &doc->instants, &doc->flows,
+              &doc->dropped_by_track);
+}
+
+void RuntimeTracer::CollectImpl(
+    std::vector<SpanEvent>* spans, std::vector<InstantEvent>* instants,
+    std::vector<FlowEvent>* flows,
+    std::map<std::string, std::uint64_t>* dropped_by_track) const {
   common::MutexLock lock(mu_);
   for (const auto& ring : rings_) {
     const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
     const std::uint64_t n =
         std::min<std::uint64_t>(head, ring->events.size());
+    if (dropped_by_track != nullptr && head > ring->events.size()) {
+      (*dropped_by_track)[ring->label] += head - ring->events.size();
+    }
     for (std::uint64_t i = 0; i < n; ++i) {
       const Event& e = ring->events[i];
       std::string name = e.name;
       if (e.index >= 0) name += "#" + std::to_string(e.index);
-      if (e.instant) {
-        if (instants != nullptr) {
-          instants->push_back(InstantEvent{ring->label, std::move(name),
-                                           e.begin_ns * 1e-9, e.cat});
-        }
-      } else if (spans != nullptr) {
-        spans->push_back(SpanEvent{ring->label, std::move(name),
-                                   e.begin_ns * 1e-9, e.end_ns * 1e-9,
-                                   e.cat});
+      switch (e.kind) {
+        case kInstant:
+          if (instants != nullptr) {
+            instants->push_back(InstantEvent{ring->label, std::move(name),
+                                             e.begin_ns * 1e-9, e.cat});
+          }
+          break;
+        case kFlowStart:
+        case kFlowEnd:
+          if (flows != nullptr) {
+            flows->push_back(FlowEvent{ring->label, std::move(name),
+                                       e.begin_ns * 1e-9, e.cat, e.flow_id,
+                                       e.kind == kFlowStart});
+          }
+          break;
+        default:
+          if (spans != nullptr) {
+            spans->push_back(SpanEvent{ring->label, std::move(name),
+                                       e.begin_ns * 1e-9, e.end_ns * 1e-9,
+                                       e.cat});
+          }
       }
     }
   }
 }
 
 std::string RuntimeTracer::ToChromeJson() const {
-  std::vector<SpanEvent> spans;
-  std::vector<InstantEvent> instants;
-  Collect(&spans, &instants);
-  return telemetry::ToChromeJson(spans, instants);
+  ChromeTraceDoc doc;
+  Collect(&doc);
+  return telemetry::ToChromeJson(doc);
 }
 
 Status RuntimeTracer::WriteTo(const std::string& path) const {
-  std::vector<SpanEvent> spans;
-  std::vector<InstantEvent> instants;
-  Collect(&spans, &instants);
-  return WriteChromeTrace(path, spans, instants);
+  ChromeTraceDoc doc;
+  Collect(&doc);
+  return WriteChromeTrace(path, doc);
 }
 
 double RuntimeTracer::BusyTime(const std::string& key) const {

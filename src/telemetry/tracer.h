@@ -32,6 +32,8 @@
 
 namespace aiacc::telemetry {
 
+class Counter;  // telemetry/metrics.h
+
 enum class TraceLevel : int {
   kOff = 0,
   kPhase = 1,    // collective phases, sync rounds, channels, tuner steps
@@ -74,10 +76,21 @@ class RuntimeTracer {
   void RecordInstant(const char* cat, const char* name,
                      int index = -1) noexcept;
 
+  /// Record one end of a cross-lane causal edge on the calling thread's
+  /// lane (rendered as a Chrome flow event — ph "s" for the producing side,
+  /// ph "f" for the consumer). `flow_id` names the edge; the transport
+  /// layer derives it from the frame's trace stamp so both ends agree
+  /// across ranks without coordination (telemetry/trace_context.h).
+  void RecordFlow(const char* cat, const char* name, std::uint64_t flow_id,
+                  bool start) noexcept;
+
   /// Drain every thread ring into portable events (seconds, lane = thread
   /// label at first record). Quiesce first — see the header comment.
   void Collect(std::vector<SpanEvent>* spans,
                std::vector<InstantEvent>* instants) const;
+  /// Drain everything — spans, instants, flow events, and per-lane
+  /// ring-overwrite counts — into one renderable document.
+  void Collect(ChromeTraceDoc* doc) const;
 
   [[nodiscard]] std::string ToChromeJson() const;
   Status WriteTo(const std::string& path) const;
@@ -100,11 +113,16 @@ class RuntimeTracer {
     std::int64_t begin_ns;
     std::int64_t end_ns;  // == begin_ns for instants
     std::int32_t index;   // -1 = none
-    bool instant;
+    std::uint8_t kind;    // kSpan / kInstant / kFlowStart / kFlowEnd
+    std::uint64_t flow_id;  // flow events only
   };
+  static constexpr std::uint8_t kSpan = 0;
+  static constexpr std::uint8_t kInstant = 1;
+  static constexpr std::uint8_t kFlowStart = 2;
+  static constexpr std::uint8_t kFlowEnd = 3;
 
   struct ThreadRing {
-    explicit ThreadRing(std::string lane_label, std::size_t capacity)
+    ThreadRing(std::string lane_label, std::size_t capacity)
         : label(std::move(lane_label)), events(capacity) {}
     const std::string label;
     std::vector<Event> events;
@@ -112,11 +130,24 @@ class RuntimeTracer {
     /// and dropped() tolerate concurrent bumps; event payloads themselves
     /// are only safe to read after the owner quiesces.
     std::atomic<std::uint64_t> head{0};
+    /// Process counter `telemetry.trace.dropped_events@<lane>` bumped on
+    /// every overwrite, so ring overflow is visible on the metrics surface
+    /// while the run is still alive (the trace JSON also carries per-lane
+    /// totals — see Collect(ChromeTraceDoc*)). Registered lazily on the
+    /// first overwrite: Push holds no lock, so the registry mutex (same
+    /// rank as the ring mutex) is safe to take there. Only the owning
+    /// thread writes it.
+    Counter* dropped_counter = nullptr;
   };
 
   /// The calling thread's ring, registering it on first use.
   ThreadRing& LocalRing() noexcept;
   void Push(const Event& e) noexcept;
+  void CollectImpl(std::vector<SpanEvent>* spans,
+                   std::vector<InstantEvent>* instants,
+                   std::vector<FlowEvent>* flows,
+                   std::map<std::string, std::uint64_t>* dropped_by_track)
+      const;
 
   const Options options_;
   const std::uint64_t tracer_id_;  // distinguishes tracer instances in the

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/tracer.h"
 
 namespace aiacc::transport {
@@ -103,8 +104,13 @@ void FaultyTransport::Send(int src, int dst, int tag, Payload payload) {
     common::MutexLock lock(mu_);
     const std::uint64_t sent =
         ++sends_by_rank_[static_cast<std::size_t>(src)];
-    if (src == spec_.crash_rank && sent > spec_.crash_after_sends) {
+    if (src == spec_.crash_rank && sent > spec_.crash_after_sends &&
+        crashed_[static_cast<std::size_t>(src)] == 0) {
       crashed_[static_cast<std::size_t>(src)] = 1;
+      telemetry::FlightRecorder::Global().Record(
+          telemetry::FlightSeverity::kFatal, "transport.faulty", "crash",
+          src, /*channel=*/-1, tag,
+          /*detail0=*/static_cast<std::int64_t>(sent));
     }
     if (crashed_[static_cast<std::size_t>(src)] ||
         crashed_[static_cast<std::size_t>(dst)]) {
@@ -288,7 +294,11 @@ std::optional<Payload> FaultyTransport::TryRecv(int rank, int src, int tag) {
 void FaultyTransport::CrashRank(int rank) {
   AIACC_CHECK(rank >= 0 && rank < world_size());
   common::MutexLock lock(mu_);
-  crashed_[static_cast<std::size_t>(rank)] = 1;
+  if (crashed_[static_cast<std::size_t>(rank)] == 0) {
+    crashed_[static_cast<std::size_t>(rank)] = 1;
+    telemetry::FlightRecorder::Global().Record(
+        telemetry::FlightSeverity::kFatal, "transport.faulty", "crash", rank);
+  }
 }
 
 bool FaultyTransport::IsCrashed(int rank) const {

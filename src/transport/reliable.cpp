@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 #include "telemetry/tracer.h"
 
@@ -163,6 +164,9 @@ void ReliableTransport::ProcessRawFrame(
     std::vector<std::tuple<int, int, int, Payload>>& acks_out) {
   const auto reject = [&](Payload&& p) {
     CrcFailureCounter().Add();
+    telemetry::FlightRecorder::Global().Record(
+        telemetry::FlightSeverity::kWarn, "transport.reliable", "crc-discard",
+        rank, /*channel=*/-1, tag, /*detail0=*/src);
     common::MutexLock lock(mu_);
     ++stats_.crc_failures;
     pool_.Release(std::move(p));
@@ -366,6 +370,10 @@ void ReliableTransport::DaemonTick() {
         if (options_.message_deadline_ms > 0 &&
             now - frame.first_sent >= std::chrono::milliseconds(
                                           options_.message_deadline_ms)) {
+          telemetry::FlightRecorder::Global().Record(
+              telemetry::FlightSeverity::kError, "transport.reliable",
+              "delivery-failure", src, /*channel=*/-1, tag,
+              /*detail0=*/dst, /*detail1=*/it->first);
           expired.push_back(std::move(frame.wire));
           it = ch.inflight.erase(it);
           ++stats_.delivery_failures;

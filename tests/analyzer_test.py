@@ -15,11 +15,17 @@ Four layers:
   4. Frontend agreement: when libclang IS available, the clang frontend
      must reproduce the lite frontend's golden findings (check,file,line)
      over the same fixtures.
+  5. Header-lane audit: the tag-collision check cross-checks the tracing
+     stamp magic (src/telemetry/trace_context.h) against the reliable
+     layer's frame-kind lanes (src/transport/reliable.cpp). A synthetic
+     repo whose magic equals a kind value must be flagged; the repaired
+     repo must pass.
 
 Exit 0 on success, 1 with a failure list otherwise.
 """
 import json
 import os
+import shutil
 import subprocess
 import sys
 import tempfile
@@ -105,6 +111,56 @@ if p.returncode != 0 or "SKIPPED" not in p.stdout + p.stderr:
     fail(f"degraded mode: expected exit 0 + SKIPPED, got exit "
          f"{p.returncode}\n{p.stdout}{p.stderr}")
 
+
+def header_lane_audit_pass(fake_repo: str) -> None:
+    """Layer 5: synthetic repo — real tags.h (so the tag relations stay
+    green), a minimal reliable.cpp, and a trace_context.h whose stamp
+    magic varies per sub-case. The audit keys off repo files, not the
+    analyzed translation units, so any clean .cc probe works as input."""
+    os.makedirs(os.path.join(fake_repo, "src", "collective"))
+    os.makedirs(os.path.join(fake_repo, "src", "transport"))
+    os.makedirs(os.path.join(fake_repo, "src", "telemetry"))
+    open(os.path.join(fake_repo, "ROADMAP.md"), "w").close()  # pins repo root
+    shutil.copy(os.path.join(REPO, "src", "collective", "tags.h"),
+                os.path.join(fake_repo, "src", "collective", "tags.h"))
+    with open(os.path.join(fake_repo, "src", "transport", "reliable.cpp"),
+              "w", encoding="utf-8") as f:
+        f.write("constexpr std::size_t kHeaderLanes = 4;\n"
+                "constexpr float kKindData = 1.0f;\n"
+                "constexpr float kKindAck = 2.0f;\n")
+    stamp_h = os.path.join(fake_repo, "src", "telemetry", "trace_context.h")
+    probe = os.path.join(fake_repo, "probe.cc")
+    with open(probe, "w", encoding="utf-8") as f:
+        f.write("int Probe() { return 0; }\n")
+
+    def write_stamp(magic: str) -> None:
+        with open(stamp_h, "w", encoding="utf-8") as f:
+            f.write("inline constexpr std::size_t kStampLanes = 8;\n"
+                    f"inline constexpr std::uint32_t kStampMagic = {magic};\n")
+
+    write_stamp("2")  # collides with kKindAck
+    p = run(["--repo", fake_repo, "--frontend", "lite", "--no-baseline",
+             "--check", "tag-collision", probe])
+    if p.returncode != 1 or "masquerade" not in p.stdout + p.stderr:
+        fail(f"header-lane audit: expected exit 1 + masquerade finding for "
+             f"colliding stamp magic, got exit {p.returncode}\n"
+             f"{p.stdout}{p.stderr}")
+
+    write_stamp("0x2000000")  # disjoint from the kinds but not float-exact
+    p = run(["--repo", fake_repo, "--frontend", "lite", "--no-baseline",
+             "--check", "tag-collision", probe])
+    if p.returncode != 1 or "float-representable" not in p.stdout + p.stderr:
+        fail(f"header-lane audit: expected exit 1 + float-representable "
+             f"finding for wide stamp magic, got exit {p.returncode}\n"
+             f"{p.stdout}{p.stderr}")
+
+    write_stamp("0xA1ACC")  # the real layout: disjoint and exact
+    p = run(["--repo", fake_repo, "--frontend", "lite", "--no-baseline",
+             "--check", "tag-collision", probe])
+    if p.returncode != 0:
+        fail(f"header-lane audit: repaired repo not clean "
+             f"(exit {p.returncode})\n{p.stdout}{p.stderr}")
+
 # --- 4. frontend agreement when libclang is present ----------------------
 sys.path.insert(0, os.path.join(REPO, "tools", "aiacc_analyzer"))
 import frontend_clang  # noqa: E402
@@ -113,6 +169,10 @@ if frontend_clang.available():
     golden_pass("clang")
 else:
     print("note: libclang not available; frontend-agreement layer skipped")
+
+# --- 5. header-lane audit -------------------------------------------------
+with tempfile.TemporaryDirectory() as td:
+    header_lane_audit_pass(td)
 
 if failures:
     print(f"\n{len(failures)} analyzer self-test failure(s)")

@@ -533,9 +533,86 @@ _TAG_ARITH = re.compile(r"\btag_base\s*\+\s*")
 
 _TAGS_REL = os.path.join("src", "collective", "tags.h")
 
+# Lane-layout constants live next to the framing code, not in tags.h:
+# the reliable layer's header lanes (frame kind in lane 0) and the
+# tracing layer's stamp trailer (magic in its lane 0). Both identify
+# themselves by an in-band lane value, so the values must be disjoint.
+_RELIABLE_REL = os.path.join("src", "transport", "reliable.cpp")
+_STAMP_REL = os.path.join("src", "telemetry", "trace_context.h")
+
+_LANE_CONST = re.compile(r"constexpr\s+(?:std::)?\w+\s+(k\w+)\s*=\s*([^;]+);")
+
+
+def _parse_lane_consts(repo: str, rel: str):
+    """Integer-valued lane constants from `rel`: plain ints, hex magics
+    (0xA1ACC), and whole-valued float kind lanes (1.0f). None when the
+    file is absent (that layer is not built in this tree)."""
+    path = os.path.join(repo, rel)
+    try:
+        text = strip_comments_and_strings(open(path, encoding="utf-8").read())
+    except OSError:
+        return None
+    env: dict[str, int] = {}
+    for m in _LANE_CONST.finditer(text):
+        raw = m.group(2).strip().rstrip("fF")
+        try:
+            val = int(raw, 0)
+        except ValueError:
+            try:
+                fval = float(raw)
+            except ValueError:
+                continue
+            if fval != int(fval):
+                continue
+            val = int(fval)
+        env[m.group(1)] = val
+    return env
+
+
+def _header_lane_audit(repo: str) -> list[Finding]:
+    """The tracing stamp is a float-lane trailer whose first lane holds
+    kStampMagic; a reliable frame is float lanes whose first lane holds a
+    kind (kKindData/kKindAck). If the magic ever equaled a kind value, a
+    stamp misread as a header — layers stripped in the wrong order, a
+    truncated frame — would silently parse as a valid reliable frame
+    instead of being rejected. Cross-check the two layouts whenever the
+    tracing layer exists."""
+    out: list[Finding] = []
+    stamp = _parse_lane_consts(repo, _STAMP_REL)
+    if stamp is None:  # no tracing layer in this tree: nothing to collide
+        return out
+    missing = [n for n in ("kStampLanes", "kStampMagic") if n not in stamp]
+    if missing:
+        out.append(Finding(
+            check="tag-collision", file=_STAMP_REL, line=1,
+            symbol="trace_context.h",
+            message="could not parse lane constants: " + ", ".join(missing)))
+        return out
+    magic = stamp["kStampMagic"]
+    if magic >= (1 << 24):
+        out.append(Finding(
+            check="tag-collision", file=_STAMP_REL, line=1,
+            symbol="kStampMagic",
+            message=f"kStampMagic ({magic:#x}) is not exactly "
+                    f"float-representable (>= 2^24) — the magic lane would "
+                    f"quantize on the wire and stamps would never verify"))
+    reliable = _parse_lane_consts(repo, _RELIABLE_REL)
+    if reliable is None:
+        return out
+    for kind_name in ("kKindData", "kKindAck"):
+        kind = reliable.get(kind_name)
+        if kind is not None and kind == magic:
+            out.append(Finding(
+                check="tag-collision", file=_STAMP_REL, line=1,
+                symbol="kStampMagic",
+                message=f"kStampMagic ({magic}) equals the reliable layer's "
+                        f"{kind_name} ({kind}) — a trace-stamp trailer "
+                        f"could masquerade as a reliable frame header"))
+    return out
+
 
 def check_tag_collision(project, ctx) -> list[Finding]:
-    out: list[Finding] = []
+    out: list[Finding] = _header_lane_audit(ctx.repo)
     env = ctx.tag_env
     required = ("kHeartbeatTag", "kSyncTag", "kTagsPerCollective",
                 "kChannelTagStride", "kUnitTagBase", "kUnitTagStride")

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Bench-trajectory compare: fresh `bench_hotpath --pipeline-sweep --json`
+output against the checked-in BENCH_hotpath.json baseline.
+
+Absolute msgs/s depends on the runner hardware (core count, clocks, noisy
+neighbours) and moves 2-5x between machines, so comparing raw throughput
+against a checked-in number would only test the CI fleet. What is stable
+across machines is the *trajectory*: how throughput scales with pipeline
+depth relative to the same run's depth-1 point (a depth-d round moves d
+times as many d-times-smaller messages by construction, and the latency
+speedup rides on top). This tool therefore normalizes each sweep by its
+own depth-1 msgs/s and compares the per-depth ratios — a regression in
+pipelining (lost overlap, a serialization bug, per-slice overhead blowup)
+bends the fresh trajectory away from the baseline's even when both
+machines differ wildly in absolute speed.
+
+Checks, per depth present in the baseline:
+  * the fresh sweep measured the same depth;
+  * fresh ratio (msgs/s vs own depth 1) within --tolerance (default 15%)
+    of the baseline ratio;
+  * fresh latency_speedup_vs_depth1 within --tolerance of baseline
+    (absolute difference, since the values cluster around 1.0).
+
+Usage: bench_compare.py BASELINE.json FRESH.json [--tolerance 0.15]
+FRESH may be "-" to read the bench's stdout from stdin.
+Exit 0 = within tolerance, 1 = trajectory regressed (details printed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def sweep_by_depth(doc: dict, label: str) -> dict[int, dict]:
+    sweep = doc.get("pipeline_sweep")
+    if not isinstance(sweep, list) or not sweep:
+        raise SystemExit(f"bench_compare: {label}: no pipeline_sweep array")
+    out = {}
+    for point in sweep:
+        out[int(point["depth"])] = point
+    if 1 not in out:
+        raise SystemExit(f"bench_compare: {label}: sweep has no depth-1 point")
+    return out
+
+
+def ratios(points: dict[int, dict]) -> dict[int, float]:
+    base = float(points[1]["msgs_per_sec"])
+    if base <= 0:
+        raise SystemExit("bench_compare: depth-1 msgs_per_sec is zero")
+    return {d: float(p["msgs_per_sec"]) / base for d, p in points.items()}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in BENCH_hotpath.json")
+    parser.add_argument("fresh", help="fresh --pipeline-sweep --json ('-' = stdin)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed relative deviation per depth (default 0.15)",
+    )
+    args = parser.parse_args()
+
+    base = sweep_by_depth(load(args.baseline), "baseline")
+    fresh = sweep_by_depth(load(args.fresh), "fresh")
+    base_ratio = ratios(base)
+    fresh_ratio = ratios(fresh)
+
+    failures: list[str] = []
+    print(
+        f"{'depth':>5} {'base msgs/s':>12} {'fresh msgs/s':>12} "
+        f"{'base traj':>10} {'fresh traj':>10} {'dev':>7} "
+        f"{'base spd':>9} {'fresh spd':>9}"
+    )
+    for depth in sorted(base):
+        if depth not in fresh:
+            failures.append(f"depth {depth}: missing from fresh sweep")
+            continue
+        b, f = base_ratio[depth], fresh_ratio[depth]
+        dev = abs(f - b) / b if b > 0 else float("inf")
+        b_spd = float(base[depth].get("latency_speedup_vs_depth1", 1.0))
+        f_spd = float(fresh[depth].get("latency_speedup_vs_depth1", 1.0))
+        print(
+            f"{depth:>5} {float(base[depth]['msgs_per_sec']):>12.0f} "
+            f"{float(fresh[depth]['msgs_per_sec']):>12.0f} "
+            f"{b:>10.2f} {f:>10.2f} {100.0 * dev:>6.1f}% "
+            f"{b_spd:>9.2f} {f_spd:>9.2f}"
+        )
+        if dev > args.tolerance:
+            failures.append(
+                f"depth {depth}: msgs/s trajectory {f:.2f} deviates "
+                f"{100.0 * dev:.1f}% from baseline {b:.2f} "
+                f"(tolerance {100.0 * args.tolerance:.0f}%)"
+            )
+        if abs(f_spd - b_spd) > args.tolerance:
+            failures.append(
+                f"depth {depth}: latency speedup {f_spd:.2f} vs baseline "
+                f"{b_spd:.2f} exceeds {args.tolerance:.2f} absolute "
+                f"tolerance"
+            )
+    if failures:
+        for line in failures:
+            print(f"bench_compare FAILURE: {line}", file=sys.stderr)
+        return 1
+    print("bench_compare: trajectory within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

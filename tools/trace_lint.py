@@ -7,13 +7,23 @@ to open in chrome://tracing / Perfetto, and a metrics dump is guaranteed to
 be machine-consumable:
 
   trace file (Chrome trace-event format):
-    * top level is {"traceEvents": [...]}
-    * every event has ph in {X, i, M}, pid == 1, an integer tid, and a
+    * top level is {"traceEvents": [...]} (an "otherData" object is allowed)
+    * every event has ph in {X, i, M, s, f}, an integer tid, and a
       non-empty name
+    * pid is 1 (single-process trace), or — in a merged multi-rank trace —
+      any pid that has a process_name metadata record (ph=M) naming it
     * complete spans (ph=X) have ts >= 0 and dur >= 0; instants (ph=i)
       have ts >= 0
-    * every tid referenced by a span/instant has a thread_name metadata
+    * flow events: every start (ph=s) has a well-formed unique id; every
+      end (ph=f) carries bp="e", references an id with exactly one start,
+      and happens no earlier than its start minus --flow-slack-us; a
+      dangling flow end (no start anywhere) is a violation (a dangling
+      start is not — the message may still have been in flight when the
+      trace was collected)
+    * every (pid, tid) referenced by an event has a thread_name metadata
       record (ph=M) naming its lane
+    * trace_dropped_events metadata records carry a non-negative integer
+      args.count
     * categories, when present, start with a known prefix (comm, engine,
       transport, autotune, elastic, compute, test, stress)
 
@@ -25,6 +35,7 @@ be machine-consumable:
       len(bounds) + 1, sum(buckets) == count
 
 Usage: trace_lint.py TRACE.json [--metrics METRICS.json]
+                     [--flow-slack-us US]
 Exit code 0 = clean, 1 = violations (printed one per line).
 """
 
@@ -49,7 +60,21 @@ KNOWN_CAT_PREFIXES = (
 METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+(?:@[\w.\-]+)?$")
 
 
-def lint_trace(path: str, errors: list[str]) -> None:
+def parse_flow_id(raw: object) -> int | None:
+    """Chrome flow ids: an int, or a (usually hex) string of one."""
+    if isinstance(raw, bool):
+        return None
+    if isinstance(raw, int):
+        return raw
+    if isinstance(raw, str):
+        try:
+            return int(raw, 0)
+        except ValueError:
+            return None
+    return None
+
+
+def lint_trace(path: str, errors: list[str], flow_slack_us: float) -> None:
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -64,19 +89,30 @@ def lint_trace(path: str, errors: list[str]) -> None:
         errors.append(f"{path}: traceEvents must be a list")
         return
 
-    used_tids: set[int] = set()
-    named_tids: set[int] = set()
+    used_lanes: set[tuple[int, int]] = set()
+    named_lanes: set[tuple[int, int]] = set()
+    used_pids: set[int] = set()
+    named_pids: set[int] = set()
+    # flow id -> list of (event index, ts) per half
+    flow_starts: dict[int, list[tuple[int, float]]] = {}
+    flow_ends: dict[int, list[tuple[int, float]]] = {}
     for n, ev in enumerate(events):
         where = f"{path}: event {n}"
         if not isinstance(ev, dict):
             errors.append(f"{where}: not an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "i", "M"):
-            errors.append(f"{where}: ph must be X, i, or M (got {ph!r})")
+        if ph not in ("X", "i", "M", "s", "f"):
+            errors.append(
+                f"{where}: ph must be X, i, M, s, or f (got {ph!r})"
+            )
             continue
-        if ev.get("pid") != 1:
-            errors.append(f"{where}: pid must be 1 (got {ev.get('pid')!r})")
+        pid = ev.get("pid", 1)
+        if not isinstance(pid, int) or isinstance(pid, bool) or pid < 1:
+            errors.append(
+                f"{where}: pid must be a positive integer (got {pid!r})"
+            )
+            continue
         tid = ev.get("tid")
         if not isinstance(tid, int) or isinstance(tid, bool):
             errors.append(f"{where}: tid must be an integer (got {tid!r})")
@@ -89,18 +125,53 @@ def lint_trace(path: str, errors: list[str]) -> None:
                 lane = ev.get("args", {}).get("name")
                 if not isinstance(lane, str) or not lane:
                     errors.append(f"{where}: thread_name without args.name")
-                named_tids.add(tid)
+                named_lanes.add((pid, tid))
+            elif name == "process_name":
+                label = ev.get("args", {}).get("name")
+                if not isinstance(label, str) or not label:
+                    errors.append(f"{where}: process_name without args.name")
+                named_pids.add(pid)
+            elif name == "trace_dropped_events":
+                count = ev.get("args", {}).get("count")
+                if (
+                    not isinstance(count, int)
+                    or isinstance(count, bool)
+                    or count < 0
+                ):
+                    errors.append(
+                        f"{where}: trace_dropped_events args.count must be "
+                        f"a non-negative integer (got {count!r})"
+                    )
             continue
-        used_tids.add(tid)
+        used_lanes.add((pid, tid))
+        used_pids.add(pid)
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             errors.append(f"{where}: ts must be a number >= 0 (got {ts!r})")
+            ts = 0.0
         if ph == "X":
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(
                     f"{where}: dur must be a number >= 0 (got {dur!r})"
                 )
+        if ph in ("s", "f"):
+            flow_id = parse_flow_id(ev.get("id"))
+            if flow_id is None:
+                errors.append(
+                    f"{where}: flow event without a parseable id "
+                    f"(got {ev.get('id')!r})"
+                )
+            elif ph == "s":
+                flow_starts.setdefault(flow_id, []).append((n, float(ts)))
+            else:
+                if ev.get("bp") != "e":
+                    errors.append(
+                        f"{where}: flow end must carry bp=\"e\" (else "
+                        f"viewers bind it to the next slice, not the "
+                        f"enclosing one)"
+                    )
+                flow_ends.setdefault(flow_id, []).append((n, float(ts)))
         cat = ev.get("cat")
         if cat is not None:
             if not isinstance(cat, str) or not cat.startswith(
@@ -108,10 +179,46 @@ def lint_trace(path: str, errors: list[str]) -> None:
             ):
                 errors.append(f"{where}: unknown category {cat!r}")
 
-    for tid in sorted(used_tids - named_tids):
+    for pid, tid in sorted(used_lanes - named_lanes):
         errors.append(
-            f"{path}: tid {tid} has events but no thread_name metadata record"
+            f"{path}: pid {pid} tid {tid} has events but no thread_name "
+            f"metadata record"
         )
+    multi_process = used_pids != {1} and bool(used_pids)
+    if multi_process:
+        for pid in sorted(used_pids - named_pids):
+            errors.append(
+                f"{path}: pid {pid} has events but no process_name "
+                f"metadata record (required in a merged multi-rank trace)"
+            )
+
+    # Flow graph: ids bind exactly one start to its ends; ends never dangle
+    # and never precede their start by more than the allowed slack (the
+    # skew-correction residual in a merged trace).
+    for flow_id, starts in sorted(flow_starts.items()):
+        if len(starts) > 1:
+            positions = ", ".join(str(i) for i, _ in starts)
+            errors.append(
+                f"{path}: flow id {flow_id:#x} has {len(starts)} start "
+                f"events (events {positions}); bind ids must be unique"
+            )
+    for flow_id, ends in sorted(flow_ends.items()):
+        starts = flow_starts.get(flow_id)
+        if not starts:
+            positions = ", ".join(str(i) for i, _ in ends)
+            errors.append(
+                f"{path}: flow id {flow_id:#x} has {len(ends)} dangling "
+                f"end(s) with no start (events {positions})"
+            )
+            continue
+        start_ts = min(ts for _, ts in starts)
+        for n, end_ts in ends:
+            if end_ts < start_ts - flow_slack_us:
+                errors.append(
+                    f"{path}: event {n}: flow id {flow_id:#x} ends "
+                    f"{start_ts - end_ts:.1f}us before its start "
+                    f"(allowed slack {flow_slack_us:.1f}us)"
+                )
 
 
 def lint_metrics(path: str, errors: list[str]) -> None:
@@ -174,10 +281,18 @@ def main() -> int:
     parser.add_argument(
         "--metrics", help="RegistrySnapshot::ToJson metrics file"
     )
+    parser.add_argument(
+        "--flow-slack-us",
+        type=float,
+        default=2000.0,
+        help="how much earlier than its start a flow end may appear "
+        "(microseconds; absorbs the skew-correction residual of a merged "
+        "multi-rank trace)",
+    )
     args = parser.parse_args()
 
     errors: list[str] = []
-    lint_trace(args.trace, errors)
+    lint_trace(args.trace, errors, args.flow_slack_us)
     if args.metrics:
         lint_metrics(args.metrics, errors)
     if errors:
