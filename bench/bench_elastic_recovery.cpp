@@ -424,9 +424,10 @@ int main(int argc, char** argv) {
           i + 1 < tl.size() ? tl[i + 1].time : sample.total_time;
       if (end > tl[i].time) {
         spans.push_back(
-            {"recovery", tl[i].what, tl[i].time, end, "elastic"});
+            {"recovery", tl[i].what, tl[i].time, end, "elastic", "", 0});
       }
-      instants.push_back({"recovery", tl[i].what, tl[i].time, "elastic"});
+      instants.push_back(
+          {"recovery", tl[i].what, tl[i].time, "elastic", "", 0});
     }
     const Status st =
         telemetry::WriteChromeTrace(trace_path, spans, instants);

@@ -57,11 +57,15 @@ core::CommConfig PbtSearcher::Perturb(const core::CommConfig& base,
         static_cast<std::int64_t>(idx) + dir, 0, n - 1);
     value = options[static_cast<std::size_t>(next)];
   };
-  switch (rng.UniformInt(0, 4)) {
+  switch (rng.UniformInt(0, 6)) {
     case 0: nudge(out.num_streams, space_.stream_options); break;
     case 1: nudge(out.granularity_bytes, space_.granularity_options); break;
     case 2: nudge(out.pipeline_depth, space_.pipeline_depth_options); break;
     case 3: nudge(out.codec, space_.codec_options); break;
+    case 4:
+      nudge(out.priority_urgent_fraction, space_.priority_urgent_options);
+      break;
+    case 5: nudge(out.priority_aging_ms, space_.priority_aging_options); break;
     default:
       out.algorithm = out.algorithm == collective::Algorithm::kRing
                           ? collective::Algorithm::kHierarchical
@@ -119,10 +123,11 @@ BayesSearcher::BayesSearcher(core::CommConfigSpace space)
     : Searcher(std::move(space)) {}
 
 std::vector<double> BayesSearcher::Encode(const core::CommConfig& c) const {
-  // Normalize to [0,1]^5: log2(streams)/5, position of granularity on its
+  // Normalize to [0,1]^7: log2(streams)/5, position of granularity on its
   // log scale, algorithm as a binary coordinate, log2(pipeline depth)/3,
-  // and the codec's position in the option list (ordinal — neighbours in
-  // the list are the most similar wire formats).
+  // the codec's position in the option list (ordinal — neighbours in the
+  // list are the most similar wire formats), and the two scheduler axes as
+  // ordinal positions in their option lists.
   const double s = std::log2(static_cast<double>(c.num_streams)) / 5.0;
   const double lo =
       std::log2(static_cast<double>(space_.granularity_options.front()));
@@ -141,7 +146,21 @@ std::vector<double> BayesSearcher::Encode(const core::CommConfig& c) const {
       break;
     }
   }
-  return {s, g, a, p, codec_pos};
+  const auto ordinal = [](const auto& options, const auto& value) {
+    double pos = 0.0;
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      if (options[i] == value) {
+        pos = static_cast<double>(i) /
+              std::max<double>(1.0, options.size() - 1.0);
+        break;
+      }
+    }
+    return pos;
+  };
+  const double urgent =
+      ordinal(space_.priority_urgent_options, c.priority_urgent_fraction);
+  const double aging = ordinal(space_.priority_aging_options, c.priority_aging_ms);
+  return {s, g, a, p, codec_pos, urgent, aging};
 }
 
 namespace {
@@ -329,11 +348,15 @@ core::CommConfig AnnealingSearcher::Neighbour(const core::CommConfig& base,
         static_cast<std::int64_t>(idx) + dir, 0, n - 1);
     value = options[static_cast<std::size_t>(to)];
   };
-  switch (rng.UniformInt(0, 4)) {
+  switch (rng.UniformInt(0, 6)) {
     case 0: step(out.num_streams, space_.stream_options); break;
     case 1: step(out.granularity_bytes, space_.granularity_options); break;
     case 2: step(out.pipeline_depth, space_.pipeline_depth_options); break;
     case 3: step(out.codec, space_.codec_options); break;
+    case 4:
+      step(out.priority_urgent_fraction, space_.priority_urgent_options);
+      break;
+    case 5: step(out.priority_aging_ms, space_.priority_aging_options); break;
     default:
       out.algorithm = out.algorithm == collective::Algorithm::kRing
                           ? collective::Algorithm::kHierarchical

@@ -92,7 +92,12 @@ constexpr std::uint32_t kCacheMagic = 0xA1ACCCA5;
 // Version 2 added CommConfig::pipeline_depth to every entry.
 // Version 3 added the wire codec (kind + top-k ratio) and the per-tensor
 // codec override list.
-constexpr std::uint32_t kCacheVersion = 3;
+// Version 4 added the priority-dispatch axes (urgent fraction + aging).
+// The format is append-only per entry, so Deserialize still accepts
+// versions 2 and 3: their entries load with the fields their versions
+// lacked defaulted to the behavior they were measured under.
+constexpr std::uint32_t kCacheVersion = 4;
+constexpr std::uint32_t kOldestReadableVersion = 2;
 }  // namespace
 
 std::vector<std::uint8_t> TuningCache::Serialize() const {
@@ -123,6 +128,8 @@ std::vector<std::uint8_t> TuningCache::Serialize() const {
       w.WriteU8(static_cast<std::uint8_t>(spec.kind));
       w.WriteF64(static_cast<double>(spec.topk_ratio));
     }
+    w.WriteF64(static_cast<double>(e.config.priority_urgent_fraction));
+    w.WriteI64(e.config.priority_aging_ms);
     w.WriteF64(e.score);
   }
   return std::move(w).Take();
@@ -135,7 +142,7 @@ Status TuningCache::Deserialize(const std::vector<std::uint8_t>& bytes) {
   if (*magic != kCacheMagic) return DataLoss("bad tuning-cache magic");
   auto version = r.ReadU32();
   if (!version.ok()) return version.status();
-  if (*version != kCacheVersion) {
+  if (*version < kOldestReadableVersion || *version > kCacheVersion) {
     return Unimplemented("unsupported tuning-cache version");
   }
   auto count = r.ReadU64();
@@ -182,25 +189,42 @@ Status TuningCache::Deserialize(const std::vector<std::uint8_t>& bytes) {
     e.config.algorithm = static_cast<collective::Algorithm>(*algo);
     e.config.min_bucket_bytes = static_cast<std::size_t>(*bucket);
     e.config.pipeline_depth = static_cast<int>(*depth);
-    auto codec_kind = r.ReadU8();
-    if (!codec_kind.ok()) return codec_kind.status();
-    auto codec_ratio = r.ReadF64();
-    if (!codec_ratio.ok()) return codec_ratio.status();
-    e.config.codec.kind = static_cast<compress::CodecKind>(*codec_kind);
-    e.config.codec.topk_ratio = static_cast<float>(*codec_ratio);
-    auto n_overrides = r.ReadU64();
-    if (!n_overrides.ok()) return n_overrides.status();
-    for (std::uint64_t o = 0; o < *n_overrides; ++o) {
-      auto tensor = r.ReadString();
-      if (!tensor.ok()) return tensor.status();
-      auto okind = r.ReadU8();
-      if (!okind.ok()) return okind.status();
-      auto oratio = r.ReadF64();
-      if (!oratio.ok()) return oratio.status();
-      e.config.codec_overrides.emplace_back(
-          std::move(*tensor),
-          compress::CodecSpec{static_cast<compress::CodecKind>(*okind),
-                              static_cast<float>(*oratio)});
+    if (*version >= 3) {
+      auto codec_kind = r.ReadU8();
+      if (!codec_kind.ok()) return codec_kind.status();
+      auto codec_ratio = r.ReadF64();
+      if (!codec_ratio.ok()) return codec_ratio.status();
+      e.config.codec.kind = static_cast<compress::CodecKind>(*codec_kind);
+      e.config.codec.topk_ratio = static_cast<float>(*codec_ratio);
+      auto n_overrides = r.ReadU64();
+      if (!n_overrides.ok()) return n_overrides.status();
+      for (std::uint64_t o = 0; o < *n_overrides; ++o) {
+        auto tensor = r.ReadString();
+        if (!tensor.ok()) return tensor.status();
+        auto okind = r.ReadU8();
+        if (!okind.ok()) return okind.status();
+        auto oratio = r.ReadF64();
+        if (!oratio.ok()) return oratio.status();
+        e.config.codec_overrides.emplace_back(
+            std::move(*tensor),
+            compress::CodecSpec{static_cast<compress::CodecKind>(*okind),
+                                static_cast<float>(*oratio)});
+      }
+    } else {
+      // Pre-codec entries were measured on the uncompressed wire format.
+      e.config.codec = compress::CodecSpec{};
+    }
+    if (*version >= 4) {
+      auto urgent = r.ReadF64();
+      if (!urgent.ok()) return urgent.status();
+      auto aging = r.ReadI64();
+      if (!aging.ok()) return aging.status();
+      e.config.priority_urgent_fraction = static_cast<float>(*urgent);
+      e.config.priority_aging_ms = static_cast<int>(*aging);
+    } else {
+      // Pre-scheduler entries were measured under FIFO dispatch; load them
+      // with priority dispatch off so their scores keep their meaning.
+      e.config.priority_urgent_fraction = 0.0f;
     }
     auto score = r.ReadF64();
     if (!score.ok()) return score.status();

@@ -21,6 +21,10 @@ std::string CommConfig::ToString() const {
       << ", min_bucket=" << (min_bucket_bytes >> 10) << "KiB"
       << ", depth=" << pipeline_depth
       << ", codec=" << compress::ToString(codec);
+  // Both scheduler axes always print (0 = FIFO dispatch) so every config in
+  // the search space renders to a distinct string.
+  out << ", sched=" << priority_urgent_fraction << "/" << priority_aging_ms
+      << "ms";
   if (!codec_overrides.empty()) {
     out << ", overrides=" << codec_overrides.size();
   }
@@ -50,7 +54,13 @@ CommConfig CommConfigSpace::ConfigAt(std::size_t index) const {
   const std::size_t n_depth = pipeline_depth_options.size();
   cfg.pipeline_depth = pipeline_depth_options[index % n_depth];
   index /= n_depth;
-  cfg.codec = codec_options[index];
+  const std::size_t n_codec = codec_options.size();
+  cfg.codec = codec_options[index % n_codec];
+  index /= n_codec;
+  const std::size_t n_urgent = priority_urgent_options.size();
+  cfg.priority_urgent_fraction = priority_urgent_options[index % n_urgent];
+  index /= n_urgent;
+  cfg.priority_aging_ms = priority_aging_options[index];
   cfg.min_bucket_bytes = std::min<std::size_t>(cfg.granularity_bytes, 1u << 20);
   return cfg;
 }

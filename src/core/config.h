@@ -43,6 +43,15 @@ struct CommConfig {
   /// same codec for the same tensor. Kept sorted-insertion-free (small
   /// linear list; models have few distinct override targets).
   std::vector<std::pair<std::string, compress::CodecSpec>> codec_overrides;
+  /// Priority dispatch (core/scheduler.h): the fraction of the gradient-id
+  /// space counted as urgent — the front layers the next forward consumes
+  /// first. 0 disables the ready-set scheduler (pure FIFO dispatch, no
+  /// preemption): the scheduler-off arm of the bench A/B. Dispatch order
+  /// never changes numerics, so every value is bit-identical.
+  float priority_urgent_fraction = 0.25f;
+  /// Starvation/latency aging window for the ready set: entries older than
+  /// this outrank everything younger on the priority streams.
+  int priority_aging_ms = 50;
 
   /// Codec for gradient `name`: its override when present, else `codec`.
   [[nodiscard]] compress::CodecSpec CodecFor(const std::string& name) const;
@@ -60,19 +69,29 @@ struct CommConfigSpace {
   std::vector<collective::Algorithm> algorithm_options = {
       collective::Algorithm::kRing, collective::Algorithm::kHierarchical};
   std::vector<int> pipeline_depth_options = {1, 2, 4, 8};
-  /// Wire codecs the global searchers explore. The codec axis is last in
-  /// the mixed-radix flat index, so indices below the codec-free space size
-  /// map to exactly the configurations they did before this axis existed.
+  /// Wire codecs the global searchers explore. Axes are appended to the
+  /// mixed-radix flat index in the order they were introduced (codec, then
+  /// the priority axes), so indices below an older space size map to
+  /// exactly the configurations they did before the newer axes existed.
   std::vector<compress::CodecSpec> codec_options = {
       compress::CodecSpec{compress::CodecKind::kNone},
       compress::CodecSpec{compress::CodecKind::kFp16},
       compress::CodecSpec{compress::CodecKind::kOneBit},
       compress::CodecSpec{compress::CodecKind::kTopK, 0.01f}};
+  /// Priority-dispatch axes (appended after the codec axis in the
+  /// mixed-radix flat index, so pre-existing indices map to exactly the
+  /// configurations they did before — the tuning-cache v4 rule). 0 = the
+  /// FIFO baseline stays searchable.
+  /// 1.0 = the whole id space is the urgent class: full forward-order
+  /// transmission (the paper's layer-priority scheme, strongest overlap).
+  std::vector<float> priority_urgent_options = {0.0f, 0.25f, 0.5f, 1.0f};
+  std::vector<int> priority_aging_options = {10, 50, 200};
 
   [[nodiscard]] std::size_t NumPoints() const noexcept {
     return stream_options.size() * granularity_options.size() *
            algorithm_options.size() * pipeline_depth_options.size() *
-           codec_options.size();
+           codec_options.size() * priority_urgent_options.size() *
+           priority_aging_options.size();
   }
   /// Enumerate every configuration (grid order).
   [[nodiscard]] std::vector<CommConfig> AllConfigs() const;

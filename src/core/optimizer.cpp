@@ -37,43 +37,54 @@ double StepDecay::LearningRate(std::int64_t step) const {
   return base_ * std::pow(gamma_, k);
 }
 
-void SgdOptimizer::Step(const std::vector<std::span<float>>& params,
-                        const std::vector<std::span<const float>>& grads,
-                        double lr) {
+void Optimizer::Step(const std::vector<std::span<float>>& params,
+                     const std::vector<std::span<const float>>& grads,
+                     double lr) {
   AIACC_CHECK(params.size() == grads.size());
-  EnsureState(velocity_, params);
+  BeginIteration(params);
   for (std::size_t t = 0; t < params.size(); ++t) {
-    AIACC_CHECK(params[t].size() == grads[t].size());
-    std::vector<float>& vel = velocity_[t];
-    for (std::size_t i = 0; i < params[t].size(); ++i) {
-      vel[i] = static_cast<float>(momentum_ * vel[i] + grads[t][i]);
-      params[t][i] -= static_cast<float>(lr * vel[i]);
-    }
+    StepTensor(t, params[t], grads[t], lr);
   }
 }
 
-void AdamOptimizer::Step(const std::vector<std::span<float>>& params,
-                         const std::vector<std::span<const float>>& grads,
-                         double lr) {
-  AIACC_CHECK(params.size() == grads.size());
+void SgdOptimizer::BeginIteration(
+    const std::vector<std::span<float>>& params) {
+  EnsureState(velocity_, params);
+}
+
+void SgdOptimizer::StepTensor(std::size_t tensor_index,
+                              std::span<float> param,
+                              std::span<const float> grad, double lr) {
+  AIACC_CHECK(param.size() == grad.size());
+  std::vector<float>& vel = velocity_[tensor_index];
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    vel[i] = static_cast<float>(momentum_ * vel[i] + grad[i]);
+    param[i] -= static_cast<float>(lr * vel[i]);
+  }
+}
+
+void AdamOptimizer::BeginIteration(
+    const std::vector<std::span<float>>& params) {
   EnsureState(m_, params);
   EnsureState(v_, params);
   ++t_;
-  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
-  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
-  for (std::size_t t = 0; t < params.size(); ++t) {
-    AIACC_CHECK(params[t].size() == grads[t].size());
-    std::vector<float>& m = m_[t];
-    std::vector<float>& v = v_[t];
-    for (std::size_t i = 0; i < params[t].size(); ++i) {
-      const double g = grads[t][i];
-      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
-      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
-      const double m_hat = m[i] / bc1;
-      const double v_hat = v[i] / bc2;
-      params[t][i] -=
-          static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps_));
-    }
+  bc1_ = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  bc2_ = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+}
+
+void AdamOptimizer::StepTensor(std::size_t tensor_index,
+                               std::span<float> param,
+                               std::span<const float> grad, double lr) {
+  AIACC_CHECK(param.size() == grad.size());
+  std::vector<float>& m = m_[tensor_index];
+  std::vector<float>& v = v_[tensor_index];
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const double g = grad[i];
+    m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+    v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+    const double m_hat = m[i] / bc1_;
+    const double v_hat = v[i] / bc2_;
+    param[i] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps_));
   }
 }
 
@@ -96,35 +107,36 @@ void AdamOptimizer::ImportState(std::vector<std::vector<float>> state) {
   v_.assign(state.begin() + 1 + static_cast<long>(n), state.end());
 }
 
-void HybridAdamSgdOptimizer::Step(
-    const std::vector<std::span<float>>& params,
-    const std::vector<std::span<const float>>& grads, double lr) {
-  AIACC_CHECK(params.size() == grads.size());
-  // Snapshot, run Adam, then rescale each tensor's step to the magnitude an
+void HybridAdamSgdOptimizer::BeginIteration(
+    const std::vector<std::span<float>>& params) {
+  adam_.BeginIteration(params);
+}
+
+void HybridAdamSgdOptimizer::StepTensor(std::size_t tensor_index,
+                                        std::span<float> param,
+                                        std::span<const float> grad,
+                                        double lr) {
+  // Snapshot, run Adam, then rescale this tensor's step to the magnitude an
   // SGD step would have taken (trust-ratio style), so the update direction
   // is adaptive but the per-layer step size follows SGD's well-understood
   // scaling. Tensors with fewer than 32 elements (biases, norms) keep the
-  // raw Adam step.
-  std::vector<std::vector<float>> before(params.size());
-  for (std::size_t t = 0; t < params.size(); ++t) {
-    before[t].assign(params[t].begin(), params[t].end());
+  // raw Adam step. Entirely per-tensor, so the streamed and barriered
+  // flows agree bit for bit.
+  std::vector<float> before(param.begin(), param.end());
+  adam_.StepTensor(tensor_index, param, grad, lr);
+  if (param.size() < 32) return;
+  double adam_step_norm = 0.0;
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    const double d = double{param[i]} - before[i];
+    adam_step_norm += d * d;
   }
-  adam_.Step(params, grads, lr);
-  for (std::size_t t = 0; t < params.size(); ++t) {
-    if (params[t].size() < 32) continue;
-    double adam_step_norm = 0.0;
-    for (std::size_t i = 0; i < params[t].size(); ++i) {
-      const double d = double{params[t][i]} - before[t][i];
-      adam_step_norm += d * d;
-    }
-    adam_step_norm = std::sqrt(adam_step_norm);
-    if (adam_step_norm < 1e-12) continue;
-    const double sgd_step_norm = lr * L2Norm(grads[t]);
-    const double scale = sgd_step_norm / adam_step_norm;
-    for (std::size_t i = 0; i < params[t].size(); ++i) {
-      params[t][i] = static_cast<float>(
-          before[t][i] + scale * (double{params[t][i]} - before[t][i]));
-    }
+  adam_step_norm = std::sqrt(adam_step_norm);
+  if (adam_step_norm < 1e-12) return;
+  const double sgd_step_norm = lr * L2Norm(grad);
+  const double scale = sgd_step_norm / adam_step_norm;
+  for (std::size_t i = 0; i < param.size(); ++i) {
+    param[i] = static_cast<float>(before[i] +
+                                  scale * (double{param[i]} - before[i]));
   }
 }
 

@@ -60,17 +60,41 @@ class StepDecay final : public LrSchedule {
   double gamma_;
 };
 
-/// Optimizer over a fixed set of parameter tensors. Call Step once per
-/// iteration after gradients are aggregated.
+/// Optimizer over a fixed set of parameter tensors.
+///
+/// Two ways to drive it, numerically identical by construction (all state
+/// is per-tensor; iteration-wide state advances only in BeginIteration):
+///
+///   * barriered: call Step once per iteration after every gradient is
+///     aggregated — the classic flow;
+///   * streamed (optimizer/comm overlap): call BeginIteration once at the
+///     start of the iteration, then StepTensor per tensor the moment that
+///     tensor's collective completes. Different tensors may be stepped
+///     from different threads concurrently; the same tensor must not.
+///
+/// The threaded engine uses the streamed form to hide the optimizer under
+/// the tail collectives (see ThreadedAiaccEngine::Worker::BindOptimizer).
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
 
-  /// Apply one update. `params[i]` and `grads[i]` must alias the same tensor
-  /// layout across calls (state is per-tensor).
+  /// Open an iteration: size per-tensor state to `params` and advance any
+  /// iteration-wide state (Adam's timestep). Must complete before the
+  /// iteration's first StepTensor; single-threaded.
+  virtual void BeginIteration(const std::vector<std::span<float>>& params) = 0;
+
+  /// Apply one tensor's update. Requires BeginIteration this iteration.
+  /// `tensor_index` identifies the per-tensor state slot; concurrent calls
+  /// are allowed on distinct indices.
+  virtual void StepTensor(std::size_t tensor_index, std::span<float> param,
+                          std::span<const float> grad, double lr) = 0;
+
+  /// Apply one barriered update: BeginIteration + StepTensor over every
+  /// tensor. `params[i]` and `grads[i]` must alias the same tensor layout
+  /// across calls (state is per-tensor).
   virtual void Step(const std::vector<std::span<float>>& params,
                     const std::vector<std::span<const float>>& grads,
-                    double lr) = 0;
+                    double lr);
 
   [[nodiscard]] virtual std::string Name() const = 0;
 
@@ -83,9 +107,9 @@ class Optimizer {
 class SgdOptimizer final : public Optimizer {
  public:
   explicit SgdOptimizer(double momentum = 0.9) : momentum_(momentum) {}
-  void Step(const std::vector<std::span<float>>& params,
-            const std::vector<std::span<const float>>& grads,
-            double lr) override;
+  void BeginIteration(const std::vector<std::span<float>>& params) override;
+  void StepTensor(std::size_t tensor_index, std::span<float> param,
+                  std::span<const float> grad, double lr) override;
   [[nodiscard]] std::string Name() const override { return "sgd"; }
   [[nodiscard]] std::vector<std::vector<float>> ExportState() const override {
     return velocity_;
@@ -104,9 +128,9 @@ class AdamOptimizer final : public Optimizer {
  public:
   AdamOptimizer(double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8)
       : beta1_(beta1), beta2_(beta2), eps_(eps) {}
-  void Step(const std::vector<std::span<float>>& params,
-            const std::vector<std::span<const float>>& grads,
-            double lr) override;
+  void BeginIteration(const std::vector<std::span<float>>& params) override;
+  void StepTensor(std::size_t tensor_index, std::span<float> param,
+                  std::span<const float> grad, double lr) override;
   [[nodiscard]] std::string Name() const override { return "adam"; }
   [[nodiscard]] std::vector<std::vector<float>> ExportState() const override;
   void ImportState(std::vector<std::vector<float>> state) override;
@@ -114,6 +138,10 @@ class AdamOptimizer final : public Optimizer {
  private:
   double beta1_, beta2_, eps_;
   std::int64_t t_ = 0;
+  // Bias corrections for the current iteration, computed once in
+  // BeginIteration so concurrent StepTensor calls only read them.
+  double bc1_ = 1.0;
+  double bc2_ = 1.0;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
 };
@@ -127,9 +155,9 @@ class HybridAdamSgdOptimizer final : public Optimizer {
   HybridAdamSgdOptimizer(double momentum = 0.9, double beta1 = 0.9,
                          double beta2 = 0.999, double eps = 1e-8)
       : sgd_(momentum), adam_(beta1, beta2, eps) {}
-  void Step(const std::vector<std::span<float>>& params,
-            const std::vector<std::span<const float>>& grads,
-            double lr) override;
+  void BeginIteration(const std::vector<std::span<float>>& params) override;
+  void StepTensor(std::size_t tensor_index, std::span<float> param,
+                  std::span<const float> grad, double lr) override;
   [[nodiscard]] std::string Name() const override { return "hybrid-adam-sgd"; }
   [[nodiscard]] std::vector<std::vector<float>> ExportState() const override;
   void ImportState(std::vector<std::vector<float>> state) override;

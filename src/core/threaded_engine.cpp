@@ -123,7 +123,10 @@ ThreadedAiaccEngine::ThreadedAiaccEngine(int world_size, CommConfig config,
     workers_.emplace_back(new Worker(this, r));
     auto state = std::make_unique<RankState>();
     state->queue = std::make_unique<BoundedQueue<int>>(4096);
-    state->unit_queue = std::make_unique<BlockingQueue<AllReduceUnit>>();
+    // num_gradients is unknown until Finalize; BindGradientCount fixes the
+    // urgent cutoff there, before any service loop can push a unit.
+    state->scheduler = std::make_unique<ReadySetScheduler>(SchedulerPolicy{
+        config_.priority_urgent_fraction, config_.priority_aging_ms, 0});
     ranks_.push_back(std::move(state));
   }
 }
@@ -191,7 +194,7 @@ void ThreadedAiaccEngine::Shutdown() {
   if (shutdown_.exchange(true)) return;
   for (auto& state : ranks_) {
     state->queue->Shutdown();
-    state->unit_queue->Shutdown();
+    state->scheduler->Shutdown();
   }
   transport_->Shutdown();
   for (auto& state : ranks_) {
@@ -248,7 +251,7 @@ void ThreadedAiaccEngine::Abort(Status status, std::vector<int> suspected) {
   // recovery means rebuilding a fresh one over the survivors.
   for (auto& state : ranks_) {
     state->queue->Shutdown();
-    state->unit_queue->Shutdown();
+    state->scheduler->Shutdown();
   }
   transport_->Shutdown();
   for (auto& state : ranks_) {
@@ -311,6 +314,26 @@ void ThreadedAiaccEngine::Worker::Finalize() {
     state.reduced_bytes.assign(
         static_cast<std::size_t>(state.registry.size()), 0);
   }
+  // Fix the urgent-priority cutoff now that the gradient-id space is known
+  // (ids are name-sorted and identical on every rank, so every rank derives
+  // the same cutoff).
+  state.scheduler->BindGradientCount(state.registry.size());
+  // Resolve bound parameters to registry order for the streamed optimizer.
+  if (state.optimizer != nullptr) {
+    state.params.assign(static_cast<std::size_t>(state.registry.size()),
+                        std::span<float>{});
+    for (const auto& [name, span] : state.pending_params) {
+      auto id = state.registry.IdOf(name);
+      AIACC_CHECK(id.ok() && "parameter bound for unregistered gradient");
+      AIACC_CHECK(span.size() ==
+                  state.tensors[static_cast<std::size_t>(*id)].size());
+      state.params[static_cast<std::size_t>(*id)] = span;
+    }
+    for (const auto& p : state.params) {
+      AIACC_CHECK(!p.empty() &&
+                  "BindOptimizer requires a parameter for every gradient");
+    }
+  }
 
   // Wait for every rank before starting the communication threads: the
   // collectives need all participants.
@@ -368,6 +391,57 @@ Status ThreadedAiaccEngine::Worker::WaitIteration() {
   state.iteration_done = false;
   iterations_->Add();
   return Status::Ok();
+}
+
+void ThreadedAiaccEngine::Worker::BindOptimizer(Optimizer* optimizer,
+                                                double lr) {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  AIACC_CHECK(!state.registry.finalized());
+  AIACC_CHECK(optimizer != nullptr);
+  state.optimizer = optimizer;
+  common::MutexLock lock(state.mu);
+  state.lr = lr;
+}
+
+void ThreadedAiaccEngine::Worker::BindParameter(const std::string& name,
+                                                std::span<float> param) {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  AIACC_CHECK(!state.registry.finalized());
+  for (const auto& [existing, span] : state.pending_params) {
+    AIACC_CHECK(existing != name && "parameter already bound");
+  }
+  state.pending_params.emplace_back(name, param);
+}
+
+void ThreadedAiaccEngine::Worker::SetLearningRate(double lr) {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  common::MutexLock lock(state.mu);
+  state.lr = lr;
+}
+
+Status ThreadedAiaccEngine::Worker::WaitGradient(const std::string& name) {
+  RankState& state = *engine_->ranks_[static_cast<std::size_t>(rank_)];
+  auto id = state.registry.IdOf(name);
+  AIACC_CHECK(id.ok());
+  const auto idx = static_cast<std::size_t>(*id);
+  const std::size_t bytes = state.registry.Get(*id).bytes;
+  common::MutexLock lock(state.mu);
+  // `reduced_bytes` is zeroed at the *end* of each iteration (just before
+  // iteration_done flips), so between iterations every slot reads 0 and a
+  // caller arriving before the next protocol round can never see the
+  // previous iteration's full count as "done".
+  while (state.reduced_bytes[idx] != bytes && !state.iteration_done &&
+         !engine_->aborted_.load(std::memory_order_acquire)) {
+    state.cv.Wait(lock);
+  }
+  if (state.reduced_bytes[idx] == bytes || state.iteration_done) {
+    return Status::Ok();
+  }
+  return engine_->health();
+}
+
+SchedulerStats ThreadedAiaccEngine::Worker::scheduler_stats() const {
+  return engine_->ranks_[static_cast<std::size_t>(rank_)]->scheduler->stats();
 }
 
 void ThreadedAiaccEngine::MpiProcessLoop(int rank) {
@@ -464,12 +538,16 @@ void ThreadedAiaccEngine::RunIterationProtocol(
   Worker& worker = *workers_[static_cast<std::size_t>(rank)];
   const int n = state.registry.size();
 
-  // Fresh iteration state.
-  {
-    common::MutexLock lock(state.mu);
-    std::fill(state.reduced_bytes.begin(), state.reduced_bytes.end(), 0);
-  }
+  // Fresh iteration state. reduced_bytes was zeroed at the end of the
+  // previous iteration (not here) so a WaitGradient caller racing ahead of
+  // this protocol round never reads a stale full count.
   state.gradients_remaining.store(n, std::memory_order_release);
+  // Advance iteration-wide optimizer state (Adam's timestep) before any
+  // unit can be pushed: every StepTensor this iteration happens-after this
+  // call via the scheduler handoff.
+  if (state.optimizer != nullptr) {
+    state.optimizer->BeginIteration(state.params);
+  }
   StreamingPacker packer(config_.granularity_bytes);
   BitVector local_ready(static_cast<std::size_t>(n));
   int agreed_total = 0;
@@ -560,7 +638,7 @@ void ThreadedAiaccEngine::RunIterationProtocol(
         unit.pipeline_depth = DegradationController::DepthAt(
             config_.pipeline_depth, agreed_level);
       }
-      state.unit_queue->Push(std::move(unit));
+      state.scheduler->Push(std::move(unit));
     }
     // If nothing new was agreed and production continues, take one blocking
     // message so the loop does not spin on empty rounds.
@@ -597,6 +675,11 @@ void ThreadedAiaccEngine::RunIterationProtocol(
         aborted_.load(std::memory_order_acquire)) {
       return;
     }
+    // Close the iteration: zero the per-gradient progress *before* flipping
+    // iteration_done, so once the worker is released every slot already
+    // reads "nothing reduced yet" for the next iteration (WaitGradient
+    // relies on this ordering).
+    std::fill(state.reduced_bytes.begin(), state.reduced_bytes.end(), 0);
     state.iteration_done = true;
   }
   state.cv.NotifyAll();
@@ -623,9 +706,37 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
-    auto unit = state.unit_queue->Pop();
+    auto unit = state.scheduler->PopFor(stream_index);
     if (!unit.has_value()) return;
     const auto unit_begin = std::chrono::steady_clock::now();
+    // Dispatch telemetry: the queue-wait span (backdated to the push) with
+    // the unit's priority, plus an inversion marker when an urgent unit was
+    // overtaken by less-urgent dispatches while it waited. trace_analyze.py
+    // aggregates these into the per-iteration priority-inversion stat.
+    const ReadySetScheduler::PopInfo pop = state.scheduler->last_pop();
+    // Keep the UrgentActive preemption hint honest on every exit path
+    // (success, collective failure, shutdown): the pop above marked urgent
+    // units in-flight, and bulk units elsewhere poll that hint to yield.
+    struct UnitDoneGuard {
+      ReadySetScheduler* sched;
+      int priority;
+      ~UnitDoneGuard() { sched->UnitFinished(priority); }
+    } unit_done_guard{state.scheduler.get(), pop.priority};
+    {
+      auto& tracer = telemetry::RuntimeTracer::Global();
+      if (tracer.enabled(telemetry::TraceLevel::kPhase)) {
+        const std::int64_t now = tracer.NowNs();
+        const std::int64_t waited = pop.pop_ns - pop.push_ns;
+        tracer.RecordSpan("engine.sched", "unit.wait", now - waited, now,
+                          static_cast<int>(unit->unit_id), "priority",
+                          pop.priority);
+        if (pop.urgent && pop.bypassed > 0) {
+          tracer.RecordInstant("engine.sched", "sched.inversion",
+                               static_cast<int>(unit->unit_id), "bypassed",
+                               pop.bypassed);
+        }
+      }
+    }
     AIACC_TRACE_SPAN_IDX("engine.unit", "unit",
                          static_cast<int>(unit->unit_id));
     const std::size_t bytes = unit->TotalBytes();
@@ -701,6 +812,34 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
       // The unit's agreed wire codec (stamped by the packer from the shared
       // config; identical on every rank, like pipeline_depth).
       comm.codec = unit->codec;
+      // Cooperative preemption: a non-urgent bulk unit checks between
+      // pipeline slices whether an urgent collective is currently in
+      // flight on another stream and briefly parks so the urgent ring gets
+      // the transport. The predicate is "urgent RUNNING", not "urgent
+      // queued": when every stream holds bulk, a queued urgent unit cannot
+      // start and yielding would stall them all (plus their ring peers)
+      // for nothing. The budget caps the total parked time per unit at
+      // ~160 us: the nudge tilts transport interleaving toward the urgent
+      // ring, but every bulk unit the engine delays extends the iteration
+      // tail directly (WaitIteration needs ALL units), and collectives are
+      // distributed — an unbounded one-rank yield transitively stalls
+      // peers whose own hint says "don't yield". Timing-only, so results
+      // stay bit-identical; the check itself is one relaxed atomic load.
+      struct YieldCtx {
+        ReadySetScheduler* sched;
+        int budget;
+      };
+      YieldCtx yield_ctx{state.scheduler.get(), 16};
+      if (state.scheduler->policy().enabled() && !pop.urgent) {
+        comm.slice_yield = [](void* raw) {
+          auto* ctx = static_cast<YieldCtx*>(raw);
+          while (ctx->budget > 0 && ctx->sched->UrgentActive()) {
+            --ctx->budget;
+            std::this_thread::sleep_for(std::chrono::microseconds(10));
+          }
+        };
+        comm.slice_yield_ctx = &yield_ctx;
+      }
       if (sparse_unit) {
         // Sparse codecs need the error-feedback residual and use one
         // record-all-gather regardless of algorithm/depth.
@@ -790,10 +929,21 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
                     rviews);
       }
       for (const UnitSegment& seg : unit->segments) {
-        auto& done =
-            state.reduced_bytes[static_cast<std::size_t>(seg.gradient_id)];
+        const auto gid = static_cast<std::size_t>(seg.gradient_id);
+        auto& done = state.reduced_bytes[gid];
         done += seg.length;
-        if (done == state.registry.Get(seg.gradient_id).bytes) ++completed;
+        if (done == state.registry.Get(seg.gradient_id).bytes) {
+          ++completed;
+          // Optimizer/comm overlap: step this parameter now, under mu,
+          // while the other streams keep reducing the remaining units. The
+          // gradient tensor holds the averaged value after ScatterUnit.
+          if (state.optimizer != nullptr) {
+            AIACC_TRACE_SPAN_IDX("engine.opt", "step-tensor",
+                                 seg.gradient_id);
+            state.optimizer->StepTensor(gid, state.params[gid],
+                                        state.tensors[gid], state.lr);
+          }
+        }
       }
       worker.units_reduced_->Add();
       worker.bytes_reduced_->Add(bytes);
@@ -804,10 +954,12 @@ void ThreadedAiaccEngine::CommThreadLoop(int rank, int stream_index) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       unit_begin)
             .count());
-    if (completed > 0 &&
-        state.gradients_remaining.fetch_sub(completed,
-                                            std::memory_order_acq_rel) ==
-            completed) {
+    if (completed > 0) {
+      // Notify on *every* batch of completed gradients (not only the last):
+      // WaitGradient callers sleep on the same condvar as the protocol's
+      // end-of-iteration wait.
+      state.gradients_remaining.fetch_sub(completed,
+                                          std::memory_order_acq_rel);
       state.cv.NotifyAll();
     }
   }

@@ -45,8 +45,10 @@
 #include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/degradation.h"
+#include "core/optimizer.h"
 #include "core/packing.h"
 #include "core/registry.h"
+#include "core/scheduler.h"
 #include "telemetry/metrics.h"
 #include "transport/faulty.h"
 #include "transport/inproc.h"
@@ -135,6 +137,32 @@ class ThreadedAiaccEngine {
     /// Finish registration (collective: blocks until every rank finalized).
     void Finalize();
 
+    /// Optimizer/comm overlap: bind an optimizer so the engine applies
+    /// `StepTensor` for each parameter the moment its gradient's collective
+    /// completes, hiding the optimizer under the tail collectives instead
+    /// of running it barriered after WaitIteration. Numerically identical
+    /// to the barriered flow (see core/optimizer.h). Every registered
+    /// gradient must get a parameter via BindParameter. The optimizer must
+    /// outlive the engine; `lr` applies until SetLearningRate. Call before
+    /// Finalize.
+    void BindOptimizer(Optimizer* optimizer, double lr);
+
+    /// Bind the parameter tensor updated by gradient `name` (same element
+    /// count). Call after Register(name, ...), before Finalize.
+    void BindParameter(const std::string& name, std::span<float> param);
+
+    /// Update the learning rate the engine-applied optimizer uses from the
+    /// next completed gradient on. Call between WaitIteration and the next
+    /// iteration's pushes (the classic per-iteration schedule point).
+    void SetLearningRate(double lr);
+
+    /// Block until gradient `name` is fully averaged this iteration (and,
+    /// with a bound optimizer, its parameter stepped) — the next forward
+    /// pass's layer-wise consumption point, which is what makes priority
+    /// dispatch pay off: front layers unblock without waiting for the
+    /// iteration tail. Ok on completion; the abort Status on engine death.
+    [[nodiscard]] Status WaitGradient(const std::string& name);
+
     /// Announce that the gradient `name` has been (re)computed for this
     /// iteration. The tensor contents are read asynchronously afterwards —
     /// do not touch them until WaitIteration returns. After pushing every
@@ -158,6 +186,9 @@ class ThreadedAiaccEngine {
 
     [[nodiscard]] int rank() const noexcept { return rank_; }
     [[nodiscard]] RankStats stats() const noexcept;
+    /// Dispatch counters of this rank's ready-set scheduler (pops,
+    /// priority pops, inversions, aged pops).
+    [[nodiscard]] SchedulerStats scheduler_stats() const;
 
    private:
     friend class ThreadedAiaccEngine;
@@ -248,6 +279,14 @@ class ThreadedAiaccEngine {
     // the residual.
     std::vector<std::vector<float>> residuals;  // NOLOCK(comm streams access disjoint unit segments; scatter-back under mu)
 
+    // Optimizer/comm overlap (Worker::BindOptimizer): the comm streams
+    // apply StepTensor under `mu` the moment a gradient completes, so the
+    // optimizer runs hidden under the remaining collectives. Pointers and
+    // spans freeze at Finalize; only `lr` changes afterwards (under mu).
+    Optimizer* optimizer = nullptr;  // NOLOCK(frozen before service threads start)
+    std::vector<std::pair<std::string, std::span<float>>> pending_params;  // NOLOCK(registration phase only)
+    std::vector<std::span<float>> params;  // NOLOCK(frozen before service threads start)
+
     // Gradient message queue worker -> MPI process. Ids >= 0; kFlush ends
     // an iteration's production.
     std::unique_ptr<BoundedQueue<int>> queue;  // NOLOCK(set in ctor; queue is internally synchronized)
@@ -256,8 +295,12 @@ class ThreadedAiaccEngine {
     common::Mutex mu{"engine-rank-state", common::lock_rank::kEngineState};
     common::CondVar cv;
     bool iteration_done GUARDED_BY(mu) = false;
+    double lr GUARDED_BY(mu) = 0.0;  // engine-applied optimizer step size
 
-    std::unique_ptr<BlockingQueue<AllReduceUnit>> unit_queue;  // NOLOCK(set in ctor; queue is internally synchronized)
+    // Priority ready-set feeding the communication streams (replaces the
+    // old FIFO unit queue; core/scheduler.h has the dispatch rules and the
+    // cross-rank deadlock-freedom argument).
+    std::unique_ptr<ReadySetScheduler> scheduler;  // NOLOCK(set in ctor; internally synchronized)
     // Units completed this iteration (MPI process aggregates).
     std::atomic<int> gradients_remaining{0};
     std::vector<std::size_t> reduced_bytes GUARDED_BY(mu);

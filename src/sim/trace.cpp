@@ -7,11 +7,13 @@ namespace aiacc::sim {
 void Tracer::AddSpan(std::string track, std::string name, double begin,
                      double end) {
   AIACC_CHECK(end >= begin);
-  spans_.push_back(Span{std::move(track), std::move(name), begin, end, ""});
+  spans_.push_back(
+      Span{std::move(track), std::move(name), begin, end, "", "", 0});
 }
 
 void Tracer::AddInstant(std::string track, std::string name, double time) {
-  instants_.push_back(Instant{std::move(track), std::move(name), time, ""});
+  instants_.push_back(
+      Instant{std::move(track), std::move(name), time, "", "", 0});
 }
 
 void Tracer::Clear() {

@@ -162,11 +162,12 @@ MergeReport MergeTraces(const std::vector<RankTrace>& traces) {
     for (const SpanEvent& s : traces[t].doc.spans) {
       report.merged.spans.push_back(
           SpanEvent{add_track(s.track), s.name, s.begin - off, s.end - off,
-                    s.cat});
+                    s.cat, s.arg_key, s.arg_val});
     }
     for (const InstantEvent& i : traces[t].doc.instants) {
-      report.merged.instants.push_back(
-          InstantEvent{add_track(i.track), i.name, i.time - off, i.cat});
+      report.merged.instants.push_back(InstantEvent{
+          add_track(i.track), i.name, i.time - off, i.cat, i.arg_key,
+          i.arg_val});
     }
     for (const FlowEvent& f : traces[t].doc.flows) {
       report.merged.flows.push_back(FlowEvent{add_track(f.track), f.name,

@@ -60,11 +60,17 @@ std::string ToChromeJson(const ChromeTraceDoc& doc) {
   auto cat_field = [&](const std::string& cat) {
     if (!cat.empty()) out << "\"cat\":\"" << Escape(cat) << "\",";
   };
+  auto args_field = [&](const std::string& key, std::int64_t val) {
+    if (!key.empty()) {
+      out << "\"args\":{\"" << Escape(key) << "\":" << val << "},";
+    }
+  };
   for (const SpanEvent& s : doc.spans) {
     sep();
     out << "{\"ph\":\"X\",\"pid\":" << pid_of(s.track)
         << ",\"tid\":" << tid_of(s.track) << ",";
     cat_field(s.cat);
+    args_field(s.arg_key, s.arg_val);
     out << "\"name\":\"" << Escape(s.name) << "\",\"ts\":" << s.begin * 1e6
         << ",\"dur\":" << (s.end - s.begin) * 1e6 << "}";
   }
@@ -73,6 +79,7 @@ std::string ToChromeJson(const ChromeTraceDoc& doc) {
     out << "{\"ph\":\"i\",\"pid\":" << pid_of(i.track)
         << ",\"tid\":" << tid_of(i.track) << ",";
     cat_field(i.cat);
+    args_field(i.arg_key, i.arg_val);
     out << "\"s\":\"t\",\"name\":\"" << Escape(i.name)
         << "\",\"ts\":" << i.time * 1e6 << "}";
   }

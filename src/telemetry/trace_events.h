@@ -25,6 +25,12 @@ struct SpanEvent {
   double begin = 0.0;
   double end = 0.0;
   std::string cat;
+  /// Optional single argument rendered as Chrome "args":{key: value}
+  /// (empty key = no args). Integer-valued: producers record counters and
+  /// ids (priority, bypass counts), never strings, so the rings stay
+  /// fixed-size.
+  std::string arg_key;
+  std::int64_t arg_val = 0;
 };
 
 /// A point event on one lane.
@@ -33,6 +39,9 @@ struct InstantEvent {
   std::string name;
   double time = 0.0;
   std::string cat;
+  /// Optional single argument (same contract as SpanEvent::arg_key).
+  std::string arg_key;
+  std::int64_t arg_val = 0;
 };
 
 /// One end of a cross-lane causal edge (Chrome flow event). A flow `id`

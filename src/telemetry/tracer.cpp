@@ -94,21 +94,23 @@ void RuntimeTracer::Push(const Event& e) noexcept {
 
 void RuntimeTracer::RecordSpan(const char* cat, const char* name,
                                std::int64_t begin_ns, std::int64_t end_ns,
-                               int index) noexcept {
-  Push(Event{cat, name, begin_ns, end_ns, index, kSpan, 0});
+                               int index, const char* arg_key,
+                               std::int64_t arg_val) noexcept {
+  Push(Event{cat, name, begin_ns, end_ns, index, kSpan, 0, arg_key, arg_val});
 }
 
 void RuntimeTracer::RecordInstant(const char* cat, const char* name,
-                                  int index) noexcept {
+                                  int index, const char* arg_key,
+                                  std::int64_t arg_val) noexcept {
   const std::int64_t now = NowNs();
-  Push(Event{cat, name, now, now, index, kInstant, 0});
+  Push(Event{cat, name, now, now, index, kInstant, 0, arg_key, arg_val});
 }
 
 void RuntimeTracer::RecordFlow(const char* cat, const char* name,
                                std::uint64_t flow_id, bool start) noexcept {
   const std::int64_t now = NowNs();
   Push(Event{cat, name, now, now, -1, start ? kFlowStart : kFlowEnd,
-             flow_id});
+             flow_id, nullptr, 0});
 }
 
 void RuntimeTracer::Collect(std::vector<SpanEvent>* spans,
@@ -137,11 +139,14 @@ void RuntimeTracer::CollectImpl(
       const Event& e = ring->events[i];
       std::string name = e.name;
       if (e.index >= 0) name += "#" + std::to_string(e.index);
+      const std::string arg_key =
+          e.arg_key != nullptr ? std::string(e.arg_key) : std::string();
       switch (e.kind) {
         case kInstant:
           if (instants != nullptr) {
             instants->push_back(InstantEvent{ring->label, std::move(name),
-                                             e.begin_ns * 1e-9, e.cat});
+                                             e.begin_ns * 1e-9, e.cat,
+                                             arg_key, e.arg_val});
           }
           break;
         case kFlowStart:
@@ -156,7 +161,7 @@ void RuntimeTracer::CollectImpl(
           if (spans != nullptr) {
             spans->push_back(SpanEvent{ring->label, std::move(name),
                                        e.begin_ns * 1e-9, e.end_ns * 1e-9,
-                                       e.cat});
+                                       e.cat, arg_key, e.arg_val});
           }
       }
     }

@@ -70,11 +70,17 @@ class RuntimeTracer {
   /// Record one closed span / one point event on the calling thread's lane.
   /// `cat` and `name` must be string literals (the ring stores the
   /// pointers); `index >= 0` is appended to the rendered name ("ring#2").
+  /// `arg_key`/`arg_val` attach one integer argument rendered as Chrome
+  /// "args":{key: value} (arg_key must also be a literal; nullptr = none) —
+  /// how the scheduler publishes per-unit priority and bypass counts.
   /// Callers gate on enabled() — TraceSpan and the AIACC_TRACE_* macros do.
   void RecordSpan(const char* cat, const char* name, std::int64_t begin_ns,
-                  std::int64_t end_ns, int index = -1) noexcept;
-  void RecordInstant(const char* cat, const char* name,
-                     int index = -1) noexcept;
+                  std::int64_t end_ns, int index = -1,
+                  const char* arg_key = nullptr,
+                  std::int64_t arg_val = 0) noexcept;
+  void RecordInstant(const char* cat, const char* name, int index = -1,
+                     const char* arg_key = nullptr,
+                     std::int64_t arg_val = 0) noexcept;
 
   /// Record one end of a cross-lane causal edge on the calling thread's
   /// lane (rendered as a Chrome flow event — ph "s" for the producing side,
@@ -115,6 +121,8 @@ class RuntimeTracer {
     std::int32_t index;   // -1 = none
     std::uint8_t kind;    // kSpan / kInstant / kFlowStart / kFlowEnd
     std::uint64_t flow_id;  // flow events only
+    const char* arg_key;    // literal; nullptr = no argument
+    std::int64_t arg_val;
   };
   static constexpr std::uint8_t kSpan = 0;
   static constexpr std::uint8_t kInstant = 1;
@@ -164,17 +172,21 @@ class RuntimeTracer {
 class TraceSpan {
  public:
   TraceSpan(RuntimeTracer& tracer, TraceLevel level, const char* cat,
-            const char* name, int index = -1) noexcept
+            const char* name, int index = -1, const char* arg_key = nullptr,
+            std::int64_t arg_val = 0) noexcept
       : tracer_(tracer.enabled(level) ? &tracer : nullptr),
         cat_(cat),
         name_(name),
         index_(index),
+        arg_key_(arg_key),
+        arg_val_(arg_val),
         begin_ns_(tracer_ != nullptr ? tracer_->NowNs() : 0) {}
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
   ~TraceSpan() {
     if (tracer_ != nullptr) {
-      tracer_->RecordSpan(cat_, name_, begin_ns_, tracer_->NowNs(), index_);
+      tracer_->RecordSpan(cat_, name_, begin_ns_, tracer_->NowNs(), index_,
+                          arg_key_, arg_val_);
     }
   }
 
@@ -183,6 +195,8 @@ class TraceSpan {
   const char* const cat_;
   const char* const name_;
   const int index_;
+  const char* const arg_key_;
+  const std::int64_t arg_val_;
   const std::int64_t begin_ns_;
 };
 

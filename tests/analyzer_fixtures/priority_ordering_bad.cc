@@ -1,0 +1,29 @@
+// Known-bad fixture for the priority-ordering check (the check keys on
+// "priority_ordering" in the filename / src/core paths): ready-set
+// dispatch that bypasses ReadySetScheduler::Push/PopFor.
+#include "support.h"
+
+#include <utility>
+
+namespace fixtures {
+
+class FifoEngine {
+ public:
+  void Submit(core::AllReduceUnit unit) {
+    unit_queue_.Push(std::move(unit));  // BAD: FIFO push, no priority
+  }
+
+  bool NextUnit(core::AllReduceUnit& out) {
+    return unit_queue_.Pop(out);  // BAD: pop outside the ready set
+  }
+
+ private:
+  common::BlockingQueue<core::AllReduceUnit> unit_queue_;  // BAD: raw queue
+};
+
+void SideQueue(core::AllReduceUnit unit,
+               common::BlockingQueue<core::AllReduceUnit>* unit_queue) {
+  unit_queue->Push(std::move(unit));  // BAD: dispatch through a raw pointer
+}
+
+}  // namespace fixtures

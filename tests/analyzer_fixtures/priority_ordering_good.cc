@@ -1,0 +1,30 @@
+// Known-good counterpart to priority_ordering_bad.cc: every unit goes
+// through the ReadySetScheduler API, and queues of non-unit types stay
+// fair game.
+#include "support.h"
+
+#include <functional>
+#include <utility>
+
+namespace fixtures {
+
+class ScheduledEngine {
+ public:
+  void Submit(core::AllReduceUnit unit) {
+    scheduler_.Push(std::move(unit));  // OK: the sanctioned dispatch path
+  }
+
+  bool NextUnit(int stream, core::AllReduceUnit& out) {
+    return scheduler_.PopFor(stream, out);  // OK
+  }
+
+  void Defer(std::function<void()> task) {
+    tasks_.Push(std::move(task));  // OK: not a unit queue
+  }
+
+ private:
+  core::ReadySetScheduler scheduler_;
+  common::BlockingQueue<std::function<void()>> tasks_;
+};
+
+}  // namespace fixtures

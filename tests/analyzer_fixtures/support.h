@@ -44,6 +44,18 @@ class BufferPool {
   void Release(Buffer&& b) { b.clear(); }
 };
 
+// Same queue shape as src/common/queues.h; only the operations the
+// priority-ordering check keys on.
+template <typename T>
+class BlockingQueue {
+ public:
+  void Push(T value) { (void)value; }
+  bool Pop(T& out) {
+    (void)out;
+    return false;
+  }
+};
+
 class Mutex {};
 
 class MutexLock {
@@ -75,6 +87,28 @@ class Transport {
 };
 
 }  // namespace transport
+
+namespace core {
+
+// Mirrors src/core/packing.h's dispatch unit closely enough for the
+// priority-ordering fixtures.
+struct AllReduceUnit {
+  std::vector<float> payload;
+};
+
+// The sanctioned dispatch surface (src/core/scheduler.h): the good
+// fixture routes every unit through it.
+class ReadySetScheduler {
+ public:
+  void Push(AllReduceUnit unit) { (void)unit; }
+  bool PopFor(int stream, AllReduceUnit& out) {
+    (void)stream;
+    (void)out;
+    return false;
+  }
+};
+
+}  // namespace core
 
 namespace compress {
 

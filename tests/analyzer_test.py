@@ -40,6 +40,7 @@ CHECK_STEMS = {
     "blocking-under-lock": "blocking_under_lock",
     "tag-collision": "tag_collision",
     "codec-record-validation": "codec_validation",
+    "priority-ordering": "priority_ordering",
 }
 
 failures: list[str] = []

@@ -308,6 +308,103 @@ TEST(TuningCacheTest, FileRoundTripAndCorruptionRejected) {
   EXPECT_FALSE(corrupt.Deserialize(bytes).ok());
 }
 
+TEST(TuningCacheTest, SerializeRoundTripPreservesPriorityAxes) {
+  TuningCache cache;
+  net::Topology topo{4, 8, net::TransportKind::kTcp};
+  core::CommConfig cfg;
+  cfg.num_streams = 8;
+  cfg.priority_urgent_fraction = 0.5f;
+  cfg.priority_aging_ms = 200;
+  cache.Store(dnn::MakeResNet50(), topo, cfg, 90.0);
+
+  TuningCache restored;
+  ASSERT_TRUE(restored.Deserialize(cache.Serialize()).ok());
+  auto hit = restored.LookupSimilar(dnn::MakeResNet50(), topo);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FLOAT_EQ(hit->priority_urgent_fraction, 0.5f);
+  EXPECT_EQ(hit->priority_aging_ms, 200);
+}
+
+namespace {
+
+/// Hand-builds the common per-entry prefix shared by every readable cache
+/// version: name, graph, topology, and the v2-era config fields.
+void WriteEntryPrefix(ByteWriter& w, const dnn::ModelDescriptor& model) {
+  w.WriteString(model.name());
+  const auto graph = model.GraphFingerprint();
+  w.WriteU64(graph.size());
+  for (const auto& node : graph) {
+    w.WriteU8(static_cast<std::uint8_t>(node.kind));
+    w.WriteI64(node.param_elements);
+  }
+  w.WriteI64(4);  // num_hosts
+  w.WriteI64(8);  // gpus_per_host
+  w.WriteU8(static_cast<std::uint8_t>(net::TransportKind::kTcp));
+  w.WriteI64(12);                          // num_streams
+  w.WriteU64(16u << 20);                   // granularity_bytes
+  w.WriteU8(static_cast<std::uint8_t>(collective::Algorithm::kRing));
+  w.WriteU64(1u << 20);                    // min_bucket_bytes
+  w.WriteI64(2);                           // pipeline_depth
+}
+
+}  // namespace
+
+// Caches written before the scheduler existed (v3: codec but no priority
+// axes) must still load — with priority dispatch OFF, because that is the
+// dispatch policy their scores were measured under.
+TEST(TuningCacheTest, LoadsVersion3EntriesWithFifoDispatch) {
+  const auto model = dnn::MakeResNet50();
+  ByteWriter w;
+  w.WriteU32(0xA1ACCCA5);  // kCacheMagic
+  w.WriteU32(3);
+  w.WriteU64(1);
+  WriteEntryPrefix(w, model);
+  w.WriteU8(static_cast<std::uint8_t>(compress::CodecKind::kFp16));
+  w.WriteF64(0.01);  // codec.topk_ratio
+  w.WriteU64(0);     // no codec overrides
+  w.WriteF64(42.0);  // score
+
+  TuningCache cache;
+  ASSERT_TRUE(cache.Deserialize(std::move(w).Take()).ok());
+  net::Topology topo{4, 8, net::TransportKind::kTcp};
+  auto hit = cache.LookupSimilar(model, topo);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->num_streams, 12);
+  EXPECT_EQ(hit->codec.kind, compress::CodecKind::kFp16);
+  EXPECT_FLOAT_EQ(hit->priority_urgent_fraction, 0.0f);  // FIFO migration
+}
+
+// v2 predates both the codec and the scheduler: entries load with the
+// uncompressed wire format and FIFO dispatch.
+TEST(TuningCacheTest, LoadsVersion2EntriesWithDefaults) {
+  const auto model = dnn::MakeResNet50();
+  ByteWriter w;
+  w.WriteU32(0xA1ACCCA5);  // kCacheMagic
+  w.WriteU32(2);
+  w.WriteU64(1);
+  WriteEntryPrefix(w, model);
+  w.WriteF64(42.0);  // score
+
+  TuningCache cache;
+  ASSERT_TRUE(cache.Deserialize(std::move(w).Take()).ok());
+  net::Topology topo{4, 8, net::TransportKind::kTcp};
+  auto hit = cache.LookupSimilar(model, topo);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->codec.kind, compress::CodecKind::kNone);
+  EXPECT_FLOAT_EQ(hit->priority_urgent_fraction, 0.0f);
+}
+
+TEST(TuningCacheTest, RejectsUnknownFutureVersion) {
+  ByteWriter w;
+  w.WriteU32(0xA1ACCCA5);
+  w.WriteU32(99);
+  w.WriteU64(0);
+  TuningCache cache;
+  const auto st = cache.Deserialize(std::move(w).Take());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+}
+
 TEST(TuningCacheTest, MissingFileIsNotFound) {
   TuningCache cache;
   const auto st = cache.LoadFrom("/nonexistent/cache.bin");

@@ -592,20 +592,34 @@ TEST(PackingCodecTest, SplitGradientStampsEveryUnit) {
 
 // ------------------------------------------- config axis + cache v3 ----
 
-TEST(ConfigCodecTest, CodecAxisIsLastInFlatIndex) {
+TEST(ConfigCodecTest, CodecAxisFollowsDepthInFlatIndex) {
   core::CommConfigSpace space;
   const std::size_t base = space.stream_options.size() *
                            space.granularity_options.size() *
                            space.algorithm_options.size() *
                            space.pipeline_depth_options.size();
-  EXPECT_EQ(space.NumPoints(), base * space.codec_options.size());
+  EXPECT_EQ(space.NumPoints(), base * space.codec_options.size() *
+                                   space.priority_urgent_options.size() *
+                                   space.priority_aging_options.size());
   // Indices below the codec-free space size keep their old meaning
-  // (codec = kNone), so persisted flat indices stay valid.
+  // (codec = kNone and FIFO dispatch, exactly how those configs ran before
+  // the newer axes existed), so persisted flat indices stay valid.
   for (const std::size_t i : {std::size_t{0}, base / 2, base - 1}) {
     EXPECT_EQ(space.ConfigAt(i).codec.kind, CodecKind::kNone) << i;
+    EXPECT_EQ(space.ConfigAt(i).priority_urgent_fraction,
+              space.priority_urgent_options[0])
+        << i;
+    EXPECT_EQ(space.ConfigAt(i).priority_aging_ms,
+              space.priority_aging_options[0])
+        << i;
   }
-  EXPECT_EQ(space.ConfigAt(base).codec.kind,
-            space.codec_options[1].kind);
+  EXPECT_EQ(space.ConfigAt(base).codec.kind, space.codec_options[1].kind);
+  // The priority axes are appended after codec: the first index past the
+  // codec-extended space flips urgent_fraction, not any older axis.
+  const std::size_t codec_space = base * space.codec_options.size();
+  EXPECT_EQ(space.ConfigAt(codec_space).codec.kind, CodecKind::kNone);
+  EXPECT_EQ(space.ConfigAt(codec_space).priority_urgent_fraction,
+            space.priority_urgent_options[1]);
 }
 
 TEST(ConfigCodecTest, CodecForResolvesOverrides) {

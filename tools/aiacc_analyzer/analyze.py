@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """aiacc-analyzer — AST-level protocol & resource checks for the repo.
 
-Five checks regex cannot express (see DESIGN.md "Static analysis"):
+Six checks regex cannot express (see DESIGN.md "Static analysis"):
   dropped-status            Status/Result values discarded or overwritten
                             before inspection
   pool-leak                 BufferPool::Acquire without Release/move-out on
@@ -15,6 +15,11 @@ Five checks regex cannot express (see DESIGN.md "Static analysis"):
                             kTagsPerCollective
   codec-record-validation   decode Status must be checked before decoded
                             payloads are touched (src/compress/)
+  priority-ordering         unit dispatch in src/core/ must go through
+                            ReadySetScheduler::Push/PopFor — a raw
+                            BlockingQueue<AllReduceUnit> (or Push/Pop on
+                            one) bypasses priority order, aging, and
+                            preemption
 
 Frontends:
   clang  libclang (Python clang.cindex) over build/compile_commands.json —

@@ -1,4 +1,4 @@
-"""The five aiacc-analyzer checks, all operating on the frontend IR.
+"""The six aiacc-analyzer checks, all operating on the frontend IR.
 
 Each check is a function `(project, ctx) -> list[Finding]`. `ctx` carries
 repo paths and the parsed tag-layout environment. Checks must be
@@ -796,6 +796,96 @@ def _codec_scan(block: Stmt, fn: FunctionIR, out: list[Finding]) -> None:
 
 
 # ==========================================================================
+# Check 6: priority-ordering
+# ==========================================================================
+
+# A declaration whose type is a queue of AllReduceUnit: the shape the old
+# FIFO engine used before core/scheduler.h. Template arguments never
+# contain ; { } ( ) in the repo's spellings, so the bracket body can be
+# matched non-greedily without a real parser.
+_UNIT_QUEUE_DECL = re.compile(
+    r"\bBlockingQueue\s*<[^;{}()]*\bAllReduceUnit\b[^;{}()]*>\s*[*&]?\s*"
+    r"([A-Za-z_]\w*)")
+
+# Dispatch operations that must only happen inside the scheduler: pushing
+# a unit into / popping one out of a raw queue.
+_QUEUE_OPS = frozenset(("Push", "Pop", "PopFor", "TryPop", "Emplace"))
+
+# The scheduler implementation itself legitimately owns the underlying
+# containers; everything else in the engine layer must go through its API.
+_SCHEDULER_FILES = frozenset(("scheduler.h", "scheduler.cpp"))
+
+
+def _priority_scope(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    base = os.path.basename(norm)
+    if base in _SCHEDULER_FILES:
+        return False
+    return norm.startswith("src/core/") or "priority_ordering" in base
+
+
+def _recv_tail(recv: str) -> str:
+    """Last identifier of a receiver chain: `state.unit_queue` -> unit_queue."""
+    m = re.search(r"([A-Za-z_]\w*)\s*$", recv or "")
+    return m.group(1) if m else ""
+
+
+def check_priority_ordering(project, ctx) -> list[Finding]:
+    """Ready-set dispatch must go through ReadySetScheduler::Push/PopFor
+    (core/scheduler.h). A raw BlockingQueue<AllReduceUnit> — or Push/Pop
+    straight on one — resurrects the old FIFO unit_queue: units dispatch
+    in arrival order, the priority/aging/preemption machinery and the
+    SchedulerStats counters are silently bypassed, and the bench A/B
+    measures FIFO twice."""
+    out: list[Finding] = []
+    for fir in project.files:
+        if not _priority_scope(fir.path):
+            continue
+        # The canonical name always counts: `unit_queue->Push(...)` through
+        # a pointer/reference parameter is a bypass even when the queue's
+        # declaration lives in another TU.
+        queue_vars = {"unit_queue", "unit_queue_"}
+        # Raw-text pass for declarations: class members never appear in the
+        # function IR, so the IR alone cannot see the queue come into
+        # existence.
+        try:
+            with open(os.path.join(ctx.repo, fir.path),
+                      encoding="utf-8") as fh:
+                text = strip_comments_and_strings(fh.read())
+        except OSError:
+            text = ""
+        for lineno, line in enumerate(text.splitlines(), 1):
+            m = _UNIT_QUEUE_DECL.search(line)
+            if m is None:
+                continue
+            queue_vars.add(m.group(1))
+            out.append(Finding(
+                check="priority-ordering", file=fir.path, line=lineno,
+                symbol=m.group(1),
+                message=f"raw BlockingQueue<AllReduceUnit> '{m.group(1)}' "
+                        f"bypasses the ready-set scheduler — route dispatch "
+                        f"through ReadySetScheduler::Push/PopFor "
+                        f"(core/scheduler.h)"))
+        # IR pass for operations on a known unit queue.
+        for fn in fir.functions:
+            for scope_fn in [fn, *fn.all_lambdas()]:
+                for st in scope_fn.all_stmts():
+                    for c in st.calls:
+                        if c.name not in _QUEUE_OPS:
+                            continue
+                        if _recv_tail(c.recv) not in queue_vars:
+                            continue
+                        out.append(Finding(
+                            check="priority-ordering", file=fir.path,
+                            line=c.line, symbol=scope_fn.qual_name,
+                            message=f"direct '{c.full}' dispatches a unit "
+                                    f"outside the scheduler API — priority "
+                                    f"order, aging, and preemption are "
+                                    f"bypassed"))
+    return out
+
+
+# ==========================================================================
 
 ALL_CHECKS = {
     "dropped-status": check_dropped_status,
@@ -803,6 +893,7 @@ ALL_CHECKS = {
     "blocking-under-lock": check_blocking_under_lock,
     "tag-collision": check_tag_collision,
     "codec-record-validation": check_codec_record_validation,
+    "priority-ordering": check_priority_ordering,
 }
 
 

@@ -1,29 +1,44 @@
 #!/usr/bin/env python3
-"""Bench-trajectory compare: fresh `bench_hotpath --pipeline-sweep --json`
-output against the checked-in BENCH_hotpath.json baseline.
+"""Bench-trajectory compare: fresh bench JSON against a checked-in baseline.
 
-Absolute msgs/s depends on the runner hardware (core count, clocks, noisy
-neighbours) and moves 2-5x between machines, so comparing raw throughput
-against a checked-in number would only test the CI fleet. What is stable
-across machines is the *trajectory*: how throughput scales with pipeline
-depth relative to the same run's depth-1 point (a depth-d round moves d
-times as many d-times-smaller messages by construction, and the latency
-speedup rides on top). This tool therefore normalizes each sweep by its
-own depth-1 msgs/s and compares the per-depth ratios — a regression in
-pipelining (lost overlap, a serialization bug, per-slice overhead blowup)
-bends the fresh trajectory away from the baseline's even when both
-machines differ wildly in absolute speed.
+Two document kinds are understood, auto-detected from the baseline's keys:
 
-Checks, per depth present in the baseline:
-  * the fresh sweep measured the same depth;
-  * fresh ratio (msgs/s vs own depth 1) within --tolerance (default 15%)
-    of the baseline ratio;
-  * fresh latency_speedup_vs_depth1 within --tolerance of baseline
-    (absolute difference, since the values cluster around 1.0).
+pipeline_sweep (bench_hotpath --pipeline-sweep --json vs BENCH_hotpath.json)
+  Absolute msgs/s depends on the runner hardware (core count, clocks, noisy
+  neighbours) and moves 2-5x between machines, so comparing raw throughput
+  against a checked-in number would only test the CI fleet. What is stable
+  across machines is the *trajectory*: how throughput scales with pipeline
+  depth relative to the same run's depth-1 point (a depth-d round moves d
+  times as many d-times-smaller messages by construction, and the latency
+  speedup rides on top). This tool therefore normalizes each sweep by its
+  own depth-1 msgs/s and compares the per-depth ratios — a regression in
+  pipelining (lost overlap, a serialization bug, per-slice overhead blowup)
+  bends the fresh trajectory away from the baseline's even when both
+  machines differ wildly in absolute speed.
+
+  Checks, per depth present in the baseline:
+    * the fresh sweep measured the same depth;
+    * fresh ratio (msgs/s vs own depth 1) within --tolerance (default 15%)
+      of the baseline ratio;
+    * fresh latency_speedup_vs_depth1 within --tolerance of baseline
+      (absolute difference, since the values cluster around 1.0).
+
+scheduler_ab (bench_fig10_nlp --json vs BENCH_scheduler.json)
+  The FIFO-vs-priority-dispatch speedup is already a within-run ratio, so
+  it is machine-stable the same way the trajectory ratios are. Absolute
+  iteration times are ignored. Checks, per model in the baseline:
+    * the fresh run measured the same model;
+    * bit_identical is true (dispatch order must never change results —
+      a hard failure regardless of tolerance);
+    * fresh speedup >= 1.0 (scheduler-on must not lose to FIFO);
+    * fresh speedup within --tolerance (absolute) of the baseline's, since
+      speedups cluster around 1.x;
+    * priority dispatch actually engaged (priority_pops > 0) whenever the
+      baseline's did — a zero means the A/B silently measured FIFO twice.
 
 Usage: bench_compare.py BASELINE.json FRESH.json [--tolerance 0.15]
 FRESH may be "-" to read the bench's stdout from stdin.
-Exit 0 = within tolerance, 1 = trajectory regressed (details printed).
+Exit 0 = within tolerance, 1 = regressed (details printed).
 """
 
 from __future__ import annotations
@@ -59,20 +74,9 @@ def ratios(points: dict[int, dict]) -> dict[int, float]:
     return {d: float(p["msgs_per_sec"]) / base for d, p in points.items()}
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="checked-in BENCH_hotpath.json")
-    parser.add_argument("fresh", help="fresh --pipeline-sweep --json ('-' = stdin)")
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.15,
-        help="allowed relative deviation per depth (default 0.15)",
-    )
-    args = parser.parse_args()
-
-    base = sweep_by_depth(load(args.baseline), "baseline")
-    fresh = sweep_by_depth(load(args.fresh), "fresh")
+def compare_pipeline(base_doc: dict, fresh_doc: dict, tolerance: float) -> int:
+    base = sweep_by_depth(base_doc, "baseline")
+    fresh = sweep_by_depth(fresh_doc, "fresh")
     base_ratio = ratios(base)
     fresh_ratio = ratios(fresh)
 
@@ -96,16 +100,16 @@ def main() -> int:
             f"{b:>10.2f} {f:>10.2f} {100.0 * dev:>6.1f}% "
             f"{b_spd:>9.2f} {f_spd:>9.2f}"
         )
-        if dev > args.tolerance:
+        if dev > tolerance:
             failures.append(
                 f"depth {depth}: msgs/s trajectory {f:.2f} deviates "
                 f"{100.0 * dev:.1f}% from baseline {b:.2f} "
-                f"(tolerance {100.0 * args.tolerance:.0f}%)"
+                f"(tolerance {100.0 * tolerance:.0f}%)"
             )
-        if abs(f_spd - b_spd) > args.tolerance:
+        if abs(f_spd - b_spd) > tolerance:
             failures.append(
                 f"depth {depth}: latency speedup {f_spd:.2f} vs baseline "
-                f"{b_spd:.2f} exceeds {args.tolerance:.2f} absolute "
+                f"{b_spd:.2f} exceeds {tolerance:.2f} absolute "
                 f"tolerance"
             )
     if failures:
@@ -114,6 +118,85 @@ def main() -> int:
         return 1
     print("bench_compare: trajectory within tolerance")
     return 0
+
+
+def ab_by_model(doc: dict, label: str) -> dict[str, dict]:
+    rows = doc.get("scheduler_ab")
+    if not isinstance(rows, list) or not rows:
+        raise SystemExit(f"bench_compare: {label}: no scheduler_ab array")
+    return {str(row["model"]): row for row in rows}
+
+
+def compare_scheduler(base_doc: dict, fresh_doc: dict, tolerance: float) -> int:
+    base = ab_by_model(base_doc, "baseline")
+    fresh = ab_by_model(fresh_doc, "fresh")
+
+    failures: list[str] = []
+    print(
+        f"{'model':<14} {'base spd':>9} {'fresh spd':>10} {'dev':>7} "
+        f"{'fresh prio pops':>16} {'bit-identical':>14}"
+    )
+    for model in sorted(base):
+        if model not in fresh:
+            failures.append(f"model {model}: missing from fresh run")
+            continue
+        b_spd = float(base[model]["speedup"])
+        f_spd = float(fresh[model]["speedup"])
+        dev = abs(f_spd - b_spd)
+        f_pops = int(fresh[model].get("priority_pops", 0))
+        b_pops = int(base[model].get("priority_pops", 0))
+        identical = bool(fresh[model].get("bit_identical", False))
+        print(
+            f"{model:<14} {b_spd:>9.3f} {f_spd:>10.3f} {dev:>7.3f} "
+            f"{f_pops:>16} {str(identical).lower():>14}"
+        )
+        if not identical:
+            failures.append(
+                f"model {model}: FIFO and priority dispatch produced "
+                f"different parameters (bit_identical false)"
+            )
+        if f_spd < 1.0:
+            failures.append(
+                f"model {model}: scheduler-on speedup {f_spd:.3f} lost to "
+                f"FIFO (must stay >= 1.0)"
+            )
+        if dev > tolerance:
+            failures.append(
+                f"model {model}: speedup {f_spd:.3f} vs baseline "
+                f"{b_spd:.3f} exceeds {tolerance:.2f} absolute tolerance"
+            )
+        if b_pops > 0 and f_pops == 0:
+            failures.append(
+                f"model {model}: priority dispatch never engaged "
+                f"(priority_pops 0, baseline {b_pops}) — the A/B measured "
+                f"FIFO twice"
+            )
+    if failures:
+        for line in failures:
+            print(f"bench_compare FAILURE: {line}", file=sys.stderr)
+        return 1
+    print("bench_compare: scheduler A/B within tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in BENCH_*.json baseline")
+    parser.add_argument("fresh", help="fresh bench --json output ('-' = stdin)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed deviation (relative for trajectories, absolute for "
+        "speedups; default 0.15)",
+    )
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    if "scheduler_ab" in base_doc:
+        return compare_scheduler(base_doc, fresh_doc, args.tolerance)
+    return compare_pipeline(base_doc, fresh_doc, args.tolerance)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,12 @@ reports, per iteration and overall:
     finishing span (blame spans, walked backwards over flow edges and
     same-lane ordering);
   * per-rank straggler scores (how far behind the earliest rank each rank
-    finishes, normalized by iteration duration).
+    finishes, normalized by iteration duration);
+  * per-iteration priority-dispatch stats from the ready-set scheduler's
+    "engine.sched" events: unit push-to-pop wait times ("unit.wait" spans,
+    priority in args) and priority inversions ("sched.inversion" instants
+    — an urgent unit popped only after lower-priority in-flight transfers
+    overtook it, args carry the bypass count).
 
 With --flight, merges one or more flight-recorder dumps
 (telemetry::FlightRecorder::ToJson, e.g. $AIACC_FLIGHT_DIR/flight-*.json)
@@ -51,10 +56,21 @@ class Span:
     cat: str
     ts: float  # microseconds
     dur: float
+    args: dict = field(default_factory=dict)
 
     @property
     def end(self) -> float:
         return self.ts + self.dur
+
+
+@dataclass
+class Instant:
+    lane: str
+    rank: int
+    name: str
+    cat: str
+    ts: float
+    args: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -69,6 +85,7 @@ class Flow:
 @dataclass
 class Trace:
     spans: list[Span] = field(default_factory=list)
+    instants: list[Instant] = field(default_factory=list)
     flows: list[Flow] = field(default_factory=list)
     dropped_events: int = 0
 
@@ -119,11 +136,12 @@ def load_trace(path: str) -> Trace:
             trace.dropped_events = dropped
     for ev in events:
         ph = ev.get("ph")
-        if ph not in ("X", "s", "f"):
+        if ph not in ("X", "i", "s", "f"):
             continue
         key = (ev.get("pid", 1), ev.get("tid", 0))
         lane = lanes.get(key, f"pid{key[0]}/tid{key[1]}")
         rank = rank_of(lane, processes.get(key[0], ""))
+        ev_args = ev.get("args") if isinstance(ev.get("args"), dict) else {}
         if ph == "X":
             trace.spans.append(
                 Span(
@@ -133,6 +151,18 @@ def load_trace(path: str) -> Trace:
                     cat=ev.get("cat", ""),
                     ts=float(ev.get("ts", 0.0)),
                     dur=float(ev.get("dur", 0.0)),
+                    args=ev_args,
+                )
+            )
+        elif ph == "i":
+            trace.instants.append(
+                Instant(
+                    lane=lane,
+                    rank=rank,
+                    name=ev.get("name", ""),
+                    cat=ev.get("cat", ""),
+                    ts=float(ev.get("ts", 0.0)),
+                    args=ev_args,
                 )
             )
         else:
@@ -418,6 +448,55 @@ def critical_path(trace: Trace, iteration: dict) -> list[dict]:
     return out
 
 
+SCHED_CAT = "engine.sched"
+
+
+def _int_arg(args: dict, key: str) -> int:
+    val = args.get(key, 0)
+    return val if isinstance(val, int) and not isinstance(val, bool) else 0
+
+
+def analyze_priority(trace: Trace, iterations: list[dict]) -> dict:
+    """Per-iteration priority-dispatch stats from the scheduler's trace
+    events (core/scheduler.h): "unit.wait" spans carry each unit's
+    push-to-pop wall time and its priority in args; a "sched.inversion"
+    instant marks an urgent unit popped only after `bypassed` less-urgent
+    units overtook it — the unit waited behind lower-priority in-flight
+    transfers. Attaches a "priority" record to every iteration (a wait
+    span belongs to the iteration whose window contains its end, the pop
+    time) and returns the whole-trace summary. All-zero when the
+    scheduler ran FIFO (policy disabled) or tracing was below kPhase."""
+    waits = [
+        s
+        for s in trace.spans
+        if s.cat == SCHED_CAT and s.name.startswith("unit.wait")
+    ]
+    inversions = [
+        i
+        for i in trace.instants
+        if i.cat == SCHED_CAT and i.name.startswith("sched.inversion")
+    ]
+    for it in iterations:
+        lo, hi = it["begin_us"], it["end_us"]
+        it_waits = [s for s in waits if lo <= s.end <= hi]
+        it_invs = [i for i in inversions if lo <= i.ts <= hi]
+        wait_us = [s.dur for s in it_waits]
+        it["priority"] = {
+            "unit_waits": len(it_waits),
+            "mean_wait_us": sum(wait_us) / len(wait_us) if wait_us else 0.0,
+            "max_wait_us": max(wait_us, default=0.0),
+            "inversions": len(it_invs),
+            "bypassed_total": sum(_int_arg(i.args, "bypassed")
+                                  for i in it_invs),
+        }
+    return {
+        "unit_waits": len(waits),
+        "inversions": len(inversions),
+        "bypassed_total": sum(_int_arg(i.args, "bypassed")
+                              for i in inversions),
+    }
+
+
 def straggler_scores(iterations: list[dict]) -> dict:
     per_rank: dict[str, list[float]] = {}
     for it in iterations:
@@ -515,6 +594,24 @@ def render_table(report: dict) -> str:
             )
         if len(cp) > 12:
             lines.insert(-6, f"  ... {len(cp) - 12} more ...")
+    pr = report.get("priority_inversions", {})
+    if pr.get("unit_waits") or pr.get("inversions"):
+        lines.append("")
+        lines.append(
+            "priority dispatch (engine.sched): unit wait + inversions "
+            "per iteration:"
+        )
+        for it in iterations:
+            rec = it.get("priority")
+            if not rec:
+                continue
+            lines.append(
+                f"  iter {it['iteration']:>3}: {rec['unit_waits']:>4} waits "
+                f"(mean {rec['mean_wait_us']:>9.1f} us, "
+                f"max {rec['max_wait_us']:>9.1f} us), "
+                f"{rec['inversions']:>4} inversions, "
+                f"{rec['bypassed_total']:>5} bulk pops overtook urgent"
+            )
     stragglers = report.get("stragglers", {})
     if stragglers:
         lines.append("")
@@ -573,6 +670,7 @@ def main() -> int:
 
     trace = load_trace(args.trace)
     iterations = analyze_iterations(trace)
+    priority_summary = analyze_priority(trace, iterations)
     report = {
         "trace": args.trace,
         "iterations": iterations,
@@ -581,6 +679,7 @@ def main() -> int:
         if iterations
         else [],
         "stragglers": straggler_scores(iterations),
+        "priority_inversions": priority_summary,
         "dropped_events": trace.dropped_events,
         "flow_edges": sum(1 for f in trace.flows if not f.start),
     }
@@ -620,6 +719,13 @@ def main() -> int:
             for f in failures:
                 print(f"trace_analyze CHECK FAILURE: {f}", file=sys.stderr)
             return 1
+        print(
+            f"trace_analyze: priority inversions: "
+            f"{priority_summary['inversions']} across {len(iterations)} "
+            f"iteration(s) ({priority_summary['bypassed_total']} bulk pops "
+            f"overtook urgent units; {priority_summary['unit_waits']} unit "
+            f"waits traced)"
+        )
         print("trace_analyze: checks OK")
     return 0
 
